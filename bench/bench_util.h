@@ -1,0 +1,89 @@
+// Shared setup for the benchmark harness: the Facebook schema/catalog of
+// §7.2, pregenerated query pools, and synthetic wide schemas for the
+// relation-count ablation (footnote 3).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cq/query.h"
+#include "cq/schema.h"
+#include "fb/fb_schema.h"
+#include "fb/fb_views.h"
+#include "label/pipeline.h"
+#include "label/view_catalog.h"
+#include "workload/query_generator.h"
+
+namespace fdc::bench {
+
+/// The §7.2 environment: schema + 37-view catalog, built once.
+struct FacebookEnv {
+  cq::Schema schema;
+  std::unique_ptr<label::ViewCatalog> catalog;
+
+  FacebookEnv() {
+    schema = fb::BuildFacebookSchema();
+    catalog = std::make_unique<label::ViewCatalog>(&schema);
+    auto added = fb::RegisterFacebookViews(catalog.get());
+    if (!added.ok()) std::abort();
+  }
+
+  static const FacebookEnv& Get() {
+    static const FacebookEnv env;
+    return env;
+  }
+};
+
+/// Pregenerates `count` workload queries with `subqueries` stress factor.
+inline std::vector<cq::ConjunctiveQuery> MakeQueryPool(int subqueries,
+                                                       int count,
+                                                       uint64_t seed) {
+  workload::GeneratorOptions options;
+  options.subqueries = subqueries;
+  workload::QueryGenerator generator(&FacebookEnv::Get().schema, options,
+                                     seed);
+  std::vector<cq::ConjunctiveQuery> pool;
+  pool.reserve(count);
+  for (int i = 0; i < count; ++i) pool.push_back(generator.Next());
+  return pool;
+}
+
+/// A synthetic schema with `num_relations` Album-like relations (footnote 3:
+/// "we tried increasing the total number of relations to 1,000 while keeping
+/// the number of security views per relation constant").
+struct SyntheticEnv {
+  cq::Schema schema;
+  std::unique_ptr<label::ViewCatalog> catalog;
+
+  explicit SyntheticEnv(int num_relations) {
+    for (int r = 0; r < num_relations; ++r) {
+      auto id = schema.AddRelation(
+          "T" + std::to_string(r),
+          {"uid", "viewer_rel", "c1", "c2", "c3", "c4"});
+      if (!id.ok()) std::abort();
+    }
+    catalog = std::make_unique<label::ViewCatalog>(&schema);
+    for (int r = 0; r < num_relations; ++r) {
+      const std::vector<std::string> payload = {"c1", "c2", "c3", "c4"};
+      const std::vector<std::string> pub = {"uid", "viewer_rel"};
+      auto a = catalog->AddView(
+          "pub" + std::to_string(r),
+          fb::MakeProjectionView(schema, r, pub, ""));
+      auto b = catalog->AddView(
+          "own" + std::to_string(r),
+          fb::MakeProjectionView(schema, r, payload, fb::kSelf));
+      auto c = catalog->AddView(
+          "frd" + std::to_string(r),
+          fb::MakeProjectionView(schema, r, payload, fb::kFriendRel));
+      if (!a.ok() || !b.ok() || !c.ok()) std::abort();
+    }
+  }
+};
+
+/// Converts benchmark items/sec into the paper's y-axis unit.
+inline double SecondsPerMillion(double items_per_second) {
+  return 1e6 / items_per_second;
+}
+
+}  // namespace fdc::bench

@@ -1,0 +1,86 @@
+// The §7.1 Facebook case study as a runnable walkthrough.
+//
+// Registers the §7.2 schema and 37-view catalog, runs the documentation
+// audit that regenerates Table 2, and then demonstrates the paper's remedy:
+// machine-computing labels for FQL-style queries instead of maintaining
+// permission tables by hand.
+//
+//   $ ./examples/facebook_casestudy
+#include <cstdio>
+#include <string>
+
+#include "cq/printer.h"
+#include "cq/sql_parser.h"
+#include "fb/fb_audit.h"
+#include "fb/fb_schema.h"
+#include "fb/fb_views.h"
+#include "label/pipeline.h"
+
+using namespace fdc;
+
+int main() {
+  cq::Schema schema = fb::BuildFacebookSchema();
+  label::ViewCatalog catalog(&schema);
+  auto added = fb::RegisterFacebookViews(&catalog);
+  if (!added.ok()) {
+    std::fprintf(stderr, "%s\n", added.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Registered %d security views over %d relations "
+              "(User carries %d attributes).\n\n",
+              *added, schema.NumRelations(), schema.Find(fb::kUser)->arity());
+
+  // ---- Part 1: the documentation audit --------------------------------
+  fb::AuditResult audit = fb::RunFacebookAudit(catalog);
+  std::printf("%s\n", fb::RenderTable2(audit).c_str());
+
+  // ---- Part 2: machine labeling of FQL-style queries -------------------
+  std::printf("Machine-computed labels for FQL-style queries:\n");
+  label::LabelerPipeline pipeline(&catalog);
+  const char* queries[] = {
+      "SELECT birthday FROM User WHERE uid = 'me' AND viewer_rel = 'self'",
+      "SELECT quotes FROM User WHERE uid = 'me' AND viewer_rel = 'self'",
+      "SELECT uid, birthday FROM User WHERE viewer_rel = 'friend'",
+      "SELECT name, pic FROM User WHERE viewer_rel = 'other'",
+      "SELECT u.uid, u.music FROM Friend f JOIN User u ON f.uid2 = u.uid "
+      "WHERE f.uid1 = 'me' AND u.viewer_rel = 'friend'",
+      // timezone is visible only to the user's own session (Table 2, row 2)
+      // — for a friend audience no view bounds it, so it is not grantable.
+      "SELECT uid, timezone FROM User WHERE viewer_rel = 'friend'",
+  };
+  for (const char* sql : queries) {
+    auto q = cq::ParseSql(sql, schema);
+    if (!q.ok()) {
+      std::fprintf(stderr, "  parse error: %s\n",
+                   q.status().ToString().c_str());
+      continue;
+    }
+    label::SetLabel label = pipeline.LabelHashed(*q);
+    std::printf("  %s\n    -> requires: ", sql);
+    if (label.top) {
+      std::printf("NOT GRANTABLE (no registered view bounds this query)");
+    } else {
+      bool first = true;
+      for (const auto& per_atom : label.per_atom) {
+        // Report the minimal option set per atom.
+        std::printf("%s(", first ? "" : " AND ");
+        bool inner_first = true;
+        for (int id : per_atom) {
+          std::printf("%s%s", inner_first ? "" : " | ",
+                      catalog.view(id).name.c_str());
+          inner_first = false;
+        }
+        std::printf(")");
+        first = false;
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nEach label was derived from the view definitions alone — no\n"
+      "hand-maintained permission table, hence nothing to drift (§7.1).\n");
+  return audit.inconsistencies.size() == 6 &&
+                 audit.labeler_mismatches.empty()
+             ? 0
+             : 1;
+}

@@ -1,0 +1,36 @@
+// Small bit-manipulation helpers shared by the compressed-label code (§6.1)
+// and the policy checker's partition bit vectors (§6.2).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace fdc {
+
+/// Number of set bits.
+inline int PopCount(uint64_t x) { return std::popcount(x); }
+
+/// True iff `sub` is a subset of `super` when both are viewed as bit sets.
+inline bool IsBitSubset(uint64_t sub, uint64_t super) {
+  return (sub & ~super) == 0;
+}
+
+/// Index of the lowest set bit; undefined for x == 0.
+inline int LowestBit(uint64_t x) { return std::countr_zero(x); }
+
+/// Iterates over set bits, invoking fn(bit_index) for each.
+template <typename Fn>
+inline void ForEachBit(uint64_t mask, Fn&& fn) {
+  while (mask != 0) {
+    const int bit = std::countr_zero(mask);
+    fn(bit);
+    mask &= mask - 1;
+  }
+}
+
+/// Mask with the low `n` bits set (n in [0, 64]).
+inline uint64_t LowMask(int n) {
+  return n >= 64 ? ~0ULL : ((1ULL << n) - 1);
+}
+
+}  // namespace fdc

@@ -1,0 +1,15 @@
+#include "cq/atom.h"
+
+#include <functional>
+
+namespace fdc::cq {
+
+size_t HashAtom(const Atom& atom) {
+  size_t h = std::hash<int>()(atom.relation);
+  for (const Term& t : atom.terms) {
+    h = h * 1099511628211ULL + std::hash<Term>()(t);
+  }
+  return h;
+}
+
+}  // namespace fdc::cq

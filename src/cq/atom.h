@@ -1,0 +1,32 @@
+// Relational atoms: a relation id applied to a list of terms.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cq/schema.h"
+#include "cq/term.h"
+
+namespace fdc::cq {
+
+/// One body atom R(t1, ..., tk). `relation` is an id in the governing Schema.
+struct Atom {
+  int relation = -1;
+  std::vector<Term> terms;
+
+  Atom() = default;
+  Atom(int relation_id, std::vector<Term> ts)
+      : relation(relation_id), terms(std::move(ts)) {}
+
+  int arity() const { return static_cast<int>(terms.size()); }
+
+  bool operator==(const Atom& other) const {
+    return relation == other.relation && terms == other.terms;
+  }
+  bool operator!=(const Atom& other) const { return !(*this == other); }
+};
+
+/// Structural hash of an atom (exact terms, not up to renaming).
+size_t HashAtom(const Atom& atom);
+
+}  // namespace fdc::cq

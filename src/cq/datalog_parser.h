@@ -1,0 +1,22 @@
+// Parser for the paper's Datalog-style query notation, e.g.
+//
+//   Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')
+//
+// Conventions: bare identifiers inside parentheses are variables; quoted
+// strings and numeric literals are constants; `,` or `AND`-free conjunction
+// via comma. Boolean queries use an empty head: `V5() :- Meetings(x, y)`.
+#pragma once
+
+#include <string_view>
+
+#include "common/result.h"
+#include "cq/query.h"
+#include "cq/schema.h"
+
+namespace fdc::cq {
+
+/// Parses one Datalog rule against `schema`. Validates arity and safety.
+Result<ConjunctiveQuery> ParseDatalog(std::string_view text,
+                                      const Schema& schema);
+
+}  // namespace fdc::cq

@@ -1,0 +1,24 @@
+// Pretty printing of terms, atoms and queries in the paper's notation:
+//   Q(x) :- Meetings(x, 'Cathy')
+// and the §5 tagged form:
+//   [M(x_d, y_e), C(y_e, w_e, 'Intern')]
+#pragma once
+
+#include <string>
+
+#include "cq/pattern.h"
+#include "cq/query.h"
+#include "cq/schema.h"
+
+namespace fdc::cq {
+
+/// Datalog-style rendering, e.g. "Q(v0) :- Meetings(v0, 'Cathy')".
+std::string ToDatalog(const ConjunctiveQuery& query, const Schema& schema);
+
+/// §5 tagged-body rendering, e.g. "[Meetings(v0_d, v1_e)]".
+std::string ToTaggedBody(const ConjunctiveQuery& query, const Schema& schema);
+
+/// Renders an AtomPattern using schema names, e.g. "Contacts(x0_d, x1_e, 'I')".
+std::string PatternToString(const AtomPattern& pattern, const Schema& schema);
+
+}  // namespace fdc::cq

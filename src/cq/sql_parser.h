@@ -1,0 +1,30 @@
+// A small SQL front-end lowering SELECT-PROJECT-JOIN queries to conjunctive
+// queries.
+//
+// App ecosystems expose SQL-ish query languages (Facebook's FQL was the
+// paper's running example). Mature embeddable SQL parsers for C++ are scarce,
+// so this module implements a recursive-descent parser for the fragment the
+// disclosure labeler supports — exactly the class of queries FQL supported:
+//
+//   SELECT a.col1, b.col2
+//   FROM Rel1 [AS] a JOIN Rel2 [AS] b ON a.colX = b.colY [JOIN ...]
+//   [WHERE col = 'literal' AND a.col = b.col AND ...]
+//
+// Also accepted: comma joins (FROM R1 a, R2 b) with join predicates in
+// WHERE, SELECT *, unqualified column names when unambiguous, numeric and
+// string literals, <> and = comparisons only (= lowers to unification; <> is
+// rejected as outside the conjunctive fragment).
+#pragma once
+
+#include <string_view>
+
+#include "common/result.h"
+#include "cq/query.h"
+#include "cq/schema.h"
+
+namespace fdc::cq {
+
+/// Parses one SELECT statement and lowers it to a ConjunctiveQuery.
+Result<ConjunctiveQuery> ParseSql(std::string_view text, const Schema& schema);
+
+}  // namespace fdc::cq

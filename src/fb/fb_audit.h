@@ -1,0 +1,50 @@
+// The §7.1 audit: diff the hand-written FQL and Graph API permission
+// documentation for the 42 User views, resolve each discrepancy against the
+// actual behaviour, and cross-check the permission-set rows against the
+// machine-computed disclosure labels.
+//
+// The paper's thesis is that hand labeling drifts while data-derived
+// labeling cannot: the `labeler_mismatches` field demonstrates it — the
+// labeler, run on the view definitions themselves, reproduces the actual
+// requirement for every permission-guarded attribute, with zero mismatches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fb/fb_documentation.h"
+#include "label/view_catalog.h"
+
+namespace fdc::fb {
+
+struct AuditRow {
+  std::string attribute;
+  std::string audience;
+  Requirement fql;
+  Requirement graph;
+  Requirement actual;
+  std::string correct_api;  // "FQL", "Graph API", or "neither"
+};
+
+struct AuditResult {
+  int total_views = 0;
+  int consistent = 0;
+  std::vector<AuditRow> inconsistencies;
+  /// Attributes where the machine label disagreed with the recorded actual
+  /// requirement; expected empty.
+  std::vector<std::string> labeler_mismatches;
+};
+
+/// Runs the audit against a catalog built by RegisterFacebookViews.
+AuditResult RunFacebookAudit(const label::ViewCatalog& catalog);
+
+/// Renders the inconsistency table in the paper's Table 2 layout.
+std::string RenderTable2(const AuditResult& result);
+
+/// Builds the app query "fetch `attribute` of users with audience
+/// `audience`" used for the labeler cross-check.
+cq::ConjunctiveQuery MakeAttributeQuery(const cq::Schema& schema,
+                                        const std::string& attribute,
+                                        const std::string& audience);
+
+}  // namespace fdc::fb

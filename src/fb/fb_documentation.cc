@@ -1,0 +1,88 @@
+#include "fb/fb_documentation.h"
+
+#include "common/string_utils.h"
+
+namespace fdc::fb {
+
+std::string Requirement::ToString() const {
+  switch (kind) {
+    case ReqKind::kNone: return "none";
+    case ReqKind::kAny: return "any";
+    case ReqKind::kForbidden: return "forbidden";
+    case ReqKind::kPerms: return JoinStrings(permissions, " or ");
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<DocumentedView> BuildDocumentedViews() {
+  std::vector<DocumentedView> rows;
+
+  // ---- The six Table 2 inconsistencies, verbatim from the paper. -------
+  // pic ("picture" in the Graph API): FQL none; Graph "any for pages with
+  // whitelisting/targeting restrictions, otherwise none". Correct: FQL.
+  rows.push_back({"pic", "self", Requirement::None(), Requirement::Any(),
+                  Requirement::None()});
+  // timezone: FQL any; Graph "available only for the current user".
+  // Correct: Graph API.
+  rows.push_back({"timezone", "self", Requirement::Any(), Requirement::None(),
+                  Requirement::None()});
+  // devices: FQL any (for any user); Graph "any; only available for friends
+  // of the current user". Correct: Graph API — a non-friend gets nothing.
+  rows.push_back({"devices", "other", Requirement::Any(),
+                  Requirement::Forbidden(), Requirement::Forbidden()});
+  // relationship_status: FQL any; Graph user_relationships or
+  // friends_relationships. Correct: Graph API.
+  rows.push_back({"relationship_status", "self", Requirement::Any(),
+                  Requirement::Perms({"user_relationships"}),
+                  Requirement::Perms({"user_relationships"})});
+  // quotes: FQL user_likes or friends_likes; Graph user_about_me or
+  // friends_about_me. Correct: FQL.
+  rows.push_back({"quotes", "self", Requirement::Perms({"user_likes"}),
+                  Requirement::Perms({"user_about_me"}),
+                  Requirement::Perms({"user_likes"})});
+  // profile_url ("link" in the Graph API): FQL any; Graph none.
+  // Correct: FQL.
+  rows.push_back({"profile_url", "self", Requirement::Any(),
+                  Requirement::None(), Requirement::Any()});
+
+  // ---- The 36 rows where both APIs agreed. -----------------------------
+  struct Group {
+    const char* permission;  // group stem
+    std::vector<const char*> attributes;
+  };
+  const std::vector<Group> groups = {
+      // likes group minus quotes (its row is above).
+      {"likes",
+       {"likes", "languages", "activities", "interests", "books", "movies",
+        "music", "tv"}},
+      {"about_me", {"about_me", "website"}},
+      {"birthday", {"birthday"}},
+      // relationships group minus relationship_status (row above).
+      {"relationships", {"significant_other_id"}},
+      {"religion_politics", {"religion", "political"}},
+      {"work_education", {"work_history", "education_history"}},
+      {"location", {"current_location", "hometown_location"}},
+  };
+  for (const Group& group : groups) {
+    for (const char* attr : group.attributes) {
+      const Requirement self_req =
+          Requirement::Perms({"user_" + std::string(group.permission)});
+      rows.push_back({attr, "self", self_req, self_req, self_req});
+      const Requirement friend_req =
+          Requirement::Perms({"friends_" + std::string(group.permission)});
+      rows.push_back({attr, "friend", friend_req, friend_req, friend_req});
+    }
+  }
+  return rows;
+}
+
+}  // namespace
+
+const std::vector<DocumentedView>& DocumentedUserViews() {
+  static const std::vector<DocumentedView> kRows = BuildDocumentedViews();
+  return kRows;
+}
+
+}  // namespace fdc::fb

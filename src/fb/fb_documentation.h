@@ -1,0 +1,59 @@
+// Encodings of Facebook's developer documentation for the 42 User views
+// accessible through both FQL and the Graph API (§7.1).
+//
+// Facebook's documentation is a hand-generated disclosure labeling: for each
+// API query it lists the permissions an app must hold. §7.1 compared the
+// FQL and Graph API documentation for 42 corresponding User views and found
+// the six inconsistencies of Table 2. The real 2013 documentation is gone;
+// we encode the 42 rows here — the six Table 2 rows verbatim from the paper,
+// the remaining 36 consistent rows reconstructed from the permission-group
+// structure — so the audit can regenerate the table.
+//
+// Requirement values mirror the paper's vocabulary: "none" (no permissions
+// required), "any" (any nonempty permission set), a concrete permission
+// set, or forbidden (not available for this audience at all).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace fdc::fb {
+
+enum class ReqKind {
+  kNone,       // no permission needed
+  kAny,        // any nonempty set of permissions
+  kPerms,      // the listed permissions (any one of them suffices)
+  kForbidden,  // not accessible for this audience
+};
+
+struct Requirement {
+  ReqKind kind = ReqKind::kNone;
+  std::vector<std::string> permissions;  // for kPerms
+
+  static Requirement None() { return {ReqKind::kNone, {}}; }
+  static Requirement Any() { return {ReqKind::kAny, {}}; }
+  static Requirement Forbidden() { return {ReqKind::kForbidden, {}}; }
+  static Requirement Perms(std::vector<std::string> names) {
+    return {ReqKind::kPerms, std::move(names)};
+  }
+
+  bool operator==(const Requirement& other) const {
+    return kind == other.kind && permissions == other.permissions;
+  }
+
+  std::string ToString() const;
+};
+
+/// One documented view: a User attribute requested for an audience.
+struct DocumentedView {
+  std::string attribute;
+  std::string audience;  // "self" / "friend" / "other"
+  Requirement fql;       // FQL documentation
+  Requirement graph;     // Graph API documentation
+  Requirement actual;    // behaviour observed by issuing both queries (§7.1)
+};
+
+/// The full 42-view comparison set. Exactly six rows have fql != graph.
+const std::vector<DocumentedView>& DocumentedUserViews();
+
+}  // namespace fdc::fb

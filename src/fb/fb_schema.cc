@@ -1,0 +1,58 @@
+#include "fb/fb_schema.h"
+
+#include <cassert>
+
+namespace fdc::fb {
+
+cq::Schema BuildFacebookSchema() {
+  cq::Schema schema;
+  // 34 attributes, mirroring FQL's user table circa 2013.
+  auto user = schema.AddRelation(
+      kUser,
+      {"uid", "viewer_rel", "name", "first_name", "last_name", "sex", "pic",
+       "pic_square", "profile_url", "about_me", "website", "likes",
+       "languages", "quotes", "activities", "interests", "books", "movies",
+       "music", "tv", "birthday", "relationship_status",
+       "significant_other_id", "religion", "political", "work_history",
+       "education_history", "current_location", "hometown_location",
+       "timezone", "email", "devices", "online_presence", "status"});
+  assert(user.ok() && schema.Find(kUser)->arity() == 34);
+  (void)user;
+
+  auto add = [&schema](const char* name, std::vector<std::string> attrs) {
+    auto result = schema.AddRelation(name, std::move(attrs));
+    assert(result.ok());
+    (void)result;
+  };
+  add(kFriend, {"uid1", "uid2", "viewer_rel"});
+  add(kAlbum,
+      {"aid", "owner_uid", "viewer_rel", "name", "location", "created"});
+  add(kPhoto,
+      {"pid", "owner_uid", "viewer_rel", "aid", "caption", "created"});
+  add(kEvent, {"eid", "host_uid", "viewer_rel", "name", "location",
+               "start_time", "end_time", "rsvp_status"});
+  add(kGroup, {"gid", "creator_uid", "viewer_rel", "name", "description"});
+  add(kCheckin, {"checkin_id", "author_uid", "viewer_rel", "page_id",
+                 "timestamp", "message", "latitude", "longitude"});
+  add(kStatusUpdate,
+      {"status_id", "uid", "viewer_rel", "message", "time"});
+  return schema;
+}
+
+int OwnerUidIndex(const cq::Schema& schema, int relation_id) {
+  const cq::RelationDef* rel = schema.FindById(relation_id);
+  if (rel == nullptr) return -1;
+  for (const char* candidate :
+       {"uid", "uid1", "owner_uid", "host_uid", "creator_uid", "author_uid"}) {
+    const int idx = rel->AttributeIndex(candidate);
+    if (idx >= 0) return idx;
+  }
+  return -1;
+}
+
+int ViewerRelIndex(const cq::Schema& schema, int relation_id) {
+  const cq::RelationDef* rel = schema.FindById(relation_id);
+  return rel == nullptr ? -1 : rel->AttributeIndex("viewer_rel");
+}
+
+}  // namespace fdc::fb

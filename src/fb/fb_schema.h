@@ -1,0 +1,47 @@
+// The Facebook-like test schema of §7.2: eight relations capturing core
+// Facebook API functionality. The largest is User with 34 attributes; the
+// others have between 3 and 10.
+//
+// Following the paper's workaround for join views ("we dealt with this issue
+// by adding an extra column to each relation that indicated whether the
+// owner of a given tuple was friends with the principal executing the
+// query"), every relation carries a `viewer_rel` attribute with values
+// 'self' / 'friend' / 'fof' / 'other'. Since a user's friend list is
+// available to any app running on the user's behalf, this denormalization
+// does not change what information queries disclose.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cq/schema.h"
+
+namespace fdc::fb {
+
+/// Relation names, stable across the module.
+inline constexpr const char* kUser = "User";
+inline constexpr const char* kFriend = "Friend";
+inline constexpr const char* kAlbum = "Album";
+inline constexpr const char* kPhoto = "Photo";
+inline constexpr const char* kEvent = "Event";
+inline constexpr const char* kGroup = "Grp";
+inline constexpr const char* kCheckin = "Checkin";
+inline constexpr const char* kStatusUpdate = "StatusUpdate";
+
+/// The viewer_rel domain.
+inline constexpr const char* kSelf = "self";
+inline constexpr const char* kFriendRel = "friend";
+inline constexpr const char* kFof = "fof";
+inline constexpr const char* kOther = "other";
+
+/// Builds the eight-relation schema. User has exactly 34 attributes.
+cq::Schema BuildFacebookSchema();
+
+/// Index of the uid-like owner attribute for each relation (the join column
+/// used by the §7.2 workload generator).
+int OwnerUidIndex(const cq::Schema& schema, int relation_id);
+
+/// Index of the viewer_rel attribute for a relation, or -1 if absent.
+int ViewerRelIndex(const cq::Schema& schema, int relation_id);
+
+}  // namespace fdc::fb

@@ -1,0 +1,50 @@
+// Security views for the Facebook schema (§7.2): "the most complex relation,
+// the User relation, required us to define a generating set Fgen with 16
+// distinct security views; most of the other relations we considered could
+// be modeled using just three views."
+//
+// User's 16 views: public_profile, self_profile, and seven permission
+// groups × {user_, friends_} audiences, where friends_* views select
+// viewer_rel = 'friend' (the paper's denormalization of the Friend join).
+//
+// Every other relation gets three views: a public structural view, an
+// owner ('self') view, and a friends view.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cq/query.h"
+#include "cq/schema.h"
+#include "label/view_catalog.h"
+
+namespace fdc::fb {
+
+/// User permission groups (names match the classic Graph API permissions).
+struct PermissionGroup {
+  std::string name;                     // e.g. "likes"
+  std::vector<std::string> attributes;  // User attributes it guards
+};
+
+/// The seven grouped permissions (birthday, likes, relationships, ...).
+const std::vector<PermissionGroup>& UserPermissionGroups();
+
+/// User attributes visible with no permission at all (public profile).
+const std::vector<std::string>& PublicProfileAttributes();
+
+/// User attributes visible only to the user's own session (self profile).
+const std::vector<std::string>& SelfProfileAttributes();
+
+/// Populates `catalog` with the full §7.2 view set (16 User views + 3 per
+/// remaining relation = 37 views). Returns the number of views added.
+Result<int> RegisterFacebookViews(label::ViewCatalog* catalog);
+
+/// Builds the single-atom view "project `attributes` (plus uid) from
+/// `relation`, restricted to viewer_rel = `audience`" — the workhorse view
+/// shape. Empty `audience` means no viewer_rel selection.
+cq::ConjunctiveQuery MakeProjectionView(const cq::Schema& schema,
+                                        int relation_id,
+                                        const std::vector<std::string>& attrs,
+                                        const std::string& audience);
+
+}  // namespace fdc::fb

@@ -1,0 +1,89 @@
+#include "label/compressed_label.h"
+
+#include <algorithm>
+
+namespace fdc::label {
+
+void DisclosureLabel::Add(PackedAtomLabel atom) {
+  if (atom.mask() == 0) {
+    top_ = true;
+    return;
+  }
+  atoms_.push_back(atom);
+}
+
+void DisclosureLabel::Seal() {
+  std::sort(atoms_.begin(), atoms_.end());
+  atoms_.erase(std::unique(atoms_.begin(), atoms_.end()), atoms_.end());
+}
+
+bool DisclosureLabel::Leq(const DisclosureLabel& other) const {
+  if (other.top_) return true;   // everything is below ⊤
+  if (top_) return false;        // ⊤ is only below ⊤
+  for (const PackedAtomLabel& a : atoms_) {
+    bool bounded = false;
+    for (const PackedAtomLabel& b : other.atoms_) {
+      if (a.LeqAtom(b)) {
+        bounded = true;
+        break;
+      }
+    }
+    if (!bounded) return false;
+  }
+  return true;
+}
+
+void DisclosureLabel::UnionWith(const DisclosureLabel& other) {
+  top_ = top_ || other.top_;
+  atoms_.insert(atoms_.end(), other.atoms_.begin(), other.atoms_.end());
+  Seal();
+}
+
+void WideAtomLabel::SetBit(int bit) {
+  const size_t word = static_cast<size_t>(bit) / 64;
+  if (word >= mask.size()) mask.resize(word + 1, 0);
+  mask[word] |= (1ULL << (bit % 64));
+}
+
+bool WideAtomLabel::MaskEmpty() const {
+  for (uint64_t w : mask) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+bool WideAtomLabel::LeqAtom(const WideAtomLabel& other) const {
+  if (relation != other.relation) return false;
+  // ℓ+(this) ⊇ ℓ+(other): every bit of other present here.
+  for (size_t i = 0; i < other.mask.size(); ++i) {
+    const uint64_t mine = i < mask.size() ? mask[i] : 0;
+    if ((other.mask[i] & ~mine) != 0) return false;
+  }
+  return true;
+}
+
+void WideLabel::Add(WideAtomLabel atom) {
+  if (atom.MaskEmpty()) {
+    top_ = true;
+    return;
+  }
+  atoms_.push_back(std::move(atom));
+}
+
+bool WideLabel::Leq(const WideLabel& other) const {
+  if (other.top_) return true;
+  if (top_) return false;
+  for (const WideAtomLabel& a : atoms_) {
+    bool bounded = false;
+    for (const WideAtomLabel& b : other.atoms_) {
+      if (a.LeqAtom(b)) {
+        bounded = true;
+        break;
+      }
+    }
+    if (!bounded) return false;
+  }
+  return true;
+}
+
+}  // namespace fdc::label

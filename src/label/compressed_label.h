@@ -1,0 +1,117 @@
+// Compressed disclosure labels (§6.1).
+//
+// For a single-atom view V, instead of materializing the GLB label we store
+//     ℓ+(V) = { S_i ∈ Fgen : {V} ⪯ {S_i} }
+// — the set of security views that determine V's answer — because
+//     ℓ(V) ⪯ ℓ(V')   iff   ℓ+(V) ⊇ ℓ+(V').
+//
+// A PackedAtomLabel packs the base relation id into the low 32 bits of one
+// 64-bit word and the ℓ+ membership mask (bit i = the i-th view registered
+// for that relation in the ViewCatalog) into the high 32 bits — exactly the
+// layout §6.1 describes. A multi-atom label is a small array of packed
+// atoms. WideAtomLabel is the >32-views-per-relation fallback with the same
+// comparison contract (exercised by ablation A2).
+//
+// An atom whose ℓ+ is empty is not determined by any security view: its
+// label is ⊤. Labels record this in a flag; ⊤-labeled queries compare above
+// everything and are refused under every partition.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bit_utils.h"
+
+namespace fdc::label {
+
+/// One dissected atom's ℓ+ set: relation id (low 32) + view mask (high 32).
+class PackedAtomLabel {
+ public:
+  PackedAtomLabel() : raw_(0) {}
+  PackedAtomLabel(uint32_t relation, uint32_t mask)
+      : raw_((static_cast<uint64_t>(mask) << 32) | relation) {}
+
+  uint32_t relation() const { return static_cast<uint32_t>(raw_); }
+  uint32_t mask() const { return static_cast<uint32_t>(raw_ >> 32); }
+  uint64_t raw() const { return raw_; }
+
+  /// ℓ(this) ⪯ ℓ(other): same relation and ℓ+(this) ⊇ ℓ+(other).
+  bool LeqAtom(const PackedAtomLabel& other) const {
+    return relation() == other.relation() &&
+           (other.mask() & ~mask()) == 0;
+  }
+
+  bool operator==(const PackedAtomLabel& other) const {
+    return raw_ == other.raw_;
+  }
+  bool operator<(const PackedAtomLabel& other) const {
+    return raw_ < other.raw_;
+  }
+
+ private:
+  uint64_t raw_;
+};
+
+/// A query's disclosure label: one packed entry per dissected atom.
+class DisclosureLabel {
+ public:
+  /// Adds one atom's ℓ+; an empty mask marks the whole label ⊤.
+  void Add(PackedAtomLabel atom);
+
+  /// Marks the label ⊤ explicitly (atom over a relation with no views).
+  void MarkTop() { top_ = true; }
+
+  bool top() const { return top_; }
+  const std::vector<PackedAtomLabel>& atoms() const { return atoms_; }
+  int size() const { return static_cast<int>(atoms_.size()); }
+  bool empty() const { return atoms_.empty() && !top_; }
+
+  /// Canonicalizes (sorts, dedupes) — call once after the last Add when the
+  /// label will be compared or hashed.
+  void Seal();
+
+  /// ℓ(this) ⪯ ℓ(other) in the lattice of disclosure labels. O(r·s) as in
+  /// the §6.1 complexity analysis.
+  bool Leq(const DisclosureLabel& other) const;
+
+  /// LUB with another label (information combination across queries):
+  /// concatenation + dedup, per §4.2's union semantics.
+  void UnionWith(const DisclosureLabel& other);
+
+  bool operator==(const DisclosureLabel& other) const {
+    return top_ == other.top_ && atoms_ == other.atoms_;
+  }
+
+ private:
+  std::vector<PackedAtomLabel> atoms_;
+  bool top_ = false;
+};
+
+/// Fallback atom label for relations with more than 32 security views; mask
+/// words replace the single 32-bit mask.
+struct WideAtomLabel {
+  int relation = -1;
+  std::vector<uint64_t> mask;
+
+  void SetBit(int bit);
+  bool LeqAtom(const WideAtomLabel& other) const;
+  bool MaskEmpty() const;
+  bool operator==(const WideAtomLabel& other) const {
+    return relation == other.relation && mask == other.mask;
+  }
+};
+
+/// Wide counterpart of DisclosureLabel (same contract, ablation A2).
+class WideLabel {
+ public:
+  void Add(WideAtomLabel atom);
+  bool top() const { return top_; }
+  const std::vector<WideAtomLabel>& atoms() const { return atoms_; }
+  bool Leq(const WideLabel& other) const;
+
+ private:
+  std::vector<WideAtomLabel> atoms_;
+  bool top_ = false;
+};
+
+}  // namespace fdc::label

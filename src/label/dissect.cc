@@ -1,0 +1,46 @@
+#include "label/dissect.h"
+
+#include <string>
+#include <unordered_set>
+
+#include "rewriting/fold.h"
+
+namespace fdc::label {
+
+std::vector<cq::AtomPattern> Dissect(const cq::ConjunctiveQuery& query,
+                                     const DissectOptions& options) {
+  const cq::ConjunctiveQuery folded =
+      options.fold ? rewriting::Fold(query) : query;
+
+  // Promote existential variables shared by ≥ 2 atoms.
+  const std::vector<int> atom_counts = folded.AtomCountPerVar();
+  std::vector<bool> distinguished(atom_counts.size(), false);
+  for (size_t v = 0; v < atom_counts.size(); ++v) {
+    distinguished[v] = folded.IsDistinguished(static_cast<int>(v)) ||
+                       atom_counts[v] >= 2;
+  }
+
+  std::vector<cq::AtomPattern> out;
+  std::unordered_set<std::string> seen;
+  out.reserve(folded.atoms().size());
+  for (const cq::Atom& atom : folded.atoms()) {
+    cq::AtomPattern pattern = cq::AtomPattern::FromAtom(atom, distinguished);
+    if (seen.insert(pattern.Key()).second) out.push_back(std::move(pattern));
+  }
+  return out;
+}
+
+std::vector<cq::AtomPattern> DissectAll(
+    const std::vector<cq::ConjunctiveQuery>& queries,
+    const DissectOptions& options) {
+  std::vector<cq::AtomPattern> out;
+  std::unordered_set<std::string> seen;
+  for (const cq::ConjunctiveQuery& q : queries) {
+    for (cq::AtomPattern& p : Dissect(q, options)) {
+      if (seen.insert(p.Key()).second) out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+}  // namespace fdc::label

@@ -1,0 +1,39 @@
+// Dissect (§5.2): converts an arbitrary conjunctive query into a set of
+// single-atom views whose combined disclosure labels the query.
+//
+// Steps (Example 5.4):
+//   1. compute a folding of Q (drop redundant atoms; rewriting/fold.h);
+//   2. promote every existential variable that appears in ≥ 2 atoms of the
+//      folding to distinguished — any set of single-atom views that lets a
+//      join be computed must reveal the join attributes;
+//   3. split the folding into its constituent atoms (deduplicated patterns).
+//
+// Dissect is itself a disclosure labeler with domain ℘(U_cv) and image
+// ℘(U_atom); composing it with the single-atom labeler yields the full
+// multi-atom labeler (§5.2, last paragraph). The labeler axioms for the
+// composition are property-tested.
+#pragma once
+
+#include <vector>
+
+#include "cq/pattern.h"
+#include "cq/query.h"
+
+namespace fdc::label {
+
+struct DissectOptions {
+  /// Skip the folding step (ablation A1). Labels stay sound but may be
+  /// strictly higher in the disclosure order than necessary.
+  bool fold = true;
+};
+
+/// Dissects one query into deduplicated single-atom view patterns.
+std::vector<cq::AtomPattern> Dissect(const cq::ConjunctiveQuery& query,
+                                     const DissectOptions& options = {});
+
+/// Dissects a set of queries (the label of a set is the union, §4.2).
+std::vector<cq::AtomPattern> DissectAll(
+    const std::vector<cq::ConjunctiveQuery>& queries,
+    const DissectOptions& options = {});
+
+}  // namespace fdc::label

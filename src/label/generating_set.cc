@@ -1,0 +1,115 @@
+#include "label/generating_set.h"
+
+#include "label/glb.h"
+
+namespace fdc::label {
+
+bool InducesLabeler(const order::DisclosureLattice& lattice,
+                    const LabelFamily& family) {
+  std::vector<int> k;
+  k.reserve(family.size());
+  for (const order::ViewSet& w : family) {
+    const int idx = lattice.IndexOfDownSet(w);
+    if (idx < 0) return false;  // should not happen
+    k.push_back(idx);
+  }
+  // (b) K contains ⇓U.
+  bool has_top = false;
+  for (int idx : k) has_top |= (idx == lattice.Top());
+  if (!has_top) return false;
+  // (a) closure under GLB.
+  for (size_t i = 0; i < k.size(); ++i) {
+    for (size_t j = i + 1; j < k.size(); ++j) {
+      const int glb = lattice.Glb(k[i], k[j]);
+      bool found = false;
+      for (int idx : k) found |= (idx == glb);
+      if (!found) return false;
+    }
+  }
+  return true;
+}
+
+bool InducesPreciseLabeler(const order::DisclosureLattice& lattice,
+                           const LabelFamily& family) {
+  if (!InducesLabeler(lattice, family)) return false;
+  std::vector<int> k;
+  for (const order::ViewSet& w : family) {
+    k.push_back(lattice.IndexOfDownSet(w));
+  }
+  bool has_bottom = false;
+  for (int idx : k) has_bottom |= (idx == lattice.Bottom());
+  if (!has_bottom) return false;
+  for (size_t i = 0; i < k.size(); ++i) {
+    for (size_t j = i + 1; j < k.size(); ++j) {
+      const int lub = lattice.Lub(k[i], k[j]);
+      bool found = false;
+      for (int idx : k) found |= (idx == lub);
+      if (!found) return false;
+    }
+  }
+  return true;
+}
+
+namespace {
+
+bool ContainsEquivalent(const order::DisclosureOrder& order,
+                        const LabelFamily& family, const order::ViewSet& w) {
+  for (const order::ViewSet& member : family) {
+    if (order.Equivalent(member, w)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+LabelFamily CloseUnderGlb(const order::DisclosureOrder& order,
+                          order::Universe* universe, LabelFamily family) {
+  // Deduplicate input up to ≡ first.
+  LabelFamily closed;
+  for (order::ViewSet w : family) {
+    order::NormalizeViewSet(&w);
+    if (!ContainsEquivalent(order, closed, w)) closed.push_back(std::move(w));
+  }
+  // Fixpoint: add GLBs of all pairs until nothing new appears. Termination:
+  // unification only yields patterns built from input relations, arities and
+  // constants, a finite space.
+  for (size_t i = 0; i < closed.size(); ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      order::ViewSet glb = GlbSets(universe, closed[i], closed[j]);
+      if (!ContainsEquivalent(order, closed, glb)) {
+        closed.push_back(std::move(glb));
+      }
+    }
+  }
+  return closed;
+}
+
+LabelFamily MinimalDownwardGeneratingSet(const order::DisclosureOrder& order,
+                                         order::Universe* universe,
+                                         LabelFamily family) {
+  // An element e is redundant iff e ≡ GLB{ f ≠ e : e ⪯ f }: any witnessing
+  // subset consists of elements above e, and GLB is monotone, so the full
+  // set of elements above e is the best candidate.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < family.size(); ++i) {
+      std::vector<order::ViewSet> above;
+      for (size_t j = 0; j < family.size(); ++j) {
+        if (j != i && order.Leq(family[i], family[j])) {
+          above.push_back(family[j]);
+        }
+      }
+      if (above.empty()) continue;
+      order::ViewSet glb = GlbMany(universe, above);
+      if (order.Equivalent(glb, family[i])) {
+        family.erase(family.begin() + static_cast<long>(i));
+        changed = true;
+        break;
+      }
+    }
+  }
+  return family;
+}
+
+}  // namespace fdc::label

@@ -1,0 +1,44 @@
+// Downward generating sets (§4.1) and labeler-existence machinery (§3.3).
+//
+//   * Theorem 3.7: F induces a labeler iff K = {⇓W : W ∈ F} is closed under
+//     GLB and contains ⇓U. InducesLabeler() checks this on a materialized
+//     lattice.
+//   * Theorem 4.3: every F inducing a labeler has a unique (up to ≡) minimal
+//     downward generating set; MinimalDownwardGeneratingSet() computes it by
+//     removing elements expressible as GLBs of the rest.
+//   * Theorem 4.5: any G containing ⊤ extends to an F inducing a labeler
+//     with G as downward generating set; CloseUnderGlb() computes that F.
+#pragma once
+
+#include "label/labeler.h"
+#include "order/disclosure_lattice.h"
+#include "order/preorder.h"
+#include "order/universe.h"
+
+namespace fdc::label {
+
+/// Theorem 3.7 check on an explicit lattice: is {⇓W : W ∈ family} closed
+/// under GLB and does it contain ⊤ = ⇓U?
+bool InducesLabeler(const order::DisclosureLattice& lattice,
+                    const LabelFamily& family);
+
+/// Definition 4.6 check: family additionally closed under LUB and
+/// containing ⇓∅ — i.e. induces a *precise* labeler.
+bool InducesPreciseLabeler(const order::DisclosureLattice& lattice,
+                           const LabelFamily& family);
+
+/// Theorem 4.5: closes `family` under pairwise set-GLB until fixpoint.
+/// Works directly with the single-atom GLB (no lattice needed); the result
+/// induces a labeler with `family` as a downward generating set. Family
+/// elements are deduplicated up to ≡.
+LabelFamily CloseUnderGlb(const order::DisclosureOrder& order,
+                          order::Universe* universe, LabelFamily family);
+
+/// Theorem 4.3: removes every element of `family` that is ≡ to the GLB of a
+/// subset of the others. Deterministic (scans in order); the result is the
+/// minimal downward generating set, unique up to ≡.
+LabelFamily MinimalDownwardGeneratingSet(const order::DisclosureOrder& order,
+                                         order::Universe* universe,
+                                         LabelFamily family);
+
+}  // namespace fdc::label

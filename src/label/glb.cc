@@ -1,0 +1,32 @@
+#include "label/glb.h"
+
+#include "label/glb_singleton.h"
+
+namespace fdc::label {
+
+order::ViewSet GlbSets(order::Universe* universe, const order::ViewSet& w1,
+                       const order::ViewSet& w2) {
+  order::ViewSet out;
+  for (int a : w1) {
+    for (int b : w2) {
+      std::optional<cq::AtomPattern> glb =
+          GlbSingleton(universe->Get(a), universe->Get(b));
+      if (glb.has_value()) out.push_back(universe->Add(*glb));
+    }
+  }
+  order::NormalizeViewSet(&out);
+  return out;
+}
+
+order::ViewSet GlbMany(order::Universe* universe,
+                       const std::vector<order::ViewSet>& sets) {
+  if (sets.empty()) return {};
+  order::ViewSet acc = sets.front();
+  order::NormalizeViewSet(&acc);
+  for (size_t i = 1; i < sets.size(); ++i) {
+    acc = GlbSets(universe, acc, sets[i]);
+  }
+  return acc;
+}
+
+}  // namespace fdc::label

@@ -1,0 +1,23 @@
+// GLB of sets of single-atom views (§5.1, final paragraph):
+// GLB(W1, W2) is the union of GLBSingleton over all pairs (V1, V2) with
+// V1 ∈ W1, V2 ∈ W2; it satisfies (⇓W1) ⊓ (⇓W2) = (⇓ GLB(W1, W2)).
+//
+// New patterns produced by unification are interned into the Universe, so
+// GLB can be iterated (GLBLabel's running GLB, §4.1).
+#pragma once
+
+#include "order/preorder.h"
+#include "order/universe.h"
+
+namespace fdc::label {
+
+/// Pairwise-union GLB of two view sets. Bottom (⊥) contributions vanish, so
+/// the result may be empty — the empty set plays the role of ⊥/⇓∅.
+order::ViewSet GlbSets(order::Universe* universe, const order::ViewSet& w1,
+                       const order::ViewSet& w2);
+
+/// GLB of many sets (left fold; GLB is associative up to ≡).
+order::ViewSet GlbMany(order::Universe* universe,
+                       const std::vector<order::ViewSet>& sets);
+
+}  // namespace fdc::label

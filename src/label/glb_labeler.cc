@@ -1,0 +1,25 @@
+#include "label/glb_labeler.h"
+
+#include "label/glb.h"
+
+namespace fdc::label {
+
+std::optional<order::ViewSet> GlbLabeler::Label(
+    const order::ViewSet& w) const {
+  bool any = false;
+  order::ViewSet acc;
+  for (const order::ViewSet& candidate : fd_) {
+    if (!order_->Leq(w, candidate)) continue;
+    if (!any) {
+      acc = candidate;
+      order::NormalizeViewSet(&acc);
+      any = true;
+    } else {
+      acc = GlbSets(universe_, acc, candidate);
+    }
+  }
+  if (!any) return std::nullopt;  // ⊤
+  return acc;
+}
+
+}  // namespace fdc::label

@@ -1,0 +1,38 @@
+// GLBLabel (§4.1): labeling with a downward generating set Fd.
+//
+//   L ← ⊤
+//   for W' in Fd: if W ⪯ W' then L ← GLB(L, W')
+//   return L
+//
+// Fd can be exponentially smaller than F (Example 4.4) while inducing the
+// same labeler, because F's remaining elements are GLBs of Fd elements.
+#pragma once
+
+#include <optional>
+
+#include "label/labeler.h"
+#include "order/preorder.h"
+#include "order/universe.h"
+
+namespace fdc::label {
+
+class GlbLabeler {
+ public:
+  /// `universe` is mutated: unification may intern new patterns.
+  GlbLabeler(const order::DisclosureOrder* order, order::Universe* universe,
+             LabelFamily fd)
+      : order_(order), universe_(universe), fd_(std::move(fd)) {}
+
+  /// Label of W as a view set; std::nullopt encodes ⊤ (no element of Fd is
+  /// above W, so the running GLB never left its initial value).
+  std::optional<order::ViewSet> Label(const order::ViewSet& w) const;
+
+  const LabelFamily& fd() const { return fd_; }
+
+ private:
+  const order::DisclosureOrder* order_;
+  order::Universe* universe_;
+  LabelFamily fd_;
+};
+
+}  // namespace fdc::label

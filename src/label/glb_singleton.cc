@@ -1,0 +1,160 @@
+#include "label/glb_singleton.h"
+
+#include <string>
+#include <vector>
+
+#include "rewriting/atom_rewriting.h"
+
+namespace fdc::label {
+
+namespace {
+
+using cq::AtomPattern;
+using cq::PatTerm;
+
+// Union-find over the merged variable classes of the two patterns, carrying
+// per-root: whether the class absorbed an existential variable, and an
+// optional constant binding.
+class MergeState {
+ public:
+  explicit MergeState(int n)
+      : parent_(n), has_existential_(n, false), bound_(n, false), constant_(n) {
+    for (int i = 0; i < n; ++i) parent_[i] = i;
+  }
+
+  int Find(int x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void MarkExistential(int x) { has_existential_[Find(x)] = true; }
+
+  bool HasExistential(int x) { return has_existential_[Find(x)]; }
+
+  /// Unifies a class with a constant. Fails (returns false) when the class
+  /// contains an existential variable (§5.1 rule 1) or is bound to a
+  /// different constant.
+  bool BindConstant(int x, const std::string& value) {
+    int r = Find(x);
+    if (has_existential_[r]) return false;
+    if (bound_[r]) return constant_[r] == value;
+    bound_[r] = true;
+    constant_[r] = value;
+    return true;
+  }
+
+  /// Unifies two classes. Merged class is existential if either side was
+  /// (§5.1 rules 2–3); fails if the merge would bind an existential class
+  /// to a constant or conflict two constants.
+  bool Union(int a, int b) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b) return true;
+    if (bound_[a] && bound_[b] && constant_[a] != constant_[b]) return false;
+    const bool merged_exist = has_existential_[a] || has_existential_[b];
+    const bool merged_bound = bound_[a] || bound_[b];
+    if (merged_exist && merged_bound) return false;  // const ∪ existential
+    if (bound_[b]) std::swap(a, b);
+    parent_[b] = a;
+    has_existential_[a] = merged_exist;
+    // bound_/constant_ of a already correct after the swap.
+    return true;
+  }
+
+  bool IsBound(int x) {
+    int r = Find(x);
+    return bound_[r];
+  }
+
+  const std::string& Value(int x) { return constant_[Find(x)]; }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<bool> has_existential_;
+  std::vector<bool> bound_;
+  std::vector<std::string> constant_;
+};
+
+}  // namespace
+
+std::optional<AtomPattern> GenMgu(const AtomPattern& v1,
+                                  const AtomPattern& v2) {
+  if (v1.relation != v2.relation || v1.arity() != v2.arity()) {
+    return std::nullopt;
+  }
+  const int n1 = v1.NumClasses();
+  const int n2 = v2.NumClasses();
+  MergeState state(n1 + n2);
+  for (int c = 0; c < n1; ++c) {
+    bool dist = false;
+    for (const PatTerm& pt : v1.terms) {
+      if (!pt.is_const && pt.cls == c) dist = pt.distinguished;
+    }
+    if (!dist) state.MarkExistential(c);
+  }
+  for (int c = 0; c < n2; ++c) {
+    bool dist = false;
+    for (const PatTerm& pt : v2.terms) {
+      if (!pt.is_const && pt.cls == c) dist = pt.distinguished;
+    }
+    if (!dist) state.MarkExistential(n1 + c);
+  }
+
+  for (int p = 0; p < v1.arity(); ++p) {
+    const PatTerm& a = v1.terms[p];
+    const PatTerm& b = v2.terms[p];
+    if (a.is_const && b.is_const) {
+      if (a.value != b.value) return std::nullopt;
+    } else if (a.is_const) {
+      if (!state.BindConstant(n1 + b.cls, a.value)) return std::nullopt;
+    } else if (b.is_const) {
+      if (!state.BindConstant(a.cls, b.value)) return std::nullopt;
+    } else {
+      if (!state.Union(a.cls, n1 + b.cls)) return std::nullopt;
+    }
+  }
+
+  // Materialize the unified atom.
+  AtomPattern out;
+  out.relation = v1.relation;
+  out.terms.resize(v1.arity());
+  for (int p = 0; p < v1.arity(); ++p) {
+    const PatTerm& a = v1.terms[p];
+    const PatTerm& b = v2.terms[p];
+    PatTerm& o = out.terms[p];
+    if (a.is_const && b.is_const) {
+      o.is_const = true;
+      o.value = a.value;
+      continue;
+    }
+    const int node = a.is_const ? (n1 + b.cls) : a.cls;
+    if (state.IsBound(node)) {
+      o.is_const = true;
+      o.value = state.Value(node);
+    } else {
+      o.is_const = false;
+      o.cls = state.Find(node);
+      o.distinguished = !state.HasExistential(node);
+    }
+  }
+  out.Normalize();
+  return out;
+}
+
+std::optional<AtomPattern> GlbSingleton(const AtomPattern& v1,
+                                        const AtomPattern& v2) {
+  std::optional<AtomPattern> candidate = GenMgu(v1, v2);
+  if (!candidate.has_value()) return std::nullopt;
+  // Lower-bound check, subsuming the Example 5.3 corner case: the GLB must
+  // be computable from each input alone.
+  if (!rewriting::AtomRewritable(*candidate, v1) ||
+      !rewriting::AtomRewritable(*candidate, v2)) {
+    return std::nullopt;
+  }
+  return candidate;
+}
+
+}  // namespace fdc::label

@@ -1,0 +1,38 @@
+// GLBSingleton and GenMGU (§5.1): the greatest lower bound of two
+// single-atom views in the disclosure lattice.
+//
+// GenMGU is a generalized most-general-unifier computation over the two
+// views' body atoms with three modifications (§5.1):
+//   1. unifying a constant with an *existential* variable FAILS
+//      (Example 5.1: a tuple test and an emptiness test share nothing);
+//   2. existential ∪ (existential | distinguished) → existential;
+//   3. distinguished ∪ distinguished → distinguished.
+//
+// After unification a corner-case check (Example 5.3) rejects results that
+// force a *new* equality between two positions of one original atom when at
+// least one of the positions held an existential variable there. We
+// implement the check semantically — the candidate result must be ⪯ both
+// inputs under the rewriting order — which subsumes the syntactic condition
+// and is verified against the paper's examples and a property suite
+// (every returned GLB is a lower bound, and no sampled common lower bound
+// lies strictly above it).
+#pragma once
+
+#include <optional>
+
+#include "cq/pattern.h"
+
+namespace fdc::label {
+
+/// GLB of two single-atom views. std::nullopt is ⊥ (no common information
+/// expressible as a single-atom view). Views over different relations or of
+/// different arities meet at ⊥.
+std::optional<cq::AtomPattern> GlbSingleton(const cq::AtomPattern& v1,
+                                            const cq::AtomPattern& v2);
+
+/// The raw GenMGU step without the lower-bound check; exposed for tests
+/// that exercise Example 5.3 (where GenMGU succeeds but the GLB is ⊥).
+std::optional<cq::AtomPattern> GenMgu(const cq::AtomPattern& v1,
+                                      const cq::AtomPattern& v2);
+
+}  // namespace fdc::label

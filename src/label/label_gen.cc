@@ -1,0 +1,20 @@
+#include "label/label_gen.h"
+
+namespace fdc::label {
+
+LabelGenLabeler::GenLabel LabelGenLabeler::Label(
+    const order::ViewSet& w) const {
+  GenLabel out;
+  for (int v : w) {
+    std::optional<order::ViewSet> part = glb_labeler_.Label({v});
+    if (!part.has_value()) {
+      out.top = true;
+      continue;
+    }
+    out.views.insert(out.views.end(), part->begin(), part->end());
+  }
+  order::NormalizeViewSet(&out.views);
+  return out;
+}
+
+}  // namespace fdc::label

@@ -1,0 +1,41 @@
+// LabelGen (§4.2): labeling with a (full) generating set Fgen, one view at a
+// time:
+//
+//   result ← ∅
+//   for each V ∈ W: result ← result ∪ GLBLabel(Fgen, {V})
+//   return result
+//
+// Correct when U is decomposable under ⪯ and F induces a *precise* labeler
+// (Definitions 4.6/4.7) — both hold for the single-atom universe of §5.1,
+// where Fgen is simply {{S_i} : S_i ∈ S} for the security views S.
+#pragma once
+
+#include "label/glb_labeler.h"
+#include "label/labeler.h"
+#include "order/preorder.h"
+#include "order/universe.h"
+
+namespace fdc::label {
+
+class LabelGenLabeler {
+ public:
+  LabelGenLabeler(const order::DisclosureOrder* order,
+                  order::Universe* universe, LabelFamily fgen)
+      : glb_labeler_(order, universe, std::move(fgen)) {}
+
+  /// Union of per-view GLB labels. Views whose GLBLabel is ⊤ contribute a
+  /// sentinel: the result's `top` flag is set, meaning the query reveals
+  /// information no label in F bounds (the monitor must refuse).
+  struct GenLabel {
+    order::ViewSet views;
+    bool top = false;
+  };
+  GenLabel Label(const order::ViewSet& w) const;
+
+  const LabelFamily& fgen() const { return glb_labeler_.fd(); }
+
+ private:
+  GlbLabeler glb_labeler_;
+};
+
+}  // namespace fdc::label

@@ -1,0 +1,28 @@
+// Disclosure labelers (Definition 3.4).
+//
+// A labeler ℓ : ℘(U) → ℘(U) with label set F satisfies:
+//   (a) ℓ(W) ≡ some element of F,
+//   (b) ℓ(W) ≡ W for W ∈ F (F's elements are fixpoints),
+//   (c) W ⪯ ℓ(W)           (never underestimate disclosure),
+//   (d) W1 ⪯ W2 ⇒ ℓ(W1) ⪯ ℓ(W2)  (monotonicity).
+//
+// Three implementations mirror the paper:
+//   * NaiveLabel (§3.3)   — linear scan of a topologically sorted F;
+//   * GLBLabel  (§4.1)    — running GLB over a downward generating set Fd;
+//   * LabelGen  (§4.2)    — per-view union over a generating set Fgen
+//                            (requires decomposability + precision).
+//
+// All three operate over ids in an order::Universe with a DisclosureOrder.
+// This header holds the shared vocabulary type.
+#pragma once
+
+#include <vector>
+
+#include "order/preorder.h"
+
+namespace fdc::label {
+
+/// A family of labels: each label is a set of views. Used for F, Fd, Fgen.
+using LabelFamily = std::vector<order::ViewSet>;
+
+}  // namespace fdc::label

@@ -1,0 +1,119 @@
+#include "label/multiatom_view.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cq/canonical.h"
+#include "rewriting/containment.h"
+#include "rewriting/fold.h"
+
+namespace fdc::label {
+
+namespace {
+
+using cq::Atom;
+using cq::ConjunctiveQuery;
+using cq::Term;
+
+// Sentinel relation id for the view-atom of a rewriting witness; the
+// witness never touches a schema, so any distinctive value works.
+constexpr int kViewRelation = -2;
+
+}  // namespace
+
+ConjunctiveQuery UnfoldViewRewriting(const ConjunctiveQuery& rewriting,
+                                     const ConjunctiveQuery& view) {
+  const Atom& view_atom = rewriting.atoms().front();
+  // Substitution for the view's variables: head variable i ↦ the witness's
+  // i-th atom term; existential view variables get fresh ids above both.
+  const int fresh_base =
+      std::max(rewriting.MaxVarId(), view.MaxVarId()) + 1;
+  std::vector<Term> mapping(static_cast<size_t>(view.MaxVarId() + 1));
+  std::vector<bool> mapped(mapping.size(), false);
+  for (size_t i = 0; i < view.head().size(); ++i) {
+    const Term& h = view.head()[i];
+    if (h.is_var()) {
+      mapping[h.var()] = view_atom.terms[i];
+      mapped[h.var()] = true;
+    }
+  }
+  int next_fresh = fresh_base;
+  for (int v = 0; v <= view.MaxVarId(); ++v) {
+    if (!mapped[v]) mapping[v] = Term::Var(next_fresh++);
+  }
+  ConjunctiveQuery unfolded_body = view.Substitute(mapping);
+  return ConjunctiveQuery(rewriting.name(), rewriting.head(),
+                          unfolded_body.atoms());
+}
+
+std::optional<ConjunctiveQuery> FindViewRewriting(
+    const ConjunctiveQuery& query, const ConjunctiveQuery& view) {
+  const int m = static_cast<int>(view.head().size());
+
+  // Work with the folded query: equivalence is invariant under folding and
+  // the smaller body speeds up the containment checks.
+  const ConjunctiveQuery target = rewriting::Fold(query);
+
+  // Candidate pool for the view's output columns: the query's variables,
+  // constants appearing in either definition, and m fresh existential
+  // variables (repeats allowed, so the rewriting can equate columns).
+  std::vector<Term> pool;
+  for (int v : target.AllVars()) pool.push_back(Term::Var(v));
+  std::set<std::string> consts;
+  for (const Atom& a : target.atoms()) {
+    for (const Term& t : a.terms) {
+      if (t.is_const()) consts.insert(t.value());
+    }
+  }
+  for (const Atom& a : view.atoms()) {
+    for (const Term& t : a.terms) {
+      if (t.is_const()) consts.insert(t.value());
+    }
+  }
+  for (const std::string& value : consts) pool.push_back(Term::Const(value));
+  const int fresh_base = std::max(target.MaxVarId(), view.MaxVarId()) + 1;
+  for (int j = 0; j < m; ++j) pool.push_back(Term::Var(fresh_base + j));
+
+  // Odometer over pool^m.
+  std::vector<int> choice(static_cast<size_t>(m), 0);
+  for (;;) {
+    std::vector<Term> atom_terms;
+    atom_terms.reserve(m);
+    for (int j = 0; j < m; ++j) atom_terms.push_back(pool[choice[j]]);
+
+    // Safety: every head variable of the query must appear among the
+    // view-atom terms (they are the only body of the rewriting).
+    bool safe = true;
+    for (const Term& h : target.head()) {
+      if (h.is_var() &&
+          std::find(atom_terms.begin(), atom_terms.end(), h) ==
+              atom_terms.end()) {
+        safe = false;
+        break;
+      }
+    }
+    if (safe) {
+      ConjunctiveQuery candidate(
+          "rw", target.head(), {Atom(kViewRelation, atom_terms)});
+      ConjunctiveQuery unfolded = UnfoldViewRewriting(candidate, view);
+      if (rewriting::AreEquivalent(unfolded, target)) return candidate;
+    }
+
+    int j = 0;
+    for (; j < m; ++j) {
+      if (++choice[j] < static_cast<int>(pool.size())) break;
+      choice[j] = 0;
+    }
+    if (j == m) break;
+  }
+  return std::nullopt;
+}
+
+bool RewritableFromView(const ConjunctiveQuery& query,
+                        const ConjunctiveQuery& view) {
+  return FindViewRewriting(query, view).has_value();
+}
+
+}  // namespace fdc::label

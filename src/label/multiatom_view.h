@@ -1,0 +1,49 @@
+// Experimental extension: multi-atom security views.
+//
+// §5 restricts security views to single atoms and notes that "extending
+// these algorithms to multi-atom security views is ongoing work"; the §7.2
+// evaluation worked around the limitation with the viewer_rel
+// denormalization. This module implements the natural next step for the
+// cases that motivated it (friend-scoped permissions defined as a
+// Friend ⋈ User join):
+//
+//   RewritableFromView(Q, W) decides whether the conjunctive query Q has an
+//   equivalent rewriting P over the (possibly multi-atom) view W using a
+//   single W-atom: P(head) :- W(t1..tm). The search enumerates the
+//   assignments of W's output columns to terms drawn from Q's variables,
+//   the constants of Q and W, and fresh existential variables, unfolds each
+//   candidate through W's definition, and tests CQ-equivalence with Q by
+//   two-way containment.
+//
+// This is sound (an explicit witness is produced and checked) and complete
+// for single-W-atom rewritings; rewritings joining W with itself are not
+// searched. Cost is O(pool^arity(W_head)) equivalence checks, so it suits
+// interactive/offline labeling of named permissions rather than the
+// million-query hot path — which is precisely how the paper's Facebook
+// permissions would use it. The single-atom fast path (§5.1) remains the
+// default pipeline.
+#pragma once
+
+#include <optional>
+
+#include "cq/query.h"
+
+namespace fdc::label {
+
+/// Returns a rewriting witness P (whose single body atom stands for the view
+/// W, columns = W's head positions) such that unfolding P through W is
+/// equivalent to `query`; std::nullopt if no single-W-atom rewriting exists.
+std::optional<cq::ConjunctiveQuery> FindViewRewriting(
+    const cq::ConjunctiveQuery& query, const cq::ConjunctiveQuery& view);
+
+/// Convenience wrapper: does a rewriting exist?
+bool RewritableFromView(const cq::ConjunctiveQuery& query,
+                        const cq::ConjunctiveQuery& view);
+
+/// Unfolds a witness produced by FindViewRewriting back over the base
+/// relations (substitutes the rewriting's terms for the view's head
+/// variables and freshens the view's existential variables).
+cq::ConjunctiveQuery UnfoldViewRewriting(const cq::ConjunctiveQuery& rewriting,
+                                         const cq::ConjunctiveQuery& view);
+
+}  // namespace fdc::label

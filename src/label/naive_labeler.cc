@@ -1,0 +1,49 @@
+#include "label/naive_labeler.h"
+
+#include <algorithm>
+
+namespace fdc::label {
+
+NaiveLabeler::NaiveLabeler(const order::DisclosureOrder* order,
+                           LabelFamily family)
+    : order_(order), family_(std::move(family)) {
+  // Topological sort under ⪯ (lines 2–3 of the §3.3 algorithm): insertion
+  // sort with the preorder comparison. ⪯ is not total, so we use a stable
+  // selection: repeatedly emit an element with no remaining strict
+  // predecessor.
+  LabelFamily sorted;
+  std::vector<bool> used(family_.size(), false);
+  for (size_t round = 0; round < family_.size(); ++round) {
+    int pick = -1;
+    for (size_t i = 0; i < family_.size(); ++i) {
+      if (used[i]) continue;
+      bool minimal = true;
+      for (size_t j = 0; j < family_.size(); ++j) {
+        if (j == i || used[j]) continue;
+        // j strictly below i blocks i.
+        if (order_->Leq(family_[j], family_[i]) &&
+            !order_->Leq(family_[i], family_[j])) {
+          minimal = false;
+          break;
+        }
+      }
+      if (minimal) {
+        pick = static_cast<int>(i);
+        break;
+      }
+    }
+    used[pick] = true;
+    sorted.push_back(family_[pick]);
+  }
+  family_ = std::move(sorted);
+}
+
+std::optional<order::ViewSet> NaiveLabeler::Label(
+    const order::ViewSet& w) const {
+  for (const order::ViewSet& candidate : family_) {
+    if (order_->Leq(w, candidate)) return candidate;
+  }
+  return std::nullopt;
+}
+
+}  // namespace fdc::label

@@ -1,0 +1,36 @@
+// NaiveLabel (§3.3): the reference implementation of the labeler induced by
+// a family F.
+//
+//   1: sort F so that F[i] ⪯ F[j] implies i ≤ j
+//   2: return the first F[i] with W ⪯ F[i]; ⊤ if none.
+//
+// Linear in |F| and only correct when F induces a labeler (Theorem 3.7);
+// kept as the semantic baseline the faster labelers are tested against.
+#pragma once
+
+#include <optional>
+
+#include "label/labeler.h"
+#include "order/preorder.h"
+
+namespace fdc::label {
+
+class NaiveLabeler {
+ public:
+  /// `family` is F; it is topologically sorted once at construction.
+  NaiveLabeler(const order::DisclosureOrder* order, LabelFamily family);
+
+  /// Label of W: the first (lowest) element of F above W. std::nullopt
+  /// encodes ⊤ (no element of F bounds W; per the axioms F should contain
+  /// ⊤, in which case nullopt never escapes).
+  std::optional<order::ViewSet> Label(const order::ViewSet& w) const;
+
+  /// The sorted family (exposed for tests asserting the sort invariant).
+  const LabelFamily& sorted_family() const { return family_; }
+
+ private:
+  const order::DisclosureOrder* order_;
+  LabelFamily family_;
+};
+
+}  // namespace fdc::label

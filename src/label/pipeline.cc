@@ -1,0 +1,94 @@
+#include "label/pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "rewriting/atom_rewriting.h"
+
+namespace fdc::label {
+
+bool SetLabel::Leq(const SetLabel& other) const {
+  if (other.top) return true;
+  if (top) return false;
+  for (const std::set<int>& a : per_atom) {
+    bool bounded = false;
+    for (const std::set<int>& b : other.per_atom) {
+      // ℓ+(a) ⊇ ℓ+(b).
+      bounded = std::includes(a.begin(), a.end(), b.begin(), b.end());
+      if (bounded) break;
+    }
+    if (!bounded) return false;
+  }
+  return true;
+}
+
+SetLabel LabelerPipeline::LabelBaseline(
+    const cq::ConjunctiveQuery& query) const {
+  SetLabel label;
+  for (const cq::AtomPattern& atom : Dissect(query, dissect_options_)) {
+    std::set<int> plus;
+    // Deliberately scan every view in the catalog: views over other
+    // relations fail inside AtomRewritable. This is the §4.2 algorithm
+    // without the §6 optimizations.
+    for (const SecurityView& view : catalog_->views()) {
+      if (rewriting::AtomRewritable(atom, view.pattern)) {
+        plus.insert(view.id);
+      }
+    }
+    if (plus.empty()) label.top = true;
+    label.per_atom.push_back(std::move(plus));
+  }
+  return label;
+}
+
+SetLabel LabelerPipeline::LabelHashed(const cq::ConjunctiveQuery& query) const {
+  SetLabel label;
+  for (const cq::AtomPattern& atom : Dissect(query, dissect_options_)) {
+    std::set<int> plus;
+    for (int view_id : catalog_->ViewsOfRelation(atom.relation)) {
+      if (rewriting::AtomRewritable(atom, catalog_->view(view_id).pattern)) {
+        plus.insert(view_id);
+      }
+    }
+    if (plus.empty()) label.top = true;
+    label.per_atom.push_back(std::move(plus));
+  }
+  return label;
+}
+
+DisclosureLabel LabelerPipeline::LabelPacked(
+    const cq::ConjunctiveQuery& query) const {
+  assert(catalog_->MaxViewsPerRelation() <= 32 &&
+         "packed labels hold at most 32 views per relation; use LabelWide");
+  DisclosureLabel label;
+  for (const cq::AtomPattern& atom : Dissect(query, dissect_options_)) {
+    uint32_t mask = 0;
+    for (int view_id : catalog_->ViewsOfRelation(atom.relation)) {
+      const SecurityView& view = catalog_->view(view_id);
+      if (rewriting::AtomRewritable(atom, view.pattern)) {
+        mask |= (1u << view.bit);
+      }
+    }
+    label.Add(PackedAtomLabel(static_cast<uint32_t>(atom.relation), mask));
+  }
+  label.Seal();
+  return label;
+}
+
+WideLabel LabelerPipeline::LabelWide(const cq::ConjunctiveQuery& query) const {
+  WideLabel label;
+  for (const cq::AtomPattern& atom : Dissect(query, dissect_options_)) {
+    WideAtomLabel wide;
+    wide.relation = atom.relation;
+    for (int view_id : catalog_->ViewsOfRelation(atom.relation)) {
+      const SecurityView& view = catalog_->view(view_id);
+      if (rewriting::AtomRewritable(atom, view.pattern)) {
+        wide.SetBit(view.bit);
+      }
+    }
+    label.Add(std::move(wide));
+  }
+  return label;
+}
+
+}  // namespace fdc::label

@@ -1,0 +1,66 @@
+// End-to-end multi-atom labeling pipeline (§5.2 + §6.1), in the three
+// variants benchmarked in Figure 5:
+//
+//   * Baseline        — LabelGen adapted directly from §4.2: for every
+//                       dissected atom, scan the *entire* security-view
+//                       catalog and collect ℓ+ as a sorted id set.
+//   * Hashed          — partition views by base relation (hashtable); scan
+//                       only the bucket of the atom's relation.
+//   * Hashed+Bitvector— bucket scan + packed 64-bit ℓ+ masks (§6.1); no
+//                       per-query allocation beyond the output label.
+//
+// All variants share Dissect (folding included), so measured differences
+// isolate the lookup/representation optimizations, matching the paper's
+// experimental design.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "common/result.h"
+#include "cq/query.h"
+#include "label/compressed_label.h"
+#include "label/dissect.h"
+#include "label/view_catalog.h"
+
+namespace fdc::label {
+
+/// Set-based label: per dissected atom, the catalog ids of views in ℓ+ as a
+/// genuine set container — this is the §4.2 representation that the §6.1
+/// bit vectors replace, kept as an honest comparison point (Figure 5's
+/// "baseline" and "hashing only" series) and for analysis tooling.
+struct SetLabel {
+  std::vector<std::set<int>> per_atom;
+  bool top = false;  // some atom matched no view
+
+  /// ⪯ in the label lattice (mirrors DisclosureLabel::Leq).
+  bool Leq(const SetLabel& other) const;
+};
+
+class LabelerPipeline {
+ public:
+  explicit LabelerPipeline(const ViewCatalog* catalog,
+                           DissectOptions dissect_options = {})
+      : catalog_(catalog), dissect_options_(dissect_options) {}
+
+  /// Figure 5 series "baseline".
+  SetLabel LabelBaseline(const cq::ConjunctiveQuery& query) const;
+
+  /// Figure 5 series "hashing only".
+  SetLabel LabelHashed(const cq::ConjunctiveQuery& query) const;
+
+  /// Figure 5 series "bit vectors + hashing" — the production path.
+  /// Requires ≤ 32 views per relation (checked); use LabelWide beyond that.
+  DisclosureLabel LabelPacked(const cq::ConjunctiveQuery& query) const;
+
+  /// Wide-mask fallback (ablation A2); no per-relation view-count limit.
+  WideLabel LabelWide(const cq::ConjunctiveQuery& query) const;
+
+  const ViewCatalog& catalog() const { return *catalog_; }
+
+ private:
+  const ViewCatalog* catalog_;
+  DissectOptions dissect_options_;
+};
+
+}  // namespace fdc::label

@@ -1,0 +1,68 @@
+#include "label/view_catalog.h"
+
+#include <algorithm>
+
+#include "cq/datalog_parser.h"
+
+namespace fdc::label {
+
+const std::vector<int> ViewCatalog::kEmpty;
+
+Result<int> ViewCatalog::AddView(const std::string& name,
+                                 const cq::ConjunctiveQuery& definition) {
+  if (by_name_.contains(name)) {
+    return Status::AlreadyExists("security view '" + name +
+                                 "' already registered");
+  }
+  Status valid = definition.Validate(*schema_);
+  if (!valid.ok()) return valid;
+  Result<cq::AtomPattern> pattern = cq::AtomPattern::FromQuery(definition);
+  if (!pattern.ok()) {
+    return Status::Unsupported(
+        "security views must be single-atom (multi-atom views are the "
+        "paper's explicit future work): " +
+        pattern.status().message());
+  }
+  SecurityView view;
+  view.id = static_cast<int>(views_.size());
+  view.name = name;
+  view.pattern = std::move(pattern).value();
+  view.relation = view.pattern.relation;
+  if (view.relation >= static_cast<int>(by_relation_.size())) {
+    by_relation_.resize(view.relation + 1);
+  }
+  view.bit = static_cast<int>(by_relation_[view.relation].size());
+  by_relation_[view.relation].push_back(view.id);
+  by_name_.emplace(name, view.id);
+  views_.push_back(std::move(view));
+  return views_.back().id;
+}
+
+Result<int> ViewCatalog::AddViewText(const std::string& name,
+                                     const std::string& datalog) {
+  Result<cq::ConjunctiveQuery> parsed = cq::ParseDatalog(datalog, *schema_);
+  if (!parsed.ok()) return parsed.status();
+  return AddView(name, *parsed);
+}
+
+const SecurityView* ViewCatalog::FindByName(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : &views_[it->second];
+}
+
+const std::vector<int>& ViewCatalog::ViewsOfRelation(int relation) const {
+  if (relation < 0 || relation >= static_cast<int>(by_relation_.size())) {
+    return kEmpty;
+  }
+  return by_relation_[relation];
+}
+
+int ViewCatalog::MaxViewsPerRelation() const {
+  int max_views = 0;
+  for (const auto& bucket : by_relation_) {
+    max_views = std::max(max_views, static_cast<int>(bucket.size()));
+  }
+  return max_views;
+}
+
+}  // namespace fdc::label

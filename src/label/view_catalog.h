@@ -1,0 +1,63 @@
+// The registry of security views S (§3.3, §7.2).
+//
+// Each view is a named single-atom conjunctive view over one relation of the
+// schema ("user_likes", "friends_birthday", ...). The catalog assigns every
+// view a bit position within its relation, which is the coordinate system of
+// the compressed ℓ+ labels (§6.1): bit i of a relation's mask refers to the
+// i-th view registered for that relation.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "cq/pattern.h"
+#include "cq/query.h"
+#include "cq/schema.h"
+
+namespace fdc::label {
+
+struct SecurityView {
+  int id = -1;            // catalog-wide id
+  std::string name;       // permission name, e.g. "user_likes"
+  cq::AtomPattern pattern;
+  int relation = -1;
+  int bit = -1;           // position within the relation's mask
+};
+
+class ViewCatalog {
+ public:
+  explicit ViewCatalog(const cq::Schema* schema) : schema_(schema) {}
+
+  /// Registers a single-atom view. Fails on duplicate name, multi-atom
+  /// definitions, or unknown relation.
+  Result<int> AddView(const std::string& name,
+                      const cq::ConjunctiveQuery& definition);
+
+  /// Convenience: parse a Datalog definition, then register.
+  Result<int> AddViewText(const std::string& name, const std::string& datalog);
+
+  const SecurityView& view(int id) const { return views_[id]; }
+  const SecurityView* FindByName(const std::string& name) const;
+
+  int size() const { return static_cast<int>(views_.size()); }
+  const std::vector<SecurityView>& views() const { return views_; }
+
+  /// Ids of views over one relation, in bit order.
+  const std::vector<int>& ViewsOfRelation(int relation) const;
+
+  /// Largest per-relation view count (32 is the packed-label capacity).
+  int MaxViewsPerRelation() const;
+
+  const cq::Schema& schema() const { return *schema_; }
+
+ private:
+  const cq::Schema* schema_;
+  std::vector<SecurityView> views_;
+  std::unordered_map<std::string, int> by_name_;
+  std::vector<std::vector<int>> by_relation_;
+  static const std::vector<int> kEmpty;
+};
+
+}  // namespace fdc::label

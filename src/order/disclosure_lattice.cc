@@ -1,0 +1,92 @@
+#include "order/disclosure_lattice.h"
+
+#include <algorithm>
+
+#include "common/bit_utils.h"
+
+namespace fdc::order {
+
+Result<DisclosureLattice> DisclosureLattice::Build(
+    const DisclosureOrder& order, int universe_size) {
+  if (universe_size < 0 || universe_size > 16) {
+    return Status::OutOfRange(
+        "DisclosureLattice materialization supports universes of at most 16 "
+        "views; got " +
+        std::to_string(universe_size));
+  }
+  DisclosureLattice lattice(&order, universe_size);
+  const uint64_t num_subsets = 1ULL << universe_size;
+  std::vector<uint64_t> down_sets;
+  down_sets.reserve(num_subsets);
+  for (uint64_t bits = 0; bits < num_subsets; ++bits) {
+    down_sets.push_back(DownSet(order, BitsToViewSet(bits), universe_size));
+  }
+  std::sort(down_sets.begin(), down_sets.end());
+  down_sets.erase(std::unique(down_sets.begin(), down_sets.end()),
+                  down_sets.end());
+  lattice.elements_ = std::move(down_sets);
+
+  // Bottom is ⇓∅, top is ⇓U (Theorem 3.3(c)). With elements sorted by the
+  // bitmask value, and down-sets ordered by ⊆ implying ≤ on masks is not
+  // guaranteed — locate them explicitly.
+  lattice.bottom_ = lattice.IndexOf(
+      DownSet(order, BitsToViewSet(0), universe_size));
+  lattice.top_ = lattice.IndexOf(
+      DownSet(order, BitsToViewSet(LowMask(universe_size)), universe_size));
+  if (lattice.bottom_ < 0 || lattice.top_ < 0) {
+    return Status::Internal("lattice bounds not found");
+  }
+
+  // Verify closure under intersection (Theorem 3.3(b)); a failure means
+  // `order` is not a disclosure order.
+  for (size_t i = 0; i < lattice.elements_.size(); ++i) {
+    for (size_t j = i + 1; j < lattice.elements_.size(); ++j) {
+      if (lattice.IndexOf(lattice.elements_[i] & lattice.elements_[j]) < 0) {
+        return Status::InvalidArgument(
+            "down-sets are not closed under intersection; the given order "
+            "violates Definition 3.1");
+      }
+    }
+  }
+  return lattice;
+}
+
+int DisclosureLattice::IndexOf(uint64_t bits) const {
+  auto it = std::lower_bound(elements_.begin(), elements_.end(), bits);
+  if (it == elements_.end() || *it != bits) return -1;
+  return static_cast<int>(it - elements_.begin());
+}
+
+int DisclosureLattice::IndexOfDownSet(const ViewSet& w_set) const {
+  return IndexOf(DownSet(*order_, w_set, universe_size_));
+}
+
+int DisclosureLattice::Glb(int a, int b) const {
+  return IndexOf(elements_[a] & elements_[b]);
+}
+
+int DisclosureLattice::Lub(int a, int b) const {
+  // Theorem 3.3(a): LUB is ⇓ of the union of the generating sets; the
+  // down-sets themselves serve as generating sets.
+  const uint64_t unioned = elements_[a] | elements_[b];
+  return IndexOf(DownSet(*order_, BitsToViewSet(unioned), universe_size_));
+}
+
+std::vector<int> DisclosureLattice::LowerCovers(int idx) const {
+  std::vector<int> covers;
+  for (int c = 0; c < NumElements(); ++c) {
+    if (c == idx || !Below(c, idx)) continue;
+    bool is_cover = true;
+    for (int m = 0; m < NumElements(); ++m) {
+      if (m == idx || m == c) continue;
+      if (Below(c, m) && Below(m, idx)) {
+        is_cover = false;
+        break;
+      }
+    }
+    if (is_cover) covers.push_back(c);
+  }
+  return covers;
+}
+
+}  // namespace fdc::order

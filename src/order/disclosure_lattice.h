@@ -1,0 +1,64 @@
+// The disclosure lattice (Theorem 3.3): I = { ⇓W : W ⊆ U } ordered by ⊆,
+// with (⇓W1) ⊔ (⇓W2) = ⇓(W1 ∪ W2) and (⇓W1) ⊓ (⇓W2) = (⇓W1) ∩ (⇓W2).
+//
+// Materialized by exhaustive subset enumeration, so intended for theory
+// validation and small catalogs (universe ≤ ~16 views; the production
+// labeling path of §5–§6 never materializes the lattice). Elements are
+// stored as down-set bitmasks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "order/down_set.h"
+#include "order/preorder.h"
+
+namespace fdc::order {
+
+class DisclosureLattice {
+ public:
+  /// Builds the lattice over universe {0..universe_size-1}. Fails if
+  /// universe_size > 16 (2^n subset enumeration) or if the claimed lattice
+  /// laws do not hold (which would indicate `order` violates Def 3.1).
+  static Result<DisclosureLattice> Build(const DisclosureOrder& order,
+                                         int universe_size);
+
+  int NumElements() const { return static_cast<int>(elements_.size()); }
+
+  /// Down-set bits of element `idx` (sorted ascending by construction).
+  uint64_t ElementBits(int idx) const { return elements_[idx]; }
+
+  /// Index of a down-set, or -1 if it is not an element.
+  int IndexOf(uint64_t bits) const;
+
+  /// Index of ⇓(w_set).
+  int IndexOfDownSet(const ViewSet& w_set) const;
+
+  int Bottom() const { return bottom_; }
+  int Top() const { return top_; }
+
+  /// Lattice order: element a below element b.
+  bool Below(int a, int b) const {
+    return (elements_[a] & ~elements_[b]) == 0;
+  }
+
+  int Glb(int a, int b) const;  // (⇓W1) ∩ (⇓W2)
+  int Lub(int a, int b) const;  // ⇓(W1 ∪ W2)
+
+  /// All elements covered by / covering `idx` (Hasse neighbours); useful for
+  /// printing lattices like Figure 3.
+  std::vector<int> LowerCovers(int idx) const;
+
+ private:
+  DisclosureLattice(const DisclosureOrder* order, int universe_size)
+      : order_(order), universe_size_(universe_size) {}
+
+  const DisclosureOrder* order_;
+  int universe_size_;
+  std::vector<uint64_t> elements_;  // sorted distinct down-set bitmasks
+  int bottom_ = -1;
+  int top_ = -1;
+};
+
+}  // namespace fdc::order

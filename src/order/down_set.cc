@@ -1,0 +1,34 @@
+#include "order/down_set.h"
+
+#include <cassert>
+
+#include "common/bit_utils.h"
+
+namespace fdc::order {
+
+uint64_t DownSet(const DisclosureOrder& order, const ViewSet& w_set,
+                 int universe_size) {
+  assert(universe_size <= 64);
+  uint64_t bits = 0;
+  for (int v = 0; v < universe_size; ++v) {
+    if (order.LeqSingle(v, w_set)) bits |= (1ULL << v);
+  }
+  return bits;
+}
+
+ViewSet BitsToViewSet(uint64_t bits) {
+  ViewSet out;
+  ForEachBit(bits, [&](int v) { out.push_back(v); });
+  return out;
+}
+
+uint64_t ViewSetToBits(const ViewSet& set) {
+  uint64_t bits = 0;
+  for (int v : set) {
+    assert(v >= 0 && v < 64);
+    bits |= (1ULL << v);
+  }
+  return bits;
+}
+
+}  // namespace fdc::order

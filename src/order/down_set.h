@@ -1,0 +1,25 @@
+// The ⇓ operator (Definition 3.2): (⇓W) = { V ∈ U : {V} ⪯ W }.
+//
+// Down-sets are the elements of the disclosure lattice (Theorem 3.3). For
+// enumerated universes of up to 64 views we represent a down-set as a
+// bitmask, which makes the lattice operations (∩, and ⇓ of unions) cheap.
+#pragma once
+
+#include <cstdint>
+
+#include "order/preorder.h"
+
+namespace fdc::order {
+
+/// Computes ⇓(w_set) over a universe of `universe_size` views (≤ 64).
+/// Bit v of the result is set iff {v} ⪯ w_set.
+uint64_t DownSet(const DisclosureOrder& order, const ViewSet& w_set,
+                 int universe_size);
+
+/// Converts a bitmask back to an explicit sorted view set.
+ViewSet BitsToViewSet(uint64_t bits);
+
+/// Converts a view set to a bitmask (ids must be < 64).
+uint64_t ViewSetToBits(const ViewSet& set);
+
+}  // namespace fdc::order

@@ -1,0 +1,17 @@
+#include "order/explicit_preorder.h"
+
+#include "common/bit_utils.h"
+
+namespace fdc::order {
+
+uint64_t ExplicitPreorder::FactsOfSet(const ViewSet& w_set) const {
+  uint64_t facts = 0;
+  for (int w : w_set) facts |= facts_[w];
+  return facts;
+}
+
+bool ExplicitPreorder::LeqSingle(int v, const ViewSet& w_set) const {
+  return IsBitSubset(facts_[v], FactsOfSet(w_set));
+}
+
+}  // namespace fdc::order

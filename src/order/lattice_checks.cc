@@ -1,0 +1,150 @@
+#include "order/lattice_checks.h"
+
+#include <string>
+
+#include "common/bit_utils.h"
+
+namespace fdc::order {
+
+namespace {
+
+std::string SetName(uint64_t bits) {
+  std::string out = "{";
+  bool first = true;
+  ForEachBit(bits, [&](int v) {
+    if (!first) out += ",";
+    first = false;
+    out += std::to_string(v);
+  });
+  return out + "}";
+}
+
+}  // namespace
+
+Status CheckDisclosureOrderAxioms(const DisclosureOrder& order,
+                                  int universe_size) {
+  if (universe_size > 10) {
+    return Status::OutOfRange("exhaustive axiom check limited to 10 views");
+  }
+  const uint64_t n = 1ULL << universe_size;
+
+  // Reflexivity and property (a): W1 ⊆ W2 ⇒ W1 ⪯ W2.
+  for (uint64_t w1 = 0; w1 < n; ++w1) {
+    const ViewSet s1 = BitsToViewSet(w1);
+    if (!order.Leq(s1, s1)) {
+      return Status::Internal("reflexivity fails at " + SetName(w1));
+    }
+    for (uint64_t w2 = w1; w2 < n; ++w2) {
+      if ((w1 & ~w2) == 0) {  // w1 ⊆ w2
+        if (!order.Leq(s1, BitsToViewSet(w2))) {
+          return Status::Internal("property (a) fails: " + SetName(w1) +
+                                  " ⊆ " + SetName(w2) + " but not ⪯");
+        }
+      }
+    }
+  }
+
+  // Transitivity over singleton-left chains is what matters given the
+  // element-wise structure; check {v} ⪯ W ⪯ W' ⇒ {v} ⪯ W'.
+  for (int v = 0; v < universe_size; ++v) {
+    for (uint64_t w = 0; w < n; ++w) {
+      const ViewSet ws = BitsToViewSet(w);
+      if (!order.LeqSingle(v, ws)) continue;
+      for (uint64_t w2 = 0; w2 < n; ++w2) {
+        const ViewSet w2s = BitsToViewSet(w2);
+        if (order.Leq(ws, w2s) && !order.LeqSingle(v, w2s)) {
+          return Status::Internal(
+              "transitivity fails: {" + std::to_string(v) + "} ⪯ " +
+              SetName(w) + " ⪯ " + SetName(w2) + " but {v} not ⪯ the last");
+        }
+      }
+    }
+  }
+
+  // Property (b): if every member of a family is ⪯ W0, the union is too.
+  // With Leq derived element-wise this is structural, but verify the public
+  // contract anyway on all pairs-of-subsets unions.
+  for (uint64_t w0 = 0; w0 < n; ++w0) {
+    const ViewSet w0s = BitsToViewSet(w0);
+    for (uint64_t a = 0; a < n; ++a) {
+      if (!order.Leq(BitsToViewSet(a), w0s)) continue;
+      for (uint64_t b = 0; b < n; ++b) {
+        if (!order.Leq(BitsToViewSet(b), w0s)) continue;
+        if (!order.Leq(BitsToViewSet(a | b), w0s)) {
+          return Status::Internal("property (b) fails: " + SetName(a) +
+                                  " and " + SetName(b) + " ⪯ " + SetName(w0) +
+                                  " but their union is not");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+bool IsDecomposable(const DisclosureOrder& order, int universe_size) {
+  const uint64_t n = 1ULL << universe_size;
+  for (int v = 0; v < universe_size; ++v) {
+    for (uint64_t w1 = 0; w1 < n; ++w1) {
+      for (uint64_t w2 = 0; w2 < n; ++w2) {
+        const ViewSet u = BitsToViewSet(w1 | w2);
+        if (order.LeqSingle(v, u) &&
+            !order.LeqSingle(v, BitsToViewSet(w1)) &&
+            !order.LeqSingle(v, BitsToViewSet(w2))) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool IsDistributive(const DisclosureLattice& lattice) {
+  const int n = lattice.NumElements();
+  for (int a = 0; a < n; ++a) {
+    for (int b = 0; b < n; ++b) {
+      for (int c = 0; c < n; ++c) {
+        const int lhs = lattice.Glb(a, lattice.Lub(b, c));
+        const int rhs =
+            lattice.Lub(lattice.Glb(a, b), lattice.Glb(a, c));
+        if (lhs != rhs) return false;
+      }
+    }
+  }
+  return true;
+}
+
+Status CheckLatticeLaws(const DisclosureLattice& lattice) {
+  const int n = lattice.NumElements();
+  for (int a = 0; a < n; ++a) {
+    if (lattice.Glb(a, a) != a || lattice.Lub(a, a) != a) {
+      return Status::Internal("idempotence fails");
+    }
+    if (lattice.Glb(a, lattice.Bottom()) != lattice.Bottom() ||
+        lattice.Lub(a, lattice.Top()) != lattice.Top()) {
+      return Status::Internal("bound laws fail");
+    }
+    for (int b = 0; b < n; ++b) {
+      if (lattice.Glb(a, b) != lattice.Glb(b, a) ||
+          lattice.Lub(a, b) != lattice.Lub(b, a)) {
+        return Status::Internal("commutativity fails");
+      }
+      if (lattice.Glb(a, lattice.Lub(a, b)) != a ||
+          lattice.Lub(a, lattice.Glb(a, b)) != a) {
+        return Status::Internal("absorption fails");
+      }
+      for (int c = 0; c < n; ++c) {
+        if (lattice.Glb(a, lattice.Glb(b, c)) !=
+            lattice.Glb(lattice.Glb(a, b), c)) {
+          return Status::Internal("GLB associativity fails");
+        }
+        if (lattice.Lub(a, lattice.Lub(b, c)) !=
+            lattice.Lub(lattice.Lub(a, b), c)) {
+          return Status::Internal("LUB associativity fails");
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace fdc::order

@@ -1,0 +1,36 @@
+// Executable checks for the order-theoretic results of §3–§4.
+//
+// These run the paper's definitions and theorems directly on finite
+// universes: Definition 3.1 (disclosure-order axioms), Definition 4.7
+// (decomposability), Theorem 4.8 (decomposable ⇒ distributive lattice), and
+// lattice laws (idempotence, commutativity, associativity, absorption).
+// Used by the property-test suites and by policy tooling that wants to
+// sanity-check a custom order.
+#pragma once
+
+#include "common/status.h"
+#include "order/disclosure_lattice.h"
+#include "order/preorder.h"
+
+namespace fdc::order {
+
+/// Verifies Definition 3.1 on the full powerset of {0..universe_size-1}:
+/// reflexivity, transitivity (sampled triples when exhaustive is too big),
+/// property (a) monotonicity under ⊆, and property (b) closure under unions.
+/// universe_size must be ≤ 10 for the exhaustive parts.
+Status CheckDisclosureOrderAxioms(const DisclosureOrder& order,
+                                  int universe_size);
+
+/// Definition 4.7: U is decomposable iff {V} ⪯ W1 ∪ W2 implies {V} ⪯ W1 or
+/// {V} ⪯ W2, for all subsets. Exhaustive; universe_size ≤ 10.
+bool IsDecomposable(const DisclosureOrder& order, int universe_size);
+
+/// Checks the distributive law a ⊓ (b ⊔ c) = (a ⊓ b) ⊔ (a ⊓ c) over all
+/// triples of lattice elements.
+bool IsDistributive(const DisclosureLattice& lattice);
+
+/// Checks the basic lattice laws over all pairs/triples: commutativity,
+/// associativity, absorption, idempotence, and bound laws.
+Status CheckLatticeLaws(const DisclosureLattice& lattice);
+
+}  // namespace fdc::order

@@ -1,0 +1,51 @@
+// Disclosure orders (Definition 3.1).
+//
+// A disclosure order ⪯ is a preorder on ℘(U) such that
+//   (a) W1 ⊆ W2 implies W1 ⪯ W2, and
+//   (b) if W ⪯ W0 for every W in a family φ, then ⋃φ ⪯ W0.
+//
+// Properties (a) and (b) jointly imply that any disclosure order is fully
+// determined by its restriction to singletons on the left:
+//     W1 ⪯ W2   iff   {V} ⪯ W2 for every V ∈ W1.
+// (⇐ is (b); ⇒ follows from (a) + transitivity.) Implementations therefore
+// only provide LeqSingle; Leq is derived. This identity is itself validated
+// by the axiom checks in order/lattice_checks.h.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+namespace fdc::order {
+
+/// A set of views, as sorted unique ids into a view universe.
+using ViewSet = std::vector<int>;
+
+/// Normalizes a view set: sorts and deduplicates in place.
+inline void NormalizeViewSet(ViewSet* set) {
+  std::sort(set->begin(), set->end());
+  set->erase(std::unique(set->begin(), set->end()), set->end());
+}
+
+/// Abstract disclosure order over an id-indexed universe.
+class DisclosureOrder {
+ public:
+  virtual ~DisclosureOrder() = default;
+
+  /// {v} ⪯ w_set: everything view v reveals can be computed from w_set.
+  virtual bool LeqSingle(int v, const ViewSet& w_set) const = 0;
+
+  /// W1 ⪯ W2, derived element-wise (see file comment).
+  bool Leq(const ViewSet& w1, const ViewSet& w2) const {
+    for (int v : w1) {
+      if (!LeqSingle(v, w2)) return false;
+    }
+    return true;
+  }
+
+  /// W1 ≡ W2 (the equivalence relation of §3.1).
+  bool Equivalent(const ViewSet& w1, const ViewSet& w2) const {
+    return Leq(w1, w2) && Leq(w2, w1);
+  }
+};
+
+}  // namespace fdc::order

@@ -1,0 +1,26 @@
+#include "order/rewriting_order.h"
+
+#include "rewriting/atom_rewriting.h"
+
+namespace fdc::order {
+
+bool RewritingOrder::LeqPair(int v, int w) const {
+  const uint64_t key =
+      (static_cast<uint64_t>(static_cast<uint32_t>(v)) << 32) |
+      static_cast<uint32_t>(w);
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  const bool result =
+      rewriting::AtomRewritable(universe_->Get(v), universe_->Get(w));
+  cache_.emplace(key, result);
+  return result;
+}
+
+bool RewritingOrder::LeqSingle(int v, const ViewSet& w_set) const {
+  for (int w : w_set) {
+    if (LeqPair(v, w)) return true;
+  }
+  return false;
+}
+
+}  // namespace fdc::order

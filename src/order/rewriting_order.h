@@ -1,0 +1,39 @@
+// The equivalent-view-rewriting disclosure order (§3.1, §5) over a Universe
+// of single-atom views.
+//
+// {V} ⪯ W iff V has an equivalent rewriting in terms of the views in W.
+// For single-atom V and single-atom views W this reduces to rewritability in
+// terms of a single member of W: a multi-view rewriting unfolds to a
+// multi-atom query, and for it to be equivalent to the single atom V its
+// core must collapse onto one atom — at which point the one view whose atom
+// survives in the core already suffices. The reduction is cross-checked
+// against the brute-force oracle in tests.
+//
+// Results of pairwise tests are memoized: workloads ask the same
+// (pattern, view) pairs millions of times (§7.2).
+#pragma once
+
+#include <unordered_map>
+
+#include "order/preorder.h"
+#include "order/universe.h"
+
+namespace fdc::order {
+
+class RewritingOrder final : public DisclosureOrder {
+ public:
+  explicit RewritingOrder(const Universe* universe) : universe_(universe) {}
+
+  bool LeqSingle(int v, const ViewSet& w_set) const override;
+
+  /// Pairwise test {v} ⪯ {w}, memoized.
+  bool LeqPair(int v, int w) const;
+
+  const Universe& universe() const { return *universe_; }
+
+ private:
+  const Universe* universe_;
+  mutable std::unordered_map<uint64_t, bool> cache_;
+};
+
+}  // namespace fdc::order

@@ -1,0 +1,12 @@
+#include "order/set_order.h"
+
+#include <algorithm>
+
+namespace fdc::order {
+
+bool SetOrder::LeqSingle(int v, const ViewSet& w_set) const {
+  // Linear scan: view sets are small and not guaranteed sorted by callers.
+  return std::find(w_set.begin(), w_set.end(), v) != w_set.end();
+}
+
+}  // namespace fdc::order

@@ -1,0 +1,16 @@
+// The usual set order (§3.1): W1 ⪯ W2 iff W1 ⊆ W2.
+//
+// The simplest example of a disclosure order; included both as a baseline
+// for tests and because Definition 3.1 names it explicitly.
+#pragma once
+
+#include "order/preorder.h"
+
+namespace fdc::order {
+
+class SetOrder final : public DisclosureOrder {
+ public:
+  bool LeqSingle(int v, const ViewSet& w_set) const override;
+};
+
+}  // namespace fdc::order

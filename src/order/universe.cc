@@ -1,0 +1,42 @@
+#include "order/universe.h"
+
+namespace fdc::order {
+
+int Universe::Add(const cq::AtomPattern& pattern) {
+  cq::AtomPattern normalized = pattern;
+  normalized.Normalize();
+  const std::string key = normalized.Key();
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) return it->second;
+  const int id = static_cast<int>(patterns_.size());
+  patterns_.push_back(std::move(normalized));
+  by_key_.emplace(key, id);
+  return id;
+}
+
+int Universe::Find(const cq::AtomPattern& pattern) const {
+  cq::AtomPattern normalized = pattern;
+  normalized.Normalize();
+  auto it = by_key_.find(normalized.Key());
+  return it == by_key_.end() ? -1 : it->second;
+}
+
+std::vector<int> Universe::AddAllProjections(int relation, int arity) {
+  std::vector<int> ids;
+  ids.reserve(1u << arity);
+  for (unsigned mask = 0; mask < (1u << arity); ++mask) {
+    cq::AtomPattern p;
+    p.relation = relation;
+    p.terms.resize(arity);
+    for (int pos = 0; pos < arity; ++pos) {
+      p.terms[pos].is_const = false;
+      p.terms[pos].cls = pos;
+      p.terms[pos].distinguished = (mask >> pos) & 1u;
+    }
+    p.Normalize();
+    ids.push_back(Add(p));
+  }
+  return ids;
+}
+
+}  // namespace fdc::order

@@ -1,0 +1,42 @@
+// A finite, enumerated universe of single-atom views (patterns).
+//
+// §3 works with an abstract finite universe U of views; the concrete
+// algorithms of §5 instantiate U with single-atom conjunctive views. This
+// class interns AtomPatterns and hands out dense ids, which the order,
+// lattice, and labeling code use as view handles.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cq/pattern.h"
+
+namespace fdc::order {
+
+class Universe {
+ public:
+  /// Interns a pattern; returns its id (existing id if already present).
+  int Add(const cq::AtomPattern& pattern);
+
+  /// Id of a pattern, or -1 if not interned.
+  int Find(const cq::AtomPattern& pattern) const;
+
+  const cq::AtomPattern& Get(int id) const { return patterns_[id]; }
+
+  int size() const { return static_cast<int>(patterns_.size()); }
+
+  const std::vector<cq::AtomPattern>& patterns() const { return patterns_; }
+
+  /// Enumerates every projection/selection-free pattern over one relation:
+  /// all assignments of {distinguished, existential} tags to positions with
+  /// all-distinct variables (2^arity patterns — the "all relational
+  /// projections" universe of Figure 4). Returns the new ids.
+  std::vector<int> AddAllProjections(int relation, int arity);
+
+ private:
+  std::vector<cq::AtomPattern> patterns_;
+  std::unordered_map<std::string, int> by_key_;
+};
+
+}  // namespace fdc::order

@@ -1,0 +1,21 @@
+#include "policy/cumulative.h"
+
+#include "common/bit_utils.h"
+
+namespace fdc::policy {
+
+std::vector<std::vector<std::string>> CumulativeTracker::DescribeAtoms(
+    const label::ViewCatalog& catalog) const {
+  std::vector<std::vector<std::string>> out;
+  for (const label::PackedAtomLabel& atom : cumulative_.atoms()) {
+    std::vector<std::string> names;
+    for (int view_id : catalog.ViewsOfRelation(atom.relation())) {
+      const label::SecurityView& view = catalog.view(view_id);
+      if (atom.mask() & (1u << view.bit)) names.push_back(view.name);
+    }
+    out.push_back(std::move(names));
+  }
+  return out;
+}
+
+}  // namespace fdc::policy

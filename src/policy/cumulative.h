@@ -1,0 +1,64 @@
+// Cumulative disclosure tracking (§2.2, §6.2).
+//
+// "Our framework allows a system to keep track of cumulative information
+// disclosure across multiple queries. We can determine whether each new
+// query would push the total amount of information disclosed beyond the
+// user's desired threshold."
+//
+// CumulativeTracker maintains the running LUB of answered-query labels — the
+// ⇓(L_cum ∪ Q) of the §3.4 reference-monitor algorithm — independent of any
+// policy, so auditors and UIs can display "what does this app know so far?"
+// and diff it against thresholds. The §6.2 monitor does not need this to
+// make decisions (its bit vector suffices); the tracker is the
+// observability companion.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "label/compressed_label.h"
+#include "label/view_catalog.h"
+
+namespace fdc::policy {
+
+class CumulativeTracker {
+ public:
+  /// Records an answered query's label (running LUB, §4.2 union semantics).
+  void RecordAnswered(const label::DisclosureLabel& label) {
+    cumulative_.UnionWith(label);
+    ++answered_;
+  }
+
+  /// The total disclosure so far.
+  const label::DisclosureLabel& cumulative() const { return cumulative_; }
+
+  int answered_queries() const { return answered_; }
+
+  /// Would answering `next` increase the cumulative disclosure at all?
+  /// (False means the app already knows everything `next` reveals — a free
+  /// query under any internally consistent policy that admitted history.)
+  bool WouldIncrease(const label::DisclosureLabel& next) const {
+    return !next.Leq(cumulative_);
+  }
+
+  /// Is the cumulative disclosure still below the threshold label?
+  /// Thresholds are expressed as labels (e.g. the label of a set of views
+  /// the user is comfortable disclosing).
+  bool WithinThreshold(const label::DisclosureLabel& threshold) const {
+    return cumulative_.Leq(threshold);
+  }
+
+  /// Per-relation summary of which security views' worth of information has
+  /// been cumulatively revealed: for each relation, the union of covering
+  /// masks is *not* the right semantics (atoms are separate lattice points),
+  /// so this reports the per-atom breakdown as view-name lists.
+  std::vector<std::vector<std::string>> DescribeAtoms(
+      const label::ViewCatalog& catalog) const;
+
+ private:
+  label::DisclosureLabel cumulative_;
+  int answered_ = 0;
+};
+
+}  // namespace fdc::policy

@@ -1,0 +1,78 @@
+#include "policy/explain.h"
+
+#include "common/bit_utils.h"
+
+namespace fdc::policy {
+
+Explanation ExplainDecision(const SecurityPolicy& policy,
+                            const label::ViewCatalog& catalog,
+                            const label::DisclosureLabel& label,
+                            uint32_t consistent) {
+  Explanation out;
+  out.label_is_top = label.top();
+  for (int p = 0; p < policy.num_partitions(); ++p) {
+    PartitionDiagnosis diag;
+    diag.partition = p;
+    diag.partition_name = policy.partitions()[p].name;
+    if ((consistent & (1u << p)) == 0) {
+      diag.lost_earlier = true;
+      out.partitions.push_back(std::move(diag));
+      continue;
+    }
+    if (label.top()) {
+      out.partitions.push_back(std::move(diag));
+      continue;
+    }
+    diag.allowed = true;
+    for (int a = 0; a < label.size(); ++a) {
+      const label::PackedAtomLabel& atom = label.atoms()[a];
+      if ((policy.PartitionMask(p, atom.relation()) & atom.mask()) != 0) {
+        continue;
+      }
+      diag.allowed = false;
+      diag.blocking_atom = a;
+      // ℓ+ of the blocking atom, as view names: any of these added to the
+      // partition would unblock it.
+      for (int view_id : catalog.ViewsOfRelation(atom.relation())) {
+        const label::SecurityView& view = catalog.view(view_id);
+        if (atom.mask() & (1u << view.bit)) {
+          diag.covering_views.push_back(view.name);
+        }
+      }
+      break;
+    }
+    out.accepted |= diag.allowed;
+    out.partitions.push_back(std::move(diag));
+  }
+  return out;
+}
+
+std::string Explanation::ToString() const {
+  std::string out;
+  out += accepted ? "DECISION: answer\n" : "DECISION: refuse\n";
+  if (label_is_top) {
+    out +=
+        "  the query reveals information no registered security view "
+        "bounds (label = ⊤); no policy can accept it\n";
+    return out;
+  }
+  for (const PartitionDiagnosis& diag : partitions) {
+    out += "  partition '" + diag.partition_name + "': ";
+    if (diag.lost_earlier) {
+      out += "already inconsistent with earlier answered queries\n";
+    } else if (diag.allowed) {
+      out += "allows this query\n";
+    } else {
+      out += "blocked by query atom #" +
+             std::to_string(diag.blocking_atom) +
+             " (would need one of:";
+      for (const std::string& name : diag.covering_views) {
+        out += " " + name;
+      }
+      out += ")\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace fdc::policy

@@ -1,0 +1,55 @@
+// Refusal diagnostics: *why* was a query refused?
+//
+// A reference monitor that only says "no" trains developers to request
+// everything (the overprivilege spiral of §2.2). This module decomposes a
+// policy decision per partition and per query atom: for each partition it
+// reports whether the partition was already inconsistent with the
+// principal's history, or which atom's ℓ+ set fails to intersect it — and
+// which security views *would* cover that atom, which is exactly the
+// permission-request hint an app developer needs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "label/compressed_label.h"
+#include "label/view_catalog.h"
+#include "policy/policy.h"
+
+namespace fdc::policy {
+
+/// Diagnosis of one partition's rejection (or acceptance) of a label.
+struct PartitionDiagnosis {
+  int partition = -1;
+  std::string partition_name;
+  bool allowed = false;
+  /// True iff the partition had already been ruled out by earlier queries
+  /// (its consistency bit was clear before this query).
+  bool lost_earlier = false;
+  /// Index (into label.atoms()) of the first atom the partition cannot
+  /// cover; -1 when allowed or lost_earlier.
+  int blocking_atom = -1;
+  /// Views that would cover the blocking atom (names), i.e. ℓ+ of the atom.
+  std::vector<std::string> covering_views;
+};
+
+/// Full decision explanation.
+struct Explanation {
+  bool accepted = false;
+  /// True iff the label itself is ⊤ (no security view bounds some atom —
+  /// no policy could ever accept it).
+  bool label_is_top = false;
+  std::vector<PartitionDiagnosis> partitions;
+
+  /// Human-readable multi-line rendering.
+  std::string ToString() const;
+};
+
+/// Explains the decision the monitor would make for `label` given the
+/// principal's current `consistent` bits. Does not mutate anything.
+Explanation ExplainDecision(const SecurityPolicy& policy,
+                            const label::ViewCatalog& catalog,
+                            const label::DisclosureLabel& label,
+                            uint32_t consistent);
+
+}  // namespace fdc::policy

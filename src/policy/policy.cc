@@ -1,0 +1,54 @@
+#include "policy/policy.h"
+
+#include "common/bit_utils.h"
+
+namespace fdc::policy {
+
+Result<SecurityPolicy> SecurityPolicy::Compile(
+    const label::ViewCatalog& catalog, std::vector<Partition> partitions) {
+  if (partitions.empty()) {
+    return Status::InvalidArgument("a policy needs at least one partition");
+  }
+  if (partitions.size() > 32) {
+    return Status::OutOfRange("at most 32 partitions per policy (got " +
+                              std::to_string(partitions.size()) + ")");
+  }
+  SecurityPolicy policy;
+  policy.relation_masks_.resize(partitions.size());
+  const int num_relations = catalog.schema().NumRelations();
+  for (size_t p = 0; p < partitions.size(); ++p) {
+    policy.relation_masks_[p].assign(static_cast<size_t>(num_relations), 0);
+    for (int view_id : partitions[p].view_ids) {
+      if (view_id < 0 || view_id >= catalog.size()) {
+        return Status::InvalidArgument("partition '" + partitions[p].name +
+                                       "' references unknown view id " +
+                                       std::to_string(view_id));
+      }
+      const label::SecurityView& view = catalog.view(view_id);
+      policy.relation_masks_[p][view.relation] |= (1u << view.bit);
+    }
+  }
+  policy.partitions_ = std::move(partitions);
+  return policy;
+}
+
+uint32_t SecurityPolicy::AllowedPartitions(const label::DisclosureLabel& label,
+                                           uint32_t candidates) const {
+  if (label.top()) return 0;
+  uint32_t surviving = candidates & AllPartitionsMask();
+  // Loop atoms outer, partitions inner: labels have 1–3 atoms (§7.2) and
+  // each test is one load + AND.
+  for (const label::PackedAtomLabel& atom : label.atoms()) {
+    uint32_t next = 0;
+    ForEachBit(surviving, [&](int p) {
+      if ((PartitionMask(p, atom.relation()) & atom.mask()) != 0) {
+        next |= (1u << p);
+      }
+    });
+    surviving = next;
+    if (surviving == 0) break;
+  }
+  return surviving;
+}
+
+}  // namespace fdc::policy

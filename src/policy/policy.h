@@ -1,0 +1,81 @@
+// Security policies as partition collections (§6.2).
+//
+// A policy is {W1, ..., Wk}: each partition Wi is a set of security views.
+// The enforced invariant is that the answered queries Q1..Qn satisfy
+// {Q1..Qn} ⪯ Wi for at least one i. k = 1 is a stateless policy; k > 1
+// expresses Chinese-Wall-style alternatives (Example 6.2).
+//
+// Compilation turns each partition into a dense per-relation view mask so a
+// "query ⪯ partition" test is one AND per dissected atom (§6.1):
+//     atom ⪯ Wi   iff   ℓ+(atom) ∩ Wi ≠ ∅.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "label/compressed_label.h"
+#include "label/view_catalog.h"
+
+namespace fdc::policy {
+
+/// One partition: a named set of catalog view ids.
+struct Partition {
+  std::string name;
+  std::vector<int> view_ids;
+};
+
+class SecurityPolicy {
+ public:
+  /// Compiles partitions against a catalog. At most 32 partitions (the
+  /// consistency state is one uint32_t); views must exist in the catalog.
+  static Result<SecurityPolicy> Compile(const label::ViewCatalog& catalog,
+                                        std::vector<Partition> partitions);
+
+  int num_partitions() const {
+    return static_cast<int>(partitions_.size());
+  }
+  const std::vector<Partition>& partitions() const { return partitions_; }
+
+  /// Number of relations the policy was compiled against (mask stride).
+  int num_relations() const {
+    return relation_masks_.empty()
+               ? 0
+               : static_cast<int>(relation_masks_[0].size());
+  }
+
+  /// Mask with one bit per partition, all set.
+  uint32_t AllPartitionsMask() const {
+    return num_partitions() >= 32
+               ? ~0u
+               : ((1u << num_partitions()) - 1);
+  }
+
+  /// ℓ+ mask of views partition `p` holds over `relation`.
+  uint32_t PartitionMask(int p, uint32_t relation) const {
+    const auto& masks = relation_masks_[p];
+    return relation < masks.size() ? masks[relation] : 0;
+  }
+
+  /// Query-below-partition test: every atom's ℓ+ intersects the partition.
+  bool LabelAllowed(int p, const label::DisclosureLabel& label) const {
+    if (label.top()) return false;
+    for (const label::PackedAtomLabel& atom : label.atoms()) {
+      if ((PartitionMask(p, atom.relation()) & atom.mask()) == 0) return false;
+    }
+    return true;
+  }
+
+  /// Filters `candidates` (bit per partition) down to partitions that stay
+  /// consistent if `label` is disclosed. The reference monitor's hot path.
+  uint32_t AllowedPartitions(const label::DisclosureLabel& label,
+                             uint32_t candidates) const;
+
+ private:
+  std::vector<Partition> partitions_;
+  // relation_masks_[p][relation] = allowed-view bitmask.
+  std::vector<std::vector<uint32_t>> relation_masks_;
+};
+
+}  // namespace fdc::policy

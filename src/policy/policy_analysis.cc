@@ -1,0 +1,95 @@
+#include "policy/policy_analysis.h"
+
+#include <algorithm>
+
+#include "rewriting/atom_rewriting.h"
+
+namespace fdc::policy {
+
+std::vector<ViewRedundancy> FindViewRedundancies(
+    const label::ViewCatalog& catalog) {
+  std::vector<ViewRedundancy> out;
+  const int n = catalog.size();
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      const bool ab = rewriting::AtomRewritable(catalog.view(a).pattern,
+                                                catalog.view(b).pattern);
+      const bool ba = rewriting::AtomRewritable(catalog.view(b).pattern,
+                                                catalog.view(a).pattern);
+      if (ab && ba) {
+        out.push_back({a, b, /*equivalent=*/true});
+      } else if (ab) {
+        out.push_back({a, b, /*equivalent=*/false});
+      } else if (ba) {
+        out.push_back({b, a, /*equivalent=*/false});
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<int> FindRedundantPartitions(const SecurityPolicy& policy) {
+  std::vector<int> redundant;
+  const int k = policy.num_partitions();
+  const uint32_t num_relations =
+      static_cast<uint32_t>(policy.num_relations());
+  // Partition j dominates i iff j's view mask is a superset of i's on every
+  // relation of the compiled schema.
+  auto dominates = [&](int j, int i) {
+    for (uint32_t rel = 0; rel < num_relations; ++rel) {
+      const uint32_t mi = policy.PartitionMask(i, rel);
+      if ((mi & ~policy.PartitionMask(j, rel)) != 0) return false;
+    }
+    return true;
+  };
+  for (int i = 0; i < k; ++i) {
+    for (int j = 0; j < k; ++j) {
+      if (i == j) continue;
+      if (dominates(j, i) && !(dominates(i, j) && j > i)) {
+        // Strictly dominated, or tied with a lower-indexed twin.
+        redundant.push_back(i);
+        break;
+      }
+    }
+  }
+  return redundant;
+}
+
+Status CheckInternallyConsistent(const order::DisclosureLattice& lattice,
+                                 const std::vector<int>& policy_elements) {
+  std::vector<bool> in_policy(lattice.NumElements(), false);
+  for (int e : policy_elements) in_policy[e] = true;
+  for (int e : policy_elements) {
+    for (int below = 0; below < lattice.NumElements(); ++below) {
+      if (lattice.Below(below, e) && !in_policy[below]) {
+        return Status::InvalidArgument(
+            "policy not internally consistent: element " +
+            std::to_string(below) + " lies below permitted element " +
+            std::to_string(e) + " but is not in the policy");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<int> DownwardClosure(const order::DisclosureLattice& lattice,
+                                 std::vector<int> policy_elements) {
+  std::vector<bool> in_policy(lattice.NumElements(), false);
+  for (int e : policy_elements) in_policy[e] = true;
+  for (int e = 0; e < lattice.NumElements(); ++e) {
+    if (in_policy[e]) continue;
+    for (int member : policy_elements) {
+      if (lattice.Below(e, member)) {
+        in_policy[e] = true;
+        break;
+      }
+    }
+  }
+  std::vector<int> out;
+  for (int e = 0; e < lattice.NumElements(); ++e) {
+    if (in_policy[e]) out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace fdc::policy

@@ -1,0 +1,45 @@
+// Policy analysis tooling — the "formal model pays off" benefits of §2.2:
+// reasoning about overlap, redundancy and consistency of hand-written
+// policies and view sets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "label/view_catalog.h"
+#include "order/disclosure_lattice.h"
+#include "policy/policy.h"
+
+namespace fdc::policy {
+
+/// A pair of views where one subsumes the other under ⪯.
+struct ViewRedundancy {
+  int lower_view;   // catalog id; computable from upper_view
+  int upper_view;
+  bool equivalent;  // mutually rewritable (the sets reveal the same info)
+};
+
+/// Finds all ⪯-comparable view pairs in a catalog. Equivalent views are the
+/// clearest smell: two permission names guarding identical information
+/// (exactly the user_likes/languages confusion from §1).
+std::vector<ViewRedundancy> FindViewRedundancies(
+    const label::ViewCatalog& catalog);
+
+/// Partition i is redundant if some other partition allows at least the
+/// same views on every relation: any history consistent with Wi is then
+/// consistent with Wj, so dropping Wi never changes monitor decisions.
+std::vector<int> FindRedundantPartitions(const SecurityPolicy& policy);
+
+/// Definition 3.9 side condition: an explicit lattice policy must be
+/// downward closed (W ⪯ W' and ⇓W' ∈ P imply ⇓W ∈ P). `policy_elements`
+/// are element indices of `lattice`.
+Status CheckInternallyConsistent(const order::DisclosureLattice& lattice,
+                                 const std::vector<int>& policy_elements);
+
+/// Makes a policy internally consistent by adding every element below an
+/// existing member (the downward closure).
+std::vector<int> DownwardClosure(const order::DisclosureLattice& lattice,
+                                 std::vector<int> policy_elements);
+
+}  // namespace fdc::policy

@@ -1,0 +1,80 @@
+#include "policy/policy_store.h"
+
+#include "common/bit_utils.h"
+
+namespace fdc::policy {
+
+void PolicyStore::Reserve(size_t n, int avg_partitions) {
+  meta_.reserve(n);
+  states_.reserve(n);
+  masks_.reserve(n * static_cast<size_t>(avg_partitions) * num_relations_);
+}
+
+uint32_t PolicyStore::AddPrincipal(const SecurityPolicy& policy) {
+  Meta meta;
+  meta.offset = static_cast<uint32_t>(masks_.size());
+  meta.partitions = static_cast<uint8_t>(policy.num_partitions());
+  for (int p = 0; p < policy.num_partitions(); ++p) {
+    for (int rel = 0; rel < num_relations_; ++rel) {
+      masks_.push_back(policy.PartitionMask(p, static_cast<uint32_t>(rel)));
+    }
+  }
+  meta_.push_back(meta);
+  states_.push_back(policy.AllPartitionsMask());
+  return static_cast<uint32_t>(meta_.size() - 1);
+}
+
+uint32_t PolicyStore::SurvivingPartitions(const Meta& meta,
+                                          const label::DisclosureLabel& label,
+                                          uint32_t candidates) const {
+  if (label.top()) return 0;
+  uint32_t surviving = candidates;
+  const uint32_t* base = masks_.data() + meta.offset;
+  for (const label::PackedAtomLabel& atom : label.atoms()) {
+    const uint32_t relation = atom.relation();
+    const uint32_t mask = atom.mask();
+    uint32_t next = 0;
+    ForEachBit(surviving, [&](int p) {
+      if ((base[static_cast<size_t>(p) * num_relations_ + relation] & mask) !=
+          0) {
+        next |= (1u << p);
+      }
+    });
+    surviving = next;
+    if (surviving == 0) break;
+  }
+  return surviving;
+}
+
+bool PolicyStore::Submit(uint32_t principal,
+                         const label::DisclosureLabel& label) {
+  const Meta& meta = meta_[principal];
+  const uint32_t surviving =
+      SurvivingPartitions(meta, label, states_[principal]);
+  if (surviving == 0) return false;
+  states_[principal] = surviving;
+  return true;
+}
+
+bool PolicyStore::CheckStateless(uint32_t principal,
+                                 const label::DisclosureLabel& label) const {
+  const Meta& meta = meta_[principal];
+  const uint32_t all =
+      meta.partitions >= 32 ? ~0u : ((1u << meta.partitions) - 1);
+  return SurvivingPartitions(meta, label, all) != 0;
+}
+
+void PolicyStore::ResetStates() {
+  for (size_t i = 0; i < meta_.size(); ++i) {
+    states_[i] = meta_[i].partitions >= 32
+                     ? ~0u
+                     : ((1u << meta_[i].partitions) - 1);
+  }
+}
+
+size_t PolicyStore::MemoryBytes() const {
+  return masks_.capacity() * sizeof(uint32_t) + meta_.capacity() * sizeof(Meta) +
+         states_.capacity() * sizeof(uint32_t);
+}
+
+}  // namespace fdc::policy

@@ -1,0 +1,70 @@
+// Compact multi-principal policy storage for reference monitoring at scale.
+//
+// §7.2 evaluates the policy checker with up to 1,000,000 distinct
+// principals, each with its own randomly generated policy. Holding a
+// SecurityPolicy object per principal would cost a dozen heap allocations
+// each; PolicyStore flattens every principal's compiled partition masks
+// into one contiguous array and keeps per-principal state as a single
+// 32-bit consistency vector (§6.2), so the whole fleet fits in a few
+// hundred bytes per principal and the hot path touches two cache lines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "label/compressed_label.h"
+#include "policy/policy.h"
+
+namespace fdc::policy {
+
+class PolicyStore {
+ public:
+  /// `num_relations` fixes the per-partition mask stride (schema size).
+  explicit PolicyStore(int num_relations) : num_relations_(num_relations) {}
+
+  /// Pre-allocates for `n` principals with ~`avg_partitions` each.
+  void Reserve(size_t n, int avg_partitions);
+
+  /// Copies a compiled policy in; returns the new principal id.
+  uint32_t AddPrincipal(const SecurityPolicy& policy);
+
+  size_t NumPrincipals() const { return meta_.size(); }
+
+  /// §6.2 stateful submit for one principal: accept (and narrow the
+  /// consistency bits) or refuse (state untouched).
+  bool Submit(uint32_t principal, const label::DisclosureLabel& label);
+
+  /// Stateless variant: evaluates against the full partition set without
+  /// touching stored state.
+  bool CheckStateless(uint32_t principal,
+                      const label::DisclosureLabel& label) const;
+
+  /// Remaining consistent partitions of a principal.
+  uint32_t ConsistentPartitions(uint32_t principal) const {
+    return states_[principal];
+  }
+
+  /// Resets every principal to the fully consistent state.
+  void ResetStates();
+
+  /// Approximate resident bytes (for capacity planning / benchmarks).
+  size_t MemoryBytes() const;
+
+ private:
+  struct Meta {
+    uint32_t offset;       // index into masks_ of this principal's block
+    uint8_t partitions;    // k
+  };
+
+  uint32_t SurvivingPartitions(const Meta& meta,
+                               const label::DisclosureLabel& label,
+                               uint32_t candidates) const;
+
+  int num_relations_;
+  std::vector<uint32_t> masks_;  // per principal: k × num_relations masks
+  std::vector<Meta> meta_;
+  std::vector<uint32_t> states_;
+};
+
+}  // namespace fdc::policy

@@ -1,0 +1,5 @@
+#include "policy/reference_monitor.h"
+
+// Header-only hot path; this translation unit anchors the library target.
+
+namespace fdc::policy {}  // namespace fdc::policy

@@ -1,0 +1,55 @@
+// The reference monitor (§3.4 algorithm + §6.2 bit-vector state).
+//
+// Queries arrive one at a time; the monitor answers or refuses each so the
+// policy invariant "{answered queries} ⪯ Wi for some partition i" always
+// holds. Per-principal state is a single bit vector with one bit per
+// partition (Example 6.3): bit i set means the history so far is ⪯ Wi.
+// A query is accepted iff at least one bit survives; refused queries leave
+// the state untouched.
+#pragma once
+
+#include <cstdint>
+
+#include "label/compressed_label.h"
+#include "policy/policy.h"
+
+namespace fdc::policy {
+
+/// Per-principal monitor state: which partitions remain consistent with the
+/// queries answered so far.
+struct PrincipalState {
+  uint32_t consistent = 0;
+};
+
+class ReferenceMonitor {
+ public:
+  explicit ReferenceMonitor(const SecurityPolicy* policy) : policy_(policy) {}
+
+  PrincipalState InitialState() const {
+    return PrincipalState{policy_->AllPartitionsMask()};
+  }
+
+  /// Stateless check (§6.2 first model): answer iff the label alone is below
+  /// some partition. Equivalent to the stateful model when k == 1.
+  bool CheckStateless(const label::DisclosureLabel& label) const {
+    return policy_->AllowedPartitions(label, policy_->AllPartitionsMask()) !=
+           0;
+  }
+
+  /// Stateful submit: on accept, state narrows to the partitions that stay
+  /// consistent; on refuse, state is unchanged and false is returned.
+  bool Submit(PrincipalState* state, const label::DisclosureLabel& label) const {
+    const uint32_t surviving =
+        policy_->AllowedPartitions(label, state->consistent);
+    if (surviving == 0) return false;
+    state->consistent = surviving;
+    return true;
+  }
+
+  const SecurityPolicy& policy() const { return *policy_; }
+
+ private:
+  const SecurityPolicy* policy_;
+};
+
+}  // namespace fdc::policy

@@ -1,0 +1,243 @@
+#include "rewriting/atom_rewriting.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rewriting/containment.h"
+
+namespace fdc::rewriting {
+
+namespace {
+
+using cq::AtomPattern;
+using cq::ConjunctiveQuery;
+using cq::PatTerm;
+using cq::Term;
+
+// Positions belonging to each class of a pattern.
+std::vector<std::vector<int>> ClassPositions(const AtomPattern& p) {
+  std::vector<std::vector<int>> out(p.NumClasses());
+  for (int pos = 0; pos < p.arity(); ++pos) {
+    const PatTerm& pt = p.terms[pos];
+    if (!pt.is_const) out[pt.cls].push_back(pos);
+  }
+  return out;
+}
+
+// Distinguished class ids of a pattern, in class order.
+std::vector<int> DistinguishedClasses(const AtomPattern& p) {
+  std::vector<int> out;
+  std::vector<bool> seen(p.NumClasses(), false);
+  for (const PatTerm& pt : p.terms) {
+    if (!pt.is_const && pt.distinguished && !seen[pt.cls]) {
+      seen[pt.cls] = true;
+      out.push_back(pt.cls);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+bool AtomRewritable(const AtomPattern& v, const AtomPattern& w) {
+  if (v.relation != w.relation || v.arity() != w.arity()) return false;
+  const int n = v.arity();
+
+  // Allocation-free single pass; this test runs once per (query atom,
+  // security view) pair on the labeling hot path (§7.2 measures millions of
+  // queries per second through it). Class counts are bounded by arity;
+  // kMaxInlineArity covers every real schema (User has 34 columns) and the
+  // slow path below handles pathological arities.
+  constexpr int kMaxInlineArity = 64;
+  // First position at which each class was seen (-1 = not yet). Heap
+  // fallback only for pathological arities.
+  int inline_first[2 * kMaxInlineArity];
+  std::vector<int> heap_first;
+  int* v_first;
+  int* w_first;
+  if (n <= kMaxInlineArity) {
+    v_first = inline_first;
+    w_first = inline_first + n;
+  } else {
+    heap_first.assign(static_cast<size_t>(2 * n), -1);
+    v_first = heap_first.data();
+    w_first = heap_first.data() + n;
+  }
+  for (int c = 0; c < n; ++c) {
+    v_first[c] = -1;
+    w_first[c] = -1;
+  }
+
+  for (int p = 0; p < n; ++p) {
+    const PatTerm& vt = v.terms[p];
+    const PatTerm& wt = w.terms[p];
+
+    // (C1) W's constant selections must be V's (same value); conversely a
+    // V constant needs a matching W constant or an exposed column (C3).
+    // (C4) V's outputs must be exposed by W.
+    if (wt.is_const) {
+      if (!vt.is_const || vt.value != wt.value) return false;  // C1
+    }
+    if (vt.is_const) {
+      if (wt.is_const) {
+        if (wt.value != vt.value) return false;  // C1, symmetric
+      } else if (!wt.distinguished) {
+        return false;  // C3: cannot filter on a hidden column
+      }
+    } else if (vt.distinguished) {
+      if (wt.is_const || !wt.distinguished) return false;  // C4
+    }
+
+    // (C2) equalities W imposes must be implied by V. Checking each
+    // position against its class's first occurrence covers all pairs by
+    // transitivity through the representative.
+    if (!wt.is_const) {
+      const int q = w_first[wt.cls];
+      if (q < 0) {
+        w_first[wt.cls] = p;
+      } else {
+        const PatTerm& va = v.terms[q];
+        const bool implied =
+            (va.is_const && vt.is_const && va.value == vt.value) ||
+            (!va.is_const && !vt.is_const && va.cls == vt.cls);
+        if (!implied) return false;
+      }
+    }
+
+    // (C5) equalities V imposes must be imposed by W or checkable from W's
+    // output (both positions distinguished). Representative pairing is
+    // again sufficient: "both distinguished" and "same W class" propagate
+    // through the shared first occurrence (see header notes).
+    if (!vt.is_const) {
+      const int q = v_first[vt.cls];
+      if (q < 0) {
+        v_first[vt.cls] = p;
+      } else {
+        const PatTerm& wa = w.terms[q];
+        if (wa.is_const || wt.is_const) return false;  // excluded by C1
+        const bool imposed = wa.cls == wt.cls;
+        const bool checkable = wa.distinguished && wt.distinguished;
+        if (!imposed && !checkable) return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<ConjunctiveQuery> BuildRewriting(const AtomPattern& v,
+                                               const AtomPattern& w) {
+  if (!AtomRewritable(v, w)) return std::nullopt;
+
+  // One output column of W per distinguished class of w, in class order.
+  const std::vector<int> w_out = DistinguishedClasses(w);
+  const std::vector<std::vector<int>> w_positions = ClassPositions(w);
+
+  std::vector<Term> atom_terms;
+  atom_terms.reserve(w_out.size());
+  for (int wc : w_out) {
+    // All of the class's positions agree in V (guaranteed by C2).
+    const int pos = w_positions[wc].front();
+    const PatTerm& vt = v.terms[pos];
+    atom_terms.push_back(vt.is_const ? Term::Const(vt.value)
+                                     : Term::Var(vt.cls));
+  }
+
+  std::vector<Term> head;
+  for (int vc : DistinguishedClasses(v)) head.push_back(Term::Var(vc));
+
+  // The atom nominally ranges over the *view* W (not the base relation);
+  // we tag it with w.relation for provenance. UnfoldRewriting interprets it.
+  cq::Atom atom(w.relation, std::move(atom_terms));
+  return ConjunctiveQuery("rw", std::move(head), {std::move(atom)});
+}
+
+ConjunctiveQuery UnfoldRewriting(const ConjunctiveQuery& rewriting,
+                                 const AtomPattern& w) {
+  const std::vector<int> w_out = DistinguishedClasses(w);
+  // Map each W output class to the term plugged in by the rewriting.
+  std::vector<Term> class_term(w.NumClasses(), Term::Var(-1));
+  const cq::Atom& ratom = rewriting.atoms().front();
+  for (size_t j = 0; j < w_out.size(); ++j) {
+    class_term[w_out[j]] = ratom.terms[j];
+  }
+  // Fresh variables for W's existential classes.
+  int next_fresh = std::max(rewriting.MaxVarId(), -1) + 1;
+  std::vector<int> fresh(w.NumClasses(), -1);
+
+  std::vector<Term> terms;
+  terms.reserve(w.arity());
+  for (const PatTerm& wt : w.terms) {
+    if (wt.is_const) {
+      terms.push_back(Term::Const(wt.value));
+    } else if (wt.distinguished) {
+      terms.push_back(class_term[wt.cls]);
+    } else {
+      if (fresh[wt.cls] < 0) fresh[wt.cls] = next_fresh++;
+      terms.push_back(Term::Var(fresh[wt.cls]));
+    }
+  }
+  cq::Atom atom(w.relation, std::move(terms));
+  return ConjunctiveQuery(rewriting.name(), rewriting.head(),
+                          {std::move(atom)});
+}
+
+bool AtomRewritableOracle(const AtomPattern& v, const AtomPattern& w) {
+  if (v.relation != w.relation || v.arity() != w.arity()) return false;
+  const ConjunctiveQuery vq = v.ToQuery("V");
+  const std::vector<int> w_out = DistinguishedClasses(w);
+  const int m = static_cast<int>(w_out.size());
+
+  // Candidate term pool: V's class variables, all constants mentioned by
+  // either view, and m fresh existential variables (repetition allowed so a
+  // rewriting can equate two W columns without exposing them).
+  std::vector<Term> pool;
+  for (int c = 0; c < v.NumClasses(); ++c) pool.push_back(Term::Var(c));
+  std::set<std::string> consts;
+  for (const PatTerm& pt : v.terms) {
+    if (pt.is_const) consts.insert(pt.value);
+  }
+  for (const PatTerm& pt : w.terms) {
+    if (pt.is_const) consts.insert(pt.value);
+  }
+  for (const std::string& value : consts) pool.push_back(Term::Const(value));
+  const int fresh_base = v.NumClasses() + 1000;
+  for (int j = 0; j < m; ++j) pool.push_back(Term::Var(fresh_base + j));
+
+  std::vector<Term> head;
+  for (int vc : DistinguishedClasses(v)) head.push_back(Term::Var(vc));
+
+  // Enumerate pool^m assignments of terms to W's output columns.
+  std::vector<int> choice(m, 0);
+  for (;;) {
+    std::vector<Term> atom_terms;
+    atom_terms.reserve(m);
+    for (int j = 0; j < m; ++j) atom_terms.push_back(pool[choice[j]]);
+    // Safety: every head variable must appear in the atom.
+    bool safe = true;
+    for (const Term& h : head) {
+      if (std::find(atom_terms.begin(), atom_terms.end(), h) ==
+          atom_terms.end()) {
+        safe = false;
+        break;
+      }
+    }
+    if (safe) {
+      ConjunctiveQuery rewriting("rw", head, {cq::Atom(w.relation, atom_terms)});
+      ConjunctiveQuery unfolded = UnfoldRewriting(rewriting, w);
+      if (AreEquivalent(unfolded, vq)) return true;
+    }
+    // Next assignment (odometer); also handles m == 0 (single iteration).
+    int j = 0;
+    for (; j < m; ++j) {
+      if (++choice[j] < static_cast<int>(pool.size())) break;
+      choice[j] = 0;
+    }
+    if (j == m) break;
+  }
+  return false;
+}
+
+}  // namespace fdc::rewriting

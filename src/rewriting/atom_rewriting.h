@@ -1,0 +1,63 @@
+// The equivalent-view-rewriting test for single-atom views (§3.1, §5.1).
+//
+// AtomRewritable(v, w) decides whether the view with pattern `v` has an
+// equivalent rewriting in terms of the view with pattern `w` — i.e. whether
+// {V} ⪯ {W} in the equivalent-view-rewriting disclosure order. Both views
+// are single-atom conjunctive views over the same base relation (views over
+// different relations are never comparable in this fragment).
+//
+// The decision procedure is a position-class analysis. Writing vt(p)/wt(p)
+// for the pattern terms at position p, {V} ⪯ {W} holds iff all of:
+//
+//   (C1) wherever W selects a constant, V selects the same constant
+//        (otherwise W's answer misses tuples V needs, or vice versa);
+//   (C2) every equality W imposes between positions is implied by V
+//        (same V-class, or equal constants in V);
+//   (C3) wherever V selects a constant, W either selects it too or exposes
+//        the column (distinguished), so the rewriting can filter;
+//   (C4) every column V outputs is output by W;
+//   (C5) every equality V imposes is either imposed by W or checkable from
+//        W's output (both positions distinguished in W).
+//
+// When the test succeeds, BuildRewriting() produces the witness: a one-atom
+// conjunctive query over W whose unfolding is equivalent to V. Soundness
+// (the witness really is equivalent) and completeness relative to one-atom
+// rewritings are exercised in tests against the brute-force oracle below;
+// multi-atom rewritings add no power for this fragment because a multi-atom
+// unfolding equivalent to a single atom folds onto one atom (see
+// tests/atom_rewriting_test.cc for the empirical cross-check).
+#pragma once
+
+#include <optional>
+
+#include "cq/pattern.h"
+#include "cq/query.h"
+#include "cq/schema.h"
+
+namespace fdc::rewriting {
+
+/// True iff the view with pattern `v` can be equivalently rewritten in terms
+/// of the view with pattern `w` ({v} ⪯ {w}).
+bool AtomRewritable(const cq::AtomPattern& v, const cq::AtomPattern& w);
+
+/// A rewriting witness: a query whose single body atom ranges over W's
+/// output columns (one per distinguished class of `w`, in class order).
+/// Returned terms are those to plug into the W-atom; the unfolding replaces
+/// them back into W's body. Empty optional iff !AtomRewritable(v, w).
+std::optional<cq::ConjunctiveQuery> BuildRewriting(const cq::AtomPattern& v,
+                                                   const cq::AtomPattern& w);
+
+/// Expands a rewriting produced by BuildRewriting back over the base
+/// relation: substitutes the rewriting's W-atom arguments into W's body.
+/// The result is a single-atom query over the base relation which should be
+/// equivalent to `v` — this is what the oracle checks.
+cq::ConjunctiveQuery UnfoldRewriting(const cq::ConjunctiveQuery& rewriting,
+                                     const cq::AtomPattern& w);
+
+/// Brute-force oracle: enumerates all candidate one-atom rewritings of `v`
+/// over `w` (every assignment of W-output columns to {v-class variables,
+/// constants of v and w, fresh existential variables}) and tests unfolding
+/// equivalence via two-way containment. Exponential; for tests only.
+bool AtomRewritableOracle(const cq::AtomPattern& v, const cq::AtomPattern& w);
+
+}  // namespace fdc::rewriting

@@ -1,0 +1,31 @@
+#include "rewriting/containment.h"
+
+#include "rewriting/homomorphism.h"
+
+namespace fdc::rewriting {
+
+bool IsContainedIn(const cq::ConjunctiveQuery& q1,
+                   const cq::ConjunctiveQuery& q2) {
+  if (q1.head().size() != q2.head().size()) return false;
+  // Hom from q2 to q1 aligning heads: h(q2.head[i]) = q1.head[i].
+  HomOptions options;
+  options.seed.reserve(q2.head().size());
+  for (size_t i = 0; i < q2.head().size(); ++i) {
+    const cq::Term& src = q2.head()[i];
+    const cq::Term& dst = q1.head()[i];
+    if (src.is_const()) {
+      // Head constants are rejected by Validate; treat defensively.
+      if (!dst.is_const() || src.value() != dst.value()) return false;
+      continue;
+    }
+    options.seed.emplace_back(src.var(), dst);
+  }
+  return FindHomomorphism(q2, q1, options).has_value();
+}
+
+bool AreEquivalent(const cq::ConjunctiveQuery& q1,
+                   const cq::ConjunctiveQuery& q2) {
+  return IsContainedIn(q1, q2) && IsContainedIn(q2, q1);
+}
+
+}  // namespace fdc::rewriting

@@ -1,0 +1,21 @@
+// Query containment and equivalence (Chandra–Merlin [9]).
+//
+// Q1 is contained in Q2 (written Q1 ⊆ Q2) iff Q1's answer is a subset of
+// Q2's answer on every database — equivalently, iff there is a homomorphism
+// from Q2 to Q1 mapping Q2's head onto Q1's head position-by-position.
+#pragma once
+
+#include "cq/query.h"
+
+namespace fdc::rewriting {
+
+/// True iff q1 ⊆ q2 (q1's answers always a subset of q2's). Requires equal
+/// head arity; returns false otherwise (incomparable).
+bool IsContainedIn(const cq::ConjunctiveQuery& q1,
+                   const cq::ConjunctiveQuery& q2);
+
+/// True iff q1 and q2 return the same answer on every database (§2.3).
+bool AreEquivalent(const cq::ConjunctiveQuery& q1,
+                   const cq::ConjunctiveQuery& q2);
+
+}  // namespace fdc::rewriting

@@ -1,0 +1,68 @@
+#include "rewriting/fold.h"
+
+#include <numeric>
+
+#include "rewriting/homomorphism.h"
+
+namespace fdc::rewriting {
+
+namespace {
+
+// Tries to drop atom `drop_idx` from `query`: succeeds iff there is an
+// endomorphism of `query` into the remaining atoms that fixes every
+// distinguished variable (so the result stays equivalent).
+bool CanDropAtom(const cq::ConjunctiveQuery& query, size_t drop_idx) {
+  std::vector<bool> allowed(query.atoms().size(), true);
+  allowed[drop_idx] = false;
+  HomOptions options;
+  options.fix_distinguished = true;
+  return FindHomomorphism(query, query, options, allowed).has_value();
+}
+
+// Fast path: a retraction maps each atom onto an atom over the same
+// relation, so a query in which no relation occurs twice is already folded.
+// This skips the homomorphism search for the overwhelmingly common 1–3 atom
+// API queries (§7.2) on the labeling hot path.
+bool NoRepeatedRelation(const cq::ConjunctiveQuery& query) {
+  const auto& atoms = query.atoms();
+  for (size_t i = 0; i < atoms.size(); ++i) {
+    for (size_t j = i + 1; j < atoms.size(); ++j) {
+      if (atoms[i].relation == atoms[j].relation) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+cq::ConjunctiveQuery Fold(const cq::ConjunctiveQuery& query) {
+  if (NoRepeatedRelation(query)) return query;
+  cq::ConjunctiveQuery current = query;
+  bool changed = true;
+  while (changed && current.size() > 1) {
+    changed = false;
+    for (size_t i = 0; i < static_cast<size_t>(current.size()); ++i) {
+      if (CanDropAtom(current, i)) {
+        std::vector<int> keep;
+        keep.reserve(current.size() - 1);
+        for (int j = 0; j < current.size(); ++j) {
+          if (static_cast<size_t>(j) != i) keep.push_back(j);
+        }
+        current = current.WithAtomSubset(keep);
+        changed = true;
+        break;
+      }
+    }
+  }
+  return current;
+}
+
+bool IsFolded(const cq::ConjunctiveQuery& query) {
+  if (NoRepeatedRelation(query)) return true;
+  for (size_t i = 0; i < static_cast<size_t>(query.size()); ++i) {
+    if (CanDropAtom(query, i)) return false;
+  }
+  return true;
+}
+
+}  // namespace fdc::rewriting

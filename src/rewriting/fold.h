@@ -1,0 +1,23 @@
+// Folding (query minimization / core computation), used by Dissect (§5.2).
+//
+// The folding of Q is the minimal equivalent subquery — the "core": atoms
+// removable via a head-fixing endomorphism are dropped. Query folding is
+// NP-hard; like the paper's implementation we use a brute-force search that
+// is exponential in the number of atoms but instantaneous for API-sized
+// queries (§6.1).
+#pragma once
+
+#include "cq/query.h"
+
+namespace fdc::rewriting {
+
+/// Returns the core of `query`: an equivalent query whose body is a minimal
+/// subset of the original atoms. Deterministic: among equal-size cores the
+/// first found in atom order is returned. Variables are left unrenamed.
+cq::ConjunctiveQuery Fold(const cq::ConjunctiveQuery& query);
+
+/// True iff no proper subset of atoms supports a head-fixing retraction,
+/// i.e. Fold(query) would keep every atom.
+bool IsFolded(const cq::ConjunctiveQuery& query);
+
+}  // namespace fdc::rewriting

@@ -1,0 +1,116 @@
+#include "rewriting/homomorphism.h"
+
+#include <algorithm>
+
+namespace fdc::rewriting {
+
+namespace {
+
+using cq::Atom;
+using cq::ConjunctiveQuery;
+using cq::Term;
+
+class HomSearch {
+ public:
+  HomSearch(const ConjunctiveQuery& from, const ConjunctiveQuery& to,
+            const HomOptions& options, const std::vector<bool>& to_allowed)
+      : from_(from), to_(to), options_(options), to_allowed_(to_allowed) {
+    mapping_.assign(static_cast<size_t>(from.MaxVarId() + 1), std::nullopt);
+  }
+
+  std::optional<VarMapping> Run() {
+    // Seed: fixed distinguished variables and explicit seeds.
+    if (options_.fix_distinguished) {
+      for (int v : from_.DistinguishedVars()) {
+        if (!Assign(v, Term::Var(v))) return std::nullopt;
+      }
+    }
+    for (const auto& [v, t] : options_.seed) {
+      if (!Assign(v, t)) return std::nullopt;
+    }
+    // Order atoms most-constrained-first: more constants/mapped vars first.
+    atom_order_.resize(from_.atoms().size());
+    for (size_t i = 0; i < atom_order_.size(); ++i) {
+      atom_order_[i] = static_cast<int>(i);
+    }
+    std::stable_sort(atom_order_.begin(), atom_order_.end(),
+                     [&](int a, int b) {
+                       return Constrainedness(a) > Constrainedness(b);
+                     });
+    if (Backtrack(0)) return mapping_;
+    return std::nullopt;
+  }
+
+ private:
+  int Constrainedness(int atom_idx) const {
+    int score = 0;
+    for (const Term& t : from_.atoms()[atom_idx].terms) {
+      if (t.is_const()) {
+        score += 2;
+      } else if (mapping_[t.var()].has_value()) {
+        score += 1;
+      }
+    }
+    return score;
+  }
+
+  bool Assign(int var, const Term& image) {
+    if (var >= static_cast<int>(mapping_.size())) {
+      mapping_.resize(var + 1, std::nullopt);
+    }
+    if (mapping_[var].has_value()) return *mapping_[var] == image;
+    mapping_[var] = image;
+    trail_.push_back(var);
+    return true;
+  }
+
+  // Attempts to map source atom `a` onto target atom `b`; records new
+  // assignments on the trail. Returns false (after rolling back nothing —
+  // caller rolls back via trail mark) on mismatch.
+  bool MatchAtom(const Atom& a, const Atom& b) {
+    if (a.relation != b.relation || a.arity() != b.arity()) return false;
+    for (int i = 0; i < a.arity(); ++i) {
+      const Term& s = a.terms[i];
+      const Term& t = b.terms[i];
+      if (s.is_const()) {
+        if (!t.is_const() || s.value() != t.value()) return false;
+      } else {
+        if (!Assign(s.var(), t)) return false;
+      }
+    }
+    return true;
+  }
+
+  bool Backtrack(size_t depth) {
+    if (depth == atom_order_.size()) return true;
+    const Atom& a = from_.atoms()[atom_order_[depth]];
+    for (size_t bi = 0; bi < to_.atoms().size(); ++bi) {
+      if (!to_allowed_.empty() && !to_allowed_[bi]) continue;
+      const size_t mark = trail_.size();
+      if (MatchAtom(a, to_.atoms()[bi]) && Backtrack(depth + 1)) return true;
+      while (trail_.size() > mark) {
+        mapping_[trail_.back()] = std::nullopt;
+        trail_.pop_back();
+      }
+    }
+    return false;
+  }
+
+  const ConjunctiveQuery& from_;
+  const ConjunctiveQuery& to_;
+  const HomOptions& options_;
+  const std::vector<bool>& to_allowed_;
+  VarMapping mapping_;
+  std::vector<int> trail_;
+  std::vector<int> atom_order_;
+};
+
+}  // namespace
+
+std::optional<VarMapping> FindHomomorphism(
+    const cq::ConjunctiveQuery& from, const cq::ConjunctiveQuery& to,
+    const HomOptions& options, const std::vector<bool>& to_atom_allowed) {
+  return HomSearch(from, to, options, to_atom_allowed).Run();
+}
+
+}  // namespace fdc::rewriting

@@ -1,0 +1,42 @@
+// Homomorphisms between conjunctive queries (Chandra–Merlin machinery).
+//
+// A homomorphism h from query A to query B maps each variable of A to a term
+// of B (constants map to themselves) such that the image of every body atom
+// of A is a body atom of B. Containment and folding both reduce to
+// homomorphism existence; the search is backtracking over atom images, which
+// is exponential in the worst case (the problem is NP-complete) but fast on
+// the small queries apps issue — the paper's own implementation makes the
+// same tradeoff (§6.1 complexity analysis).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "cq/query.h"
+
+namespace fdc::rewriting {
+
+/// A variable mapping: index = variable id in the source query, value = image
+/// term in the target query. Unmapped ids hold std::nullopt.
+using VarMapping = std::vector<std::optional<cq::Term>>;
+
+struct HomOptions {
+  /// Require h(v) = v for every distinguished variable of the source. Used
+  /// for folding (retractions must fix the head).
+  bool fix_distinguished = false;
+
+  /// Pre-seeded assignments (e.g. head alignment for containment checks).
+  /// Entries are (source var, required image).
+  std::vector<std::pair<int, cq::Term>> seed;
+};
+
+/// Searches for a homomorphism from `from` to `to`. Returns the mapping if
+/// one exists. `to_atom_allowed`, when non-empty, restricts which atoms of
+/// `to` may serve as images (indexed by atom position; used by folding to
+/// exclude the atom being dropped).
+std::optional<VarMapping> FindHomomorphism(
+    const cq::ConjunctiveQuery& from, const cq::ConjunctiveQuery& to,
+    const HomOptions& options = {},
+    const std::vector<bool>& to_atom_allowed = {});
+
+}  // namespace fdc::rewriting

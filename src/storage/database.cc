@@ -1,0 +1,35 @@
+#include "storage/database.h"
+
+namespace fdc::storage {
+
+Database::Database(const cq::Schema* schema) : schema_(schema) {
+  relations_.reserve(schema->NumRelations());
+  for (const cq::RelationDef& def : schema->relations()) {
+    relations_.push_back(std::make_unique<Relation>(def.arity()));
+  }
+}
+
+Status Database::Insert(const std::string& relation_name, Tuple tuple) {
+  const cq::RelationDef* def = schema_->Find(relation_name);
+  if (def == nullptr) {
+    return Status::NotFound("unknown relation '" + relation_name + "'");
+  }
+  return relations_[def->id]->Insert(std::move(tuple));
+}
+
+Status Database::InsertById(int relation_id, Tuple tuple) {
+  if (relation_id < 0 || relation_id >= static_cast<int>(relations_.size())) {
+    return Status::NotFound("unknown relation id " +
+                            std::to_string(relation_id));
+  }
+  return relations_[relation_id]->Insert(std::move(tuple));
+}
+
+const Relation* Database::relation(int relation_id) const {
+  if (relation_id < 0 || relation_id >= static_cast<int>(relations_.size())) {
+    return nullptr;
+  }
+  return relations_[relation_id].get();
+}
+
+}  // namespace fdc::storage

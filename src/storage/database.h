@@ -1,0 +1,32 @@
+// An in-memory database: one Relation per schema relation.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "cq/schema.h"
+#include "storage/relation.h"
+
+namespace fdc::storage {
+
+class Database {
+ public:
+  explicit Database(const cq::Schema* schema);
+
+  const cq::Schema& schema() const { return *schema_; }
+
+  /// Insert by relation name.
+  Status Insert(const std::string& relation_name, Tuple tuple);
+
+  /// Insert by relation id.
+  Status InsertById(int relation_id, Tuple tuple);
+
+  const Relation* relation(int relation_id) const;
+
+ private:
+  const cq::Schema* schema_;
+  std::vector<std::unique_ptr<Relation>> relations_;
+};
+
+}  // namespace fdc::storage

@@ -1,0 +1,88 @@
+#include "storage/evaluator.h"
+
+#include <algorithm>
+#include <optional>
+
+namespace fdc::storage {
+
+namespace {
+
+using cq::Atom;
+using cq::ConjunctiveQuery;
+using cq::Term;
+
+class Eval {
+ public:
+  Eval(const Database& db, const ConjunctiveQuery& query)
+      : db_(db), query_(query) {
+    binding_.assign(static_cast<size_t>(query.MaxVarId() + 1), std::nullopt);
+  }
+
+  Result<std::vector<Tuple>> Run() {
+    Status valid = query_.Validate(db_.schema());
+    if (!valid.ok()) return valid;
+    for (const Atom& atom : query_.atoms()) {
+      if (db_.relation(atom.relation) == nullptr) {
+        return Status::NotFound("relation id " + std::to_string(atom.relation) +
+                                " not stored");
+      }
+    }
+    Backtrack(0);
+    std::sort(results_.begin(), results_.end());
+    results_.erase(std::unique(results_.begin(), results_.end()),
+                   results_.end());
+    return std::move(results_);
+  }
+
+ private:
+  void Backtrack(size_t atom_idx) {
+    if (atom_idx == query_.atoms().size()) {
+      Tuple out;
+      out.reserve(query_.head().size());
+      for (const Term& t : query_.head()) {
+        out.push_back(t.is_const() ? t.value() : *binding_[t.var()]);
+      }
+      results_.push_back(std::move(out));
+      return;
+    }
+    const Atom& atom = query_.atoms()[atom_idx];
+    const Relation* rel = db_.relation(atom.relation);
+    for (const Tuple& tuple : rel->tuples()) {
+      std::vector<int> bound_here;
+      if (MatchTuple(atom, tuple, &bound_here)) {
+        Backtrack(atom_idx + 1);
+      }
+      for (int v : bound_here) binding_[v] = std::nullopt;
+    }
+  }
+
+  bool MatchTuple(const Atom& atom, const Tuple& tuple,
+                  std::vector<int>* bound_here) {
+    for (int i = 0; i < atom.arity(); ++i) {
+      const Term& t = atom.terms[i];
+      if (t.is_const()) {
+        if (t.value() != tuple[i]) return false;
+      } else if (binding_[t.var()].has_value()) {
+        if (*binding_[t.var()] != tuple[i]) return false;
+      } else {
+        binding_[t.var()] = tuple[i];
+        bound_here->push_back(t.var());
+      }
+    }
+    return true;
+  }
+
+  const Database& db_;
+  const ConjunctiveQuery& query_;
+  std::vector<std::optional<Value>> binding_;
+  std::vector<Tuple> results_;
+};
+
+}  // namespace
+
+Result<std::vector<Tuple>> Evaluate(const Database& db,
+                                    const cq::ConjunctiveQuery& query) {
+  return Eval(db, query).Run();
+}
+
+}  // namespace fdc::storage

@@ -1,0 +1,25 @@
+// Conjunctive-query evaluation with set semantics.
+//
+// Backtracking join: atoms are processed most-constrained-first, variables
+// bind to tuple values, and head projections are deduplicated. This is the
+// execution engine behind the guarded database (Figure 2's "DBMS" box) and
+// the semantic ground truth used by tests to validate the rewriting order
+// ("if {V} ⪯ {W}, then V's answer must be computable from W's answer" is
+// spot-checked on random databases).
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "cq/query.h"
+#include "storage/database.h"
+
+namespace fdc::storage {
+
+/// Evaluates `query` against `db`. Boolean queries return zero or one empty
+/// tuple (empty = false, one = true). Output tuples are deduplicated and
+/// sorted for deterministic comparison.
+Result<std::vector<Tuple>> Evaluate(const Database& db,
+                                    const cq::ConjunctiveQuery& query);
+
+}  // namespace fdc::storage

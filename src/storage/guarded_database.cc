@@ -1,0 +1,32 @@
+#include "storage/guarded_database.h"
+
+namespace fdc::storage {
+
+Result<std::vector<Tuple>> GuardedDatabase::Query(
+    const std::string& principal, const cq::ConjunctiveQuery& query) {
+  auto [it, inserted] = states_.try_emplace(principal, monitor_.InitialState());
+  const label::DisclosureLabel label = pipeline_.LabelPacked(query);
+  if (!monitor_.Submit(&it->second, label)) {
+    return Status::PolicyViolation(
+        "query refused: cumulative disclosure would exceed every policy "
+        "partition for principal '" +
+        principal + "'");
+  }
+  return Evaluate(*db_, query);
+}
+
+Result<std::vector<Tuple>> GuardedDatabase::QuerySql(
+    const std::string& principal, const std::string& sql) {
+  Result<cq::ConjunctiveQuery> parsed = cq::ParseSql(sql, db_->schema());
+  if (!parsed.ok()) return parsed.status();
+  return Query(principal, *parsed);
+}
+
+uint32_t GuardedDatabase::ConsistentPartitions(
+    const std::string& principal) const {
+  auto it = states_.find(principal);
+  if (it == states_.end()) return monitor_.InitialState().consistent;
+  return it->second.consistent;
+}
+
+}  // namespace fdc::storage

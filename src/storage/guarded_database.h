@@ -1,0 +1,64 @@
+// The end-to-end disclosure-controlled database of Figure 2: untrusted apps
+// submit queries; the reference monitor labels each one, consults the
+// principal's policy and cumulative state, and either evaluates the query
+// or refuses with a PolicyViolation status.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "cq/query.h"
+#include "cq/sql_parser.h"
+#include "label/pipeline.h"
+#include "policy/explain.h"
+#include "policy/reference_monitor.h"
+#include "storage/database.h"
+#include "storage/evaluator.h"
+
+namespace fdc::storage {
+
+class GuardedDatabase {
+ public:
+  /// All referenced objects must outlive the guarded database.
+  GuardedDatabase(const Database* db, const label::ViewCatalog* catalog,
+                  const policy::SecurityPolicy* policy)
+      : db_(db), pipeline_(catalog), monitor_(policy) {}
+
+  /// Submits a conjunctive query on behalf of `principal`. Answers iff the
+  /// cumulative disclosure stays below some policy partition; otherwise
+  /// returns PolicyViolation and leaves the principal's state unchanged.
+  Result<std::vector<Tuple>> Query(const std::string& principal,
+                                   const cq::ConjunctiveQuery& query);
+
+  /// SQL convenience wrapper.
+  Result<std::vector<Tuple>> QuerySql(const std::string& principal,
+                                      const std::string& sql);
+
+  /// The label the monitor would use for `query` (for explanations/UIs).
+  label::DisclosureLabel Explain(const cq::ConjunctiveQuery& query) const {
+    return pipeline_.LabelPacked(query);
+  }
+
+  /// Full per-partition diagnosis of the decision the monitor *would* make
+  /// for `principal` right now — without mutating any state. Useful for
+  /// developer tooling ("which permission is my app missing?").
+  policy::Explanation ExplainQuery(const std::string& principal,
+                                   const cq::ConjunctiveQuery& query) const {
+    return policy::ExplainDecision(monitor_.policy(), pipeline_.catalog(),
+                                   pipeline_.LabelPacked(query),
+                                   ConsistentPartitions(principal));
+  }
+
+  /// Remaining consistent partitions for a principal (all partitions if the
+  /// principal has not queried yet).
+  uint32_t ConsistentPartitions(const std::string& principal) const;
+
+ private:
+  const Database* db_;
+  label::LabelerPipeline pipeline_;
+  policy::ReferenceMonitor monitor_;
+  std::unordered_map<std::string, policy::PrincipalState> states_;
+};
+
+}  // namespace fdc::storage

@@ -1,0 +1,17 @@
+#include "storage/relation.h"
+
+namespace fdc::storage {
+
+Status Relation::Insert(Tuple tuple) {
+  if (static_cast<int>(tuple.size()) != arity_) {
+    return Status::InvalidArgument(
+        "tuple arity " + std::to_string(tuple.size()) + " != relation arity " +
+        std::to_string(arity_));
+  }
+  if (index_.insert(tuple).second) {
+    tuples_.push_back(std::move(tuple));
+  }
+  return Status::OK();
+}
+
+}  // namespace fdc::storage

@@ -1,0 +1,33 @@
+// A stored relation: set semantics, append-with-dedup.
+#pragma once
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/tuple.h"
+
+namespace fdc::storage {
+
+class Relation {
+ public:
+  explicit Relation(int arity) : arity_(arity) {}
+
+  int arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+
+  /// Inserts with set semantics; wrong-arity tuples are rejected.
+  Status Insert(Tuple tuple);
+
+  bool Contains(const Tuple& tuple) const {
+    return index_.contains(tuple);
+  }
+
+ private:
+  int arity_;
+  std::vector<Tuple> tuples_;
+  std::unordered_set<Tuple, TupleHash> index_;
+};
+
+}  // namespace fdc::storage

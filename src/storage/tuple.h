@@ -1,0 +1,28 @@
+// Tuples and values for the in-memory relational engine.
+//
+// Values are strings: the conjunctive fragment only ever compares for
+// equality, and the disclosure machinery treats constants textually, so a
+// uniform representation keeps the evaluator simple and exactly consistent
+// with the labeler's constant semantics.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace fdc::storage {
+
+using Value = std::string;
+using Tuple = std::vector<Value>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const {
+    size_t h = 1469598103934665603ULL;
+    for (const Value& v : t) {
+      h = (h ^ std::hash<Value>()(v)) * 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+}  // namespace fdc::storage

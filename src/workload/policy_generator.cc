@@ -1,0 +1,35 @@
+#include "workload/policy_generator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace fdc::workload {
+
+policy::SecurityPolicy PolicyGenerator::Next() {
+  const int num_partitions =
+      static_cast<int>(rng_.Range(1, options_.max_partitions));
+  std::vector<policy::Partition> partitions;
+  partitions.reserve(num_partitions);
+  const int catalog_size = catalog_->size();
+  for (int p = 0; p < num_partitions; ++p) {
+    const int want = static_cast<int>(
+        rng_.Range(1, options_.max_elements_per_partition));
+    // Sample `want` distinct views (bounded by catalog size).
+    std::vector<int> ids(catalog_size);
+    for (int i = 0; i < catalog_size; ++i) ids[i] = i;
+    for (int i = 0; i < std::min(want, catalog_size); ++i) {
+      const int j =
+          i + static_cast<int>(rng_.Below(static_cast<uint64_t>(
+                  catalog_size - i)));
+      std::swap(ids[i], ids[j]);
+    }
+    ids.resize(std::min(want, catalog_size));
+    partitions.push_back({"P" + std::to_string(p), std::move(ids)});
+  }
+  Result<policy::SecurityPolicy> compiled =
+      policy::SecurityPolicy::Compile(*catalog_, std::move(partitions));
+  assert(compiled.ok());
+  return std::move(compiled).value();
+}
+
+}  // namespace fdc::workload

@@ -1,0 +1,38 @@
+// Random security policies for the Figure 6 policy-checker experiment.
+//
+// Per §7.2: each principal's policy is randomly generated; the maximum
+// number of partitions is 1 (stateless) or 5 (a fairly complex Chinese-Wall
+// policy), the actual count varies per principal; the maximum number of
+// single-atom views per partition varies between 5 and 50.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "label/view_catalog.h"
+#include "policy/policy.h"
+
+namespace fdc::workload {
+
+struct PolicyOptions {
+  int max_partitions = 5;
+  int max_elements_per_partition = 25;
+};
+
+class PolicyGenerator {
+ public:
+  PolicyGenerator(const label::ViewCatalog* catalog, PolicyOptions options,
+                  uint64_t seed)
+      : catalog_(catalog), options_(options), rng_(seed) {}
+
+  /// One random policy: 1..max_partitions partitions, each holding
+  /// 1..max_elements random distinct catalog views.
+  policy::SecurityPolicy Next();
+
+ private:
+  const label::ViewCatalog* catalog_;
+  PolicyOptions options_;
+  Rng rng_;
+};
+
+}  // namespace fdc::workload

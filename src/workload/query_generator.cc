@@ -1,0 +1,148 @@
+#include "workload/query_generator.h"
+
+#include <cassert>
+
+#include "fb/fb_schema.h"
+
+namespace fdc::workload {
+
+QueryGenerator::QueryGenerator(const cq::Schema* schema,
+                               GeneratorOptions options, uint64_t seed)
+    : schema_(schema), options_(options), rng_(seed) {
+  const cq::RelationDef* fr = schema->Find(fb::kFriend);
+  friend_relation_ = fr == nullptr ? -1 : fr->id;
+}
+
+Audience QueryGenerator::PickAudience() {
+  double total = 0;
+  for (double w : options_.audience_weights) total += w;
+  double draw = rng_.NextUnit() * total;
+  Audience picked = Audience::kNonFriend;
+  for (int i = 0; i < 4; ++i) {
+    draw -= options_.audience_weights[i];
+    if (draw <= 0) {
+      picked = static_cast<Audience>(i);
+      break;
+    }
+  }
+  // Schemas without a Friend relation (synthetic ablation schemas) cannot
+  // express the join audiences; degrade to the selection-only ones.
+  if (friend_relation_ < 0 && (picked == Audience::kFriend ||
+                               picked == Audience::kFriendOfFriend)) {
+    picked = Audience::kSelf;
+  }
+  return picked;
+}
+
+void QueryGenerator::AppendSubquery(int target_uid,
+                                    std::vector<cq::Atom>* atoms,
+                                    std::vector<cq::Term>* head) {
+  // Step 1: random relation (skip Friend itself as the payload relation so
+  // audience semantics stay meaningful).
+  int relation;
+  do {
+    relation = static_cast<int>(rng_.Below(schema_->NumRelations()));
+  } while (relation == friend_relation_);
+  const cq::RelationDef* rel = schema_->FindById(relation);
+
+  const int uid_idx = fb::OwnerUidIndex(*schema_, relation);
+  const int rel_idx = fb::ViewerRelIndex(*schema_, relation);
+  assert(uid_idx >= 0 && rel_idx >= 0);
+
+  // Step 3 first (it decides the uid term and the Friend joins).
+  const Audience audience = PickAudience();
+  const char* rel_value = fb::kSelf;
+  cq::Term uid_term = cq::Term::Var(target_uid);
+  switch (audience) {
+    case Audience::kSelf:
+      rel_value = fb::kSelf;
+      // The current user's uid: join variable in stress mode keeps queries
+      // connected; the uid is still selected via Friend-free equality to
+      // 'me' only in single-subquery mode for realism.
+      if (options_.subqueries == 1) uid_term = cq::Term::Const("me");
+      break;
+    case Audience::kFriend: {
+      rel_value = fb::kFriendRel;
+      // Friend('me', target, _)
+      std::vector<cq::Term> ft = {cq::Term::Const("me"),
+                                  cq::Term::Var(target_uid),
+                                  cq::Term::Var(FreshVar())};
+      atoms->emplace_back(friend_relation_, std::move(ft));
+      break;
+    }
+    case Audience::kFriendOfFriend: {
+      rel_value = fb::kFof;
+      const int middle = FreshVar();
+      std::vector<cq::Term> f1 = {cq::Term::Const("me"), cq::Term::Var(middle),
+                                  cq::Term::Var(FreshVar())};
+      std::vector<cq::Term> f2 = {cq::Term::Var(middle),
+                                  cq::Term::Var(target_uid),
+                                  cq::Term::Var(FreshVar())};
+      atoms->emplace_back(friend_relation_, std::move(f1));
+      atoms->emplace_back(friend_relation_, std::move(f2));
+      break;
+    }
+    case Audience::kNonFriend:
+      rel_value = fb::kOther;
+      break;
+  }
+
+  // Step 2: random nonempty attribute subset. Apps typically fetch a
+  // handful of fields, so we draw 1–4 distinct payload columns.
+  std::vector<int> payload;
+  payload.reserve(rel->arity());
+  for (int i = 0; i < rel->arity(); ++i) {
+    if (i != uid_idx && i != rel_idx) payload.push_back(i);
+  }
+  const int want = static_cast<int>(rng_.Range(
+      1, std::min<uint64_t>(4, payload.size())));
+  for (int i = 0; i < want; ++i) {
+    const int j = i + static_cast<int>(
+                          rng_.Below(static_cast<uint64_t>(payload.size() - i)));
+    std::swap(payload[i], payload[j]);
+  }
+  std::vector<bool> selected(static_cast<size_t>(rel->arity()), false);
+  for (int i = 0; i < want; ++i) selected[payload[i]] = true;
+
+  std::vector<cq::Term> terms(static_cast<size_t>(rel->arity()),
+                              cq::Term::Var(-1));
+  for (int i = 0; i < rel->arity(); ++i) {
+    if (i == uid_idx) {
+      terms[i] = uid_term;
+      continue;
+    }
+    if (i == rel_idx) {
+      terms[i] = cq::Term::Const(rel_value);
+      continue;
+    }
+    const int var = FreshVar();
+    terms[i] = cq::Term::Var(var);
+    if (selected[i]) head->push_back(cq::Term::Var(var));
+  }
+  if (uid_term.is_var()) head->push_back(uid_term);
+  atoms->emplace_back(relation, std::move(terms));
+}
+
+cq::ConjunctiveQuery QueryGenerator::Next() {
+  next_var_ = 0;
+  std::vector<cq::Atom> atoms;
+  std::vector<cq::Term> head;
+  const int shared_uid = FreshVar();  // uid join variable across subqueries
+  const int count = options_.subqueries <= 1
+                        ? 1
+                        : static_cast<int>(rng_.Range(
+                              1, static_cast<uint64_t>(options_.subqueries)));
+  for (int s = 0; s < count; ++s) {
+    AppendSubquery(shared_uid, &atoms, &head);
+  }
+  // Deduplicate head terms (a variable may be pushed by several subqueries).
+  std::vector<cq::Term> dedup_head;
+  for (const cq::Term& t : head) {
+    bool seen = false;
+    for (const cq::Term& u : dedup_head) seen = seen || (u == t);
+    if (!seen) dedup_head.push_back(t);
+  }
+  return cq::ConjunctiveQuery("W", std::move(dedup_head), std::move(atoms));
+}
+
+}  // namespace fdc::workload

@@ -1,0 +1,235 @@
+#include "rewriting/atom_rewriting.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "rewriting/containment.h"
+#include "storage/database.h"
+#include "storage/evaluator.h"
+#include "test_util.h"
+
+namespace fdc::rewriting {
+namespace {
+
+using cq::AtomPattern;
+using cq::ConjunctiveQuery;
+using cq::Schema;
+
+class AtomRewritingTest : public ::testing::Test {
+ protected:
+  Schema schema_ = test::MakePaperSchema();
+
+  bool Leq(const std::string& v, const std::string& w) {
+    return AtomRewritable(test::P(v, schema_), test::P(w, schema_));
+  }
+};
+
+// ---- Figure 3 universe -------------------------------------------------
+
+TEST_F(AtomRewritingTest, Figure3Order) {
+  const std::string v1 = "V1(x, y) :- Meetings(x, y)";
+  const std::string v2 = "V2(x) :- Meetings(x, y)";
+  const std::string v4 = "V4(y) :- Meetings(x, y)";
+  const std::string v5 = "V5() :- Meetings(x, y)";
+
+  // Projections are computable from the full table.
+  EXPECT_TRUE(Leq(v2, v1));
+  EXPECT_TRUE(Leq(v4, v1));
+  EXPECT_TRUE(Leq(v5, v1));
+  EXPECT_TRUE(Leq(v5, v2));
+  EXPECT_TRUE(Leq(v5, v4));
+  // Not the other way.
+  EXPECT_FALSE(Leq(v1, v2));
+  EXPECT_FALSE(Leq(v1, v4));
+  EXPECT_FALSE(Leq(v1, v5));
+  EXPECT_FALSE(Leq(v2, v5));
+  EXPECT_FALSE(Leq(v2, v4));
+  EXPECT_FALSE(Leq(v4, v2));
+  // Reflexivity.
+  EXPECT_TRUE(Leq(v1, v1));
+  EXPECT_TRUE(Leq(v5, v5));
+}
+
+TEST_F(AtomRewritingTest, ColumnSwapEquivalence) {
+  // §3.1: V1 and V1' disclose the same information despite different heads.
+  EXPECT_TRUE(Leq("V1(x, y) :- Meetings(x, y)",
+                  "V1p(y, x) :- Meetings(x, y)"));
+  EXPECT_TRUE(Leq("V1p(y, x) :- Meetings(x, y)",
+                  "V1(x, y) :- Meetings(x, y)"));
+}
+
+// ---- Example 5.1: constants vs emptiness tests -------------------------
+
+TEST_F(AtomRewritingTest, Example51TupleTestVsNonEmptiness) {
+  const std::string v13 = "V13() :- Meetings(9, 'Jim')";
+  const std::string v14 = "V14() :- Meetings(x, y)";
+  EXPECT_FALSE(Leq(v13, v14));
+  EXPECT_FALSE(Leq(v14, v13));
+}
+
+// ---- Example 5.3 views -------------------------------------------------
+
+TEST_F(AtomRewritingTest, Example53DiagonalVsScan) {
+  const std::string v14 = "V14() :- Meetings(x, y)";
+  const std::string v15 = "V15() :- Meetings(z, z)";
+  EXPECT_FALSE(Leq(v14, v15));
+  EXPECT_FALSE(Leq(v15, v14));
+}
+
+TEST_F(AtomRewritingTest, DiagonalFromFullTable) {
+  EXPECT_TRUE(Leq("V15() :- Meetings(z, z)", "V1(x, y) :- Meetings(x, y)"));
+  // Distinguished diagonal needs both columns.
+  EXPECT_TRUE(Leq("V(z) :- Meetings(z, z)", "V1(x, y) :- Meetings(x, y)"));
+  EXPECT_FALSE(Leq("V(z) :- Meetings(z, z)", "V2(x) :- Meetings(x, y)"));
+}
+
+// ---- Constant selections -----------------------------------------------
+
+TEST_F(AtomRewritingTest, SelectionFromExposedColumn) {
+  // σ_person='Cathy'(π_time) from the full table: filter on column 2.
+  EXPECT_TRUE(
+      Leq("Q(x) :- Meetings(x, 'Cathy')", "V1(x, y) :- Meetings(x, y)"));
+  // ... but not from π_time alone (cannot filter a hidden column).
+  EXPECT_FALSE(
+      Leq("Q(x) :- Meetings(x, 'Cathy')", "V2(x) :- Meetings(x, y)"));
+}
+
+TEST_F(AtomRewritingTest, MatchingConstantSelections) {
+  EXPECT_TRUE(Leq("Q(x) :- Meetings(x, 'Cathy')",
+                  "W(x) :- Meetings(x, 'Cathy')"));
+  EXPECT_FALSE(Leq("Q(x) :- Meetings(x, 'Cathy')",
+                   "W(x) :- Meetings(x, 'Bob')"));
+}
+
+TEST_F(AtomRewritingTest, ViewSelectionMustBeImplied) {
+  // W restricted to Cathy cannot answer the unrestricted projection.
+  EXPECT_FALSE(
+      Leq("V2(x) :- Meetings(x, y)", "W(x) :- Meetings(x, 'Cathy')"));
+  // Boolean "is there a Cathy meeting" is computable from it.
+  EXPECT_TRUE(
+      Leq("B() :- Meetings(x, 'Cathy')", "W(x) :- Meetings(x, 'Cathy')"));
+}
+
+TEST_F(AtomRewritingTest, ConstantOverDifferentRelationIncomparable) {
+  EXPECT_FALSE(
+      Leq("Q(x) :- Meetings(x, y)", "W(x) :- Contacts(x, y, z)"));
+}
+
+// ---- Hidden-column equality (C5) ---------------------------------------
+
+TEST_F(AtomRewritingTest, EqualityCheckableOnlyIfExposed) {
+  // V wants rows where both Contacts columns 1,2 agree.
+  const std::string v = "V(x) :- Contacts(x, e, e)";
+  EXPECT_TRUE(Leq(v, "W(x, y, z) :- Contacts(x, y, z)"));
+  EXPECT_FALSE(Leq(v, "W(x, y) :- Contacts(x, y, z)"));
+}
+
+// ---- BuildRewriting soundness ------------------------------------------
+
+TEST_F(AtomRewritingTest, RewritingWitnessUnfoldsToEquivalent) {
+  const std::vector<std::pair<std::string, std::string>> pairs = {
+      {"V2(x) :- Meetings(x, y)", "V1(x, y) :- Meetings(x, y)"},
+      {"V5() :- Meetings(x, y)", "V2(x) :- Meetings(x, y)"},
+      {"Q(x) :- Meetings(x, 'Cathy')", "V1(x, y) :- Meetings(x, y)"},
+      {"V(z) :- Meetings(z, z)", "V1(x, y) :- Meetings(x, y)"},
+      {"V(x) :- Contacts(x, e, e)", "W(x, y, z) :- Contacts(x, y, z)"},
+  };
+  for (const auto& [v_text, w_text] : pairs) {
+    AtomPattern v = test::P(v_text, schema_);
+    AtomPattern w = test::P(w_text, schema_);
+    auto rewriting = BuildRewriting(v, w);
+    ASSERT_TRUE(rewriting.has_value()) << v_text << " via " << w_text;
+    ConjunctiveQuery unfolded = UnfoldRewriting(*rewriting, w);
+    EXPECT_TRUE(AreEquivalent(unfolded, v.ToQuery("V")))
+        << v_text << " via " << w_text;
+  }
+}
+
+// ---- Oracle cross-check (property suite) -------------------------------
+
+struct OracleParams {
+  uint64_t seed;
+  int arity;
+};
+
+class RewritingOracleTest : public ::testing::TestWithParam<OracleParams> {};
+
+TEST_P(RewritingOracleTest, MatchesBruteForceOracle) {
+  Rng rng(GetParam().seed);
+  const int arity = GetParam().arity;
+  int agree_true = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    AtomPattern v = test::RandomPattern(&rng, 0, arity);
+    AtomPattern w = test::RandomPattern(&rng, 0, arity);
+    const bool fast = AtomRewritable(v, w);
+    const bool oracle = AtomRewritableOracle(v, w);
+    EXPECT_EQ(fast, oracle) << "v=" << v.Key() << " w=" << w.Key();
+    agree_true += (fast && oracle);
+  }
+  // Sanity: the sample isn't vacuous (some pairs are rewritable).
+  EXPECT_GT(agree_true, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RewritingOracleTest,
+    ::testing::Values(OracleParams{1, 2}, OracleParams{2, 2},
+                      OracleParams{3, 3}, OracleParams{4, 3},
+                      OracleParams{5, 3}, OracleParams{6, 4}));
+
+// ---- Semantic determinacy spot-check -----------------------------------
+// If {V} ⪯ {W}, then W's answer must determine V's answer: any two
+// databases with equal W-answers must have equal V-answers.
+
+TEST(RewritingSemanticTest, PositivePairsAreDeterminate) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("R", {"a", "b"}).ok());
+  Rng rng(77);
+  const std::vector<std::string> pool = {"a", "b"};
+
+  int positive_pairs = 0;
+  for (int trial = 0; trial < 60; ++trial) {
+    AtomPattern v = test::RandomPattern(&rng, 0, 2);
+    AtomPattern w = test::RandomPattern(&rng, 0, 2);
+    if (!AtomRewritable(v, w)) continue;
+    ++positive_pairs;
+    ConjunctiveQuery vq = v.ToQuery("V");
+    ConjunctiveQuery wq = w.ToQuery("W");
+
+    // All databases over {a,b}^2 with ≤ 4 rows: 2^4 subsets.
+    std::map<std::string, std::string> w_to_v;
+    for (unsigned rows = 0; rows < 16; ++rows) {
+      storage::Database db(&schema);
+      int bit = 0;
+      for (const std::string& x : pool) {
+        for (const std::string& y : pool) {
+          if ((rows >> bit) & 1u) {
+            ASSERT_TRUE(db.Insert("R", {x, y}).ok());
+          }
+          ++bit;
+        }
+      }
+      auto v_ans = storage::Evaluate(db, vq);
+      auto w_ans = storage::Evaluate(db, wq);
+      ASSERT_TRUE(v_ans.ok() && w_ans.ok());
+      auto serialize = [](const std::vector<storage::Tuple>& tuples) {
+        std::string s;
+        for (const auto& t : tuples) {
+          for (const auto& val : t) s += val + ",";
+          s += ";";
+        }
+        return s;
+      };
+      const std::string w_key = serialize(*w_ans);
+      const std::string v_key = serialize(*v_ans);
+      auto [it, inserted] = w_to_v.emplace(w_key, v_key);
+      EXPECT_EQ(it->second, v_key)
+          << "determinacy violated: v=" << v.Key() << " w=" << w.Key();
+    }
+  }
+  EXPECT_GT(positive_pairs, 5);
+}
+
+}  // namespace
+}  // namespace fdc::rewriting

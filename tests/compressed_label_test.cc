@@ -1,0 +1,180 @@
+#include "label/compressed_label.h"
+
+#include <gtest/gtest.h>
+
+namespace fdc::label {
+namespace {
+
+TEST(PackedAtomLabelTest, PackingLayout) {
+  PackedAtomLabel label(/*relation=*/7, /*mask=*/0b1011);
+  EXPECT_EQ(label.relation(), 7u);
+  EXPECT_EQ(label.mask(), 0b1011u);
+  // §6.1 layout: relation in the low 32 bits, mask in the high 32.
+  EXPECT_EQ(label.raw(), (static_cast<uint64_t>(0b1011) << 32) | 7u);
+}
+
+TEST(PackedAtomLabelTest, LeqIsSupersetOfMask) {
+  // ℓ(V) ⪯ ℓ(V') iff ℓ+(V) ⊇ ℓ+(V').
+  PackedAtomLabel narrow(1, 0b0010);    // determined by one view
+  PackedAtomLabel wide(1, 0b0111);      // determined by three views
+  EXPECT_TRUE(wide.LeqAtom(narrow));    // more determiners = less info
+  EXPECT_FALSE(narrow.LeqAtom(wide));
+  EXPECT_TRUE(narrow.LeqAtom(narrow));
+}
+
+TEST(PackedAtomLabelTest, DifferentRelationsIncomparable) {
+  PackedAtomLabel a(1, 0b1), b(2, 0b1);
+  EXPECT_FALSE(a.LeqAtom(b));
+  EXPECT_FALSE(b.LeqAtom(a));
+}
+
+TEST(PackedAtomLabelTest, Example61Supersets) {
+  // Fgen = {V3, V6, V7, V8} as bits 0..3 over Contacts.
+  // ℓ+(V9) = {V3, V6, V7} = 0b0111; ℓ+(V12) = {V3,V6,V7,V8} = 0b1111.
+  PackedAtomLabel v9(0, 0b0111);
+  PackedAtomLabel v12(0, 0b1111);
+  EXPECT_TRUE(v12.LeqAtom(v9));   // ℓ(V12) ⪯ ℓ(V9)
+  EXPECT_FALSE(v9.LeqAtom(v12));
+}
+
+TEST(DisclosureLabelTest, EmptyMaskMarksTop) {
+  DisclosureLabel label;
+  label.Add(PackedAtomLabel(3, 0));
+  EXPECT_TRUE(label.top());
+  EXPECT_EQ(label.size(), 0);
+}
+
+TEST(DisclosureLabelTest, TopComparesAboveEverything) {
+  DisclosureLabel top;
+  top.MarkTop();
+  DisclosureLabel normal;
+  normal.Add(PackedAtomLabel(1, 0b1));
+  normal.Seal();
+  EXPECT_TRUE(normal.Leq(top));
+  EXPECT_FALSE(top.Leq(normal));
+  EXPECT_TRUE(top.Leq(top));
+}
+
+TEST(DisclosureLabelTest, MultiAtomComparison) {
+  DisclosureLabel q1;  // two atoms, both widely determined (low information)
+  q1.Add(PackedAtomLabel(1, 0b111));
+  q1.Add(PackedAtomLabel(2, 0b11));
+  q1.Seal();
+  DisclosureLabel q2;  // one atom over relation 1, narrowly determined
+  q2.Add(PackedAtomLabel(1, 0b100));
+  q2.Seal();
+  // q1 ⪯ q2 fails: the relation-2 atom has no counterpart in q2.
+  EXPECT_FALSE(q1.Leq(q2));
+  // q2 ⪯ q1 fails too: q2's atom is determined by fewer views (more
+  // information) than anything in q1 — ℓ+(q2 atom) = {2} does not contain
+  // ℓ+(q1 atom) = {0,1,2}.
+  EXPECT_FALSE(q2.Leq(q1));
+
+  // Dropping the relation-2 atom makes the one-way comparison hold:
+  // ℓ+ = 0b111 ⊇ 0b100.
+  DisclosureLabel q3;
+  q3.Add(PackedAtomLabel(1, 0b111));
+  q3.Seal();
+  EXPECT_TRUE(q3.Leq(q2));
+  EXPECT_FALSE(q2.Leq(q3));
+}
+
+TEST(DisclosureLabelTest, SealSortsAndDedupes) {
+  DisclosureLabel label;
+  label.Add(PackedAtomLabel(2, 0b1));
+  label.Add(PackedAtomLabel(1, 0b1));
+  label.Add(PackedAtomLabel(2, 0b1));
+  label.Seal();
+  ASSERT_EQ(label.size(), 2);
+  EXPECT_TRUE(label.atoms()[0] < label.atoms()[1]);
+}
+
+TEST(DisclosureLabelTest, UnionWithAccumulates) {
+  DisclosureLabel a;
+  a.Add(PackedAtomLabel(1, 0b1));
+  a.Seal();
+  DisclosureLabel b;
+  b.Add(PackedAtomLabel(2, 0b1));
+  b.Seal();
+  a.UnionWith(b);
+  EXPECT_EQ(a.size(), 2);
+  // LUB property: both inputs are ⪯ the union.
+  EXPECT_TRUE(b.Leq(a));
+}
+
+TEST(DisclosureLabelTest, UnionWithTopIsTop) {
+  DisclosureLabel a;
+  a.Add(PackedAtomLabel(1, 0b1));
+  DisclosureLabel top;
+  top.MarkTop();
+  a.UnionWith(top);
+  EXPECT_TRUE(a.top());
+}
+
+TEST(DisclosureLabelTest, LeqIsReflexiveAndTransitiveOnSamples) {
+  std::vector<DisclosureLabel> labels;
+  for (uint32_t m1 = 1; m1 < 8; ++m1) {
+    for (uint32_t m2 = 1; m2 < 4; ++m2) {
+      DisclosureLabel l;
+      l.Add(PackedAtomLabel(1, m1));
+      l.Add(PackedAtomLabel(2, m2));
+      l.Seal();
+      labels.push_back(std::move(l));
+    }
+  }
+  for (const auto& a : labels) EXPECT_TRUE(a.Leq(a));
+  for (const auto& a : labels) {
+    for (const auto& b : labels) {
+      for (const auto& c : labels) {
+        if (a.Leq(b) && b.Leq(c)) EXPECT_TRUE(a.Leq(c));
+      }
+    }
+  }
+}
+
+TEST(WideAtomLabelTest, BitsBeyond32) {
+  WideAtomLabel wide;
+  wide.relation = 5;
+  wide.SetBit(3);
+  wide.SetBit(77);
+  EXPECT_FALSE(wide.MaskEmpty());
+  ASSERT_EQ(wide.mask.size(), 2u);
+  EXPECT_EQ(wide.mask[0], 1ULL << 3);
+  EXPECT_EQ(wide.mask[1], 1ULL << 13);
+}
+
+TEST(WideAtomLabelTest, LeqHandlesLengthMismatch) {
+  WideAtomLabel a, b;
+  a.relation = b.relation = 1;
+  a.SetBit(3);
+  a.SetBit(77);
+  b.SetBit(3);
+  // ℓ+(a) ⊇ ℓ+(b): a ⪯ b.
+  EXPECT_TRUE(a.LeqAtom(b));
+  EXPECT_FALSE(b.LeqAtom(a));
+}
+
+TEST(WideLabelTest, MirrorsPackedSemantics) {
+  WideLabel w1, w2;
+  WideAtomLabel a;
+  a.relation = 1;
+  a.SetBit(0);
+  a.SetBit(1);
+  WideAtomLabel b;
+  b.relation = 1;
+  b.SetBit(1);
+  w1.Add(a);
+  w2.Add(b);
+  EXPECT_TRUE(w1.Leq(w2));
+  EXPECT_FALSE(w2.Leq(w1));
+
+  WideLabel top;
+  WideAtomLabel empty;
+  empty.relation = 2;
+  top.Add(empty);
+  EXPECT_TRUE(top.top());
+  EXPECT_TRUE(w1.Leq(top));
+}
+
+}  // namespace
+}  // namespace fdc::label

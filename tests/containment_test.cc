@@ -1,0 +1,121 @@
+#include "rewriting/containment.h"
+
+#include <gtest/gtest.h>
+
+#include "rewriting/homomorphism.h"
+#include "test_util.h"
+
+namespace fdc::rewriting {
+namespace {
+
+using cq::ConjunctiveQuery;
+using cq::Schema;
+
+class ContainmentTest : public ::testing::Test {
+ protected:
+  Schema schema_ = test::MakePaperSchema();
+};
+
+TEST_F(ContainmentTest, SelectionContainedInFullScan) {
+  ConjunctiveQuery sel = test::Q("Q(x) :- Meetings(x, 'Cathy')", schema_);
+  ConjunctiveQuery all = test::Q("Q(x) :- Meetings(x, y)", schema_);
+  EXPECT_TRUE(IsContainedIn(sel, all));
+  EXPECT_FALSE(IsContainedIn(all, sel));
+}
+
+TEST_F(ContainmentTest, EquivalentUpToRenaming) {
+  ConjunctiveQuery a = test::Q("Q(x) :- Meetings(x, y)", schema_);
+  ConjunctiveQuery b = test::Q("Q(u) :- Meetings(u, v)", schema_);
+  EXPECT_TRUE(AreEquivalent(a, b));
+}
+
+TEST_F(ContainmentTest, RedundantAtomEquivalence) {
+  // Chandra–Merlin classic: an extra homomorphically-redundant atom does
+  // not change the answer.
+  ConjunctiveQuery one = test::Q("Q(x) :- Meetings(x, y)", schema_);
+  ConjunctiveQuery two =
+      test::Q("Q(x) :- Meetings(x, y), Meetings(x, z)", schema_);
+  EXPECT_TRUE(AreEquivalent(one, two));
+}
+
+TEST_F(ContainmentTest, JoinNotEquivalentToScan) {
+  ConjunctiveQuery join =
+      test::Q("Q(x) :- Meetings(x, y), Contacts(y, w, z)", schema_);
+  ConjunctiveQuery scan = test::Q("Q(x) :- Meetings(x, y)", schema_);
+  // The join is more restrictive: contained, not containing.
+  EXPECT_TRUE(IsContainedIn(join, scan));
+  EXPECT_FALSE(IsContainedIn(scan, join));
+}
+
+TEST_F(ContainmentTest, DiagonalContainedInScan) {
+  ConjunctiveQuery diag = test::Q("Q() :- Meetings(z, z)", schema_);
+  ConjunctiveQuery any = test::Q("Q() :- Meetings(x, y)", schema_);
+  EXPECT_TRUE(IsContainedIn(diag, any));
+  EXPECT_FALSE(IsContainedIn(any, diag));
+}
+
+TEST_F(ContainmentTest, HeadArityMismatchIncomparable) {
+  ConjunctiveQuery one = test::Q("Q(x) :- Meetings(x, y)", schema_);
+  ConjunctiveQuery two = test::Q("Q(x, y) :- Meetings(x, y)", schema_);
+  EXPECT_FALSE(IsContainedIn(one, two));
+  EXPECT_FALSE(IsContainedIn(two, one));
+}
+
+TEST_F(ContainmentTest, HeadOrderMatters) {
+  ConjunctiveQuery a = test::Q("Q(x, y) :- Meetings(x, y)", schema_);
+  ConjunctiveQuery b = test::Q("Q(y, x) :- Meetings(x, y)", schema_);
+  // As queries (ordered tuples), the column swap changes answers.
+  EXPECT_FALSE(IsContainedIn(a, b));
+  EXPECT_FALSE(IsContainedIn(b, a));
+}
+
+TEST_F(ContainmentTest, ConstantMismatch) {
+  ConjunctiveQuery a = test::Q("Q(x) :- Meetings(x, 'A')", schema_);
+  ConjunctiveQuery b = test::Q("Q(x) :- Meetings(x, 'B')", schema_);
+  EXPECT_FALSE(IsContainedIn(a, b));
+  EXPECT_FALSE(IsContainedIn(b, a));
+}
+
+TEST_F(ContainmentTest, BooleanContainment) {
+  ConjunctiveQuery specific = test::Q("Q() :- Meetings(9, 'Jim')", schema_);
+  ConjunctiveQuery nonempty = test::Q("Q() :- Meetings(x, y)", schema_);
+  EXPECT_TRUE(IsContainedIn(specific, nonempty));
+  EXPECT_FALSE(IsContainedIn(nonempty, specific));
+}
+
+TEST(HomomorphismTest, FindsMappingWithSeed) {
+  Schema schema = test::MakePaperSchema();
+  ConjunctiveQuery from = test::Q("Q(x) :- Meetings(x, y)", schema);
+  ConjunctiveQuery to = test::Q("Q(u) :- Meetings(u, 'Cathy')", schema);
+  HomOptions options;
+  options.seed = {{0, cq::Term::Var(0)}};
+  auto mapping = FindHomomorphism(from, to, options);
+  ASSERT_TRUE(mapping.has_value());
+  EXPECT_EQ((*mapping)[1], cq::Term::Const("Cathy"));
+}
+
+TEST(HomomorphismTest, RespectsAtomRestriction) {
+  Schema schema = test::MakePaperSchema();
+  ConjunctiveQuery q =
+      test::Q("Q(x) :- Meetings(x, y), Meetings(x, z)", schema);
+  // Map into atom 0 only: possible (y,z both to y-image).
+  std::vector<bool> allowed = {true, false};
+  HomOptions options;
+  options.fix_distinguished = true;
+  EXPECT_TRUE(FindHomomorphism(q, q, options, allowed).has_value());
+}
+
+TEST(HomomorphismTest, FixDistinguishedBlocksCollapse) {
+  Schema schema = test::MakePaperSchema();
+  // Q(x,z): two meetings with distinct distinguished times; cannot retract
+  // one atom onto the other without moving a head variable.
+  ConjunctiveQuery q =
+      test::Q("Q(x, z) :- Meetings(x, y), Meetings(z, y)", schema);
+  HomOptions options;
+  options.fix_distinguished = true;
+  std::vector<bool> allowed = {true, false};
+  EXPECT_FALSE(FindHomomorphism(q, q, options, allowed).has_value());
+}
+
+}  // namespace
+}  // namespace fdc::rewriting

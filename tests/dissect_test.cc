@@ -1,0 +1,104 @@
+#include "label/dissect.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace fdc::label {
+namespace {
+
+using cq::AtomPattern;
+using cq::Schema;
+
+class DissectTest : public ::testing::Test {
+ protected:
+  Schema schema_ = test::MakePaperSchema();
+};
+
+// Example 5.4: Dissect([M(x_d, y_e), C(y_e, w_e, 'Intern')]) promotes the
+// join variable y and yields [M(x_d, y_d)], [C(y_d, w_e, 'Intern')].
+TEST_F(DissectTest, Example54PromotesJoinVariable) {
+  auto q = test::Q("Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')",
+                   schema_);
+  std::vector<AtomPattern> atoms = Dissect(q);
+  ASSERT_EQ(atoms.size(), 2u);
+  EXPECT_EQ(atoms[0], test::P("A(x, y) :- Meetings(x, y)", schema_));
+  EXPECT_EQ(atoms[1],
+            test::P("B(y) :- Contacts(y, w, 'Intern')", schema_));
+}
+
+TEST_F(DissectTest, SingleAtomPassThrough) {
+  auto q = test::Q("Q1(x) :- Meetings(x, 'Cathy')", schema_);
+  std::vector<AtomPattern> atoms = Dissect(q);
+  ASSERT_EQ(atoms.size(), 1u);
+  EXPECT_EQ(atoms[0], test::P("A(x) :- Meetings(x, 'Cathy')", schema_));
+}
+
+TEST_F(DissectTest, FoldingRemovesRedundantAtoms) {
+  auto q = test::Q("Q(x) :- Meetings(x, y), Meetings(x, z)", schema_);
+  EXPECT_EQ(Dissect(q).size(), 1u);
+  // Without folding, the redundant atom inflates the label: both atoms
+  // remain and the shared variable x is promoted in each.
+  DissectOptions no_fold;
+  no_fold.fold = false;
+  std::vector<AtomPattern> unfolded = Dissect(q, no_fold);
+  EXPECT_EQ(unfolded.size(), 1u);  // identical patterns dedupe anyway
+}
+
+TEST_F(DissectTest, NoFoldKeepsStructurallyDistinctRedundancy) {
+  // The second atom is implied by the first but not identical, so only
+  // folding can remove it.
+  auto q = test::Q("Q() :- Meetings(9, 'Jim'), Meetings(x, y)", schema_);
+  EXPECT_EQ(Dissect(q).size(), 1u);
+  DissectOptions no_fold;
+  no_fold.fold = false;
+  EXPECT_EQ(Dissect(q, no_fold).size(), 2u);
+}
+
+TEST_F(DissectTest, DistinguishedVarsStayDistinguished) {
+  auto q = test::Q("Q(x, w) :- Meetings(x, y), Contacts(y, w, z)", schema_);
+  std::vector<AtomPattern> atoms = Dissect(q);
+  ASSERT_EQ(atoms.size(), 2u);
+  // x distinguished (head), y promoted (join), w distinguished (head),
+  // z existential.
+  EXPECT_EQ(atoms[0], test::P("A(x, y) :- Meetings(x, y)", schema_));
+  EXPECT_EQ(atoms[1], test::P("B(y, w) :- Contacts(y, w, z)", schema_));
+}
+
+TEST_F(DissectTest, VariableSharedWithinOneAtomNotPromoted) {
+  // The repeated variable z appears in only one atom: no promotion.
+  auto q = test::Q("Q() :- Meetings(z, z)", schema_);
+  std::vector<AtomPattern> atoms = Dissect(q);
+  ASSERT_EQ(atoms.size(), 1u);
+  EXPECT_FALSE(atoms[0].HasDistinguished());
+}
+
+TEST_F(DissectTest, ThreeWayJoinPromotesAllJoinVars) {
+  auto q = test::Q(
+      "Q(t) :- Meetings(t, p), Contacts(p, e, r), Meetings(t2, p)", schema_);
+  std::vector<AtomPattern> atoms = Dissect(q);
+  // Folding drops Meetings(t2, p) (retracts onto Meetings(t, p)); p is
+  // shared by the remaining two atoms and promoted.
+  ASSERT_EQ(atoms.size(), 2u);
+  EXPECT_EQ(atoms[0], test::P("A(t, p) :- Meetings(t, p)", schema_));
+  EXPECT_EQ(atoms[1], test::P("B(p) :- Contacts(p, e, r)", schema_));
+}
+
+TEST_F(DissectTest, DissectAllDeduplicatesAcrossQueries) {
+  auto q1 = test::Q("Q(x) :- Meetings(x, y)", schema_);
+  auto q2 = test::Q("R(u) :- Meetings(u, v)", schema_);
+  std::vector<AtomPattern> atoms = DissectAll({q1, q2});
+  EXPECT_EQ(atoms.size(), 1u);
+}
+
+TEST_F(DissectTest, DuplicateAtomsWithinQueryDedupe) {
+  auto q = test::Q("Q(x) :- Meetings(x, y), Meetings(x, w)", schema_);
+  DissectOptions no_fold;
+  no_fold.fold = false;
+  // Distinct variables but identical pattern after tagging: x promoted in
+  // both, y/w existential → same pattern → single output.
+  EXPECT_EQ(Dissect(q, no_fold).size(), 1u);
+}
+
+}  // namespace
+}  // namespace fdc::label

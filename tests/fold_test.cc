@@ -1,0 +1,94 @@
+#include "rewriting/fold.h"
+
+#include <gtest/gtest.h>
+
+#include "rewriting/containment.h"
+#include "test_util.h"
+
+namespace fdc::rewriting {
+namespace {
+
+using cq::ConjunctiveQuery;
+using cq::Schema;
+
+class FoldTest : public ::testing::Test {
+ protected:
+  Schema schema_ = test::MakePaperSchema();
+};
+
+TEST_F(FoldTest, RemovesRedundantAtom) {
+  ConjunctiveQuery q =
+      test::Q("Q(x) :- Meetings(x, y), Meetings(x, z)", schema_);
+  ConjunctiveQuery folded = Fold(q);
+  EXPECT_EQ(folded.size(), 1);
+  EXPECT_TRUE(AreEquivalent(q, folded));
+}
+
+TEST_F(FoldTest, KeepsNonRedundantJoin) {
+  ConjunctiveQuery q =
+      test::Q("Q(x) :- Meetings(x, y), Contacts(y, w, 'Intern')", schema_);
+  EXPECT_EQ(Fold(q).size(), 2);
+  EXPECT_TRUE(IsFolded(q));
+}
+
+TEST_F(FoldTest, ConstantAtomAbsorbsGeneralAtom) {
+  // Boolean query: Meetings nonempty AND contains ('9','Jim') row collapses
+  // to the specific test.
+  ConjunctiveQuery q =
+      test::Q("Q() :- Meetings(x, y), Meetings(9, 'Jim')", schema_);
+  ConjunctiveQuery folded = Fold(q);
+  EXPECT_EQ(folded.size(), 1);
+  EXPECT_EQ(folded.atoms()[0].terms[0], cq::Term::Const("9"));
+  EXPECT_TRUE(AreEquivalent(q, folded));
+}
+
+TEST_F(FoldTest, DistinguishedVariablesBlockFolding) {
+  // Same shape as above but x is distinguished: both atoms must stay.
+  ConjunctiveQuery q =
+      test::Q("Q(x) :- Meetings(x, y), Meetings(9, 'Jim')", schema_);
+  EXPECT_EQ(Fold(q).size(), 2);
+}
+
+TEST_F(FoldTest, ChainCollapse) {
+  // Three copies of the same atom pattern with fresh existential variables.
+  ConjunctiveQuery q = test::Q(
+      "Q() :- Meetings(a, b), Meetings(c, d), Meetings(e, f)", schema_);
+  EXPECT_EQ(Fold(q).size(), 1);
+}
+
+TEST_F(FoldTest, DiagonalNotRedundantWithScan) {
+  // ∃(z,z) is strictly stronger than ∃(x,y): the scan atom folds away, the
+  // diagonal atom stays.
+  ConjunctiveQuery q =
+      test::Q("Q() :- Meetings(x, y), Meetings(z, z)", schema_);
+  ConjunctiveQuery folded = Fold(q);
+  ASSERT_EQ(folded.size(), 1);
+  EXPECT_EQ(folded.atoms()[0].terms[0], folded.atoms()[0].terms[1]);
+}
+
+TEST_F(FoldTest, FoldPreservesEquivalenceOnRandomQueries) {
+  // Property: Fold(q) ≡ q and IsFolded(Fold(q)) for a spread of shapes.
+  const std::vector<std::string> bodies = {
+      "Q(x) :- Meetings(x, y), Meetings(x, y)",
+      "Q() :- Meetings(x, 'Jim'), Meetings(y, 'Jim')",
+      "Q(x) :- Meetings(x, y), Contacts(y, e, p), Contacts(y, e2, p2)",
+      "Q(x, w) :- Meetings(x, y), Meetings(w, y), Meetings(x, z)",
+      "Q() :- Contacts(a, b, c), Contacts(d, b, c), Contacts(a, e, c)",
+  };
+  for (const std::string& text : bodies) {
+    ConjunctiveQuery q = test::Q(text, schema_);
+    ConjunctiveQuery folded = Fold(q);
+    EXPECT_TRUE(AreEquivalent(q, folded)) << text;
+    EXPECT_TRUE(IsFolded(folded)) << text;
+    EXPECT_LE(folded.size(), q.size()) << text;
+  }
+}
+
+TEST_F(FoldTest, SingleAtomAlwaysFolded) {
+  ConjunctiveQuery q = test::Q("Q(x) :- Meetings(x, x)", schema_);
+  EXPECT_TRUE(IsFolded(q));
+  EXPECT_EQ(Fold(q).size(), 1);
+}
+
+}  // namespace
+}  // namespace fdc::rewriting

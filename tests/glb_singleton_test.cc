@@ -1,0 +1,206 @@
+#include "label/glb_singleton.h"
+
+#include <gtest/gtest.h>
+
+#include "label/glb.h"
+#include "order/rewriting_order.h"
+#include "order/universe.h"
+#include "rewriting/atom_rewriting.h"
+#include "test_util.h"
+
+namespace fdc::label {
+namespace {
+
+using cq::AtomPattern;
+using cq::Schema;
+
+class GlbSingletonTest : public ::testing::Test {
+ protected:
+  Schema schema_ = test::MakePaperSchema();
+
+  std::optional<AtomPattern> Glb(const std::string& a, const std::string& b) {
+    return GlbSingleton(test::P(a, schema_), test::P(b, schema_));
+  }
+};
+
+// ---- Example 5.2: V6 ⊓ V7 = V9 ------------------------------------------
+
+TEST_F(GlbSingletonTest, Example52ProjectionOverlap) {
+  auto glb = Glb("V6(x, y) :- Contacts(x, y, z)",
+                 "V7(x, z) :- Contacts(x, y, z)");
+  ASSERT_TRUE(glb.has_value());
+  EXPECT_EQ(*glb, test::P("V9(x) :- Contacts(x, y, z)", schema_));
+}
+
+// ---- Example 5.1: constant vs existential unification fails -------------
+
+TEST_F(GlbSingletonTest, Example51ConstantVsScanIsBottom) {
+  EXPECT_FALSE(
+      Glb("V13() :- Meetings(9, 'Jim')", "V14() :- Meetings(x, y)")
+          .has_value());
+}
+
+// ---- Example 5.3: forced equality on existentials is bottom -------------
+
+TEST_F(GlbSingletonTest, Example53ForcedEqualityIsBottom) {
+  EXPECT_FALSE(
+      Glb("V14() :- Meetings(x, y)", "V15() :- Meetings(z, z)").has_value());
+}
+
+TEST_F(GlbSingletonTest, GenMguSucceedsWhereGlbRejects) {
+  // The raw unifier produces [M(w_e, w_e)] for Example 5.3; the lower-bound
+  // check is what rejects it.
+  Schema& s = schema_;
+  auto mgu = GenMgu(test::P("V14() :- Meetings(x, y)", s),
+                    test::P("V15() :- Meetings(z, z)", s));
+  ASSERT_TRUE(mgu.has_value());
+  EXPECT_EQ(*mgu, test::P("G() :- Meetings(z, z)", s));
+}
+
+// ---- Figure 3: V2 ⊓ V4 = V5 ----------------------------------------------
+
+TEST_F(GlbSingletonTest, ProjectionsMeetAtNonEmptiness) {
+  auto glb = Glb("V2(x) :- Meetings(x, y)", "V4(y) :- Meetings(x, y)");
+  ASSERT_TRUE(glb.has_value());
+  EXPECT_EQ(*glb, test::P("V5() :- Meetings(x, y)", schema_));
+}
+
+TEST_F(GlbSingletonTest, GlbWithFullTableIsOtherView) {
+  auto glb = Glb("V1(x, y) :- Meetings(x, y)", "V2(x) :- Meetings(x, y)");
+  ASSERT_TRUE(glb.has_value());
+  EXPECT_EQ(*glb, test::P("V2(x) :- Meetings(x, y)", schema_));
+}
+
+TEST_F(GlbSingletonTest, ConstantMeetsDistinguishedColumn) {
+  // Full table ⊓ specific-tuple test: the tuple test.
+  auto glb = Glb("V1(x, y) :- Meetings(x, y)", "V13() :- Meetings(9, 'Jim')");
+  ASSERT_TRUE(glb.has_value());
+  EXPECT_EQ(*glb, test::P("V13() :- Meetings(9, 'Jim')", schema_));
+}
+
+TEST_F(GlbSingletonTest, ConflictingConstantsAreBottom) {
+  EXPECT_FALSE(
+      Glb("A() :- Meetings(9, 'Jim')", "B() :- Meetings(10, 'Jim')")
+          .has_value());
+}
+
+TEST_F(GlbSingletonTest, DifferentRelationsAreBottom) {
+  EXPECT_FALSE(
+      Glb("A(x) :- Meetings(x, y)", "B(x) :- Contacts(x, y, z)").has_value());
+}
+
+TEST_F(GlbSingletonTest, SelectionsOnDifferentColumns) {
+  // σ_time=9 (π person) ⊓ σ_person=Jim (π time): unify to the tuple test.
+  auto glb = Glb("A(y) :- Meetings(9, y)", "B(x) :- Meetings(x, 'Jim')");
+  ASSERT_TRUE(glb.has_value());
+  EXPECT_EQ(*glb, test::P("G() :- Meetings(9, 'Jim')", schema_));
+}
+
+// ---- Example 4.4: GLB identities over Contacts projections --------------
+
+TEST_F(GlbSingletonTest, Example44Identities) {
+  const AtomPattern v6 = test::P("V6(x, y) :- Contacts(x, y, z)", schema_);
+  const AtomPattern v7 = test::P("V7(x, z) :- Contacts(x, y, z)", schema_);
+  const AtomPattern v8 = test::P("V8(y, z) :- Contacts(x, y, z)", schema_);
+  const AtomPattern v9 = test::P("V9(x) :- Contacts(x, y, z)", schema_);
+  const AtomPattern v10 = test::P("V10(y) :- Contacts(x, y, z)", schema_);
+  const AtomPattern v11 = test::P("V11(z) :- Contacts(x, y, z)", schema_);
+  const AtomPattern v12 = test::P("V12() :- Contacts(x, y, z)", schema_);
+
+  EXPECT_EQ(GlbSingleton(v6, v7), v9);
+  EXPECT_EQ(GlbSingleton(v6, v8), v10);
+  EXPECT_EQ(GlbSingleton(v7, v8), v11);
+  // GLB({V6},{V7},{V8}) ≡ {V12}: fold pairwise.
+  auto partial = GlbSingleton(v6, v7);
+  ASSERT_TRUE(partial.has_value());
+  EXPECT_EQ(GlbSingleton(*partial, v8), v12);
+}
+
+// ---- Order-theoretic properties (property suite) -------------------------
+
+class GlbPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GlbPropertyTest, GlbIsCommutativeLowerBoundAndGreatest) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 80; ++trial) {
+    const AtomPattern a = test::RandomPattern(&rng, 0, 3);
+    const AtomPattern b = test::RandomPattern(&rng, 0, 3);
+    auto ab = GlbSingleton(a, b);
+    auto ba = GlbSingleton(b, a);
+    // Commutativity (up to pattern normalization).
+    EXPECT_EQ(ab.has_value(), ba.has_value());
+    if (ab.has_value()) {
+      EXPECT_EQ(*ab, *ba) << "a=" << a.Key() << " b=" << b.Key();
+      // Lower bound: GLB ⪯ both inputs.
+      EXPECT_TRUE(rewriting::AtomRewritable(*ab, a));
+      EXPECT_TRUE(rewriting::AtomRewritable(*ab, b));
+    }
+    // Greatest: no sampled common lower bound lies strictly above the GLB.
+    for (int probe = 0; probe < 20; ++probe) {
+      const AtomPattern c = test::RandomPattern(&rng, 0, 3);
+      if (rewriting::AtomRewritable(c, a) &&
+          rewriting::AtomRewritable(c, b)) {
+        ASSERT_TRUE(ab.has_value() &&
+                    rewriting::AtomRewritable(c, *ab))
+            << "common lower bound " << c.Key() << " not below GLB of "
+            << a.Key() << " and " << b.Key();
+      }
+    }
+  }
+}
+
+TEST_P(GlbPropertyTest, GlbIsIdempotent) {
+  Rng rng(GetParam() ^ 0xfeed);
+  for (int trial = 0; trial < 60; ++trial) {
+    const AtomPattern a = test::RandomPattern(&rng, 0, 3);
+    auto aa = GlbSingleton(a, a);
+    ASSERT_TRUE(aa.has_value()) << a.Key();
+    // a ⊓ a ≡ a.
+    EXPECT_TRUE(rewriting::AtomRewritable(*aa, a));
+    EXPECT_TRUE(rewriting::AtomRewritable(a, *aa));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GlbPropertyTest,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ---- Set-level GLB --------------------------------------------------------
+
+TEST(GlbSetsTest, PairwiseUnionSemantics) {
+  cq::Schema schema = test::MakePaperSchema();
+  order::Universe universe;
+  const int v6 = universe.Add(test::P("V6(x, y) :- Contacts(x, y, z)", schema));
+  const int v7 = universe.Add(test::P("V7(x, z) :- Contacts(x, y, z)", schema));
+  const int v8 = universe.Add(test::P("V8(y, z) :- Contacts(x, y, z)", schema));
+
+  order::ViewSet glb = GlbSets(&universe, {v6}, {v7, v8});
+  // {V6} ⊓ {V7,V8} = {V9, V10}.
+  const int v9 = universe.Find(test::P("V9(x) :- Contacts(x, y, z)", schema));
+  const int v10 = universe.Find(test::P("V10(y) :- Contacts(x, y, z)", schema));
+  ASSERT_GE(v9, 0);
+  ASSERT_GE(v10, 0);
+  EXPECT_EQ(glb, (order::ViewSet{v9, v10}));
+}
+
+TEST(GlbSetsTest, BottomContributionsVanish) {
+  cq::Schema schema = test::MakePaperSchema();
+  order::Universe universe;
+  const int m = universe.Add(test::P("A() :- Meetings(9, 'Jim')", schema));
+  const int n = universe.Add(test::P("B() :- Meetings(x, y)", schema));
+  EXPECT_TRUE(GlbSets(&universe, {m}, {n}).empty());
+}
+
+TEST(GlbSetsTest, GlbManyFoldsLeft) {
+  cq::Schema schema = test::MakePaperSchema();
+  order::Universe universe;
+  const int v6 = universe.Add(test::P("V6(x, y) :- Contacts(x, y, z)", schema));
+  const int v7 = universe.Add(test::P("V7(x, z) :- Contacts(x, y, z)", schema));
+  const int v8 = universe.Add(test::P("V8(y, z) :- Contacts(x, y, z)", schema));
+  order::ViewSet glb = GlbMany(&universe, {{v6}, {v7}, {v8}});
+  const int v12 = universe.Find(test::P("V12() :- Contacts(x, y, z)", schema));
+  ASSERT_GE(v12, 0);
+  EXPECT_EQ(glb, (order::ViewSet{v12}));
+}
+
+}  // namespace
+}  // namespace fdc::label

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include "label/generating_set.h"
+#include "label/glb_labeler.h"
+#include "label/label_gen.h"
+#include "label/naive_labeler.h"
+#include "order/disclosure_lattice.h"
+#include "order/explicit_preorder.h"
+#include "order/rewriting_order.h"
+#include "order/universe.h"
+#include "test_util.h"
+
+namespace fdc::label {
+namespace {
+
+using order::DisclosureLattice;
+using order::ExplicitPreorder;
+using order::Universe;
+using order::ViewSet;
+
+// Figure 3 universe: ids 0=V1, 1=V2, 2=V4, 3=V5 (see order_lattice_test).
+ExplicitPreorder Figure3Order() {
+  return ExplicitPreorder({0b1111, 0b0011, 0b0101, 0b0001});
+}
+
+// ---- Theorem 3.7 / Example 3.5 ------------------------------------------
+
+TEST(LabelerExistenceTest, Example35NoLabelerWithoutV5) {
+  ExplicitPreorder order = Figure3Order();
+  auto lattice = DisclosureLattice::Build(order, 4);
+  ASSERT_TRUE(lattice.ok());
+  // F = {∅, {V2}, {V4}, {V2,V4}, ⊤}: GLB(⇓{V2}, ⇓{V4}) = ⇓{V5} is missing,
+  // so no labeler exists (Example 3.5).
+  LabelFamily family = {{}, {1}, {2}, {1, 2}, {0}};
+  EXPECT_FALSE(InducesLabeler(*lattice, family));
+  // Adding {V5} fixes it.
+  family.push_back({3});
+  EXPECT_TRUE(InducesLabeler(*lattice, family));
+}
+
+TEST(LabelerExistenceTest, RequiresTop) {
+  ExplicitPreorder order = Figure3Order();
+  auto lattice = DisclosureLattice::Build(order, 4);
+  ASSERT_TRUE(lattice.ok());
+  LabelFamily family = {{}, {1}, {3}};
+  EXPECT_FALSE(InducesLabeler(*lattice, family));  // no ⊤ element
+}
+
+TEST(LabelerExistenceTest, PreciseNeedsLubClosureAndBottom) {
+  ExplicitPreorder order = Figure3Order();
+  auto lattice = DisclosureLattice::Build(order, 4);
+  ASSERT_TRUE(lattice.ok());
+  // Full element family: precise.
+  LabelFamily full = {{}, {3}, {1}, {2}, {1, 2}, {0}};
+  EXPECT_TRUE(InducesPreciseLabeler(*lattice, full));
+  // §4.2's imprecision example: F = {∅,{V5},{V2},{V4},⊤} induces a labeler
+  // but not a precise one (ℓ({V2,V4}) would jump to ⊤).
+  LabelFamily imprecise = {{}, {3}, {1}, {2}, {0}};
+  EXPECT_TRUE(InducesLabeler(*lattice, imprecise));
+  EXPECT_FALSE(InducesPreciseLabeler(*lattice, imprecise));
+}
+
+// ---- NaiveLabel -----------------------------------------------------------
+
+TEST(NaiveLabelerTest, ReturnsLowestBoundingLabel) {
+  ExplicitPreorder order = Figure3Order();
+  NaiveLabeler labeler(&order, {{0}, {1}, {2}, {3}, {1, 2}, {}});
+  // Label of {V5} should be {V5} itself, not anything higher.
+  auto label = labeler.Label({3});
+  ASSERT_TRUE(label.has_value());
+  EXPECT_TRUE(order.Equivalent(*label, {3}));
+  // Label of {V2,V5} is {V2}.
+  label = labeler.Label({1, 3});
+  ASSERT_TRUE(label.has_value());
+  EXPECT_TRUE(order.Equivalent(*label, {1}));
+}
+
+TEST(NaiveLabelerTest, SortRespectsOrder) {
+  ExplicitPreorder order = Figure3Order();
+  NaiveLabeler labeler(&order, {{0}, {1, 2}, {1}, {2}, {3}, {}});
+  const LabelFamily& sorted = labeler.sorted_family();
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    for (size_t j = i + 1; j < sorted.size(); ++j) {
+      // If sorted[j] ⪯ sorted[i] strictly, the sort is wrong.
+      EXPECT_FALSE(order.Leq(sorted[j], sorted[i]) &&
+                   !order.Leq(sorted[i], sorted[j]))
+          << "order violated at " << i << "," << j;
+    }
+  }
+}
+
+TEST(NaiveLabelerTest, TopWhenNothingBounds) {
+  ExplicitPreorder order = Figure3Order();
+  NaiveLabeler labeler(&order, {{3}});  // only the nonemptiness view
+  EXPECT_FALSE(labeler.Label({0}).has_value());
+}
+
+// ---- Labeler axioms (Definition 3.4) as properties -----------------------
+
+TEST(LabelerAxiomsTest, NaiveLabelerSatisfiesAxioms) {
+  ExplicitPreorder order = Figure3Order();
+  LabelFamily family = {{}, {3}, {1}, {2}, {1, 2}, {0}};
+  NaiveLabeler labeler(&order, family);
+
+  for (uint64_t bits = 0; bits < 16; ++bits) {
+    ViewSet w = order::BitsToViewSet(bits);
+    auto label = labeler.Label(w);
+    ASSERT_TRUE(label.has_value());
+    // (c) W ⪯ ℓ(W).
+    EXPECT_TRUE(order.Leq(w, *label));
+    // (a) ℓ(W) ≡ some member of F.
+    bool in_family = false;
+    for (const ViewSet& f : family) {
+      in_family |= order.Equivalent(*label, f);
+    }
+    EXPECT_TRUE(in_family);
+  }
+  // (b) fixpoints: ℓ(W) ≡ W for W ∈ F.
+  for (const ViewSet& f : family) {
+    auto label = labeler.Label(f);
+    ASSERT_TRUE(label.has_value());
+    EXPECT_TRUE(order.Equivalent(*label, f));
+  }
+  // (d) monotonicity.
+  for (uint64_t b1 = 0; b1 < 16; ++b1) {
+    for (uint64_t b2 = 0; b2 < 16; ++b2) {
+      ViewSet w1 = order::BitsToViewSet(b1);
+      ViewSet w2 = order::BitsToViewSet(b2);
+      if (!order.Leq(w1, w2)) continue;
+      auto l1 = labeler.Label(w1);
+      auto l2 = labeler.Label(w2);
+      ASSERT_TRUE(l1.has_value() && l2.has_value());
+      EXPECT_TRUE(order.Leq(*l1, *l2));
+    }
+  }
+}
+
+// ---- GLBLabel over the rewriting order ------------------------------------
+
+class GlbLabelerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = test::MakePaperSchema();
+    v3_ = universe_.Add(test::P("V3(x, y, z) :- Contacts(x, y, z)", schema_));
+    v6_ = universe_.Add(test::P("V6(x, y) :- Contacts(x, y, z)", schema_));
+    v7_ = universe_.Add(test::P("V7(x, z) :- Contacts(x, y, z)", schema_));
+    v8_ = universe_.Add(test::P("V8(y, z) :- Contacts(x, y, z)", schema_));
+  }
+
+  cq::Schema schema_;
+  Universe universe_;
+  int v3_, v6_, v7_, v8_;
+};
+
+TEST_F(GlbLabelerTest, Example61LabelOfV9) {
+  order::RewritingOrder order(&universe_);
+  GlbLabeler labeler(&order, &universe_,
+                     {{v3_}, {v6_}, {v7_}, {v8_}});
+  // ℓ({V9}) = GLB({V3},{V6},{V7}); ℓ+({V9}) = {V3,V6,V7} (Example 6.1).
+  const int v9 = universe_.Add(test::P("V9(x) :- Contacts(x, y, z)", schema_));
+  auto label = labeler.Label({v9});
+  ASSERT_TRUE(label.has_value());
+  // The label must be ≡ {V9}: exactly the overlap of the three views.
+  EXPECT_TRUE(order.Equivalent(*label, {v9}));
+}
+
+TEST_F(GlbLabelerTest, TopWhenNoViewBounds) {
+  order::RewritingOrder order(&universe_);
+  GlbLabeler labeler(&order, &universe_, {{v6_}});
+  // The full Contacts table is not computable from the 2-column projection.
+  EXPECT_FALSE(labeler.Label({v3_}).has_value());
+}
+
+TEST_F(GlbLabelerTest, LabelGenUnionsPerView) {
+  order::RewritingOrder order(&universe_);
+  LabelGenLabeler labeler(&order, &universe_,
+                          {{v3_}, {v6_}, {v7_}, {v8_}});
+  const int v9 = universe_.Add(test::P("V9(x) :- Contacts(x, y, z)", schema_));
+  const int v10 =
+      universe_.Add(test::P("V10(y) :- Contacts(x, y, z)", schema_));
+  auto label = labeler.Label({v9, v10});
+  EXPECT_FALSE(label.top);
+  EXPECT_TRUE(order.Equivalent(label.views, {v9, v10}));
+}
+
+TEST_F(GlbLabelerTest, LabelGenFlagsTop) {
+  order::RewritingOrder order(&universe_);
+  LabelGenLabeler labeler(&order, &universe_, {{v6_}});
+  auto label = labeler.Label({v3_});
+  EXPECT_TRUE(label.top);
+}
+
+// ---- Theorem 4.3 / 4.5: generating sets -----------------------------------
+
+TEST_F(GlbLabelerTest, Example44MinimalDownwardGeneratingSet) {
+  order::RewritingOrder order(&universe_);
+  // F's interesting fragment: the projection views of Figure 4. V9..V12 are
+  // GLBs of {V6,V7,V8}, so the minimal downward generating set keeps only
+  // {V3, V6, V7, V8} singletons.
+  const int v9 = universe_.Add(test::P("V9(x) :- Contacts(x, y, z)", schema_));
+  const int v10 =
+      universe_.Add(test::P("V10(y) :- Contacts(x, y, z)", schema_));
+  const int v11 =
+      universe_.Add(test::P("V11(z) :- Contacts(x, y, z)", schema_));
+  const int v12 =
+      universe_.Add(test::P("V12() :- Contacts(x, y, z)", schema_));
+  LabelFamily family = {{v3_}, {v6_}, {v7_}, {v8_},
+                        {v9},  {v10}, {v11}, {v12}};
+  LabelFamily minimal =
+      MinimalDownwardGeneratingSet(order, &universe_, family);
+  ASSERT_EQ(minimal.size(), 4u);
+  EXPECT_EQ(minimal[0], ViewSet{v3_});
+  EXPECT_EQ(minimal[1], ViewSet{v6_});
+  EXPECT_EQ(minimal[2], ViewSet{v7_});
+  EXPECT_EQ(minimal[3], ViewSet{v8_});
+}
+
+TEST_F(GlbLabelerTest, CloseUnderGlbRecoversDroppedElements) {
+  order::RewritingOrder order(&universe_);
+  LabelFamily generated =
+      CloseUnderGlb(order, &universe_, {{v3_}, {v6_}, {v7_}, {v8_}});
+  // Closure adds the lower projections (V9–V12 up to ≡), reaching 8 classes.
+  EXPECT_EQ(generated.size(), 8u);
+  // Every original element survives.
+  for (int v : {v3_, v6_, v7_, v8_}) {
+    bool found = false;
+    for (const ViewSet& w : generated) {
+      found |= order.Equivalent(w, {v});
+    }
+    EXPECT_TRUE(found);
+  }
+  // Closure is idempotent.
+  EXPECT_EQ(CloseUnderGlb(order, &universe_, generated).size(),
+            generated.size());
+}
+
+// ---- Cross-validation: GLBLabel agrees with NaiveLabel ---------------------
+
+TEST_F(GlbLabelerTest, GlbLabelMatchesNaiveLabelOnClosedFamily) {
+  order::RewritingOrder order(&universe_);
+  LabelFamily family =
+      CloseUnderGlb(order, &universe_, {{v3_}, {v6_}, {v7_}, {v8_}});
+  NaiveLabeler naive(&order, family);
+  GlbLabeler fast(&order, &universe_, {{v3_}, {v6_}, {v7_}, {v8_}});
+
+  for (int v = 0; v < universe_.size(); ++v) {
+    auto naive_label = naive.Label({v});
+    auto fast_label = fast.Label({v});
+    ASSERT_EQ(naive_label.has_value(), fast_label.has_value()) << v;
+    if (naive_label.has_value()) {
+      EXPECT_TRUE(order.Equivalent(*naive_label, *fast_label))
+          << "view " << universe_.Get(v).Key();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fdc::label

@@ -1,0 +1,224 @@
+#include <gtest/gtest.h>
+
+#include "order/disclosure_lattice.h"
+#include "order/down_set.h"
+#include "order/explicit_preorder.h"
+#include "order/lattice_checks.h"
+#include "order/rewriting_order.h"
+#include "order/set_order.h"
+#include "order/universe.h"
+#include "test_util.h"
+
+namespace fdc::order {
+namespace {
+
+// Figure 3's universe as fact sets: V1 = full Meetings, V2 = π_time,
+// V4 = π_person, V5 = nonemptiness.
+ExplicitPreorder Figure3Order() {
+  // facts: bit0 = nonemptiness, bit1 = column 1 content, bit2 = column 2
+  // content, bit3 = the row pairing.
+  return ExplicitPreorder({/*V1=*/0b1111, /*V2=*/0b0011, /*V4=*/0b0101,
+                           /*V5=*/0b0001});
+}
+
+TEST(SetOrderTest, SubsetSemantics) {
+  SetOrder order;
+  EXPECT_TRUE(order.Leq({0, 1}, {0, 1, 2}));
+  EXPECT_FALSE(order.Leq({0, 3}, {0, 1, 2}));
+  EXPECT_TRUE(order.Leq({}, {0}));
+  EXPECT_TRUE(order.Equivalent({0, 1}, {1, 0}));
+}
+
+TEST(SetOrderTest, SatisfiesDisclosureOrderAxioms) {
+  SetOrder order;
+  EXPECT_TRUE(CheckDisclosureOrderAxioms(order, 5).ok());
+}
+
+TEST(ExplicitPreorderTest, SatisfiesDisclosureOrderAxioms) {
+  ExplicitPreorder order = Figure3Order();
+  EXPECT_TRUE(CheckDisclosureOrderAxioms(order, 4).ok());
+}
+
+TEST(ExplicitPreorderTest, Figure3Relations) {
+  ExplicitPreorder order = Figure3Order();
+  EXPECT_TRUE(order.LeqSingle(1, {0}));   // V2 ⪯ V1
+  EXPECT_TRUE(order.LeqSingle(2, {0}));   // V4 ⪯ V1
+  EXPECT_TRUE(order.LeqSingle(3, {1}));   // V5 ⪯ V2
+  EXPECT_FALSE(order.LeqSingle(0, {1, 2}));  // V1 not from projections
+  EXPECT_FALSE(order.LeqSingle(1, {2}));
+}
+
+TEST(DownSetTest, Figure3DownSets) {
+  ExplicitPreorder order = Figure3Order();
+  EXPECT_EQ(DownSet(order, {0}, 4), 0b1111ULL);      // ⇓{V1} = everything
+  EXPECT_EQ(DownSet(order, {1}, 4), 0b1010ULL);      // ⇓{V2} = {V2, V5}
+  EXPECT_EQ(DownSet(order, {2}, 4), 0b1100ULL);      // ⇓{V4} = {V4, V5}
+  EXPECT_EQ(DownSet(order, {3}, 4), 0b1000ULL);      // ⇓{V5} = {V5}
+  EXPECT_EQ(DownSet(order, {}, 4), 0ULL);            // ⊥
+  EXPECT_EQ(DownSet(order, {1, 2}, 4), 0b1110ULL);   // not ⊤!
+}
+
+TEST(DownSetTest, BitsRoundTrip) {
+  EXPECT_EQ(ViewSetToBits(BitsToViewSet(0b10110ULL)), 0b10110ULL);
+  EXPECT_EQ(BitsToViewSet(0b101ULL), (ViewSet{0, 2}));
+}
+
+TEST(DisclosureLatticeTest, Figure3LatticeShape) {
+  ExplicitPreorder order = Figure3Order();
+  auto lattice = DisclosureLattice::Build(order, 4);
+  ASSERT_TRUE(lattice.ok()) << lattice.status().ToString();
+  // Figure 3 has exactly 6 elements: ⊥, ⇓{V5}, ⇓{V2}, ⇓{V4}, ⇓{V2,V4}, ⊤.
+  EXPECT_EQ(lattice->NumElements(), 6);
+
+  const int bottom = lattice->Bottom();
+  const int top = lattice->Top();
+  const int v2 = lattice->IndexOfDownSet({1});
+  const int v4 = lattice->IndexOfDownSet({2});
+  const int v5 = lattice->IndexOfDownSet({3});
+  const int v24 = lattice->IndexOfDownSet({1, 2});
+  ASSERT_GE(v2, 0);
+  ASSERT_GE(v4, 0);
+  ASSERT_GE(v5, 0);
+  ASSERT_GE(v24, 0);
+
+  // GLB of ⇓{V2} and ⇓{V4} is ⇓{V5} (§3.2).
+  EXPECT_EQ(lattice->Glb(v2, v4), v5);
+  // Their LUB is ⇓{V2,V4}, which is *properly below* ⊤ = ⇓{V1}: it is
+  // impossible to reconstitute Meetings from its two projections.
+  EXPECT_EQ(lattice->Lub(v2, v4), v24);
+  EXPECT_NE(v24, top);
+  EXPECT_TRUE(lattice->Below(v24, top));
+  EXPECT_TRUE(lattice->Below(bottom, v5));
+}
+
+TEST(DisclosureLatticeTest, LatticeLawsHold) {
+  ExplicitPreorder order = Figure3Order();
+  auto lattice = DisclosureLattice::Build(order, 4);
+  ASSERT_TRUE(lattice.ok());
+  EXPECT_TRUE(CheckLatticeLaws(*lattice).ok());
+}
+
+TEST(DisclosureLatticeTest, HasseCoversOfTop) {
+  ExplicitPreorder order = Figure3Order();
+  auto lattice = DisclosureLattice::Build(order, 4);
+  ASSERT_TRUE(lattice.ok());
+  // Figure 3: the unique lower cover of ⊤ is ⇓{V2,V4}.
+  std::vector<int> covers = lattice->LowerCovers(lattice->Top());
+  ASSERT_EQ(covers.size(), 1u);
+  EXPECT_EQ(covers[0], lattice->IndexOfDownSet({1, 2}));
+}
+
+TEST(DisclosureLatticeTest, RejectsOversizedUniverse) {
+  SetOrder order;
+  EXPECT_FALSE(DisclosureLattice::Build(order, 17).ok());
+}
+
+// ---- Non-distributive example (M3) --------------------------------------
+
+ExplicitPreorder M3Order() {
+  // Three views with pairwise-overlapping fact sets; pairwise GLB is ⊥ and
+  // pairwise LUB is ⊤ — the diamond M3.
+  return ExplicitPreorder({0b011, 0b110, 0b101});
+}
+
+TEST(LatticeChecksTest, M3IsNotDistributive) {
+  ExplicitPreorder order = M3Order();
+  ASSERT_TRUE(CheckDisclosureOrderAxioms(order, 3).ok());
+  auto lattice = DisclosureLattice::Build(order, 3);
+  ASSERT_TRUE(lattice.ok());
+  EXPECT_EQ(lattice->NumElements(), 5);  // ⊥, three atoms, ⊤
+  EXPECT_FALSE(IsDistributive(*lattice));
+  EXPECT_FALSE(IsDecomposable(order, 3));
+}
+
+// ---- Theorem 4.8: decomposable ⇒ distributive ---------------------------
+
+TEST(LatticeChecksTest, Theorem48OnDecomposableUniverse) {
+  // Disjoint fact sets: {V} ⪯ W1 ∪ W2 forces the single fact bit into one
+  // side, so the universe is decomposable.
+  ExplicitPreorder order({0b001, 0b010, 0b100});
+  ASSERT_TRUE(CheckDisclosureOrderAxioms(order, 3).ok());
+  EXPECT_TRUE(IsDecomposable(order, 3));
+  auto lattice = DisclosureLattice::Build(order, 3);
+  ASSERT_TRUE(lattice.ok());
+  EXPECT_TRUE(IsDistributive(*lattice));
+}
+
+TEST(LatticeChecksTest, Theorem48PropertySweep) {
+  // Random fact assignments: every decomposable universe must yield a
+  // distributive lattice (the converse need not hold).
+  Rng rng(99);
+  int decomposable_seen = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<uint64_t> facts(4);
+    for (auto& f : facts) f = rng.Below(16);
+    ExplicitPreorder order(facts);
+    auto lattice = DisclosureLattice::Build(order, 4);
+    ASSERT_TRUE(lattice.ok());
+    if (IsDecomposable(order, 4)) {
+      ++decomposable_seen;
+      EXPECT_TRUE(IsDistributive(*lattice))
+          << "facts: " << facts[0] << "," << facts[1] << "," << facts[2]
+          << "," << facts[3];
+    }
+  }
+  EXPECT_GT(decomposable_seen, 0);
+}
+
+// ---- The rewriting order through the same machinery ---------------------
+
+TEST(RewritingOrderTest, Figure3ViaRealViews) {
+  cq::Schema schema = test::MakePaperSchema();
+  Universe universe;
+  const int v1 = universe.Add(test::P("V1(x, y) :- Meetings(x, y)", schema));
+  const int v2 = universe.Add(test::P("V2(x) :- Meetings(x, y)", schema));
+  const int v4 = universe.Add(test::P("V4(y) :- Meetings(x, y)", schema));
+  const int v5 = universe.Add(test::P("V5() :- Meetings(x, y)", schema));
+  RewritingOrder order(&universe);
+
+  auto lattice = DisclosureLattice::Build(order, universe.size());
+  ASSERT_TRUE(lattice.ok()) << lattice.status().ToString();
+  EXPECT_EQ(lattice->NumElements(), 6);
+  EXPECT_EQ(lattice->Glb(lattice->IndexOfDownSet({v2}),
+                         lattice->IndexOfDownSet({v4})),
+            lattice->IndexOfDownSet({v5}));
+  EXPECT_NE(lattice->Lub(lattice->IndexOfDownSet({v2}),
+                         lattice->IndexOfDownSet({v4})),
+            lattice->IndexOfDownSet({v1}));
+}
+
+TEST(RewritingOrderTest, AxiomsOnProjectionUniverse) {
+  Universe universe;
+  universe.AddAllProjections(/*relation=*/0, /*arity=*/3);
+  RewritingOrder order(&universe);
+  EXPECT_TRUE(CheckDisclosureOrderAxioms(order, universe.size()).ok());
+}
+
+TEST(RewritingOrderTest, SingleAtomUniverseIsDecomposable) {
+  // §5.1: "U_atom is decomposable" — check it exhaustively on the 8-view
+  // projection universe of Figure 4.
+  Universe universe;
+  universe.AddAllProjections(0, 3);
+  RewritingOrder order(&universe);
+  EXPECT_TRUE(IsDecomposable(order, universe.size()));
+}
+
+TEST(UniverseTest, InternsUpToPatternEquality) {
+  cq::Schema schema = test::MakePaperSchema();
+  Universe universe;
+  const int a = universe.Add(test::P("V(x, y) :- Meetings(x, y)", schema));
+  const int b = universe.Add(test::P("W(y, x) :- Meetings(x, y)", schema));
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(universe.size(), 1);
+  EXPECT_EQ(universe.Find(test::P("U(x, y) :- Meetings(x, y)", schema)), a);
+}
+
+TEST(UniverseTest, AddAllProjectionsCounts) {
+  Universe universe;
+  std::vector<int> ids = universe.AddAllProjections(0, 3);
+  EXPECT_EQ(ids.size(), 8u);  // Figure 4: 2^3 projections
+  EXPECT_EQ(universe.size(), 8);
+}
+
+}  // namespace
+}  // namespace fdc::order

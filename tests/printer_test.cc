@@ -1,0 +1,78 @@
+#include "cq/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace fdc::cq {
+namespace {
+
+class PrinterTest : public ::testing::Test {
+ protected:
+  Schema schema_ = test::MakePaperSchema();
+};
+
+TEST_F(PrinterTest, DatalogRendering) {
+  auto q = test::Q("Q1(x) :- Meetings(x, 'Cathy')", schema_);
+  EXPECT_EQ(ToDatalog(q, schema_), "Q1(v0) :- Meetings(v0, 'Cathy')");
+}
+
+TEST_F(PrinterTest, BooleanHeadRendering) {
+  auto q = test::Q("V5() :- Meetings(x, y)", schema_);
+  EXPECT_EQ(ToDatalog(q, schema_), "V5() :- Meetings(v0, v1)");
+}
+
+TEST_F(PrinterTest, MultiAtomRendering) {
+  auto q = test::Q("Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')",
+                   schema_);
+  EXPECT_EQ(ToDatalog(q, schema_),
+            "Q2(v0) :- Meetings(v0, v1), Contacts(v1, v2, 'Intern')");
+}
+
+TEST_F(PrinterTest, UnnamedQueryGetsDefaultName) {
+  ConjunctiveQuery q("", {Term::Var(0)},
+                     {Atom(0, {Term::Var(0), Term::Var(1)})});
+  EXPECT_EQ(ToDatalog(q, schema_), "Q(v0) :- Meetings(v0, v1)");
+}
+
+TEST_F(PrinterTest, UnknownRelationFallsBackToId) {
+  ConjunctiveQuery q("Q", {}, {Atom(42, {Term::Var(0)})});
+  EXPECT_EQ(ToDatalog(q, schema_), "Q() :- R42(v0)");
+}
+
+TEST_F(PrinterTest, TaggedBodyMarksQuantification) {
+  auto q = test::Q("Q(x) :- Meetings(x, y)", schema_);
+  EXPECT_EQ(ToTaggedBody(q, schema_), "[Meetings(v0_d, v1_e)]");
+}
+
+TEST_F(PrinterTest, TaggedBodyExample54Form) {
+  // The §5 representation of Q2 from Figure 1.
+  auto q = test::Q("Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')",
+                   schema_);
+  EXPECT_EQ(ToTaggedBody(q, schema_),
+            "[Meetings(v0_d, v1_e), Contacts(v1_e, v2_e, 'Intern')]");
+}
+
+TEST_F(PrinterTest, PatternRendering) {
+  AtomPattern p = test::P("V(x) :- Meetings(x, x)", schema_);
+  EXPECT_EQ(PatternToString(p, schema_), "Meetings(x0_d, x0_d)");
+}
+
+TEST_F(PrinterTest, DatalogRoundTripsAllFigureViews) {
+  for (const char* text : {
+           "V1(x, y) :- Meetings(x, y)",
+           "V2(x) :- Meetings(x, y)",
+           "V3(x, y, z) :- Contacts(x, y, z)",
+           "V5() :- Meetings(x, y)",
+           "V13() :- Meetings(9, 'Jim')",
+           "V15() :- Meetings(z, z)",
+       }) {
+    auto q = test::Q(text, schema_);
+    auto reparsed = ParseDatalog(ToDatalog(q, schema_), schema_);
+    ASSERT_TRUE(reparsed.ok()) << text;
+    EXPECT_EQ(q, *reparsed) << text;
+  }
+}
+
+}  // namespace
+}  // namespace fdc::cq

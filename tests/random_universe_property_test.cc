@@ -1,0 +1,162 @@
+// Cross-validation property suite on randomly generated single-atom view
+// universes: the three labeling algorithms (§3.3 NaiveLabel, §4.1 GLBLabel,
+// §4.2 LabelGen) must agree up to ≡, and the disclosure-order axioms must
+// hold for the rewriting order with constants and repeated variables in
+// play. Seeds are fixed; failures print the offending pattern keys.
+#include <gtest/gtest.h>
+
+#include "label/generating_set.h"
+#include "label/glb_labeler.h"
+#include "label/label_gen.h"
+#include "label/naive_labeler.h"
+#include "order/lattice_checks.h"
+#include "order/rewriting_order.h"
+#include "order/universe.h"
+#include "test_util.h"
+
+namespace fdc::label {
+namespace {
+
+using order::RewritingOrder;
+using order::Universe;
+using order::ViewSet;
+
+struct UniverseParams {
+  uint64_t seed;
+  int arity;
+  int num_views;
+};
+
+class RandomUniverseTest : public ::testing::TestWithParam<UniverseParams> {
+ protected:
+  void SetUp() override {
+    Rng rng(GetParam().seed);
+    for (int i = 0; i < GetParam().num_views; ++i) {
+      // Two relations so cross-relation incomparability is exercised.
+      const int relation = static_cast<int>(rng.Below(2));
+      universe_.Add(test::RandomPattern(&rng, relation, GetParam().arity));
+    }
+    base_size_ = universe_.size();
+  }
+
+  Universe universe_;
+  int base_size_ = 0;
+};
+
+TEST_P(RandomUniverseTest, DisclosureOrderAxiomsHold) {
+  RewritingOrder order(&universe_);
+  const int check_size = std::min(base_size_, 8);
+  EXPECT_TRUE(order::CheckDisclosureOrderAxioms(order, check_size).ok());
+}
+
+TEST_P(RandomUniverseTest, SingleAtomUniverseDecomposable) {
+  RewritingOrder order(&universe_);
+  const int check_size = std::min(base_size_, 7);
+  EXPECT_TRUE(order::IsDecomposable(order, check_size));
+}
+
+TEST_P(RandomUniverseTest, NaiveAndGlbLabelersAgree) {
+  RewritingOrder order(&universe_);
+  // Generating family: singletons of the base views.
+  LabelFamily singletons;
+  for (int v = 0; v < base_size_; ++v) singletons.push_back({v});
+
+  // F = closure under GLB (Theorem 4.5) induces the labeler NaiveLabel
+  // implements directly; GLBLabel uses only the generating set.
+  LabelFamily closed = CloseUnderGlb(order, &universe_, singletons);
+  NaiveLabeler naive(&order, closed);
+  GlbLabeler fast(&order, &universe_, singletons);
+
+  for (int v = 0; v < base_size_; ++v) {
+    auto naive_label = naive.Label({v});
+    auto fast_label = fast.Label({v});
+    ASSERT_EQ(naive_label.has_value(), fast_label.has_value())
+        << universe_.Get(v).Key();
+    if (naive_label.has_value()) {
+      EXPECT_TRUE(order.Equivalent(*naive_label, *fast_label))
+          << universe_.Get(v).Key();
+    }
+  }
+}
+
+TEST_P(RandomUniverseTest, LabelGenMatchesGlbLabelOnSingletons) {
+  RewritingOrder order(&universe_);
+  LabelFamily singletons;
+  for (int v = 0; v < base_size_; ++v) singletons.push_back({v});
+  GlbLabeler glb(&order, &universe_, singletons);
+  LabelGenLabeler gen(&order, &universe_, singletons);
+
+  for (int v = 0; v < base_size_; ++v) {
+    auto glb_label = glb.Label({v});
+    auto gen_label = gen.Label({v});
+    ASSERT_EQ(!glb_label.has_value(), gen_label.top);
+    if (glb_label.has_value()) {
+      EXPECT_TRUE(order.Equivalent(*glb_label, gen_label.views))
+          << universe_.Get(v).Key();
+    }
+  }
+}
+
+TEST_P(RandomUniverseTest, LabelerAxiomsForGlbLabeler) {
+  RewritingOrder order(&universe_);
+  LabelFamily singletons;
+  for (int v = 0; v < base_size_; ++v) singletons.push_back({v});
+  GlbLabeler labeler(&order, &universe_, singletons);
+
+  for (int v = 0; v < base_size_; ++v) {
+    auto label = labeler.Label({v});
+    if (!label.has_value()) continue;  // ⊤: nothing to check below
+    // Axiom (c): {v} ⪯ ℓ({v}).
+    EXPECT_TRUE(order.LeqSingle(v, *label)) << universe_.Get(v).Key();
+    // Axiom (b): family elements are fixpoints.
+  }
+  for (const ViewSet& member : singletons) {
+    auto label = labeler.Label(member);
+    ASSERT_TRUE(label.has_value());
+    EXPECT_TRUE(order.Equivalent(*label, member));
+  }
+  // Axiom (d): monotonicity on singleton pairs.
+  for (int a = 0; a < base_size_; ++a) {
+    for (int b = 0; b < base_size_; ++b) {
+      if (!order.LeqSingle(a, {b})) continue;
+      auto la = labeler.Label({a});
+      auto lb = labeler.Label({b});
+      if (!lb.has_value()) continue;  // ℓ(b) = ⊤ bounds everything
+      ASSERT_TRUE(la.has_value());
+      EXPECT_TRUE(order.Leq(*la, *lb))
+          << universe_.Get(a).Key() << " vs " << universe_.Get(b).Key();
+    }
+  }
+}
+
+TEST_P(RandomUniverseTest, MinimalGeneratingSetStillGenerates) {
+  RewritingOrder order(&universe_);
+  LabelFamily singletons;
+  for (int v = 0; v < base_size_; ++v) singletons.push_back({v});
+  LabelFamily closed = CloseUnderGlb(order, &universe_, singletons);
+  LabelFamily minimal = MinimalDownwardGeneratingSet(order, &universe_, closed);
+  EXPECT_LE(minimal.size(), closed.size());
+
+  // The minimal set must label every universe element the same way the
+  // closed family does.
+  NaiveLabeler reference(&order, closed);
+  GlbLabeler via_minimal(&order, &universe_, minimal);
+  for (int v = 0; v < base_size_; ++v) {
+    auto ref = reference.Label({v});
+    auto got = via_minimal.Label({v});
+    ASSERT_EQ(ref.has_value(), got.has_value()) << universe_.Get(v).Key();
+    if (ref.has_value()) {
+      EXPECT_TRUE(order.Equivalent(*ref, *got)) << universe_.Get(v).Key();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, RandomUniverseTest,
+    ::testing::Values(UniverseParams{1001, 2, 6}, UniverseParams{1002, 2, 8},
+                      UniverseParams{1003, 3, 6}, UniverseParams{1004, 3, 8},
+                      UniverseParams{1005, 3, 10},
+                      UniverseParams{1006, 4, 8}));
+
+}  // namespace
+}  // namespace fdc::label

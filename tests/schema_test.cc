@@ -1,0 +1,74 @@
+#include "cq/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace fdc::cq {
+namespace {
+
+TEST(SchemaTest, AddAndLookup) {
+  Schema schema;
+  auto id = schema.AddRelation("Meetings", {"time", "person"});
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 0);
+  const RelationDef* rel = schema.Find("Meetings");
+  ASSERT_NE(rel, nullptr);
+  EXPECT_EQ(rel->name, "Meetings");
+  EXPECT_EQ(rel->arity(), 2);
+  EXPECT_EQ(schema.FindById(0), rel);
+  EXPECT_EQ(schema.NumRelations(), 1);
+}
+
+TEST(SchemaTest, AttributeIndex) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("Contacts", {"person", "email", "pos"}).ok());
+  const RelationDef* rel = schema.Find("Contacts");
+  EXPECT_EQ(rel->AttributeIndex("person"), 0);
+  EXPECT_EQ(rel->AttributeIndex("email"), 1);
+  EXPECT_EQ(rel->AttributeIndex("pos"), 2);
+  EXPECT_EQ(rel->AttributeIndex("missing"), -1);
+}
+
+TEST(SchemaTest, RejectsDuplicateName) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddRelation("R", {"a"}).ok());
+  auto dup = schema.AddRelation("R", {"b"});
+  EXPECT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, RejectsEmptyName) {
+  Schema schema;
+  EXPECT_FALSE(schema.AddRelation("", {"a"}).ok());
+}
+
+TEST(SchemaTest, RejectsZeroArity) {
+  Schema schema;
+  EXPECT_FALSE(schema.AddRelation("R", {}).ok());
+}
+
+TEST(SchemaTest, RejectsDuplicateAttribute) {
+  Schema schema;
+  auto result = schema.AddRelation("R", {"a", "b", "a"});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, UnknownLookupsReturnNull) {
+  Schema schema;
+  EXPECT_EQ(schema.Find("nope"), nullptr);
+  EXPECT_EQ(schema.FindById(-1), nullptr);
+  EXPECT_EQ(schema.FindById(7), nullptr);
+}
+
+TEST(SchemaTest, IdsAreDense) {
+  Schema schema;
+  for (int i = 0; i < 10; ++i) {
+    auto id = schema.AddRelation("R" + std::to_string(i), {"a"});
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(*id, i);
+  }
+  EXPECT_EQ(schema.NumRelations(), 10);
+}
+
+}  // namespace
+}  // namespace fdc::cq

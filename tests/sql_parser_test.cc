@@ -1,0 +1,159 @@
+#include "cq/sql_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "rewriting/containment.h"
+#include "test_util.h"
+
+namespace fdc::cq {
+namespace {
+
+class SqlParserTest : public ::testing::Test {
+ protected:
+  Schema schema_ = test::MakePaperSchema();
+
+  ConjunctiveQuery MustParse(const std::string& sql) {
+    auto result = ParseSql(sql, schema_);
+    EXPECT_TRUE(result.ok()) << sql << " -> " << result.status().ToString();
+    return result.ok() ? *result : ConjunctiveQuery();
+  }
+};
+
+TEST_F(SqlParserTest, SimpleProjection) {
+  ConjunctiveQuery q = MustParse("SELECT time FROM Meetings");
+  ConjunctiveQuery expected = test::Q("Q(x) :- Meetings(x, y)", schema_);
+  EXPECT_TRUE(rewriting::AreEquivalent(q, expected));
+}
+
+TEST_F(SqlParserTest, SelectStar) {
+  ConjunctiveQuery q = MustParse("SELECT * FROM Meetings");
+  ConjunctiveQuery expected = test::Q("Q(x, y) :- Meetings(x, y)", schema_);
+  EXPECT_TRUE(rewriting::AreEquivalent(q, expected));
+}
+
+TEST_F(SqlParserTest, WhereConstant) {
+  ConjunctiveQuery q =
+      MustParse("SELECT time FROM Meetings WHERE person = 'Cathy'");
+  ConjunctiveQuery expected = test::Q("Q(x) :- Meetings(x, 'Cathy')", schema_);
+  EXPECT_TRUE(rewriting::AreEquivalent(q, expected));
+}
+
+TEST_F(SqlParserTest, LiteralOnLeft) {
+  ConjunctiveQuery q =
+      MustParse("SELECT time FROM Meetings WHERE 'Cathy' = person");
+  ConjunctiveQuery expected = test::Q("Q(x) :- Meetings(x, 'Cathy')", schema_);
+  EXPECT_TRUE(rewriting::AreEquivalent(q, expected));
+}
+
+TEST_F(SqlParserTest, ExplicitJoin) {
+  ConjunctiveQuery q = MustParse(
+      "SELECT m.time FROM Meetings m JOIN Contacts c ON m.person = c.person "
+      "WHERE c.position = 'Intern'");
+  ConjunctiveQuery expected =
+      test::Q("Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')", schema_);
+  EXPECT_TRUE(rewriting::AreEquivalent(q, expected));
+}
+
+TEST_F(SqlParserTest, CommaJoinWithWhere) {
+  ConjunctiveQuery q = MustParse(
+      "SELECT m.time FROM Meetings m, Contacts c WHERE m.person = c.person "
+      "AND c.position = 'Intern'");
+  ConjunctiveQuery expected =
+      test::Q("Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')", schema_);
+  EXPECT_TRUE(rewriting::AreEquivalent(q, expected));
+}
+
+TEST_F(SqlParserTest, InnerJoinKeyword) {
+  ConjunctiveQuery q = MustParse(
+      "SELECT m.time FROM Meetings m INNER JOIN Contacts c "
+      "ON m.person = c.person");
+  EXPECT_EQ(q.size(), 2);
+}
+
+TEST_F(SqlParserTest, QualifiedStar) {
+  ConjunctiveQuery q = MustParse(
+      "SELECT c.* FROM Meetings m JOIN Contacts c ON m.person = c.person");
+  EXPECT_EQ(q.head().size(), 3u);
+}
+
+TEST_F(SqlParserTest, AsAlias) {
+  ConjunctiveQuery q =
+      MustParse("SELECT m.time FROM Meetings AS m WHERE m.person = 'Bob'");
+  ConjunctiveQuery expected = test::Q("Q(x) :- Meetings(x, 'Bob')", schema_);
+  EXPECT_TRUE(rewriting::AreEquivalent(q, expected));
+}
+
+TEST_F(SqlParserTest, SelfJoin) {
+  ConjunctiveQuery q = MustParse(
+      "SELECT a.time, b.time FROM Meetings a, Meetings b "
+      "WHERE a.person = b.person");
+  ConjunctiveQuery expected =
+      test::Q("Q(t1, t2) :- Meetings(t1, p), Meetings(t2, p)", schema_);
+  EXPECT_TRUE(rewriting::AreEquivalent(q, expected));
+}
+
+TEST_F(SqlParserTest, SelectingConstantBoundColumnDropsIt) {
+  // Selecting a column fixed by the query text reveals nothing beyond the
+  // rest of the query; the head keeps only genuine variables.
+  ConjunctiveQuery q =
+      MustParse("SELECT time, person FROM Meetings WHERE person = 'Bob'");
+  EXPECT_EQ(q.head().size(), 1u);
+}
+
+TEST_F(SqlParserTest, ContradictoryConstantsRejected) {
+  auto result = ParseSql(
+      "SELECT time FROM Meetings WHERE person = 'A' AND person = 'B'",
+      schema_);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(SqlParserTest, TransitiveConstantConflictRejected) {
+  auto result = ParseSql(
+      "SELECT a.time FROM Meetings a, Meetings b WHERE a.person = b.person "
+      "AND a.person = 'A' AND b.person = 'B'",
+      schema_);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(SqlParserTest, InequalityUnsupported) {
+  auto result = ParseSql(
+      "SELECT time FROM Meetings WHERE person <> 'Bob'", schema_);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnsupported);
+}
+
+TEST_F(SqlParserTest, UnknownTableRejected) {
+  EXPECT_FALSE(ParseSql("SELECT x FROM Nope", schema_).ok());
+}
+
+TEST_F(SqlParserTest, UnknownColumnRejected) {
+  EXPECT_FALSE(ParseSql("SELECT nope FROM Meetings", schema_).ok());
+}
+
+TEST_F(SqlParserTest, AmbiguousColumnRejected) {
+  auto result = ParseSql(
+      "SELECT time FROM Meetings a, Meetings b WHERE a.person = b.person",
+      schema_);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(SqlParserTest, DuplicateAliasRejected) {
+  EXPECT_FALSE(
+      ParseSql("SELECT m.time FROM Meetings m, Contacts m", schema_).ok());
+}
+
+TEST_F(SqlParserTest, TrailingSemicolonAccepted) {
+  EXPECT_TRUE(ParseSql("SELECT time FROM Meetings;", schema_).ok());
+}
+
+TEST_F(SqlParserTest, TrailingGarbageRejected) {
+  EXPECT_FALSE(ParseSql("SELECT time FROM Meetings LIMIT 5", schema_).ok());
+}
+
+TEST_F(SqlParserTest, KeywordsCaseInsensitive) {
+  EXPECT_TRUE(
+      ParseSql("select time from Meetings where person = 'X'", schema_).ok());
+}
+
+}  // namespace
+}  // namespace fdc::cq

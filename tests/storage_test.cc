@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "storage/database.h"
+#include "storage/evaluator.h"
+#include "storage/guarded_database.h"
+#include "test_util.h"
+
+namespace fdc::storage {
+namespace {
+
+using cq::Schema;
+
+// Loads the Figure 1 dataset.
+class StorageTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = test::MakePaperSchema();
+    db_ = std::make_unique<Database>(&schema_);
+    ASSERT_TRUE(db_->Insert("Meetings", {"9", "Jim"}).ok());
+    ASSERT_TRUE(db_->Insert("Meetings", {"10", "Cathy"}).ok());
+    ASSERT_TRUE(db_->Insert("Meetings", {"12", "Bob"}).ok());
+    ASSERT_TRUE(db_->Insert("Contacts", {"Jim", "jim@e.com", "Manager"}).ok());
+    ASSERT_TRUE(
+        db_->Insert("Contacts", {"Cathy", "cathy@e.com", "Intern"}).ok());
+    ASSERT_TRUE(
+        db_->Insert("Contacts", {"Bob", "bob@e.com", "Consultant"}).ok());
+  }
+
+  std::vector<Tuple> Eval(const std::string& text) {
+    auto result = Evaluate(*db_, test::Q(text, schema_));
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? *result : std::vector<Tuple>{};
+  }
+
+  Schema schema_;
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(StorageTest, RelationDedupes) {
+  EXPECT_EQ(db_->relation(0)->size(), 3u);
+  ASSERT_TRUE(db_->Insert("Meetings", {"9", "Jim"}).ok());
+  EXPECT_EQ(db_->relation(0)->size(), 3u);  // set semantics
+}
+
+TEST_F(StorageTest, InsertValidatesArity) {
+  EXPECT_FALSE(db_->Insert("Meetings", {"9"}).ok());
+  EXPECT_FALSE(db_->Insert("Nope", {"9", "x"}).ok());
+}
+
+TEST_F(StorageTest, FullScan) {
+  EXPECT_EQ(Eval("Q(x, y) :- Meetings(x, y)").size(), 3u);
+}
+
+TEST_F(StorageTest, Q1SelectsCathyMeetings) {
+  // Figure 1's Q1.
+  std::vector<Tuple> rows = Eval("Q1(x) :- Meetings(x, 'Cathy')");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], Tuple{"10"});
+}
+
+TEST_F(StorageTest, Q2JoinsMeetingsWithInterns) {
+  // Figure 1's Q2: meetings with interns — Cathy at 10.
+  std::vector<Tuple> rows =
+      Eval("Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], Tuple{"10"});
+}
+
+TEST_F(StorageTest, BooleanQueries) {
+  EXPECT_EQ(Eval("B() :- Meetings(x, y)").size(), 1u);           // true
+  EXPECT_EQ(Eval("B() :- Meetings(x, 'Nobody')").size(), 0u);    // false
+  EXPECT_EQ(Eval("B() :- Meetings(9, 'Jim')").size(), 1u);
+}
+
+TEST_F(StorageTest, RepeatedVariablesEnforceEquality) {
+  ASSERT_TRUE(db_->Insert("Meetings", {"7", "7"}).ok());
+  std::vector<Tuple> rows = Eval("Q(z) :- Meetings(z, z)");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], Tuple{"7"});
+}
+
+TEST_F(StorageTest, ProjectionDeduplicates) {
+  ASSERT_TRUE(db_->Insert("Meetings", {"9", "Cathy"}).ok());
+  // Times 9 (twice, from (9,Jim) and (9,Cathy)), 10, 12: set semantics
+  // collapses the duplicate.
+  std::vector<Tuple> rows = Eval("Q(x) :- Meetings(x, y)");
+  EXPECT_EQ(rows.size(), 3u);
+}
+
+TEST_F(StorageTest, DuplicateHeadColumns) {
+  std::vector<Tuple> rows = Eval("Q(x, x) :- Meetings(x, 'Jim')");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (Tuple{"9", "9"}));
+}
+
+TEST_F(StorageTest, EvaluateValidates) {
+  cq::ConjunctiveQuery bad("Q", {}, {cq::Atom(99, {cq::Term::Var(0)})});
+  EXPECT_FALSE(Evaluate(*db_, bad).ok());
+}
+
+// ---- Containment ⇒ answer-subset spot check ------------------------------
+
+TEST_F(StorageTest, ContainmentImpliesAnswerSubset) {
+  auto sub = test::Q("Q(x) :- Meetings(x, 'Cathy')", schema_);
+  auto super = test::Q("Q(x) :- Meetings(x, y)", schema_);
+  auto sub_rows = Evaluate(*db_, sub);
+  auto super_rows = Evaluate(*db_, super);
+  ASSERT_TRUE(sub_rows.ok() && super_rows.ok());
+  for (const Tuple& t : *sub_rows) {
+    EXPECT_NE(std::find(super_rows->begin(), super_rows->end(), t),
+              super_rows->end());
+  }
+}
+
+// ---- Guarded database end to end -------------------------------------------
+
+class GuardedDatabaseTest : public StorageTest {
+ protected:
+  void SetUp() override {
+    StorageTest::SetUp();
+    catalog_ = std::make_unique<label::ViewCatalog>(&schema_);
+    ASSERT_TRUE(catalog_->AddViewText("V1", "V1(x, y) :- Meetings(x, y)").ok());
+    ASSERT_TRUE(catalog_->AddViewText("V2", "V2(x) :- Meetings(x, y)").ok());
+    ASSERT_TRUE(
+        catalog_->AddViewText("V3", "V3(x, y, z) :- Contacts(x, y, z)").ok());
+    auto policy = policy::SecurityPolicy::Compile(
+        *catalog_, {{"meetings_only", {catalog_->FindByName("V1")->id}},
+                    {"contacts_only", {catalog_->FindByName("V3")->id}}});
+    ASSERT_TRUE(policy.ok());
+    policy_ =
+        std::make_unique<policy::SecurityPolicy>(std::move(policy).value());
+    guarded_ = std::make_unique<GuardedDatabase>(db_.get(), catalog_.get(),
+                                                 policy_.get());
+  }
+
+  std::unique_ptr<label::ViewCatalog> catalog_;
+  std::unique_ptr<policy::SecurityPolicy> policy_;
+  std::unique_ptr<GuardedDatabase> guarded_;
+};
+
+TEST_F(GuardedDatabaseTest, AnswersAllowedQuery) {
+  auto rows = guarded_->Query("app1", test::Q("Q(x) :- Meetings(x, y)",
+                                              schema_));
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows->size(), 3u);
+}
+
+TEST_F(GuardedDatabaseTest, ChineseWallAcrossQueries) {
+  // First query locks the principal to the Meetings partition.
+  ASSERT_TRUE(
+      guarded_->Query("app1", test::Q("Q(x) :- Meetings(x, y)", schema_))
+          .ok());
+  auto refused = guarded_->Query(
+      "app1", test::Q("Q(x) :- Contacts(x, y, z)", schema_));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kPolicyViolation);
+  // A different principal is unaffected.
+  EXPECT_TRUE(
+      guarded_->Query("app2", test::Q("Q(x) :- Contacts(x, y, z)", schema_))
+          .ok());
+}
+
+TEST_F(GuardedDatabaseTest, SqlFrontEnd) {
+  auto rows = guarded_->QuerySql(
+      "app3", "SELECT time FROM Meetings WHERE person = 'Cathy'");
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], Tuple{"10"});
+  EXPECT_FALSE(guarded_->QuerySql("app3", "SELECT nope FROM Meetings").ok());
+}
+
+TEST_F(GuardedDatabaseTest, ConsistentPartitionsTracksState) {
+  EXPECT_EQ(guarded_->ConsistentPartitions("fresh"), 0b11u);
+  ASSERT_TRUE(
+      guarded_->Query("appX", test::Q("Q(x) :- Contacts(x, y, z)", schema_))
+          .ok());
+  EXPECT_EQ(guarded_->ConsistentPartitions("appX"), 0b10u);
+}
+
+TEST_F(GuardedDatabaseTest, ExplainExposesLabel) {
+  label::DisclosureLabel label =
+      guarded_->Explain(test::Q("Q(x) :- Meetings(x, y)", schema_));
+  EXPECT_FALSE(label.top());
+  EXPECT_EQ(label.size(), 1);
+}
+
+TEST_F(GuardedDatabaseTest, JoinQueryRefusedUnderEitherWall) {
+  // Q2 needs both V1 and V3: above both partitions, refused immediately.
+  auto refused = guarded_->Query(
+      "app4",
+      test::Q("Q2(x) :- Meetings(x, y), Contacts(y, w, 'Intern')", schema_));
+  EXPECT_FALSE(refused.ok());
+}
+
+TEST_F(GuardedDatabaseTest, ExplainQueryDiagnosesWithoutMutating) {
+  ASSERT_TRUE(
+      guarded_->Query("appE", test::Q("Q(x) :- Meetings(x, y)", schema_))
+          .ok());
+  const uint32_t before = guarded_->ConsistentPartitions("appE");
+  policy::Explanation e = guarded_->ExplainQuery(
+      "appE", test::Q("Q(x) :- Contacts(x, y, z)", schema_));
+  EXPECT_FALSE(e.accepted);
+  // The contacts partition was lost when the meetings query was answered.
+  ASSERT_EQ(e.partitions.size(), 2u);
+  EXPECT_TRUE(e.partitions[1].lost_earlier);
+  // Explanation must not change monitor state.
+  EXPECT_EQ(guarded_->ConsistentPartitions("appE"), before);
+  // And a grantable query explains as accepted.
+  policy::Explanation ok = guarded_->ExplainQuery(
+      "appE", test::Q("Q(x, y) :- Meetings(x, y)", schema_));
+  EXPECT_TRUE(ok.accepted);
+}
+
+}  // namespace
+}  // namespace fdc::storage

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "cq/query.h"
+#include "test_util.h"
+
+namespace fdc::cq {
+namespace {
+
+TEST(TermTest, VarAndConstBasics) {
+  Term v = Term::Var(3);
+  Term c = Term::Const("Cathy");
+  EXPECT_TRUE(v.is_var());
+  EXPECT_FALSE(v.is_const());
+  EXPECT_EQ(v.var(), 3);
+  EXPECT_TRUE(c.is_const());
+  EXPECT_EQ(c.value(), "Cathy");
+  EXPECT_NE(v, c);
+  EXPECT_EQ(v, Term::Var(3));
+  EXPECT_NE(v, Term::Var(4));
+  EXPECT_EQ(c, Term::Const("Cathy"));
+  EXPECT_NE(c, Term::Const("Bob"));
+}
+
+TEST(TermTest, OrderingVariablesBeforeConstants) {
+  EXPECT_LT(Term::Var(0), Term::Var(1));
+  EXPECT_LT(Term::Var(5), Term::Const("a"));
+  EXPECT_LT(Term::Const("a"), Term::Const("b"));
+}
+
+TEST(QueryTest, DistinguishedVarsFromHead) {
+  cq::Schema schema = test::MakePaperSchema();
+  ConjunctiveQuery q = test::Q("Q(x, y) :- Meetings(x, y)", schema);
+  EXPECT_TRUE(q.IsDistinguished(0));
+  EXPECT_TRUE(q.IsDistinguished(1));
+  EXPECT_EQ(q.DistinguishedVars(), (std::vector<int>{0, 1}));
+
+  ConjunctiveQuery q2 = test::Q("Q(x) :- Meetings(x, y)", schema);
+  EXPECT_TRUE(q2.IsDistinguished(0));
+  EXPECT_FALSE(q2.IsDistinguished(1));
+}
+
+TEST(QueryTest, BooleanQuery) {
+  cq::Schema schema = test::MakePaperSchema();
+  ConjunctiveQuery q = test::Q("V5() :- Meetings(x, y)", schema);
+  EXPECT_TRUE(q.IsBoolean());
+  EXPECT_TRUE(q.DistinguishedVars().empty());
+  EXPECT_EQ(q.MaxVarId(), 1);
+}
+
+TEST(QueryTest, AtomCountPerVar) {
+  cq::Schema schema = test::MakePaperSchema();
+  // y joins the two atoms; x and w are single-atom variables.
+  ConjunctiveQuery q =
+      test::Q("Q(x) :- Meetings(x, y), Contacts(y, w, 'Intern')", schema);
+  std::vector<int> counts = q.AtomCountPerVar();
+  // Variables by first occurrence: x=0, y=1, w=2.
+  EXPECT_EQ(counts[0], 1);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 1);
+}
+
+TEST(QueryTest, AtomCountCountsEachAtomOnce) {
+  cq::Schema schema = test::MakePaperSchema();
+  ConjunctiveQuery q = test::Q("Q(x) :- Meetings(x, x)", schema);
+  EXPECT_EQ(q.AtomCountPerVar()[0], 1);  // twice in one atom = one atom
+}
+
+TEST(QueryTest, ValidateRejectsUnsafeHead) {
+  cq::Schema schema = test::MakePaperSchema();
+  ConjunctiveQuery q(
+      "Q", {Term::Var(5)},
+      {Atom(schema.Find("Meetings")->id, {Term::Var(0), Term::Var(1)})});
+  EXPECT_FALSE(q.Validate(schema).ok());
+}
+
+TEST(QueryTest, ValidateRejectsArityMismatch) {
+  cq::Schema schema = test::MakePaperSchema();
+  ConjunctiveQuery q("Q", {},
+                     {Atom(schema.Find("Meetings")->id, {Term::Var(0)})});
+  EXPECT_FALSE(q.Validate(schema).ok());
+}
+
+TEST(QueryTest, ValidateRejectsUnknownRelation) {
+  cq::Schema schema = test::MakePaperSchema();
+  ConjunctiveQuery q("Q", {}, {Atom(99, {Term::Var(0)})});
+  EXPECT_FALSE(q.Validate(schema).ok());
+}
+
+TEST(QueryTest, WithPromotedVars) {
+  cq::Schema schema = test::MakePaperSchema();
+  ConjunctiveQuery q = test::Q("Q(x) :- Meetings(x, y)", schema);
+  ConjunctiveQuery promoted = q.WithPromotedVars({1});
+  EXPECT_TRUE(promoted.IsDistinguished(1));
+  EXPECT_EQ(promoted.head().size(), 2u);
+  // Promoting an already-distinguished variable is a no-op.
+  ConjunctiveQuery again = promoted.WithPromotedVars({0, 1});
+  EXPECT_EQ(again.head().size(), 2u);
+}
+
+TEST(QueryTest, WithAtomSubset) {
+  cq::Schema schema = test::MakePaperSchema();
+  ConjunctiveQuery q =
+      test::Q("Q(x) :- Meetings(x, y), Contacts(y, w, 'Intern')", schema);
+  ConjunctiveQuery sub = q.WithAtomSubset({0});
+  EXPECT_EQ(sub.size(), 1);
+  EXPECT_EQ(sub.atoms()[0].relation, schema.Find("Meetings")->id);
+}
+
+TEST(QueryTest, SubstituteRenamesVariables) {
+  cq::Schema schema = test::MakePaperSchema();
+  ConjunctiveQuery q = test::Q("Q(x) :- Meetings(x, y)", schema);
+  std::vector<Term> mapping = {Term::Var(10), Term::Const("9")};
+  ConjunctiveQuery s = q.Substitute(mapping);
+  EXPECT_EQ(s.head()[0], Term::Var(10));
+  EXPECT_EQ(s.atoms()[0].terms[0], Term::Var(10));
+  EXPECT_EQ(s.atoms()[0].terms[1], Term::Const("9"));
+}
+
+TEST(QueryTest, EqualityIsStructural) {
+  cq::Schema schema = test::MakePaperSchema();
+  ConjunctiveQuery a = test::Q("Q(x) :- Meetings(x, y)", schema);
+  ConjunctiveQuery b = test::Q("R(x) :- Meetings(x, y)", schema);
+  EXPECT_EQ(a, b);  // names are not part of identity
+  ConjunctiveQuery c = test::Q("Q(y) :- Meetings(x, y)", schema);
+  EXPECT_FALSE(a == c);
+}
+
+}  // namespace
+}  // namespace fdc::cq

@@ -1,0 +1,75 @@
+// Shared fixtures for the test suite: the paper's running-example schema
+// (Figure 1), pattern builders, and a seeded random single-atom-view
+// generator used by the property suites.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "cq/datalog_parser.h"
+#include "cq/pattern.h"
+#include "cq/query.h"
+#include "cq/schema.h"
+
+namespace fdc::test {
+
+/// Schema of Figure 1: Meetings(time, person), Contacts(person, email,
+/// position).
+inline cq::Schema MakePaperSchema() {
+  cq::Schema schema;
+  auto m = schema.AddRelation("Meetings", {"time", "person"});
+  auto c = schema.AddRelation("Contacts", {"person", "email", "position"});
+  (void)m;
+  (void)c;
+  return schema;
+}
+
+/// Parses a Datalog view/query, aborting the test on parse failure.
+inline cq::ConjunctiveQuery Q(const std::string& text,
+                              const cq::Schema& schema) {
+  auto result = cq::ParseDatalog(text, schema);
+  if (!result.ok()) {
+    // GTest-friendly hard failure with the parser message.
+    throw std::runtime_error("parse failed: " + result.status().ToString() +
+                             " for: " + text);
+  }
+  return *result;
+}
+
+/// Pattern of a single-atom Datalog view.
+inline cq::AtomPattern P(const std::string& text, const cq::Schema& schema) {
+  auto pattern = cq::AtomPattern::FromQuery(Q(text, schema));
+  if (!pattern.ok()) {
+    throw std::runtime_error("not single-atom: " + text);
+  }
+  return *pattern;
+}
+
+/// Generates a random single-atom pattern over `relation` with the given
+/// arity: positions are constants from a two-value pool or variables drawn
+/// from a small class set with random distinguished tags.
+inline cq::AtomPattern RandomPattern(Rng* rng, int relation, int arity) {
+  const int max_classes = arity;
+  std::vector<bool> class_dist(max_classes);
+  for (int c = 0; c < max_classes; ++c) class_dist[c] = rng->Chance(0.5);
+
+  cq::AtomPattern p;
+  p.relation = relation;
+  p.terms.resize(arity);
+  for (int pos = 0; pos < arity; ++pos) {
+    cq::PatTerm& pt = p.terms[pos];
+    if (rng->Chance(0.2)) {
+      pt.is_const = true;
+      pt.value = rng->Chance(0.5) ? "a" : "b";
+    } else {
+      pt.is_const = false;
+      pt.cls = static_cast<int>(rng->Below(max_classes));
+      pt.distinguished = class_dist[pt.cls];
+    }
+  }
+  p.Normalize();
+  return p;
+}
+
+}  // namespace fdc::test
