@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Runs the hot-path benchmarks and merges their JSON output (plus computed
+# batched-vs-baseline speedups) into BENCH_hotpath.json at the repo root.
+#
+# Usage: FDC_BENCH_BIN_DIR=build bench/run_benchmarks.sh [output.json]
+# Also available as the CMake target `bench_hotpath`.
+set -euo pipefail
+
+bin_dir="${FDC_BENCH_BIN_DIR:-build}"
+out="${1:-BENCH_hotpath.json}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+run() {
+  local name="$1"
+  echo ">> $name" >&2
+  "$bin_dir/$name" \
+    --benchmark_out="$tmp/$name.json" \
+    --benchmark_out_format=json \
+    --benchmark_min_time=0.2 >&2
+}
+
+run fig_batch_monitor
+run fig5_labeler
+
+python3 - "$tmp" "$out" <<'EOF'
+import json, sys, os
+
+tmp, out = sys.argv[1], sys.argv[2]
+merged = {"benchmarks": {}, "speedups": {}}
+
+for name in ("fig_batch_monitor", "fig5_labeler"):
+    with open(os.path.join(tmp, name + ".json")) as f:
+        data = json.load(f)
+    merged.setdefault("context", data.get("context", {}))
+    for bench in data.get("benchmarks", []):
+        merged["benchmarks"][bench["name"]] = {
+            k: bench[k]
+            for k in ("real_time", "cpu_time", "time_unit",
+                      "items_per_second", "queries_per_second",
+                      "sec_per_1M_queries")
+            if k in bench
+        }
+
+def rate(name):
+    b = merged["benchmarks"].get(name, {})
+    return b.get("queries_per_second") or b.get("items_per_second")
+
+# Batched monitor pipeline vs the seed per-query path.
+for atoms in (3, 6, 9, 12, 15):
+    base = rate(f"BatchMonitor/per_query_baseline/max_atoms/{atoms}")
+    batched = rate(f"BatchMonitor/batched/max_atoms/{atoms}")
+    if base and batched:
+        merged["speedups"][f"batch_monitor_vs_baseline/max_atoms/{atoms}"] = \
+            round(batched / base, 2)
+
+# Packed labeler vs the §4.2 baseline (Figure 5 series).
+for atoms in (3, 6, 9, 12, 15):
+    base = rate(f"Fig5/baseline/max_atoms/{atoms}")
+    packed = rate(f"Fig5/bitvectors_and_hashing/max_atoms/{atoms}")
+    if base and packed:
+        merged["speedups"][f"fig5_packed_vs_baseline/max_atoms/{atoms}"] = \
+            round(packed / base, 2)
+
+ratios = [v for k, v in merged["speedups"].items()
+          if k.startswith("batch_monitor_vs_baseline")]
+merged["min_batch_monitor_speedup"] = min(ratios) if ratios else None
+
+with open(out, "w") as f:
+    json.dump(merged, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"wrote {out}; min batched speedup = {merged['min_batch_monitor_speedup']}")
+EOF

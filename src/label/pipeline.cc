@@ -75,6 +75,118 @@ DisclosureLabel LabelerPipeline::LabelPacked(
   return label;
 }
 
+LabelingPipeline::LabelingPipeline(const ViewCatalog* catalog,
+                                   cq::QueryInterner* interner,
+                                   rewriting::ContainmentCache* cache,
+                                   DissectOptions dissect_options,
+                                   Options options)
+    : inner_(catalog, dissect_options),
+      dissect_options_(dissect_options),
+      options_(options),
+      interner_(interner),
+      cache_(cache) {
+  if (interner_ == nullptr) {
+    owned_interner_ = std::make_unique<cq::QueryInterner>();
+    interner_ = owned_interner_.get();
+  }
+  if (cache_ == nullptr) {
+    owned_cache_ = std::make_unique<rewriting::ContainmentCache>();
+    cache_ = owned_cache_.get();
+  }
+}
+
+PackedAtomLabel LabelingPipeline::MaskFor(int pattern_id,
+                                          const cq::AtomPattern& pattern) {
+  auto it = mask_by_pattern_.find(pattern_id);
+  if (it != mask_by_pattern_.end()) {
+    ++stats_.mask_hits;
+    return it->second;
+  }
+  ++stats_.mask_misses;
+  uint32_t mask = 0;
+  for (int view_id : inner_.catalog().ViewsOfRelation(pattern.relation)) {
+    const SecurityView& view = inner_.catalog().view(view_id);
+    if (cache_->RewritableCached(*interner_, pattern_id, view_id, pattern,
+                                 view.pattern)) {
+      mask |= (1u << view.bit);
+    }
+  }
+  PackedAtomLabel packed(static_cast<uint32_t>(pattern.relation), mask);
+  mask_by_pattern_.emplace(pattern_id, packed);
+  return packed;
+}
+
+DisclosureLabel LabelingPipeline::ComputeLabel(
+    const cq::ConjunctiveQuery& canonical) {
+  assert(inner_.catalog().MaxViewsPerRelation() <= 32 &&
+         "packed labels hold at most 32 views per relation; use LabelWide");
+  DisclosureLabel label;
+  for (const cq::AtomPattern& atom : Dissect(canonical, dissect_options_)) {
+    label.Add(MaskFor(interner_->InternPattern(atom), atom));
+  }
+  label.Seal();
+  return label;
+}
+
+DisclosureLabel LabelingPipeline::Label(const cq::ConjunctiveQuery& query) {
+  if (options_.ablate_interning) return inner_.LabelPacked(query);
+  const cq::InternedQuery* handle =
+      interner_->TryIntern(query, options_.max_interned_queries);
+  if (handle == nullptr) return inner_.LabelPacked(query);  // saturated
+  const cq::InternedQuery& interned = *handle;
+  auto it = label_by_query_.find(interned.id());
+  if (it != label_by_query_.end()) {
+    ++stats_.label_hits;
+    return it->second;
+  }
+  ++stats_.label_misses;
+  if (label_by_query_.size() >= options_.max_label_cache) {
+    label_by_query_.clear();
+  }
+  DisclosureLabel label = ComputeLabel(interned.query());
+  label_by_query_.emplace(interned.id(), label);
+  return label;
+}
+
+std::vector<DisclosureLabel> LabelingPipeline::LabelBatch(
+    std::span<const cq::ConjunctiveQuery> queries) {
+  std::vector<DisclosureLabel> out;
+  out.reserve(queries.size());
+  if (options_.ablate_interning) {
+    for (const cq::ConjunctiveQuery& query : queries) {
+      out.push_back(inner_.LabelPacked(query));
+    }
+    return out;
+  }
+  // Bucket by interned id against the persistent memo: the batch's
+  // distinct structures are labeled once, duplicates cost one map probe.
+  // The capacity check runs only between batches so memo references stay
+  // stable within one.
+  if (label_by_query_.size() >= options_.max_label_cache) {
+    label_by_query_.clear();
+  }
+  for (const cq::ConjunctiveQuery& query : queries) {
+    const cq::InternedQuery* handle =
+        interner_->TryIntern(query, options_.max_interned_queries);
+    if (handle == nullptr) {
+      out.push_back(inner_.LabelPacked(query));  // interner saturated
+      continue;
+    }
+    const int id = handle->id();
+    auto it = label_by_query_.find(id);
+    if (it == label_by_query_.end()) {
+      ++stats_.label_misses;
+      it = label_by_query_
+               .emplace(id, ComputeLabel(interner_->query(id).query()))
+               .first;
+    } else {
+      ++stats_.label_hits;
+    }
+    out.push_back(it->second);
+  }
+  return out;
+}
+
 WideLabel LabelerPipeline::LabelWide(const cq::ConjunctiveQuery& query) const {
   WideLabel label;
   for (const cq::AtomPattern& atom : Dissect(query, dissect_options_)) {

@@ -14,14 +14,19 @@
 // experimental design.
 #pragma once
 
+#include <memory>
 #include <set>
+#include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "common/result.h"
+#include "cq/interned.h"
 #include "cq/query.h"
 #include "label/compressed_label.h"
 #include "label/dissect.h"
 #include "label/view_catalog.h"
+#include "rewriting/containment_cache.h"
 
 namespace fdc::label {
 
@@ -61,6 +66,87 @@ class LabelerPipeline {
  private:
   const ViewCatalog* catalog_;
   DissectOptions dissect_options_;
+};
+
+/// The production labeling front end: intern → index → memoize → batch.
+///
+/// Layered on LabelerPipeline::LabelPacked (which itself benefits from the
+/// indexed homomorphism engine inside Dissect's folding step):
+///   1. queries are canonicalized once and hash-consed by a QueryInterner,
+///      so structurally repeated queries share one interned id;
+///   2. whole-query labels are memoized by interned id — the §7.2
+///      repeated-template workload turns into one hash probe per query;
+///   3. dissected atom patterns are interned too, and their per-relation ℓ+
+///      masks memoized, so even novel queries built from seen atoms skip
+///      the per-view rewritability scans (backed by the shared
+///      rewriting::ContainmentCache under kCatalogRewritable);
+///   4. LabelBatch buckets a whole batch by interned id and computes each
+///      distinct label exactly once.
+///
+/// `ablate_interning` (baseline mode, kept for the Figure-style benchmark
+/// ablation) bypasses all of the above and calls LabelPacked per query.
+/// Not thread-safe; one instance per serving thread, sharing is the cache's
+/// job.
+struct LabelingOptions {
+  /// Baseline mode: no interning, no memoization (bench ablation).
+  bool ablate_interning = false;
+  /// Whole-query label memo entries kept before the memo is reset.
+  size_t max_label_cache = 1 << 20;
+  /// Interner growth bound: once this many distinct structures are
+  /// interned, novel ones are labeled statelessly (LabelPacked) instead of
+  /// being interned — queries are principal-controlled, so the interner
+  /// must not grow without bound under adversarial distinct-structure
+  /// streams. Known structures keep hitting their memoized labels.
+  size_t max_interned_queries = 1 << 20;
+};
+
+class LabelingPipeline {
+ public:
+  using Options = LabelingOptions;
+
+  struct Stats {
+    uint64_t label_hits = 0;    // whole-query label memo hits
+    uint64_t label_misses = 0;  // labels computed from scratch
+    uint64_t mask_hits = 0;     // per-pattern ℓ+ mask memo hits
+    uint64_t mask_misses = 0;
+  };
+
+  /// `interner` and `cache` may be null (private ones are created). When
+  /// shared, the cache's kCatalogRewritable kind must only carry this
+  /// (interner, catalog) pair's ids.
+  LabelingPipeline(const ViewCatalog* catalog,
+                   cq::QueryInterner* interner = nullptr,
+                   rewriting::ContainmentCache* cache = nullptr,
+                   DissectOptions dissect_options = {},
+                   LabelingOptions options = {});
+
+  /// Interned + memoized packed label; agrees with LabelPacked.
+  DisclosureLabel Label(const cq::ConjunctiveQuery& query);
+
+  /// Labels a batch, computing each distinct structure once.
+  std::vector<DisclosureLabel> LabelBatch(
+      std::span<const cq::ConjunctiveQuery> queries);
+
+  cq::QueryInterner& interner() { return *interner_; }
+  rewriting::ContainmentCache& cache() { return *cache_; }
+  const Stats& stats() const { return stats_; }
+  const ViewCatalog& catalog() const { return inner_.catalog(); }
+
+ private:
+  /// ℓ+ mask of one interned pattern (memoized).
+  PackedAtomLabel MaskFor(int pattern_id, const cq::AtomPattern& pattern);
+  DisclosureLabel ComputeLabel(const cq::ConjunctiveQuery& canonical);
+
+  LabelerPipeline inner_;
+  DissectOptions dissect_options_;
+  Options options_;
+  cq::QueryInterner* interner_;
+  rewriting::ContainmentCache* cache_;
+  std::unique_ptr<cq::QueryInterner> owned_interner_;
+  std::unique_ptr<rewriting::ContainmentCache> owned_cache_;
+  std::unordered_map<int, DisclosureLabel> label_by_query_;
+  std::unordered_map<int, PackedAtomLabel> mask_by_pattern_;
+  Stats stats_;
 };
 
 }  // namespace fdc::label

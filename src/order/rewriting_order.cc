@@ -5,14 +5,13 @@
 namespace fdc::order {
 
 bool RewritingOrder::LeqPair(int v, int w) const {
-  const uint64_t key =
-      (static_cast<uint64_t>(static_cast<uint32_t>(v)) << 32) |
-      static_cast<uint32_t>(w);
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  using Kind = rewriting::ContainmentCache::Kind;
+  if (auto cached = cache_->Lookup(Kind::kUniverseRewritable, v, w)) {
+    return *cached;
+  }
   const bool result =
       rewriting::AtomRewritable(universe_->Get(v), universe_->Get(w));
-  cache_.emplace(key, result);
+  cache_->Insert(Kind::kUniverseRewritable, v, w, result);
   return result;
 }
 

@@ -9,20 +9,34 @@
 // survives in the core already suffices. The reduction is cross-checked
 // against the brute-force oracle in tests.
 //
-// Results of pairwise tests are memoized: workloads ask the same
-// (pattern, view) pairs millions of times (§7.2).
+// Results of pairwise tests are memoized in a rewriting::ContainmentCache:
+// workloads ask the same (pattern, view) pairs millions of times (§7.2).
+// Pass a shared cache so every consumer of the same universe (GlbLabeler,
+// DisclosureLattice, analyses) hits one bounded table; without one, the
+// order creates a private cache.
 #pragma once
 
-#include <unordered_map>
+#include <memory>
 
 #include "order/preorder.h"
 #include "order/universe.h"
+#include "rewriting/containment_cache.h"
 
 namespace fdc::order {
 
 class RewritingOrder final : public DisclosureOrder {
  public:
-  explicit RewritingOrder(const Universe* universe) : universe_(universe) {}
+  /// `shared_cache` may be null (a private cache is created) but, when
+  /// given, must only be keyed with this universe's ids under the
+  /// kUniverseRewritable kind — one cache per universe.
+  explicit RewritingOrder(const Universe* universe,
+                          rewriting::ContainmentCache* shared_cache = nullptr)
+      : universe_(universe), cache_(shared_cache) {
+    if (cache_ == nullptr) {
+      owned_cache_ = std::make_unique<rewriting::ContainmentCache>();
+      cache_ = owned_cache_.get();
+    }
+  }
 
   bool LeqSingle(int v, const ViewSet& w_set) const override;
 
@@ -30,10 +44,12 @@ class RewritingOrder final : public DisclosureOrder {
   bool LeqPair(int v, int w) const;
 
   const Universe& universe() const { return *universe_; }
+  rewriting::ContainmentCache& cache() const { return *cache_; }
 
  private:
   const Universe* universe_;
-  mutable std::unordered_map<uint64_t, bool> cache_;
+  rewriting::ContainmentCache* cache_;
+  std::unique_ptr<rewriting::ContainmentCache> owned_cache_;
 };
 
 }  // namespace fdc::order

@@ -7,14 +7,14 @@ namespace fdc::policy {
 Explanation ExplainDecision(const SecurityPolicy& policy,
                             const label::ViewCatalog& catalog,
                             const label::DisclosureLabel& label,
-                            uint32_t consistent) {
+                            uint64_t consistent) {
   Explanation out;
   out.label_is_top = label.top();
   for (int p = 0; p < policy.num_partitions(); ++p) {
     PartitionDiagnosis diag;
     diag.partition = p;
     diag.partition_name = policy.partitions()[p].name;
-    if ((consistent & (1u << p)) == 0) {
+    if ((consistent & (1ULL << p)) == 0) {
       diag.lost_earlier = true;
       out.partitions.push_back(std::move(diag));
       continue;

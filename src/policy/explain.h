@@ -50,6 +50,6 @@ struct Explanation {
 Explanation ExplainDecision(const SecurityPolicy& policy,
                             const label::ViewCatalog& catalog,
                             const label::DisclosureLabel& label,
-                            uint32_t consistent);
+                            uint64_t consistent);
 
 }  // namespace fdc::policy

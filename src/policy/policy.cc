@@ -9,9 +9,12 @@ Result<SecurityPolicy> SecurityPolicy::Compile(
   if (partitions.empty()) {
     return Status::InvalidArgument("a policy needs at least one partition");
   }
-  if (partitions.size() > 32) {
-    return Status::OutOfRange("at most 32 partitions per policy (got " +
-                              std::to_string(partitions.size()) + ")");
+  if (partitions.size() > static_cast<size_t>(kMaxPartitions)) {
+    return Status::OutOfRange(
+        "policy has " + std::to_string(partitions.size()) +
+        " partitions, but the consistency bit vector is " +
+        std::to_string(kMaxPartitions) +
+        " bits wide; split the policy or raise kMaxPartitions");
   }
   SecurityPolicy policy;
   policy.relation_masks_.resize(partitions.size());
@@ -32,17 +35,17 @@ Result<SecurityPolicy> SecurityPolicy::Compile(
   return policy;
 }
 
-uint32_t SecurityPolicy::AllowedPartitions(const label::DisclosureLabel& label,
-                                           uint32_t candidates) const {
+uint64_t SecurityPolicy::AllowedPartitions(const label::DisclosureLabel& label,
+                                           uint64_t candidates) const {
   if (label.top()) return 0;
-  uint32_t surviving = candidates & AllPartitionsMask();
+  uint64_t surviving = candidates & AllPartitionsMask();
   // Loop atoms outer, partitions inner: labels have 1–3 atoms (§7.2) and
   // each test is one load + AND.
   for (const label::PackedAtomLabel& atom : label.atoms()) {
-    uint32_t next = 0;
+    uint64_t next = 0;
     ForEachBit(surviving, [&](int p) {
       if ((PartitionMask(p, atom.relation()) & atom.mask()) != 0) {
-        next |= (1u << p);
+        next |= (1ULL << p);
       }
     });
     surviving = next;

@@ -3,7 +3,9 @@
 // A policy is {W1, ..., Wk}: each partition Wi is a set of security views.
 // The enforced invariant is that the answered queries Q1..Qn satisfy
 // {Q1..Qn} ⪯ Wi for at least one i. k = 1 is a stateless policy; k > 1
-// expresses Chinese-Wall-style alternatives (Example 6.2).
+// expresses Chinese-Wall-style alternatives (Example 6.2). The consistency
+// state is one uint64_t, so k ≤ kMaxPartitions (= 64); Compile reports a
+// clear OutOfRange error beyond that.
 //
 // Compilation turns each partition into a dense per-relation view mask so a
 // "query ⪯ partition" test is one AND per dissected atom (§6.1):
@@ -28,8 +30,12 @@ struct Partition {
 
 class SecurityPolicy {
  public:
-  /// Compiles partitions against a catalog. At most 32 partitions (the
-  /// consistency state is one uint32_t); views must exist in the catalog.
+  /// Partition-count capacity: the width of the consistency bit vector.
+  static constexpr int kMaxPartitions = 64;
+
+  /// Compiles partitions against a catalog. At most kMaxPartitions
+  /// partitions (the consistency state is one uint64_t); views must exist
+  /// in the catalog.
   static Result<SecurityPolicy> Compile(const label::ViewCatalog& catalog,
                                         std::vector<Partition> partitions);
 
@@ -45,11 +51,16 @@ class SecurityPolicy {
                : static_cast<int>(relation_masks_[0].size());
   }
 
+  /// Mask with the low `partitions` bits set (the fully consistent state
+  /// for a policy with that many partitions).
+  static constexpr uint64_t FullPartitionMask(int partitions) {
+    return partitions >= kMaxPartitions ? ~0ULL
+                                        : ((1ULL << partitions) - 1);
+  }
+
   /// Mask with one bit per partition, all set.
-  uint32_t AllPartitionsMask() const {
-    return num_partitions() >= 32
-               ? ~0u
-               : ((1u << num_partitions()) - 1);
+  uint64_t AllPartitionsMask() const {
+    return FullPartitionMask(num_partitions());
   }
 
   /// ℓ+ mask of views partition `p` holds over `relation`.
@@ -69,8 +80,8 @@ class SecurityPolicy {
 
   /// Filters `candidates` (bit per partition) down to partitions that stay
   /// consistent if `label` is disclosed. The reference monitor's hot path.
-  uint32_t AllowedPartitions(const label::DisclosureLabel& label,
-                             uint32_t candidates) const;
+  uint64_t AllowedPartitions(const label::DisclosureLabel& label,
+                             uint64_t candidates) const;
 
  private:
   std::vector<Partition> partitions_;

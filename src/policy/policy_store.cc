@@ -24,20 +24,20 @@ uint32_t PolicyStore::AddPrincipal(const SecurityPolicy& policy) {
   return static_cast<uint32_t>(meta_.size() - 1);
 }
 
-uint32_t PolicyStore::SurvivingPartitions(const Meta& meta,
+uint64_t PolicyStore::SurvivingPartitions(const Meta& meta,
                                           const label::DisclosureLabel& label,
-                                          uint32_t candidates) const {
+                                          uint64_t candidates) const {
   if (label.top()) return 0;
-  uint32_t surviving = candidates;
+  uint64_t surviving = candidates;
   const uint32_t* base = masks_.data() + meta.offset;
   for (const label::PackedAtomLabel& atom : label.atoms()) {
     const uint32_t relation = atom.relation();
     const uint32_t mask = atom.mask();
-    uint32_t next = 0;
+    uint64_t next = 0;
     ForEachBit(surviving, [&](int p) {
       if ((base[static_cast<size_t>(p) * num_relations_ + relation] & mask) !=
           0) {
-        next |= (1u << p);
+        next |= (1ULL << p);
       }
     });
     surviving = next;
@@ -49,7 +49,7 @@ uint32_t PolicyStore::SurvivingPartitions(const Meta& meta,
 bool PolicyStore::Submit(uint32_t principal,
                          const label::DisclosureLabel& label) {
   const Meta& meta = meta_[principal];
-  const uint32_t surviving =
+  const uint64_t surviving =
       SurvivingPartitions(meta, label, states_[principal]);
   if (surviving == 0) return false;
   states_[principal] = surviving;
@@ -59,22 +59,19 @@ bool PolicyStore::Submit(uint32_t principal,
 bool PolicyStore::CheckStateless(uint32_t principal,
                                  const label::DisclosureLabel& label) const {
   const Meta& meta = meta_[principal];
-  const uint32_t all =
-      meta.partitions >= 32 ? ~0u : ((1u << meta.partitions) - 1);
+  const uint64_t all = SecurityPolicy::FullPartitionMask(meta.partitions);
   return SurvivingPartitions(meta, label, all) != 0;
 }
 
 void PolicyStore::ResetStates() {
   for (size_t i = 0; i < meta_.size(); ++i) {
-    states_[i] = meta_[i].partitions >= 32
-                     ? ~0u
-                     : ((1u << meta_[i].partitions) - 1);
+    states_[i] = SecurityPolicy::FullPartitionMask(meta_[i].partitions);
   }
 }
 
 size_t PolicyStore::MemoryBytes() const {
   return masks_.capacity() * sizeof(uint32_t) + meta_.capacity() * sizeof(Meta) +
-         states_.capacity() * sizeof(uint32_t);
+         states_.capacity() * sizeof(uint64_t);
 }
 
 }  // namespace fdc::policy

@@ -5,7 +5,7 @@
 // SecurityPolicy object per principal would cost a dozen heap allocations
 // each; PolicyStore flattens every principal's compiled partition masks
 // into one contiguous array and keeps per-principal state as a single
-// 32-bit consistency vector (§6.2), so the whole fleet fits in a few
+// 64-bit consistency vector (§6.2), so the whole fleet fits in a few
 // hundred bytes per principal and the hot path touches two cache lines.
 #pragma once
 
@@ -41,7 +41,7 @@ class PolicyStore {
                       const label::DisclosureLabel& label) const;
 
   /// Remaining consistent partitions of a principal.
-  uint32_t ConsistentPartitions(uint32_t principal) const {
+  uint64_t ConsistentPartitions(uint32_t principal) const {
     return states_[principal];
   }
 
@@ -57,14 +57,14 @@ class PolicyStore {
     uint8_t partitions;    // k
   };
 
-  uint32_t SurvivingPartitions(const Meta& meta,
+  uint64_t SurvivingPartitions(const Meta& meta,
                                const label::DisclosureLabel& label,
-                               uint32_t candidates) const;
+                               uint64_t candidates) const;
 
   int num_relations_;
   std::vector<uint32_t> masks_;  // per principal: k × num_relations masks
   std::vector<Meta> meta_;
-  std::vector<uint32_t> states_;
+  std::vector<uint64_t> states_;
 };
 
 }  // namespace fdc::policy

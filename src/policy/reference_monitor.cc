@@ -1,5 +1,56 @@
 #include "policy/reference_monitor.h"
 
-// Header-only hot path; this translation unit anchors the library target.
+namespace fdc::policy {
 
-namespace fdc::policy {}  // namespace fdc::policy
+namespace {
+
+// Content hash of a sealed label (atoms are sorted by Seal, so equal labels
+// hash equally).
+size_t HashLabel(const label::DisclosureLabel& label) {
+  uint64_t h = label.top() ? 0x9e3779b97f4a7c15ULL : 0x517cc1b727220a95ULL;
+  for (const label::PackedAtomLabel& atom : label.atoms()) {
+    h ^= atom.raw() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return static_cast<size_t>(h);
+}
+
+struct LabelRef {
+  const label::DisclosureLabel* label;
+  size_t hash;
+};
+struct LabelRefHash {
+  size_t operator()(const LabelRef& ref) const { return ref.hash; }
+};
+struct LabelRefEq {
+  bool operator()(const LabelRef& a, const LabelRef& b) const {
+    return *a.label == *b.label;
+  }
+};
+
+}  // namespace
+
+std::vector<bool> ReferenceMonitor::SubmitBatch(
+    PrincipalState* state,
+    std::span<const label::DisclosureLabel> labels) const {
+  std::vector<bool> decisions;
+  decisions.reserve(labels.size());
+  // Monotone-narrowing memo: accepted labels stay accepted with no state
+  // change; refused labels stay refused (see header). Valid within the
+  // batch because `state` only narrows.
+  std::unordered_map<LabelRef, bool, LabelRefHash, LabelRefEq> memo;
+  memo.reserve(labels.size());
+  for (const label::DisclosureLabel& label : labels) {
+    const LabelRef ref{&label, HashLabel(label)};
+    auto it = memo.find(ref);
+    if (it != memo.end()) {
+      decisions.push_back(it->second);
+      continue;
+    }
+    const bool accepted = Submit(state, label);
+    memo.emplace(ref, accepted);
+    decisions.push_back(accepted);
+  }
+  return decisions;
+}
+
+}  // namespace fdc::policy

@@ -5,10 +5,20 @@
 // holds. Per-principal state is a single bit vector with one bit per
 // partition (Example 6.3): bit i set means the history so far is ⪯ Wi.
 // A query is accepted iff at least one bit survives; refused queries leave
-// the state untouched.
+// the state untouched. The state word is 64 bits wide, matching
+// SecurityPolicy::kMaxPartitions.
+//
+// SubmitBatch amortizes repeated-structure workloads: state narrowing is
+// monotone, so a label's decision is stable for the lifetime of a state —
+// once a label is accepted, later identical submits accept without touching
+// the state; once refused, they stay refused. The batch path memoizes
+// decisions per distinct label and only runs the partition scan once each.
 #pragma once
 
 #include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
 
 #include "label/compressed_label.h"
 #include "policy/policy.h"
@@ -18,7 +28,7 @@ namespace fdc::policy {
 /// Per-principal monitor state: which partitions remain consistent with the
 /// queries answered so far.
 struct PrincipalState {
-  uint32_t consistent = 0;
+  uint64_t consistent = 0;
 };
 
 class ReferenceMonitor {
@@ -39,12 +49,20 @@ class ReferenceMonitor {
   /// Stateful submit: on accept, state narrows to the partitions that stay
   /// consistent; on refuse, state is unchanged and false is returned.
   bool Submit(PrincipalState* state, const label::DisclosureLabel& label) const {
-    const uint32_t surviving =
+    const uint64_t surviving =
         policy_->AllowedPartitions(label, state->consistent);
     if (surviving == 0) return false;
     state->consistent = surviving;
     return true;
   }
+
+  /// Batched stateful submit: decision-for-decision identical to calling
+  /// Submit on each label in order, but duplicate labels (compared by
+  /// content; labels should be Sealed) cost one hash probe instead of a
+  /// partition scan. Returns one accept/refuse bit per input label.
+  std::vector<bool> SubmitBatch(
+      PrincipalState* state,
+      std::span<const label::DisclosureLabel> labels) const;
 
   const SecurityPolicy& policy() const { return *policy_; }
 

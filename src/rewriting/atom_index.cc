@@ -1,0 +1,66 @@
+#include "rewriting/atom_index.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace fdc::rewriting {
+
+TargetAtomIndex::TargetAtomIndex(
+    const cq::ConjunctiveQuery& target, const std::vector<bool>& allowed,
+    const std::vector<cq::AtomSignature>* signatures)
+    : target_(&target) {
+  int max_relation = -1;
+  for (const cq::Atom& atom : target.atoms()) {
+    max_relation = std::max(max_relation, atom.relation);
+  }
+  buckets_.resize(static_cast<size_t>(max_relation + 1));
+  for (size_t i = 0; i < target.atoms().size(); ++i) {
+    if (!allowed.empty() && !allowed[i]) continue;
+    const cq::Atom& atom = target.atoms()[i];
+    if (atom.relation < 0) continue;
+    Entry entry;
+    entry.position = static_cast<int>(i);
+    entry.signature = signatures != nullptr
+                          ? (*signatures)[i]
+                          : cq::ComputeAtomSignature(atom);
+    buckets_[static_cast<size_t>(atom.relation)].push_back(entry);
+  }
+}
+
+void TargetAtomIndex::CandidatesFor(const cq::Atom& atom,
+                                    const cq::AtomSignature& sig,
+                                    std::vector<int>* out) const {
+  if (atom.relation < 0 ||
+      static_cast<size_t>(atom.relation) >= buckets_.size()) {
+    return;
+  }
+  for (const Entry& entry : buckets_[static_cast<size_t>(atom.relation)]) {
+    // Signature filter: arity, then "all source constant positions are also
+    // constant in the target" (constants map to themselves).
+    if (!sig.CompatibleWith(entry.signature)) continue;
+    // Exact constant-value check, only at the source's constant positions.
+    const cq::Atom& candidate = target_->atoms()[entry.position];
+    bool ok = true;
+    uint64_t const_positions = sig.const_positions;
+    // Positions ≥ 64 are not covered by the mask; fall back to a full scan
+    // of constant positions for pathological arities.
+    if (atom.arity() > 64) {
+      for (int p = 0; p < atom.arity() && ok; ++p) {
+        if (atom.terms[p].is_const()) {
+          ok = candidate.terms[p].is_const() &&
+               candidate.terms[p].value() == atom.terms[p].value();
+        }
+      }
+    } else {
+      while (const_positions != 0 && ok) {
+        const int p = std::countr_zero(const_positions);
+        const_positions &= const_positions - 1;
+        ok = candidate.terms[p].is_const() &&
+             candidate.terms[p].value() == atom.terms[p].value();
+      }
+    }
+    if (ok) out->push_back(entry.position);
+  }
+}
+
+}  // namespace fdc::rewriting

@@ -1,0 +1,51 @@
+// Per-predicate atom index over a homomorphism target query.
+//
+// The seed HomSearch::Backtrack tried every target atom as the image of
+// every source atom — O(|from|·|to|) candidate pairs before any pruning.
+// A TargetAtomIndex buckets target atoms by relation id and precomputes
+// their constant signatures (cq::AtomSignature), so candidate generation is
+// one bucket lookup plus a cheap signature filter per bucket entry: wrong
+// relation, wrong arity, and constant-position/value mismatches never reach
+// the backtracking search at all.
+//
+// Built in one pass over the target; intended to be constructed per search
+// (cheap) or from the precomputed signatures of an interned query.
+#pragma once
+
+#include <vector>
+
+#include "cq/interned.h"
+#include "cq/query.h"
+
+namespace fdc::rewriting {
+
+class TargetAtomIndex {
+ public:
+  /// Indexes `target`'s atoms. When `allowed` is non-empty, positions with
+  /// allowed[i] == false are excluded (folding's dropped-atom restriction).
+  /// `target` must outlive the index. `signatures`, when non-null, supplies
+  /// precomputed per-atom signatures (from an interned query).
+  TargetAtomIndex(const cq::ConjunctiveQuery& target,
+                  const std::vector<bool>& allowed,
+                  const std::vector<cq::AtomSignature>* signatures = nullptr);
+
+  /// Appends to `out` the target atom positions source atom `atom` (with
+  /// signature `sig`) could map onto: same relation and arity, and every
+  /// constant of `atom` matched by the identical constant in the target.
+  /// Exact w.r.t. atom-level compatibility; only variable-binding conflicts
+  /// remain for the backtracking search.
+  void CandidatesFor(const cq::Atom& atom, const cq::AtomSignature& sig,
+                     std::vector<int>* out) const;
+
+ private:
+  struct Entry {
+    int position;  // atom index in the target query
+    cq::AtomSignature signature;
+  };
+
+  // Buckets keyed by relation id (dense schema ids → flat vector).
+  std::vector<std::vector<Entry>> buckets_;
+  const cq::ConjunctiveQuery* target_;
+};
+
+}  // namespace fdc::rewriting

@@ -1,0 +1,92 @@
+#include "rewriting/containment_cache.h"
+
+#include <bit>
+
+#include "rewriting/atom_rewriting.h"
+#include "rewriting/containment.h"
+
+namespace fdc::rewriting {
+
+ContainmentCache::ContainmentCache(size_t capacity) {
+  if (capacity < 2) capacity = 2;
+  entries_.resize(std::bit_ceil(capacity));
+  mask_ = entries_.size() - 1;
+}
+
+size_t ContainmentCache::SlotFor(Kind kind, uint64_t key) const {
+  // splitmix64-style finalizer over the key and kind; the full key is still
+  // compared on lookup, so this only affects distribution, not correctness.
+  uint64_t h = key + 0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(kind) + 1);
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<size_t>(h ^ (h >> 31)) & mask_;
+}
+
+std::optional<bool> ContainmentCache::Lookup(Kind kind, int a, int b) {
+  const uint64_t key = MakeKey(a, b);
+  const Entry& entry = entries_[SlotFor(kind, key)];
+  if (entry.kind == static_cast<uint32_t>(kind) && entry.key == key) {
+    ++stats_.hits;
+    return entry.value != 0;
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void ContainmentCache::Insert(Kind kind, int a, int b, bool value) {
+  const uint64_t key = MakeKey(a, b);
+  Entry& entry = entries_[SlotFor(kind, key)];
+  if (entry.kind != 0 &&
+      (entry.kind != static_cast<uint32_t>(kind) || entry.key != key)) {
+    ++stats_.evictions;
+  }
+  entry.key = key;
+  entry.kind = static_cast<uint32_t>(kind);
+  entry.value = value ? 1 : 0;
+  ++stats_.insertions;
+}
+
+bool ContainmentCache::Contained(const cq::InternedQuery& a,
+                                 const cq::InternedQuery& b) {
+  if (auto cached = Lookup(Kind::kQueryContainment, a.id(), b.id())) {
+    return *cached;
+  }
+  bool result;
+  const cq::QueryDigest& da = a.digest();
+  const cq::QueryDigest& db = b.digest();
+  if (da.head_arity != db.head_arity) {
+    result = false;  // incomparable, as in IsContainedIn
+  } else if (!cq::MayHaveHomomorphismInto(db, da)) {
+    // a ⊆ b needs a homomorphism b → a; some relation of b is absent from a.
+    result = false;
+  } else {
+    result = IsContainedIn(a.query(), b.query());
+  }
+  Insert(Kind::kQueryContainment, a.id(), b.id(), result);
+  return result;
+}
+
+bool ContainmentCache::RewritableCached(const cq::QueryInterner& interner,
+                                        int pattern_id, int view_id,
+                                        const cq::AtomPattern& v,
+                                        const cq::AtomPattern& w) {
+  if (pattern_id_space_uid_ == 0) pattern_id_space_uid_ = interner.uid();
+  if (pattern_id_space_uid_ != interner.uid()) {
+    // Foreign interner: its pattern ids would alias the bound id space.
+    return AtomRewritable(v, w);
+  }
+  if (auto cached = Lookup(Kind::kCatalogRewritable, pattern_id, view_id)) {
+    return *cached;
+  }
+  const bool result = AtomRewritable(v, w);
+  Insert(Kind::kCatalogRewritable, pattern_id, view_id, result);
+  return result;
+}
+
+void ContainmentCache::Clear() {
+  for (Entry& entry : entries_) entry = Entry{};
+  pattern_id_space_uid_ = 0;
+  stats_ = Stats{};
+}
+
+}  // namespace fdc::rewriting

@@ -1,0 +1,102 @@
+// A sized, shared memoization table for pairwise query decisions.
+//
+// The seed memoized {v} ⪯ {w} results in an ad-hoc unordered_map private to
+// RewritingOrder, so GlbLabeler, DisclosureLattice, and the overprivilege
+// analysis each re-derived the same pairs when they held different order
+// objects, and the map grew without bound. ContainmentCache replaces it
+// with a transposition-table design shared across all consumers:
+//
+//   * fixed capacity (power of two), zero allocation after construction;
+//   * direct-mapped: a colliding insert evicts the previous occupant, so
+//     memory stays bounded under adversarial workloads while the repeated-
+//     structure common case (§7.2) stays ~100% hit;
+//   * exact keys: the full (kind, a, b) triple is stored and compared, so
+//     distinct pairs never alias — including negative or INT_MAX ids (the
+//     seed's LeqPair key had no such guard; see containment_cache_test.cc);
+//   * per-kind namespaces so different id spaces (universe view ids,
+//     catalog view ids, interned query/pattern ids) share one table without
+//     cross-talk.
+//
+// Decisions cached here must be pure functions of the id pair; callers pick
+// the Kind matching their id space. Not thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cq/interned.h"
+
+namespace fdc::rewriting {
+
+class ContainmentCache {
+ public:
+  /// Id-space namespaces. One cache instance may serve several kinds, but a
+  /// kind must only ever be used with one id space (e.g. one universe).
+  enum class Kind : uint32_t {
+    kUniverseRewritable = 1,  // (universe view id, universe view id)
+    kCatalogRewritable = 2,   // (interned pattern id, catalog view id)
+    kQueryContainment = 3,    // (interned query id, interned query id)
+  };
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t evictions = 0;
+  };
+
+  /// `capacity` is rounded up to a power of two; default fits ~64K pair
+  /// decisions in ~1.5 MB.
+  explicit ContainmentCache(size_t capacity = 1 << 16);
+
+  /// Cached decision for (kind, a, b), or nullopt on miss.
+  std::optional<bool> Lookup(Kind kind, int a, int b);
+
+  /// Records a decision, evicting any colliding entry.
+  void Insert(Kind kind, int a, int b, bool value);
+
+  /// Memoized a ⊆ b (IsContainedIn) on interned queries, with digest-level
+  /// fast rejects before the homomorphism search.
+  bool Contained(const cq::InternedQuery& a, const cq::InternedQuery& b);
+
+  /// Memoized AtomRewritable(v, w) under kCatalogRewritable, keyed by
+  /// (interned pattern id, catalog view id). The single shared entry point
+  /// for the labeling pipeline and the overprivilege audit, so the key
+  /// scheme cannot drift between them. The cache binds to the uid of the
+  /// first `interner` it sees (uids are process-unique and never reused,
+  /// unlike addresses): pattern ids from a *different* interner would
+  /// alias, so calls with another interner compute without touching the
+  /// cache (correct, just uncached) — misuse cannot poison label
+  /// decisions. Clear() drops the binding along with the entries.
+  bool RewritableCached(const cq::QueryInterner& interner, int pattern_id,
+                        int view_id, const cq::AtomPattern& v,
+                        const cq::AtomPattern& w);
+
+  const Stats& stats() const { return stats_; }
+  size_t capacity() const { return entries_.size(); }
+  void Clear();
+
+ private:
+  struct Entry {
+    uint64_t key = 0;     // (a << 32) | b, both cast through uint32_t
+    uint32_t kind = 0;    // 0 = empty slot
+    uint8_t value = 0;    // decision
+  };
+
+  // Injective over all (int, int) pairs: int -> uint32_t is a bijection.
+  static uint64_t MakeKey(int a, int b) {
+    return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
+           static_cast<uint32_t>(b);
+  }
+  size_t SlotFor(Kind kind, uint64_t key) const;
+
+  std::vector<Entry> entries_;
+  size_t mask_;
+  // uid of the interner whose pattern ids populate kCatalogRewritable
+  // entries (bound on first RewritableCached call; 0 = unbound).
+  uint64_t pattern_id_space_uid_ = 0;
+  Stats stats_;
+};
+
+}  // namespace fdc::rewriting

@@ -2,19 +2,29 @@
 
 #include <algorithm>
 
+#include "rewriting/atom_index.h"
+
 namespace fdc::rewriting {
 
 namespace {
 
 using cq::Atom;
+using cq::AtomSignature;
 using cq::ConjunctiveQuery;
 using cq::Term;
 
 class HomSearch {
  public:
   HomSearch(const ConjunctiveQuery& from, const ConjunctiveQuery& to,
-            const HomOptions& options, const std::vector<bool>& to_allowed)
-      : from_(from), to_(to), options_(options), to_allowed_(to_allowed) {
+            const HomOptions& options, const std::vector<bool>& to_allowed,
+            const std::vector<AtomSignature>* from_signatures,
+            const std::vector<AtomSignature>* to_signatures)
+      : from_(from),
+        to_(to),
+        options_(options),
+        to_allowed_(to_allowed),
+        from_signatures_(from_signatures),
+        to_signatures_(to_signatures) {
     mapping_.assign(static_cast<size_t>(from.MaxVarId() + 1), std::nullopt);
   }
 
@@ -22,26 +32,68 @@ class HomSearch {
     // Seed: fixed distinguished variables and explicit seeds.
     if (options_.fix_distinguished) {
       for (int v : from_.DistinguishedVars()) {
-        if (!Assign(v, Term::Var(v))) return std::nullopt;
+        if (!Assign(v, Term::Var(v))) return Fail();
       }
     }
     for (const auto& [v, t] : options_.seed) {
-      if (!Assign(v, t)) return std::nullopt;
+      if (!Assign(v, t)) return Fail();
     }
-    // Order atoms most-constrained-first: more constants/mapped vars first.
-    atom_order_.resize(from_.atoms().size());
-    for (size_t i = 0; i < atom_order_.size(); ++i) {
-      atom_order_[i] = static_cast<int>(i);
+
+    const size_t n = from_.atoms().size();
+    atom_order_.resize(n);
+    for (size_t i = 0; i < n; ++i) atom_order_[i] = static_cast<int>(i);
+
+    if (options_.engine == HomEngine::kIndexed) {
+      // Build the per-predicate index and materialize each source atom's
+      // static candidate list. An empty list is a proof of non-existence —
+      // reject before any backtracking.
+      TargetAtomIndex index(to_, to_allowed_, to_signatures_);
+      candidates_.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        const Atom& atom = from_.atoms()[i];
+        const AtomSignature sig = from_signatures_ != nullptr
+                                      ? (*from_signatures_)[i]
+                                      : cq::ComputeAtomSignature(atom);
+        index.CandidatesFor(atom, sig, &candidates_[i]);
+        if (candidates_[i].empty()) return Fail();
+      }
+      // Most-constrained-first: fewest candidate images first, breaking
+      // ties toward atoms with more constants/pre-mapped variables.
+      std::stable_sort(atom_order_.begin(), atom_order_.end(),
+                       [&](int a, int b) {
+                         const size_t ca = candidates_[a].size();
+                         const size_t cb = candidates_[b].size();
+                         if (ca != cb) return ca < cb;
+                         return Constrainedness(a) > Constrainedness(b);
+                       });
+    } else {
+      // Seed ordering: more constants/mapped vars first.
+      std::stable_sort(atom_order_.begin(), atom_order_.end(),
+                       [&](int a, int b) {
+                         return Constrainedness(a) > Constrainedness(b);
+                       });
     }
-    std::stable_sort(atom_order_.begin(), atom_order_.end(),
-                     [&](int a, int b) {
-                       return Constrainedness(a) > Constrainedness(b);
-                     });
-    if (Backtrack(0)) return mapping_;
-    return std::nullopt;
+
+    if (Backtrack(0)) {
+      FlushStats();
+      return mapping_;
+    }
+    return Fail();
   }
 
  private:
+  std::optional<VarMapping> Fail() {
+    FlushStats();
+    return std::nullopt;
+  }
+
+  void FlushStats() {
+    if (options_.stats != nullptr) {
+      options_.stats->steps = steps_;
+      options_.stats->budget_exhausted = budget_exhausted_;
+    }
+  }
+
   int Constrainedness(int atom_idx) const {
     int score = 0;
     for (const Term& t : from_.atoms()[atom_idx].terms) {
@@ -81,16 +133,39 @@ class HomSearch {
     return true;
   }
 
+  bool TryImage(const Atom& a, size_t bi, size_t depth) {
+    ++steps_;
+    const size_t mark = trail_.size();
+    if (MatchAtom(a, to_.atoms()[bi]) && Backtrack(depth + 1)) return true;
+    while (trail_.size() > mark) {
+      mapping_[trail_.back()] = std::nullopt;
+      trail_.pop_back();
+    }
+    return false;
+  }
+
+  bool BudgetExceeded() {
+    if (options_.max_steps != 0 && steps_ >= options_.max_steps) {
+      budget_exhausted_ = true;
+      return true;
+    }
+    return false;
+  }
+
   bool Backtrack(size_t depth) {
     if (depth == atom_order_.size()) return true;
-    const Atom& a = from_.atoms()[atom_order_[depth]];
-    for (size_t bi = 0; bi < to_.atoms().size(); ++bi) {
-      if (!to_allowed_.empty() && !to_allowed_[bi]) continue;
-      const size_t mark = trail_.size();
-      if (MatchAtom(a, to_.atoms()[bi]) && Backtrack(depth + 1)) return true;
-      while (trail_.size() > mark) {
-        mapping_[trail_.back()] = std::nullopt;
-        trail_.pop_back();
+    const int atom_idx = atom_order_[depth];
+    const Atom& a = from_.atoms()[atom_idx];
+    if (options_.engine == HomEngine::kIndexed) {
+      for (int bi : candidates_[atom_idx]) {
+        if (BudgetExceeded()) return false;
+        if (TryImage(a, static_cast<size_t>(bi), depth)) return true;
+      }
+    } else {
+      for (size_t bi = 0; bi < to_.atoms().size(); ++bi) {
+        if (!to_allowed_.empty() && !to_allowed_[bi]) continue;
+        if (BudgetExceeded()) return false;
+        if (TryImage(a, bi, depth)) return true;
       }
     }
     return false;
@@ -100,9 +175,14 @@ class HomSearch {
   const ConjunctiveQuery& to_;
   const HomOptions& options_;
   const std::vector<bool>& to_allowed_;
+  const std::vector<AtomSignature>* from_signatures_;
+  const std::vector<AtomSignature>* to_signatures_;
   VarMapping mapping_;
   std::vector<int> trail_;
   std::vector<int> atom_order_;
+  std::vector<std::vector<int>> candidates_;  // per source atom (kIndexed)
+  uint64_t steps_ = 0;
+  bool budget_exhausted_ = false;
 };
 
 }  // namespace
@@ -110,7 +190,23 @@ class HomSearch {
 std::optional<VarMapping> FindHomomorphism(
     const cq::ConjunctiveQuery& from, const cq::ConjunctiveQuery& to,
     const HomOptions& options, const std::vector<bool>& to_atom_allowed) {
-  return HomSearch(from, to, options, to_atom_allowed).Run();
+  return HomSearch(from, to, options, to_atom_allowed, nullptr, nullptr)
+      .Run();
+}
+
+std::optional<VarMapping> FindHomomorphismInterned(
+    const cq::InternedQuery& from, const cq::InternedQuery& to,
+    const HomOptions& options, const std::vector<bool>& to_atom_allowed) {
+  // Digest reject: sound even under a to_atom_allowed restriction, since a
+  // relation absent from the full target is absent from any subset of it.
+  if (options.engine == HomEngine::kIndexed &&
+      !cq::MayHaveHomomorphismInto(from.digest(), to.digest())) {
+    if (options.stats != nullptr) *options.stats = HomStats{};
+    return std::nullopt;
+  }
+  return HomSearch(from.query(), to.query(), options, to_atom_allowed,
+                   &from.atom_signatures(), &to.atom_signatures())
+      .Run();
 }
 
 }  // namespace fdc::rewriting

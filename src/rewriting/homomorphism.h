@@ -3,15 +3,22 @@
 // A homomorphism h from query A to query B maps each variable of A to a term
 // of B (constants map to themselves) such that the image of every body atom
 // of A is a body atom of B. Containment and folding both reduce to
-// homomorphism existence; the search is backtracking over atom images, which
-// is exponential in the worst case (the problem is NP-complete) but fast on
-// the small queries apps issue — the paper's own implementation makes the
-// same tradeoff (§6.1 complexity analysis).
+// homomorphism existence; the problem is NP-complete, so the search is
+// backtracking over atom images — but the production engine (kIndexed)
+// never scans the target linearly: candidate images come from a
+// per-predicate atom index with constant-position filters (atom_index.h),
+// and cheap necessary-condition rejects (relation-set containment via the
+// 64-bit digest Bloom set, per-atom empty candidate lists) run before any
+// backtracking starts. The seed linear-scan engine (kLinear) is kept both
+// as the ablation baseline and as the oracle for the agreement property
+// tests.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
+#include "cq/interned.h"
 #include "cq/query.h"
 
 namespace fdc::rewriting {
@@ -19,6 +26,23 @@ namespace fdc::rewriting {
 /// A variable mapping: index = variable id in the source query, value = image
 /// term in the target query. Unmapped ids hold std::nullopt.
 using VarMapping = std::vector<std::optional<cq::Term>>;
+
+/// Which search engine to use. Both return identical answers (existence and
+/// validity; the particular witness mapping may differ) when no budget is
+/// set; the agreement is enforced by tests/hom_index_property_test.cc.
+enum class HomEngine {
+  kIndexed,  // predicate-indexed candidates + digest rejects (production)
+  kLinear,   // seed linear scan over target atoms (baseline/oracle)
+};
+
+/// Out-params describing how a search ended (optional).
+struct HomStats {
+  /// Candidate-image attempts made by the backtracking search.
+  uint64_t steps = 0;
+  /// True iff the search gave up because `max_steps` was exhausted; the
+  /// nullopt result is then inconclusive, not a proof of non-existence.
+  bool budget_exhausted = false;
+};
 
 struct HomOptions {
   /// Require h(v) = v for every distinguished variable of the source. Used
@@ -28,6 +52,18 @@ struct HomOptions {
   /// Pre-seeded assignments (e.g. head alignment for containment checks).
   /// Entries are (source var, required image).
   std::vector<std::pair<int, cq::Term>> seed;
+
+  /// Engine selection; kIndexed unless ablating.
+  HomEngine engine = HomEngine::kIndexed;
+
+  /// Iteration budget for pathological inputs: maximum candidate-image
+  /// attempts before the search gives up (0 = unlimited, the default).
+  /// When exhausted, the result is nullopt and stats->budget_exhausted is
+  /// set — callers opting into a budget accept possible false negatives.
+  uint64_t max_steps = 0;
+
+  /// When non-null, filled with search statistics.
+  HomStats* stats = nullptr;
 };
 
 /// Searches for a homomorphism from `from` to `to`. Returns the mapping if
@@ -36,6 +72,14 @@ struct HomOptions {
 /// exclude the atom being dropped).
 std::optional<VarMapping> FindHomomorphism(
     const cq::ConjunctiveQuery& from, const cq::ConjunctiveQuery& to,
+    const HomOptions& options = {},
+    const std::vector<bool>& to_atom_allowed = {});
+
+/// Interned fast path: same semantics as FindHomomorphism(from.query(),
+/// to.query(), ...) but reuses both queries' precomputed digests and atom
+/// signatures — the digest reject costs two loads and an AND.
+std::optional<VarMapping> FindHomomorphismInterned(
+    const cq::InternedQuery& from, const cq::InternedQuery& to,
     const HomOptions& options = {},
     const std::vector<bool>& to_atom_allowed = {});
 

@@ -5,7 +5,7 @@ namespace fdc::storage {
 Result<std::vector<Tuple>> GuardedDatabase::Query(
     const std::string& principal, const cq::ConjunctiveQuery& query) {
   auto [it, inserted] = states_.try_emplace(principal, monitor_.InitialState());
-  const label::DisclosureLabel label = pipeline_.LabelPacked(query);
+  const label::DisclosureLabel label = pipeline_.Label(query);
   if (!monitor_.Submit(&it->second, label)) {
     return Status::PolicyViolation(
         "query refused: cumulative disclosure would exceed every policy "
@@ -22,7 +22,7 @@ Result<std::vector<Tuple>> GuardedDatabase::QuerySql(
   return Query(principal, *parsed);
 }
 
-uint32_t GuardedDatabase::ConsistentPartitions(
+uint64_t GuardedDatabase::ConsistentPartitions(
     const std::string& principal) const {
   auto it = states_.find(principal);
   if (it == states_.end()) return monitor_.InitialState().consistent;

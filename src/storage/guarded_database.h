@@ -21,6 +21,11 @@ namespace fdc::storage {
 class GuardedDatabase {
  public:
   /// All referenced objects must outlive the guarded database.
+  ///
+  /// Not thread-safe, including the const Explain*/ConsistentPartitions
+  /// surface: diagnostics warm the labeling pipeline's interner and memo
+  /// caches (logically const, physically mutating), so concurrent calls on
+  /// a shared instance race. One GuardedDatabase per serving thread.
   GuardedDatabase(const Database* db, const label::ViewCatalog* catalog,
                   const policy::SecurityPolicy* policy)
       : db_(db), pipeline_(catalog), monitor_(policy) {}
@@ -37,7 +42,7 @@ class GuardedDatabase {
 
   /// The label the monitor would use for `query` (for explanations/UIs).
   label::DisclosureLabel Explain(const cq::ConjunctiveQuery& query) const {
-    return pipeline_.LabelPacked(query);
+    return pipeline_.Label(query);
   }
 
   /// Full per-partition diagnosis of the decision the monitor *would* make
@@ -46,17 +51,19 @@ class GuardedDatabase {
   policy::Explanation ExplainQuery(const std::string& principal,
                                    const cq::ConjunctiveQuery& query) const {
     return policy::ExplainDecision(monitor_.policy(), pipeline_.catalog(),
-                                   pipeline_.LabelPacked(query),
+                                   pipeline_.Label(query),
                                    ConsistentPartitions(principal));
   }
 
   /// Remaining consistent partitions for a principal (all partitions if the
   /// principal has not queried yet).
-  uint32_t ConsistentPartitions(const std::string& principal) const;
+  uint64_t ConsistentPartitions(const std::string& principal) const;
 
  private:
   const Database* db_;
-  label::LabelerPipeline pipeline_;
+  // The interned+memoized labeling front end; mutable because its caches
+  // warm up inside logically-const explanation calls.
+  mutable label::LabelingPipeline pipeline_;
   policy::ReferenceMonitor monitor_;
   std::unordered_map<std::string, policy::PrincipalState> states_;
 };

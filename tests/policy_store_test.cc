@@ -96,7 +96,7 @@ TEST_F(PolicyStoreTest, ResetRestoresAllPartitions) {
   PolicyStore store(schema_.NumRelations());
   SecurityPolicy policy = policy_gen.Next();
   store.AddPrincipal(policy);
-  const uint32_t initial = store.ConsistentPartitions(0);
+  const uint64_t initial = store.ConsistentPartitions(0);
 
   auto stream = workload::GenerateLabelStream(*pipeline_, 50, 1, 2);
   for (const auto& lq : stream) store.Submit(0, lq.label);

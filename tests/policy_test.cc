@@ -147,8 +147,15 @@ TEST_F(Example62Test, CompileRejectsBadInput) {
   EXPECT_FALSE(SecurityPolicy::Compile(*catalog_, {}).ok());
   EXPECT_FALSE(
       SecurityPolicy::Compile(*catalog_, {{"W", {999}}}).ok());
-  std::vector<Partition> too_many(33, Partition{"W", {0}});
-  EXPECT_FALSE(SecurityPolicy::Compile(*catalog_, too_many).ok());
+  // 33 partitions fit since the state word widened to 64 bits; one past
+  // kMaxPartitions must fail with a clear OutOfRange error.
+  std::vector<Partition> wide(33, Partition{"W", {0}});
+  EXPECT_TRUE(SecurityPolicy::Compile(*catalog_, wide).ok());
+  std::vector<Partition> too_many(SecurityPolicy::kMaxPartitions + 1,
+                                  Partition{"W", {0}});
+  auto overflow = SecurityPolicy::Compile(*catalog_, too_many);
+  EXPECT_FALSE(overflow.ok());
+  EXPECT_EQ(overflow.status().code(), StatusCode::kOutOfRange);
 }
 
 TEST_F(Example62Test, PartitionMasksReflectBits) {

@@ -199,7 +199,7 @@ TEST_F(GuardedDatabaseTest, ExplainQueryDiagnosesWithoutMutating) {
   ASSERT_TRUE(
       guarded_->Query("appE", test::Q("Q(x) :- Meetings(x, y)", schema_))
           .ok());
-  const uint32_t before = guarded_->ConsistentPartitions("appE");
+  const uint64_t before = guarded_->ConsistentPartitions("appE");
   policy::Explanation e = guarded_->ExplainQuery(
       "appE", test::Q("Q(x) :- Contacts(x, y, z)", schema_));
   EXPECT_FALSE(e.accepted);
