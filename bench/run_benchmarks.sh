@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Runs the hot-path benchmarks and merges their JSON output (plus computed
-# batched-vs-baseline speedups) into BENCH_hotpath.json at the repo root.
+# batched-vs-baseline speedups and engine thread-scaling efficiency) into
+# BENCH_hotpath.json at the repo root.
 #
 # Usage: FDC_BENCH_BIN_DIR=build bench/run_benchmarks.sh [output.json]
 # Also available as the CMake target `bench_hotpath`.
@@ -11,6 +12,22 @@ out="${1:-BENCH_hotpath.json}"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
+benchmarks=(fig_batch_monitor fig5_labeler fig_engine_scaling)
+
+# Fail up front with a clear message instead of dying mid-merge: every
+# benchmark binary must exist and be executable before we run any of them.
+missing=()
+for name in "${benchmarks[@]}"; do
+  [[ -x "$bin_dir/$name" ]] || missing+=("$name")
+done
+if ((${#missing[@]})); then
+  echo "error: missing benchmark binaries in '$bin_dir': ${missing[*]}" >&2
+  echo "hint: build them first, e.g." >&2
+  echo "  cmake --build build --target ${missing[*]}" >&2
+  echo "(or run via: cmake --build build --target bench_hotpath)" >&2
+  exit 1
+fi
+
 run() {
   local name="$1"
   echo ">> $name" >&2
@@ -20,8 +37,9 @@ run() {
     --benchmark_min_time=0.2 >&2
 }
 
-run fig_batch_monitor
-run fig5_labeler
+for name in "${benchmarks[@]}"; do
+  run "$name"
+done
 
 python3 - "$tmp" "$out" <<'EOF'
 import json, sys, os
@@ -29,7 +47,7 @@ import json, sys, os
 tmp, out = sys.argv[1], sys.argv[2]
 merged = {"benchmarks": {}, "speedups": {}}
 
-for name in ("fig_batch_monitor", "fig5_labeler"):
+for name in ("fig_batch_monitor", "fig5_labeler", "fig_engine_scaling"):
     with open(os.path.join(tmp, name + ".json")) as f:
         data = json.load(f)
     merged.setdefault("context", data.get("context", {}))
@@ -66,8 +84,40 @@ ratios = [v for k, v in merged["speedups"].items()
           if k.startswith("batch_monitor_vs_baseline")]
 merged["min_batch_monitor_speedup"] = min(ratios) if ratios else None
 
+# Engine thread-scaling: aggregate throughput and parallel efficiency
+# rate(N) / (N * rate(1)) per series. Multi-threaded google-benchmark rows
+# are suffixed "/threads:N" except N=1 with UseRealTime ("/real_time").
+def engine_rate(series, n):
+    for name in (f"EngineScaling/{series}/threads/real_time/threads:{n}",
+                 f"EngineScaling/{series}/threads/threads:{n}",
+                 f"EngineScaling/{series}/threads/real_time"):
+        r = rate(name)
+        if r and (f"threads:{n}" in name or n == 1):
+            return r
+    return None
+
+merged["engine_scaling"] = {}
+merged["engine_scaling_efficiency"] = {}
+for series in ("submit_batch", "submit"):
+    one = engine_rate(series, 1)
+    if not one:
+        continue
+    for n in (1, 2, 4, 8):
+        r = engine_rate(series, n)
+        if not r:
+            continue
+        merged["engine_scaling"][f"{series}/threads/{n}"] = r
+        merged["engine_scaling_efficiency"][f"{series}/threads/{n}"] = \
+            round(r / (n * one), 3)
+        merged["speedups"][f"engine_scaling/{series}/threads/{n}"] = \
+            round(r / one, 2)
+
 with open(out, "w") as f:
     json.dump(merged, f, indent=2, sort_keys=True)
     f.write("\n")
-print(f"wrote {out}; min batched speedup = {merged['min_batch_monitor_speedup']}")
+msg = f"wrote {out}; min batched speedup = {merged['min_batch_monitor_speedup']}"
+eff4 = merged["engine_scaling_efficiency"].get("submit_batch/threads/4")
+if eff4 is not None:
+    msg += f"; engine 4-thread efficiency = {eff4}"
+print(msg)
 EOF

@@ -1,14 +1,18 @@
-// End-to-end disclosure-controlled database (Figure 2): untrusted apps issue
-// SQL against a guarded in-memory database; every query is labeled, checked
-// against the principal's policy partitions, and either evaluated or
-// refused — including cumulative (Chinese-Wall) tracking across queries.
+// End-to-end disclosure-controlled database (Figure 2), served by the
+// shard-aware DisclosureEngine: untrusted apps issue SQL against a guarded
+// in-memory database; every query is labeled, checked against the
+// principal's policy partitions, and either evaluated or refused —
+// including cumulative (Chinese-Wall) tracking across queries. The same
+// engine instance could serve these requests from any number of threads;
+// at the end we print its aggregated per-tier statistics, and then swap the
+// policy to a new epoch to show cumulative state restarting atomically.
 //
 //   $ ./examples/end_to_end_monitor
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "storage/guarded_database.h"
+#include "engine/disclosure_engine.h"
 
 using namespace fdc;
 
@@ -42,7 +46,7 @@ int main() {
     return 1;
   }
 
-  storage::GuardedDatabase guarded(&db, &catalog, &*policy);
+  engine::DisclosureEngine engine(&db, &catalog, *policy);
 
   struct Step {
     const char* principal;
@@ -59,12 +63,12 @@ int main() {
        "ON c.person = m.person"},                   // needs both: refused
   };
 
-  for (const Step& step : session) {
+  auto run = [&engine](const Step& step) {
     std::printf("[%-9s] %s\n", step.principal, step.sql);
-    auto rows = guarded.QuerySql(step.principal, step.sql);
+    auto rows = engine.QuerySql(step.principal, step.sql);
     if (!rows.ok()) {
       std::printf("            -> %s\n", rows.status().ToString().c_str());
-      continue;
+      return;
     }
     std::printf("            -> %zu row(s):", rows->size());
     for (const storage::Tuple& row : *rows) {
@@ -75,10 +79,50 @@ int main() {
       std::printf(")");
     }
     std::printf("\n");
-  }
+  };
+  for (const Step& step : session) run(step);
 
   std::printf(
       "\nscheduler stayed on the meetings side of the wall, crm on the\n"
       "contacts side; the cross join was refused for both reasons at once.\n");
+
+  // A policy update publishes a new epoch atomically: cumulative state
+  // restarts, so crm can now pick the meetings side.
+  auto meetings_only = policy::SecurityPolicy::Compile(
+      catalog, {{"meetings_side", {catalog.FindByName("meetings_full")->id}}});
+  if (meetings_only.ok()) {
+    std::printf("\n-- policy swap: meetings side only (epoch %llu) --\n",
+                static_cast<unsigned long long>(
+                    engine.UpdatePolicy(*meetings_only)));
+    run({"crm", "SELECT time FROM Meetings"});
+  }
+
+  const engine::DisclosureEngine::EngineStats stats = engine.Stats();
+  std::printf(
+      "\nengine stats (epoch %llu, %zu principals, %zu frozen labels)\n"
+      "  decisions : %llu submitted = %llu accepted + %llu refused\n"
+      "  labeler   : %llu frozen hits, %llu overlay hits, %llu overlay "
+      "misses, %llu stateless fallbacks\n"
+      "  interner  : %llu query hits / %llu misses, %llu pattern hits / %llu "
+      "misses\n"
+      "  containment cache (sharded, per-shard counters summed):\n"
+      "            : %llu hits, %llu misses, %llu insertions, %llu "
+      "evictions\n",
+      static_cast<unsigned long long>(stats.epoch), stats.num_principals,
+      stats.frozen_labels, static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.accepted),
+      static_cast<unsigned long long>(stats.refused),
+      static_cast<unsigned long long>(stats.labeler.frozen_hits),
+      static_cast<unsigned long long>(stats.labeler.overlay_hits),
+      static_cast<unsigned long long>(stats.labeler.overlay_misses),
+      static_cast<unsigned long long>(stats.labeler.stateless_fallbacks),
+      static_cast<unsigned long long>(stats.interner.query_hits),
+      static_cast<unsigned long long>(stats.interner.query_misses),
+      static_cast<unsigned long long>(stats.interner.pattern_hits),
+      static_cast<unsigned long long>(stats.interner.pattern_misses),
+      static_cast<unsigned long long>(stats.containment.hits),
+      static_cast<unsigned long long>(stats.containment.misses),
+      static_cast<unsigned long long>(stats.containment.insertions),
+      static_cast<unsigned long long>(stats.containment.evictions));
   return 0;
 }

@@ -151,6 +151,19 @@ const InternedQuery* QueryInterner::TryIntern(const ConjunctiveQuery& query,
   return &queries_[id];
 }
 
+const InternedQuery* QueryInterner::Find(const ConjunctiveQuery& query) const {
+  const uint64_t raw_hash = HashRawQuery(query);
+  auto raw_it = raw_buckets_.find(raw_hash);
+  if (raw_it != raw_buckets_.end()) {
+    for (const auto& [raw, id] : raw_it->second) {
+      if (raw == query) return &queries_[id];
+    }
+  }
+  auto it = query_by_key_.find(CanonicalKey(query));
+  if (it == query_by_key_.end()) return nullptr;
+  return &queries_[it->second];
+}
+
 const InternedQuery& QueryInterner::Intern(const ConjunctiveQuery& query) {
   const InternedQuery* interned =
       TryIntern(query, std::numeric_limits<size_t>::max());

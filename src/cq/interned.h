@@ -19,7 +19,17 @@
 // of the labeling path) into the same dense-id space, which is what the
 // shared rewriting::ContainmentCache keys pairwise decisions on.
 //
-// Not thread-safe; use one interner per pipeline family (catalog/universe).
+// Sharing contract: a QueryInterner is a plain mutable table — mutating
+// calls (Intern/TryIntern/InternPattern) require external synchronization,
+// and the const surface (Find/query/pattern/stats) is only safe concurrently
+// with other const calls. Two supported sharing shapes:
+//   * frozen — build the interner single-threaded, then treat it as
+//     immutable; any number of threads may call the const surface without
+//     locks (engine::FrozenCatalog does exactly this);
+//   * guarded — wrap it in a reader/writer lock with Find under the shared
+//     side and TryIntern under the exclusive side (engine::ConcurrentLabeler
+//     does this for the dynamic overlay).
+// Use one interner per pipeline family (catalog/universe) either way.
 #pragma once
 
 #include <cstdint>
@@ -122,6 +132,13 @@ class QueryInterner {
   /// (callers fall back to stateless labeling).
   const InternedQuery* TryIntern(const ConjunctiveQuery& query,
                                  size_t max_queries);
+
+  /// Read-only probe: the already-interned handle for `query` (up to
+  /// variable renaming and atom order), or nullptr if it was never
+  /// interned. Touches no table or counter, so concurrent Find calls on a
+  /// frozen interner are race-free; pays the canonical-key computation when
+  /// the raw form misses, exactly like TryIntern's hit path.
+  const InternedQuery* Find(const ConjunctiveQuery& query) const;
 
   /// Hash-conses a normalized single-atom view pattern into a dense id
   /// (independent id space from query ids).

@@ -1,0 +1,152 @@
+#include "engine/disclosure_engine.h"
+
+#include <utility>
+
+#include "policy/reference_monitor.h"
+#include "storage/evaluator.h"
+
+namespace fdc::engine {
+
+DisclosureEngine::DisclosureEngine(const storage::Database* db,
+                                   const label::ViewCatalog* catalog,
+                                   policy::SecurityPolicy policy,
+                                   EngineOptions options,
+                                   std::span<const cq::ConjunctiveQuery> warmup)
+    : db_(db),
+      frozen_(FrozenCatalog::Build(catalog, warmup, options.dissect)),
+      labeler_(frozen_, options.labeler),
+      principals_(options.principal_shards),
+      snapshot_(std::make_shared<const EngineSnapshot>(
+          frozen_, std::move(policy), /*epoch=*/1)) {}
+
+uint64_t DisclosureEngine::UpdatePolicy(policy::SecurityPolicy policy) {
+  std::shared_ptr<const EngineSnapshot> retired;
+  uint64_t epoch;
+  {
+    // Epoch assignment and publication stay under one writer section so
+    // concurrent updaters can never publish out of order. The snapshot is
+    // a moved-in policy plus one allocation — cheap enough to build here.
+    std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
+    epoch = next_epoch_++;
+    retired = std::exchange(
+        snapshot_, std::make_shared<const EngineSnapshot>(
+                       frozen_, std::move(policy), epoch));
+  }
+  // The retired snapshot releases after the lock; in-flight requests
+  // holding their own shared_ptr copies keep it alive until they finish.
+  return epoch;
+}
+
+bool DisclosureEngine::Submit(std::string_view principal,
+                              const cq::ConjunctiveQuery& query) {
+  // Labels depend only on the catalog, never the policy — label once,
+  // outside the snapshot retry loop.
+  const label::DisclosureLabel label = labeler_.Label(query);
+  for (;;) {
+    const std::shared_ptr<const EngineSnapshot> snap = Snapshot();
+    const policy::ReferenceMonitor monitor(&snap->policy());
+    const std::optional<bool> ok = principals_.TryWithState(
+        principal, snap->epoch(), snap->InitialMask(),
+        [&](policy::PrincipalState& state) {
+          return monitor.Submit(&state, label);
+        });
+    if (!ok.has_value()) continue;  // lost a race with a policy swap
+    if (*ok) {
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      refused_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return *ok;
+  }
+}
+
+std::vector<bool> DisclosureEngine::SubmitBatch(
+    std::string_view principal,
+    std::span<const cq::ConjunctiveQuery> queries) {
+  const std::vector<label::DisclosureLabel> labels =
+      labeler_.LabelBatch(queries);
+  for (;;) {
+    const std::shared_ptr<const EngineSnapshot> snap = Snapshot();
+    const policy::ReferenceMonitor monitor(&snap->policy());
+    std::optional<std::vector<bool>> decisions = principals_.TryWithState(
+        principal, snap->epoch(), snap->InitialMask(),
+        [&](policy::PrincipalState& state) {
+          return monitor.SubmitBatch(&state, labels);
+        });
+    if (!decisions.has_value()) continue;  // lost a race with a policy swap
+    uint64_t ok = 0;
+    for (const bool d : *decisions) ok += d ? 1 : 0;
+    accepted_.fetch_add(ok, std::memory_order_relaxed);
+    refused_.fetch_add(decisions->size() - ok, std::memory_order_relaxed);
+    return *std::move(decisions);
+  }
+}
+
+Result<std::vector<storage::Tuple>> DisclosureEngine::Query(
+    const std::string& principal, const cq::ConjunctiveQuery& query) {
+  if (db_ == nullptr) {
+    return Status::InvalidArgument(
+        "engine was constructed without a database; use Submit for "
+        "decision-only checks");
+  }
+  if (!Submit(principal, query)) {
+    return Status::PolicyViolation(
+        "query refused: cumulative disclosure would exceed every policy "
+        "partition for principal '" +
+        principal + "'");
+  }
+  return Evaluate(*db_, query);
+}
+
+Result<std::vector<storage::Tuple>> DisclosureEngine::QuerySql(
+    const std::string& principal, const std::string& sql) {
+  if (db_ == nullptr) {
+    return Status::InvalidArgument(
+        "engine was constructed without a database; use Submit for "
+        "decision-only checks");
+  }
+  Result<cq::ConjunctiveQuery> parsed = cq::ParseSql(sql, db_->schema());
+  if (!parsed.ok()) return parsed.status();
+  return Query(principal, *parsed);
+}
+
+policy::Explanation DisclosureEngine::ExplainQuery(
+    const std::string& principal, const cq::ConjunctiveQuery& query) {
+  const label::DisclosureLabel label = labeler_.Label(query);
+  for (;;) {
+    const std::shared_ptr<const EngineSnapshot> snap = Snapshot();
+    const std::optional<uint64_t> consistent = principals_.Consistent(
+        principal, snap->epoch(), snap->InitialMask());
+    if (!consistent.has_value()) continue;  // raced a policy swap; reload
+    return policy::ExplainDecision(snap->policy(), frozen_->catalog(), label,
+                                   *consistent);
+  }
+}
+
+uint64_t DisclosureEngine::ConsistentPartitions(
+    std::string_view principal) const {
+  for (;;) {
+    const std::shared_ptr<const EngineSnapshot> snap = Snapshot();
+    const std::optional<uint64_t> consistent = principals_.Consistent(
+        principal, snap->epoch(), snap->InitialMask());
+    if (consistent.has_value()) return *consistent;
+  }
+}
+
+DisclosureEngine::EngineStats DisclosureEngine::Stats() const {
+  EngineStats stats;
+  stats.epoch = Snapshot()->epoch();
+  stats.num_principals = principals_.NumPrincipals();
+  stats.frozen_labels = frozen_->num_frozen_labels();
+  // Independent relaxed counters: totals may be transiently inconsistent
+  // with each other under concurrency, but each is monotone and exact.
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.refused = refused_.load(std::memory_order_relaxed);
+  stats.submitted = stats.accepted + stats.refused;
+  stats.labeler = labeler_.stats();
+  stats.interner = labeler_.interner_stats();
+  stats.containment = labeler_.cache_stats();
+  return stats;
+}
+
+}  // namespace fdc::engine

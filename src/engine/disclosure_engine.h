@@ -1,0 +1,156 @@
+// DisclosureEngine: the shard-aware, thread-safe enforcement core.
+//
+// One engine instance serves any number of threads. The paper's
+// per-principal reference monitor (§3.4/§6.2) is preserved exactly — the
+// engine is decision-for-decision identical to the seed
+// ReferenceMonitor/GuardedDatabase path (property-tested) — but the state
+// behind it is restructured into three tiers:
+//
+//   1. frozen shared state (engine/snapshot.h): the interned view catalog,
+//      precomputed view labels, the rewriting-order closure, and a frozen
+//      warmup label table, built once and read lock-free;
+//   2. sharded concurrency: the dynamic labeling overlay behind a
+//      reader/writer lock (engine/labeler.h), the sharded
+//      rewriting::ContainmentCache, and per-principal monitor state in a
+//      sharded open-addressed map (engine/principal_map.h) — Submit /
+//      SubmitBatch from N threads on distinct principals touch disjoint
+//      shard locks and never serialize on labeling hits;
+//   3. policy epochs: UpdatePolicy compiles a new EngineSnapshot and
+//      publishes it with one atomic shared_ptr exchange. Every request
+//      loads the snapshot exactly once, so it sees one consistent policy —
+//      never a half-updated one — and per-principal state is epoch-tagged
+//      so stale consistency bits can never leak across policies.
+//
+// Ablation/oracle baseline: the seed single-threaded path is kept intact
+// behind GuardedDatabase's use_engine=false mode and LabelingPipeline;
+// bench/fig_engine_scaling.cc sweeps 1→N threads against this facade.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "cq/query.h"
+#include "cq/sql_parser.h"
+#include "engine/labeler.h"
+#include "engine/principal_map.h"
+#include "engine/snapshot.h"
+#include "label/compressed_label.h"
+#include "policy/explain.h"
+#include "policy/policy.h"
+#include "storage/database.h"
+#include "storage/tuple.h"
+
+namespace fdc::engine {
+
+struct EngineOptions {
+  /// Shards for per-principal monitor state.
+  size_t principal_shards = 64;
+  /// Dynamic-labeler bounds (see ConcurrentLabeler::Options).
+  ConcurrentLabeler::Options labeler;
+  /// Dissection options shared by every tier (must not vary per request:
+  /// labels are memoized).
+  label::DissectOptions dissect;
+};
+
+class DisclosureEngine {
+ public:
+  /// `db` may be null for decision-only use (Submit/SubmitBatch/Explain*);
+  /// Query/QuerySql then return InvalidArgument. `catalog` must outlive
+  /// the engine. `policy` is copied into the first snapshot (epoch 1).
+  /// `warmup` queries are pre-labeled into the lock-free frozen tier.
+  DisclosureEngine(const storage::Database* db,
+                   const label::ViewCatalog* catalog,
+                   policy::SecurityPolicy policy, EngineOptions options = {},
+                   std::span<const cq::ConjunctiveQuery> warmup = {});
+
+  /// The current policy snapshot (one shared-lock acquisition; hold the
+  /// returned pointer for request scope and every read is consistent).
+  std::shared_ptr<const EngineSnapshot> Snapshot() const {
+    std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+    return snapshot_;
+  }
+
+  /// Compiles `policy` into a new snapshot and publishes it atomically.
+  /// In-flight requests finish against the snapshot they already loaded;
+  /// principals' cumulative state restarts at the new epoch. Returns the
+  /// new epoch id. Safe from any thread; publishers are serialized.
+  uint64_t UpdatePolicy(policy::SecurityPolicy policy);
+
+  /// Stateful decision only (no evaluation): answers iff the principal's
+  /// cumulative disclosure stays below some partition of the current
+  /// policy; on accept the principal's state narrows. If the principal's
+  /// state advanced to a newer epoch while this request held an older
+  /// snapshot (a lost race with UpdatePolicy), the request transparently
+  /// reloads the current snapshot and retries — slots never regress.
+  bool Submit(std::string_view principal, const cq::ConjunctiveQuery& query);
+
+  /// Batched decisions for one principal against one snapshot: the whole
+  /// batch is labeled first (sharing the batch's distinct structures), then
+  /// submitted under a single shard-lock acquisition. Decision-identical to
+  /// calling Submit per query with no interleaved policy swap.
+  std::vector<bool> SubmitBatch(std::string_view principal,
+                                std::span<const cq::ConjunctiveQuery> queries);
+
+  /// Full guarded query: decide, then evaluate against the database.
+  Result<std::vector<storage::Tuple>> Query(const std::string& principal,
+                                            const cq::ConjunctiveQuery& query);
+  Result<std::vector<storage::Tuple>> QuerySql(const std::string& principal,
+                                               const std::string& sql);
+
+  /// The label the monitor uses for `query` (thread-safe; warms caches).
+  label::DisclosureLabel Explain(const cq::ConjunctiveQuery& query) {
+    return labeler_.Label(query);
+  }
+
+  /// Per-partition diagnosis of the decision the monitor *would* make for
+  /// `principal` right now, against one consistent snapshot; mutates no
+  /// monitor state.
+  policy::Explanation ExplainQuery(const std::string& principal,
+                                   const cq::ConjunctiveQuery& query);
+
+  /// Remaining consistent partitions under the current epoch (all
+  /// partitions if the principal has not submitted since it began).
+  uint64_t ConsistentPartitions(std::string_view principal) const;
+
+  const FrozenCatalog& frozen() const { return *frozen_; }
+
+  /// One aggregated view of every tier's counters (per-shard counters
+  /// summed; see individual Stats types for the exact meaning of each).
+  struct EngineStats {
+    uint64_t epoch = 0;
+    size_t num_principals = 0;
+    size_t frozen_labels = 0;  // structures pre-labeled in the frozen tier
+    uint64_t submitted = 0;
+    uint64_t accepted = 0;
+    uint64_t refused = 0;
+    ConcurrentLabeler::Stats labeler;
+    cq::QueryInterner::Stats interner;          // dynamic overlay interner
+    rewriting::ContainmentCache::Stats containment;  // sharded cache, summed
+  };
+  EngineStats Stats() const;
+
+ private:
+  const storage::Database* db_;
+  std::shared_ptr<const FrozenCatalog> frozen_;
+  ConcurrentLabeler labeler_;
+  PrincipalStateMap principals_;
+  // Snapshot publication: copy-on-write shared_ptr exchange under a
+  // reader/writer lock (readers only copy the pointer — the critical
+  // section is a refcount bump; writers swap in a fully built snapshot).
+  // Deliberately not std::atomic<std::shared_ptr>: libstdc++'s _Sp_atomic
+  // spin-bit protocol trips ThreadSanitizer, and the engine's TSan-clean
+  // guarantee is worth two uncontended atomics per request.
+  mutable std::shared_mutex snapshot_mu_;
+  std::shared_ptr<const EngineSnapshot> snapshot_;
+  uint64_t next_epoch_ = 2;  // guarded by snapshot_mu_; epoch 1 = ctor
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> refused_{0};
+};
+
+}  // namespace fdc::engine

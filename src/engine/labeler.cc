@@ -1,0 +1,109 @@
+#include "engine/labeler.h"
+
+#include <mutex>
+
+#include "label/dissect.h"
+
+namespace fdc::engine {
+
+ConcurrentLabeler::ConcurrentLabeler(
+    std::shared_ptr<const FrozenCatalog> frozen, Options options)
+    : frozen_(std::move(frozen)),
+      options_(options),
+      stateless_(&frozen_->catalog(), frozen_->dissect_options()),
+      cache_(options.containment_cache_capacity) {}
+
+label::DisclosureLabel ConcurrentLabeler::ComputeLabelLocked(
+    const cq::ConjunctiveQuery& canonical) {
+  label::DisclosureLabel label;
+  for (const cq::AtomPattern& atom :
+       label::Dissect(canonical, frozen_->dissect_options())) {
+    const int pattern_id = interner_.InternPattern(atom);
+    auto it = mask_by_pattern_.find(pattern_id);
+    if (it == mask_by_pattern_.end()) {
+      // Same kernel as LabelingPipeline::MaskFor — decision identity with
+      // the seed path depends on sharing it, not re-implementing it.
+      it = mask_by_pattern_
+               .emplace(pattern_id,
+                        label::ComputePatternMask(frozen_->catalog(),
+                                                  interner_, cache_,
+                                                  pattern_id, atom))
+               .first;
+    }
+    label.Add(it->second);
+  }
+  label.Seal();
+  return label;
+}
+
+label::DisclosureLabel ConcurrentLabeler::Label(
+    const cq::ConjunctiveQuery& query) {
+  // Tier 1: frozen warmup table, no locks.
+  if (const label::DisclosureLabel* hit = frozen_->FindLabel(query)) {
+    frozen_hits_.fetch_add(1, std::memory_order_relaxed);
+    return *hit;
+  }
+
+  // Tier 2a: shared (reader) probe of the overlay.
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    if (const cq::InternedQuery* interned = interner_.Find(query)) {
+      auto it = label_by_query_.find(interned->id());
+      if (it != label_by_query_.end()) {
+        overlay_hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+    }
+  }
+
+  // Tier 2b: exclusive intern + label. Double-check under the writer lock:
+  // another thread may have labeled the same structure since we unlocked.
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  const cq::InternedQuery* interned =
+      interner_.TryIntern(query, options_.max_interned_queries);
+  if (interned == nullptr) {
+    // Tier 3: overlay saturated; pure stateless compute, no shared state.
+    lock.unlock();
+    stateless_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    return stateless_.LabelPacked(query);
+  }
+  auto it = label_by_query_.find(interned->id());
+  if (it != label_by_query_.end()) {
+    overlay_hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  overlay_misses_.fetch_add(1, std::memory_order_relaxed);
+  if (label_by_query_.size() >= options_.max_label_cache) {
+    label_by_query_.clear();
+  }
+  label::DisclosureLabel label = ComputeLabelLocked(interned->query());
+  label_by_query_.emplace(interned->id(), label);
+  return label;
+}
+
+std::vector<label::DisclosureLabel> ConcurrentLabeler::LabelBatch(
+    std::span<const cq::ConjunctiveQuery> queries) {
+  std::vector<label::DisclosureLabel> out;
+  out.reserve(queries.size());
+  for (const cq::ConjunctiveQuery& query : queries) {
+    out.push_back(Label(query));
+  }
+  return out;
+}
+
+ConcurrentLabeler::Stats ConcurrentLabeler::stats() const {
+  Stats stats;
+  stats.frozen_hits = frozen_hits_.load(std::memory_order_relaxed);
+  stats.overlay_hits = overlay_hits_.load(std::memory_order_relaxed);
+  stats.overlay_misses = overlay_misses_.load(std::memory_order_relaxed);
+  stats.stateless_fallbacks =
+      stateless_fallbacks_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+cq::QueryInterner::Stats ConcurrentLabeler::interner_stats() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return interner_.stats();
+}
+
+}  // namespace fdc::engine

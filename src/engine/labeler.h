@@ -1,0 +1,105 @@
+// The engine's shared labeling front end: frozen tier + guarded overlay.
+//
+// LabelingPipeline memoizes aggressively but is single-threaded by design;
+// duplicating one per serving thread duplicates exactly the state interning
+// exists to share. ConcurrentLabeler is the thread-safe replacement:
+//
+//   1. the FrozenCatalog warmup tier is probed first — an immutable
+//      interner + label table, read lock-free by any number of threads;
+//   2. misses fall into a *dynamic overlay*: one shared QueryInterner and
+//      whole-query/per-pattern memo maps guarded by a reader/writer lock.
+//      Repeated structures resolve under the shared (reader) side via
+//      QueryInterner::Find; only genuinely novel structures take the
+//      exclusive side to intern and label once, backed by the sharded
+//      (thread-safe) rewriting::ContainmentCache;
+//   3. when the overlay interner saturates (principal-controlled input must
+//      not grow memory without bound), novel structures are labeled
+//      statelessly via LabelerPipeline::LabelPacked — a pure function, no
+//      locks.
+//
+// Labels produced here are byte-identical to LabelingPipeline::Label /
+// LabelerPipeline::LabelPacked on the same catalog: all three run the same
+// Dissect + per-view rewritability algorithm, so the engine path is
+// decision-equivalent to the seed path (property-tested).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cq/interned.h"
+#include "cq/query.h"
+#include "engine/snapshot.h"
+#include "label/compressed_label.h"
+#include "label/pipeline.h"
+#include "rewriting/containment_cache.h"
+
+namespace fdc::engine {
+
+/// Namespace-scope (not nested) so it can brace-default in signatures.
+struct ConcurrentLabelerOptions {
+  /// Overlay interner growth bound (see LabelingOptions).
+  size_t max_interned_queries = 1 << 20;
+  /// Overlay whole-query label memo entries kept before a reset.
+  size_t max_label_cache = 1 << 20;
+  /// Total slots in the sharded containment cache.
+  size_t containment_cache_capacity = 1 << 16;
+};
+
+class ConcurrentLabeler {
+ public:
+  using Options = ConcurrentLabelerOptions;
+
+  struct Stats {
+    uint64_t frozen_hits = 0;    // resolved by the lock-free frozen tier
+    uint64_t overlay_hits = 0;   // resolved by the shared overlay memo
+    uint64_t overlay_misses = 0; // labeled from scratch into the overlay
+    uint64_t stateless_fallbacks = 0;  // overlay saturated; pure compute
+  };
+
+  explicit ConcurrentLabeler(std::shared_ptr<const FrozenCatalog> frozen,
+                             Options options = {});
+
+  /// Thread-safe label; agrees with LabelerPipeline::LabelPacked.
+  label::DisclosureLabel Label(const cq::ConjunctiveQuery& query);
+
+  /// Labels a batch; each distinct novel structure is computed once.
+  std::vector<label::DisclosureLabel> LabelBatch(
+      std::span<const cq::ConjunctiveQuery> queries);
+
+  Stats stats() const;
+  rewriting::ContainmentCache::Stats cache_stats() const {
+    return cache_.stats();
+  }
+  cq::QueryInterner::Stats interner_stats() const;
+  const FrozenCatalog& frozen() const { return *frozen_; }
+
+ private:
+  /// Computes a label from scratch; requires mu_ held exclusively (the
+  /// per-pattern mask memo and overlay interner mutate).
+  label::DisclosureLabel ComputeLabelLocked(
+      const cq::ConjunctiveQuery& canonical);
+
+  std::shared_ptr<const FrozenCatalog> frozen_;
+  Options options_;
+  label::LabelerPipeline stateless_;  // pure fallback; const methods only
+  rewriting::ContainmentCache cache_;  // sharded; internally synchronized
+
+  // Dynamic overlay: reader side for Find + memo probes, writer side for
+  // interning and labeling novel structures.
+  mutable std::shared_mutex mu_;
+  cq::QueryInterner interner_;
+  std::unordered_map<int, label::DisclosureLabel> label_by_query_;
+  std::unordered_map<int, label::PackedAtomLabel> mask_by_pattern_;
+
+  std::atomic<uint64_t> frozen_hits_{0};
+  std::atomic<uint64_t> overlay_hits_{0};
+  std::atomic<uint64_t> overlay_misses_{0};
+  std::atomic<uint64_t> stateless_fallbacks_{0};
+};
+
+}  // namespace fdc::engine

@@ -1,0 +1,169 @@
+// Tier 2 of the DisclosureEngine: sharded per-principal monitor state.
+//
+// Per-principal state is the one genuinely mutable piece of the enforcement
+// hot path (a 64-bit consistency vector that narrows monotonically, §6.2).
+// PrincipalStateMap shards it: principal names hash into one of N shards,
+// each an independently locked open-addressed (linear-probing) table, so
+// submits from different threads on distinct principals contend only when
+// their names land in the same shard — with the default shard count that is
+// rare, and the critical section is a probe plus a partition scan, never a
+// labeling or containment computation.
+//
+// Policy-epoch semantics: each slot records the epoch its state was last
+// narrowed under, and slots only ever move *forward*. An access with a
+// newer epoch resets the slot to that policy's full partition mask —
+// partition bit positions are not comparable across policies, so carrying
+// consistency bits over an epoch swap would be unsound. An access with an
+// *older* epoch (a request that loaded its snapshot just before a swap and
+// then lost a race with a post-swap request on the same principal) is
+// rejected instead of regressing the slot — regressing would erase the
+// newer epoch's accumulated narrowing and let the next new-epoch request
+// restart from the full mask, silently forgetting disclosures. The engine
+// handles the rejection by reloading the current snapshot and retrying.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "policy/reference_monitor.h"
+
+namespace fdc::engine {
+
+class PrincipalStateMap {
+ public:
+  explicit PrincipalStateMap(size_t shards = 64) {
+    num_shards_ = 1;
+    while (num_shards_ < shards) num_shards_ <<= 1;
+    shards_ = std::make_unique<Shard[]>(num_shards_);
+  }
+
+  /// Runs `fn(policy::PrincipalState&)` under the owning shard's lock and
+  /// returns its result wrapped in an optional. The slot is created (or
+  /// epoch-advanced-and-reset) with `init_mask` when absent or older than
+  /// `epoch`; if the slot has already moved to a NEWER epoch, returns
+  /// nullopt without touching it — the caller's snapshot is stale and it
+  /// must reload and retry. `fn` must not call back into this map (single
+  /// shard lock held throughout).
+  template <typename Fn>
+  auto TryWithState(std::string_view principal, uint64_t epoch,
+                    uint64_t init_mask, Fn&& fn)
+      -> std::optional<decltype(fn(std::declval<policy::PrincipalState&>()))> {
+    const uint64_t hash = HashName(principal);
+    Shard& shard = ShardFor(hash);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    Slot& slot = FindOrCreateLocked(shard, hash, principal);
+    if (slot.epoch > epoch) return std::nullopt;  // stale caller; no regress
+    if (slot.epoch < epoch) {
+      slot.epoch = epoch;
+      slot.state.consistent = init_mask;
+    }
+    return std::forward<Fn>(fn)(slot.state);
+  }
+
+  /// The principal's consistent-partition bits under `epoch`: init_mask if
+  /// it has not submitted since the epoch began, nullopt if the slot has
+  /// already advanced past `epoch` (stale caller — reload the snapshot).
+  /// Does not create or mutate a slot.
+  std::optional<uint64_t> Consistent(std::string_view principal,
+                                     uint64_t epoch,
+                                     uint64_t init_mask) const {
+    const uint64_t hash = HashName(principal);
+    const Shard& shard = ShardFor(hash);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const std::vector<Slot>& slots = shard.slots;
+    if (slots.empty()) return init_mask;
+    const size_t mask = slots.size() - 1;
+    for (size_t i = hash & mask;; i = (i + 1) & mask) {
+      const Slot& slot = slots[i];
+      if (!slot.used) return init_mask;
+      if (slot.hash == hash && slot.name == principal) {
+        if (slot.epoch > epoch) return std::nullopt;
+        return slot.epoch == epoch ? slot.state.consistent : init_mask;
+      }
+    }
+  }
+
+  size_t NumPrincipals() const {
+    size_t total = 0;
+    for (size_t s = 0; s < num_shards_; ++s) {
+      std::lock_guard<std::mutex> lock(shards_[s].mu);
+      total += shards_[s].used;
+    }
+    return total;
+  }
+
+  size_t num_shards() const { return num_shards_; }
+
+ private:
+  struct Slot {
+    uint64_t hash = 0;
+    bool used = false;
+    std::string name;
+    uint64_t epoch = 0;
+    policy::PrincipalState state;
+  };
+
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<Slot> slots;  // open-addressed, power-of-two size
+    size_t used = 0;
+  };
+
+  static uint64_t HashName(std::string_view name) {
+    // FNV-1a, then a splitmix-style finalizer so shard selection (high
+    // bits) and slot selection (low bits) are both well mixed.
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : name) h = (h ^ c) * 0x100000001b3ULL;
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 27;
+    return h;
+  }
+
+  Shard& ShardFor(uint64_t hash) const {
+    return shards_[(hash >> 48) & (num_shards_ - 1)];
+  }
+
+  // Requires shard.mu held.
+  Slot& FindOrCreateLocked(Shard& shard, uint64_t hash,
+                           std::string_view name) {
+    if (shard.slots.empty()) shard.slots.resize(16);
+    // Grow at ~70% load so probe chains stay short.
+    if (shard.used * 10 >= shard.slots.size() * 7) GrowLocked(shard);
+    const size_t mask = shard.slots.size() - 1;
+    for (size_t i = hash & mask;; i = (i + 1) & mask) {
+      Slot& slot = shard.slots[i];
+      if (!slot.used) {
+        slot.used = true;
+        slot.hash = hash;
+        slot.name = std::string(name);
+        ++shard.used;
+        return slot;
+      }
+      if (slot.hash == hash && slot.name == name) return slot;
+    }
+  }
+
+  static void GrowLocked(Shard& shard) {
+    std::vector<Slot> old = std::move(shard.slots);
+    shard.slots.assign(old.size() * 2, Slot{});
+    const size_t mask = shard.slots.size() - 1;
+    for (Slot& slot : old) {
+      if (!slot.used) continue;
+      size_t i = slot.hash & mask;
+      while (shard.slots[i].used) i = (i + 1) & mask;
+      shard.slots[i] = std::move(slot);
+    }
+  }
+
+  size_t num_shards_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace fdc::engine

@@ -1,0 +1,72 @@
+#include "engine/snapshot.h"
+
+#include "label/pipeline.h"
+#include "rewriting/atom_rewriting.h"
+
+namespace fdc::engine {
+
+std::shared_ptr<const FrozenCatalog> FrozenCatalog::Build(
+    const label::ViewCatalog* catalog,
+    std::span<const cq::ConjunctiveQuery> warmup,
+    label::DissectOptions dissect_options) {
+  auto frozen = std::shared_ptr<FrozenCatalog>(new FrozenCatalog());
+  frozen->catalog_ = catalog;
+  frozen->dissect_options_ = dissect_options;
+
+  // Label the views' own defining queries and the warmup workload through
+  // one LabelingPipeline sharing the frozen interner, so warmup pattern ids
+  // and per-pattern ℓ+ masks land in the same id space the labels were
+  // computed in.
+  label::LabelingPipeline pipeline(catalog, &frozen->interner_,
+                                   /*cache=*/nullptr, dissect_options);
+  const int n = catalog->size();
+  frozen->view_labels_.reserve(n);
+  for (int v = 0; v < n; ++v) {
+    const cq::ConjunctiveQuery view_query =
+        catalog->view(v).pattern.ToQuery("V");
+    const cq::InternedQuery& interned = frozen->interner_.Intern(view_query);
+    label::DisclosureLabel view_label = pipeline.Label(view_query);
+    frozen->label_by_query_.emplace(interned.id(), view_label);
+    frozen->view_labels_.push_back(std::move(view_label));
+  }
+
+  // Rewriting-order closure over catalog views: one bit per ordered pair.
+  // O(n²) AtomRewritable calls at build time — fine for real catalogs
+  // (tens of views); consumed by explain/analysis tooling and the
+  // equivalence tests, not the per-request hot path, so it is paid once
+  // here rather than lazily under a lock.
+  frozen->closure_stride_ = (static_cast<size_t>(n) + 63) / 64;
+  frozen->closure_.assign(static_cast<size_t>(n) * frozen->closure_stride_,
+                          0);
+  for (int v = 0; v < n; ++v) {
+    for (int w = 0; w < n; ++w) {
+      if (rewriting::AtomRewritable(catalog->view(v).pattern,
+                                    catalog->view(w).pattern)) {
+        frozen->closure_[static_cast<size_t>(v) * frozen->closure_stride_ +
+                         (static_cast<size_t>(w) >> 6)] |=
+            (uint64_t{1} << (static_cast<size_t>(w) & 63));
+      }
+    }
+  }
+
+  // Frozen warmup tier: label each distinct warmup structure once.
+  for (const cq::ConjunctiveQuery& query : warmup) {
+    const cq::InternedQuery& interned = frozen->interner_.Intern(query);
+    auto it = frozen->label_by_query_.find(interned.id());
+    if (it == frozen->label_by_query_.end()) {
+      frozen->label_by_query_.emplace(interned.id(), pipeline.Label(query));
+    }
+  }
+  return frozen;
+}
+
+const label::DisclosureLabel* FrozenCatalog::FindLabel(
+    const cq::ConjunctiveQuery& query) const {
+  const cq::InternedQuery* interned = interner_.Find(query);
+  if (interned == nullptr) return nullptr;
+  auto it = label_by_query_.find(interned->id());
+  if (it == label_by_query_.end()) return nullptr;
+  return &it->second;
+}
+
+}  // namespace fdc::engine

@@ -1,0 +1,119 @@
+// Tier 1 of the DisclosureEngine: build-then-freeze shared state.
+//
+// The engine splits enforcement state by mutability so that the common case
+// — many threads labeling and submitting concurrently — touches no locks on
+// anything shared and immutable:
+//
+//   * FrozenCatalog: everything derivable from the view catalog alone,
+//     built once single-threaded and then immutable. Holds the interned
+//     view catalog (every view pattern hash-consed into a frozen
+//     QueryInterner), each view's own precomputed disclosure label, the
+//     rewriting-order closure over catalog views ({v} ⪯ {w} for every
+//     pair), and an optional frozen warmup tier: whole-query labels for a
+//     representative workload, looked up lock-free before the engine's
+//     mutable overlay is consulted.
+//
+//   * EngineSnapshot: one *policy epoch* — a FrozenCatalog plus a compiled
+//     SecurityPolicy and a monotonically increasing epoch id. Snapshots are
+//     immutable and published by the engine via an atomic shared_ptr swap,
+//     so a policy update never edits state a concurrent request can see:
+//     in-flight requests finish against the snapshot they loaded, new
+//     requests see the new epoch. Per-principal consistency bits are tagged
+//     with the epoch they were narrowed under; a principal's first submit
+//     after a swap restarts from the new policy's full partition mask
+//     (partition bit positions are meaningless across policies, so carrying
+//     bits across epochs would be unsound).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cq/interned.h"
+#include "cq/query.h"
+#include "label/compressed_label.h"
+#include "label/dissect.h"
+#include "label/view_catalog.h"
+#include "policy/policy.h"
+
+namespace fdc::engine {
+
+class FrozenCatalog {
+ public:
+  /// Builds the frozen tier: interns every catalog view pattern, labels
+  /// each view's defining query, closes the single-atom rewriting order
+  /// over the catalog, and pre-labels `warmup` queries into the frozen
+  /// label table. Single-threaded; the result is immutable and every const
+  /// method below is safe from any number of threads without locks.
+  static std::shared_ptr<const FrozenCatalog> Build(
+      const label::ViewCatalog* catalog,
+      std::span<const cq::ConjunctiveQuery> warmup = {},
+      label::DissectOptions dissect_options = {});
+
+  const label::ViewCatalog& catalog() const { return *catalog_; }
+  const label::DissectOptions& dissect_options() const {
+    return dissect_options_;
+  }
+
+  /// Disclosure label of view `id`'s own defining query.
+  const label::DisclosureLabel& ViewLabel(int id) const {
+    return view_labels_[id];
+  }
+
+  /// Rewriting-order closure bit: {view v} ⪯ {view w} (single-atom
+  /// rewritability of v in terms of w), precomputed for every catalog pair.
+  bool ViewLeq(int v, int w) const {
+    return (closure_[static_cast<size_t>(v) * closure_stride_ +
+                     (static_cast<size_t>(w) >> 6)] >>
+            (static_cast<size_t>(w) & 63)) &
+           1;
+  }
+
+  /// Frozen warmup label for `query` (up to renaming/atom order), or
+  /// nullptr if the structure was not in the warmup set. Lock-free.
+  const label::DisclosureLabel* FindLabel(
+      const cq::ConjunctiveQuery& query) const;
+
+  int num_views() const { return catalog_->size(); }
+  size_t num_frozen_labels() const { return label_by_query_.size(); }
+
+ private:
+  FrozenCatalog() = default;
+
+  const label::ViewCatalog* catalog_ = nullptr;
+  label::DissectOptions dissect_options_;
+  cq::QueryInterner interner_;  // frozen after Build; const reads only
+  std::unordered_map<int, label::DisclosureLabel> label_by_query_;
+  std::vector<label::DisclosureLabel> view_labels_;
+  std::vector<uint64_t> closure_;  // row-major bitset, stride in words
+  size_t closure_stride_ = 0;
+};
+
+/// One immutable policy epoch: the frozen catalog tier plus a compiled
+/// policy. Published by DisclosureEngine::UpdatePolicy via atomic
+/// shared_ptr exchange; hold the shared_ptr for the duration of a request
+/// and every read is consistent.
+class EngineSnapshot {
+ public:
+  EngineSnapshot(std::shared_ptr<const FrozenCatalog> frozen,
+                 policy::SecurityPolicy policy, uint64_t epoch)
+      : frozen_(std::move(frozen)),
+        policy_(std::move(policy)),
+        epoch_(epoch) {}
+
+  const FrozenCatalog& frozen() const { return *frozen_; }
+  const policy::SecurityPolicy& policy() const { return policy_; }
+  uint64_t epoch() const { return epoch_; }
+
+  /// The fully consistent per-principal state under this policy.
+  uint64_t InitialMask() const { return policy_.AllPartitionsMask(); }
+
+ private:
+  std::shared_ptr<const FrozenCatalog> frozen_;
+  policy::SecurityPolicy policy_;
+  uint64_t epoch_;
+};
+
+}  // namespace fdc::engine

@@ -95,6 +95,22 @@ LabelingPipeline::LabelingPipeline(const ViewCatalog* catalog,
   }
 }
 
+PackedAtomLabel ComputePatternMask(const ViewCatalog& catalog,
+                                   const cq::QueryInterner& interner,
+                                   rewriting::ContainmentCache& cache,
+                                   int pattern_id,
+                                   const cq::AtomPattern& pattern) {
+  uint32_t mask = 0;
+  for (int view_id : catalog.ViewsOfRelation(pattern.relation)) {
+    const SecurityView& view = catalog.view(view_id);
+    if (cache.RewritableCached(interner, pattern_id, view_id, pattern,
+                               view.pattern)) {
+      mask |= (1u << view.bit);
+    }
+  }
+  return PackedAtomLabel(static_cast<uint32_t>(pattern.relation), mask);
+}
+
 PackedAtomLabel LabelingPipeline::MaskFor(int pattern_id,
                                           const cq::AtomPattern& pattern) {
   auto it = mask_by_pattern_.find(pattern_id);
@@ -103,15 +119,8 @@ PackedAtomLabel LabelingPipeline::MaskFor(int pattern_id,
     return it->second;
   }
   ++stats_.mask_misses;
-  uint32_t mask = 0;
-  for (int view_id : inner_.catalog().ViewsOfRelation(pattern.relation)) {
-    const SecurityView& view = inner_.catalog().view(view_id);
-    if (cache_->RewritableCached(*interner_, pattern_id, view_id, pattern,
-                                 view.pattern)) {
-      mask |= (1u << view.bit);
-    }
-  }
-  PackedAtomLabel packed(static_cast<uint32_t>(pattern.relation), mask);
+  const PackedAtomLabel packed = ComputePatternMask(
+      inner_.catalog(), *interner_, *cache_, pattern_id, pattern);
   mask_by_pattern_.emplace(pattern_id, packed);
   return packed;
 }

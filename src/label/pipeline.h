@@ -68,6 +68,18 @@ class LabelerPipeline {
   DissectOptions dissect_options_;
 };
 
+/// ℓ+ mask of one normalized single-atom pattern against `catalog`,
+/// memoizing per-(pattern, view) rewritability decisions in `cache` under
+/// kCatalogRewritable, keyed by `pattern_id` from `interner`. The single
+/// shared kernel behind LabelingPipeline::Label and
+/// engine::ConcurrentLabeler — both paths' decision-identity rests on them
+/// calling exactly this.
+PackedAtomLabel ComputePatternMask(const ViewCatalog& catalog,
+                                   const cq::QueryInterner& interner,
+                                   rewriting::ContainmentCache& cache,
+                                   int pattern_id,
+                                   const cq::AtomPattern& pattern);
+
 /// The production labeling front end: intern → index → memoize → batch.
 ///
 /// Layered on LabelerPipeline::LabelPacked (which itself benefits from the
@@ -85,8 +97,17 @@ class LabelerPipeline {
 ///
 /// `ablate_interning` (baseline mode, kept for the Figure-style benchmark
 /// ablation) bypasses all of the above and calls LabelPacked per query.
-/// Not thread-safe; one instance per serving thread, sharing is the cache's
-/// job.
+///
+/// Sharing contract: this class is the *single-threaded* labeling front end
+/// — every method (including the memo-warming ones) mutates unguarded
+/// state, so an instance must be confined to one thread; it remains the
+/// seed/ablation oracle and the right choice for one-shot tools. Serving
+/// threads share labeling state through engine::ConcurrentLabeler instead,
+/// which layers a lock-free frozen tier and a reader/writer-guarded overlay
+/// over the same algorithm (identical labels, property-tested). The
+/// ContainmentCache it is handed may be shared freely (that class is
+/// internally sharded and thread-safe); the QueryInterner may not, unless
+/// frozen (see interned.h).
 struct LabelingOptions {
   /// Baseline mode: no interning, no memoization (bench ablation).
   bool ablate_interning = false;

@@ -7,43 +7,55 @@
 
 namespace fdc::rewriting {
 
-ContainmentCache::ContainmentCache(size_t capacity) {
-  if (capacity < 2) capacity = 2;
-  entries_.resize(std::bit_ceil(capacity));
-  mask_ = entries_.size() - 1;
+ContainmentCache::ContainmentCache(size_t capacity, size_t shards) {
+  if (shards < 1) shards = 1;
+  num_shards_ = std::bit_ceil(shards);
+  if (capacity < 2 * num_shards_) capacity = 2 * num_shards_;
+  slots_per_shard_ = std::bit_ceil(capacity) / num_shards_;
+  shards_ = std::make_unique<Shard[]>(num_shards_);
+  for (size_t s = 0; s < num_shards_; ++s) {
+    shards_[s].entries.resize(slots_per_shard_);
+  }
 }
 
-size_t ContainmentCache::SlotFor(Kind kind, uint64_t key) const {
+uint64_t ContainmentCache::HashFor(Kind kind, uint64_t key) {
   // splitmix64-style finalizer over the key and kind; the full key is still
   // compared on lookup, so this only affects distribution, not correctness.
+  // High bits pick the shard, low bits the slot within it.
   uint64_t h = key + 0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(kind) + 1);
   h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
   h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
-  return static_cast<size_t>(h ^ (h >> 31)) & mask_;
+  return h ^ (h >> 31);
 }
 
 std::optional<bool> ContainmentCache::Lookup(Kind kind, int a, int b) {
   const uint64_t key = MakeKey(a, b);
-  const Entry& entry = entries_[SlotFor(kind, key)];
+  const uint64_t hash = HashFor(kind, key);
+  Shard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const Entry& entry = shard.entries[SlotFor(hash)];
   if (entry.kind == static_cast<uint32_t>(kind) && entry.key == key) {
-    ++stats_.hits;
+    ++shard.stats.hits;
     return entry.value != 0;
   }
-  ++stats_.misses;
+  ++shard.stats.misses;
   return std::nullopt;
 }
 
 void ContainmentCache::Insert(Kind kind, int a, int b, bool value) {
   const uint64_t key = MakeKey(a, b);
-  Entry& entry = entries_[SlotFor(kind, key)];
+  const uint64_t hash = HashFor(kind, key);
+  Shard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  Entry& entry = shard.entries[SlotFor(hash)];
   if (entry.kind != 0 &&
       (entry.kind != static_cast<uint32_t>(kind) || entry.key != key)) {
-    ++stats_.evictions;
+    ++shard.stats.evictions;
   }
   entry.key = key;
   entry.kind = static_cast<uint32_t>(kind);
   entry.value = value ? 1 : 0;
-  ++stats_.insertions;
+  ++shard.stats.insertions;
 }
 
 bool ContainmentCache::Contained(const cq::InternedQuery& a,
@@ -51,6 +63,8 @@ bool ContainmentCache::Contained(const cq::InternedQuery& a,
   if (auto cached = Lookup(Kind::kQueryContainment, a.id(), b.id())) {
     return *cached;
   }
+  // Computed outside any shard lock: a racing thread may duplicate the work,
+  // but both store the same pure-function result.
   bool result;
   const cq::QueryDigest& da = a.digest();
   const cq::QueryDigest& db = b.digest();
@@ -70,10 +84,16 @@ bool ContainmentCache::RewritableCached(const cq::QueryInterner& interner,
                                         int pattern_id, int view_id,
                                         const cq::AtomPattern& v,
                                         const cq::AtomPattern& w) {
-  if (pattern_id_space_uid_ == 0) pattern_id_space_uid_ = interner.uid();
-  if (pattern_id_space_uid_ != interner.uid()) {
-    // Foreign interner: its pattern ids would alias the bound id space.
-    return AtomRewritable(v, w);
+  uint64_t bound = 0;
+  // Bind to the first interner's uid; losers of the race observe the
+  // winner's uid in `bound`.
+  if (!pattern_id_space_uid_.compare_exchange_strong(
+          bound, interner.uid(), std::memory_order_acq_rel,
+          std::memory_order_acquire)) {
+    if (bound != interner.uid()) {
+      // Foreign interner: its pattern ids would alias the bound id space.
+      return AtomRewritable(v, w);
+    }
   }
   if (auto cached = Lookup(Kind::kCatalogRewritable, pattern_id, view_id)) {
     return *cached;
@@ -83,10 +103,27 @@ bool ContainmentCache::RewritableCached(const cq::QueryInterner& interner,
   return result;
 }
 
+ContainmentCache::Stats ContainmentCache::stats() const {
+  Stats total;
+  for (size_t s = 0; s < num_shards_; ++s) {
+    const Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total.hits += shard.stats.hits;
+    total.misses += shard.stats.misses;
+    total.insertions += shard.stats.insertions;
+    total.evictions += shard.stats.evictions;
+  }
+  return total;
+}
+
 void ContainmentCache::Clear() {
-  for (Entry& entry : entries_) entry = Entry{};
-  pattern_id_space_uid_ = 0;
-  stats_ = Stats{};
+  for (size_t s = 0; s < num_shards_; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (Entry& entry : shard.entries) entry = Entry{};
+    shard.stats = Stats{};
+  }
+  pattern_id_space_uid_.store(0, std::memory_order_release);
 }
 
 }  // namespace fdc::rewriting

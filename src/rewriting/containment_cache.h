@@ -1,4 +1,5 @@
-// A sized, shared memoization table for pairwise query decisions.
+// A sized, sharded, thread-safe memoization table for pairwise query
+// decisions.
 //
 // The seed memoized {v} ⪯ {w} results in an ad-hoc unordered_map private to
 // RewritingOrder, so GlbLabeler, DisclosureLattice, and the overprivilege
@@ -17,11 +18,28 @@
 //     catalog view ids, interned query/pattern ids) share one table without
 //     cross-talk.
 //
-// Decisions cached here must be pure functions of the id pair; callers pick
-// the Kind matching their id space. Not thread-safe.
+// Sharing contract (the engine tier-2 design): the table is split into
+// mutex-striped shards selected by key hash, so one instance is safe for
+// any number of concurrent callers — Lookup/Insert/Contained/
+// RewritableCached hold exactly one shard mutex for the table probe and
+// never while computing a decision (a racing pair may both compute the same
+// value; both inserts store the identical decision, so the race is benign).
+// stats() sums the per-shard counters and may read a shard mid-update, so
+// it is a consistent-enough snapshot for observability, not an exact
+// linearizable count. Clear() is the one exception to the concurrency
+// contract: it requires quiescence (no in-flight Lookup/Insert/Contained/
+// RewritableCached) — it locks shards one at a time and resets the
+// interner-uid binding, so a concurrent RewritableCached caller that
+// passed the uid check pre-clear could insert a stale pattern-id entry
+// that survives into a rebinding to a different interner. Decisions cached
+// here must be pure functions of the id pair; callers pick the Kind
+// matching their id space.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -46,9 +64,11 @@ class ContainmentCache {
     uint64_t evictions = 0;
   };
 
-  /// `capacity` is rounded up to a power of two; default fits ~64K pair
-  /// decisions in ~1.5 MB.
-  explicit ContainmentCache(size_t capacity = 1 << 16);
+  /// `capacity` (total, across shards) is rounded up to a power of two;
+  /// default fits ~64K pair decisions in ~1.5 MB. `shards` is rounded to a
+  /// power of two too; the default is plenty of stripes for any realistic
+  /// serving-thread count.
+  explicit ContainmentCache(size_t capacity = 1 << 16, size_t shards = 64);
 
   /// Cached decision for (kind, a, b), or nullopt on miss.
   std::optional<bool> Lookup(Kind kind, int a, int b);
@@ -73,8 +93,12 @@ class ContainmentCache {
                         int view_id, const cq::AtomPattern& v,
                         const cq::AtomPattern& w);
 
-  const Stats& stats() const { return stats_; }
-  size_t capacity() const { return entries_.size(); }
+  /// Per-shard counters summed; see the header comment for the (weak)
+  /// consistency of this snapshot under concurrency.
+  Stats stats() const;
+
+  size_t capacity() const { return num_shards_ * slots_per_shard_; }
+  size_t num_shards() const { return num_shards_; }
   void Clear();
 
  private:
@@ -84,19 +108,31 @@ class ContainmentCache {
     uint8_t value = 0;    // decision
   };
 
+  struct Shard {
+    mutable std::mutex mu;
+    std::vector<Entry> entries;
+    Stats stats;
+  };
+
   // Injective over all (int, int) pairs: int -> uint32_t is a bijection.
   static uint64_t MakeKey(int a, int b) {
     return (static_cast<uint64_t>(static_cast<uint32_t>(a)) << 32) |
            static_cast<uint32_t>(b);
   }
-  size_t SlotFor(Kind kind, uint64_t key) const;
+  static uint64_t HashFor(Kind kind, uint64_t key);
+  Shard& ShardFor(uint64_t hash) {
+    return shards_[(hash >> 32) & (num_shards_ - 1)];
+  }
+  size_t SlotFor(uint64_t hash) const {
+    return static_cast<size_t>(hash) & (slots_per_shard_ - 1);
+  }
 
-  std::vector<Entry> entries_;
-  size_t mask_;
+  size_t num_shards_;
+  size_t slots_per_shard_;
+  std::unique_ptr<Shard[]> shards_;
   // uid of the interner whose pattern ids populate kCatalogRewritable
-  // entries (bound on first RewritableCached call; 0 = unbound).
-  uint64_t pattern_id_space_uid_ = 0;
-  Stats stats_;
+  // entries (bound by the first RewritableCached call; 0 = unbound).
+  std::atomic<uint64_t> pattern_id_space_uid_{0};
 };
 
 }  // namespace fdc::rewriting

@@ -2,11 +2,26 @@
 
 namespace fdc::storage {
 
+GuardedDatabase::GuardedDatabase(const Database* db,
+                                 const label::ViewCatalog* catalog,
+                                 const policy::SecurityPolicy* policy,
+                                 GuardedOptions options)
+    : db_(db) {
+  if (options.use_engine) {
+    engine_ = std::make_unique<engine::DisclosureEngine>(
+        db, catalog, *policy, options.engine);
+  } else {
+    seed_ = std::make_unique<SeedState>(catalog, policy);
+  }
+}
+
 Result<std::vector<Tuple>> GuardedDatabase::Query(
     const std::string& principal, const cq::ConjunctiveQuery& query) {
-  auto [it, inserted] = states_.try_emplace(principal, monitor_.InitialState());
-  const label::DisclosureLabel label = pipeline_.Label(query);
-  if (!monitor_.Submit(&it->second, label)) {
+  if (engine_) return engine_->Query(principal, query);
+  auto [it, inserted] =
+      seed_->states.try_emplace(principal, seed_->monitor.InitialState());
+  const label::DisclosureLabel label = seed_->pipeline.Label(query);
+  if (!seed_->monitor.Submit(&it->second, label)) {
     return Status::PolicyViolation(
         "query refused: cumulative disclosure would exceed every policy "
         "partition for principal '" +
@@ -24,8 +39,11 @@ Result<std::vector<Tuple>> GuardedDatabase::QuerySql(
 
 uint64_t GuardedDatabase::ConsistentPartitions(
     const std::string& principal) const {
-  auto it = states_.find(principal);
-  if (it == states_.end()) return monitor_.InitialState().consistent;
+  if (engine_) return engine_->ConsistentPartitions(principal);
+  auto it = seed_->states.find(principal);
+  if (it == seed_->states.end()) {
+    return seed_->monitor.InitialState().consistent;
+  }
   return it->second.consistent;
 }
 

@@ -2,14 +2,28 @@
 // submit queries; the reference monitor labels each one, consults the
 // principal's policy and cumulative state, and either evaluates the query
 // or refuses with a PolicyViolation status.
+//
+// Two selectable backends with identical decisions (property-tested):
+//   * engine mode (default) — delegates to engine::DisclosureEngine, the
+//     shard-aware thread-safe core: one GuardedDatabase may be shared by
+//     any number of threads, including the const Explain*/
+//     ConsistentPartitions surface.
+//   * seed mode (use_engine=false) — the original single-threaded
+//     LabelingPipeline + ReferenceMonitor path, kept as the ablation/oracle
+//     baseline. Not thread-safe, including the const diagnostics surface:
+//     they warm the pipeline's interner and memo caches (logically const,
+//     physically mutating), so a seed-mode instance must stay on one
+//     thread.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 
 #include "common/result.h"
 #include "cq/query.h"
 #include "cq/sql_parser.h"
+#include "engine/disclosure_engine.h"
 #include "label/pipeline.h"
 #include "policy/explain.h"
 #include "policy/reference_monitor.h"
@@ -18,17 +32,20 @@
 
 namespace fdc::storage {
 
+struct GuardedOptions {
+  /// Route through the shared thread-safe DisclosureEngine (default), or
+  /// keep the seed single-threaded path (ablation/oracle baseline).
+  bool use_engine = true;
+  /// Engine tuning; ignored in seed mode.
+  engine::EngineOptions engine;
+};
+
 class GuardedDatabase {
  public:
   /// All referenced objects must outlive the guarded database.
-  ///
-  /// Not thread-safe, including the const Explain*/ConsistentPartitions
-  /// surface: diagnostics warm the labeling pipeline's interner and memo
-  /// caches (logically const, physically mutating), so concurrent calls on
-  /// a shared instance race. One GuardedDatabase per serving thread.
   GuardedDatabase(const Database* db, const label::ViewCatalog* catalog,
-                  const policy::SecurityPolicy* policy)
-      : db_(db), pipeline_(catalog), monitor_(policy) {}
+                  const policy::SecurityPolicy* policy,
+                  GuardedOptions options = {});
 
   /// Submits a conjunctive query on behalf of `principal`. Answers iff the
   /// cumulative disclosure stays below some policy partition; otherwise
@@ -42,7 +59,8 @@ class GuardedDatabase {
 
   /// The label the monitor would use for `query` (for explanations/UIs).
   label::DisclosureLabel Explain(const cq::ConjunctiveQuery& query) const {
-    return pipeline_.Label(query);
+    if (engine_) return engine_->Explain(query);
+    return seed_->pipeline.Label(query);
   }
 
   /// Full per-partition diagnosis of the decision the monitor *would* make
@@ -50,8 +68,10 @@ class GuardedDatabase {
   /// developer tooling ("which permission is my app missing?").
   policy::Explanation ExplainQuery(const std::string& principal,
                                    const cq::ConjunctiveQuery& query) const {
-    return policy::ExplainDecision(monitor_.policy(), pipeline_.catalog(),
-                                   pipeline_.Label(query),
+    if (engine_) return engine_->ExplainQuery(principal, query);
+    return policy::ExplainDecision(seed_->monitor.policy(),
+                                   seed_->pipeline.catalog(),
+                                   seed_->pipeline.Label(query),
                                    ConsistentPartitions(principal));
   }
 
@@ -59,13 +79,28 @@ class GuardedDatabase {
   /// principal has not queried yet).
   uint64_t ConsistentPartitions(const std::string& principal) const;
 
+  /// The engine backing this database, or null in seed mode.
+  engine::DisclosureEngine* mutable_engine() const { return engine_.get(); }
+
  private:
+  // The seed single-threaded path, allocated only in seed mode so engine
+  // mode does not carry a dead interner/cache. The pipeline is mutable
+  // because its caches warm up inside logically-const explanation calls.
+  struct SeedState {
+    SeedState(const label::ViewCatalog* catalog,
+              const policy::SecurityPolicy* policy)
+        : pipeline(catalog), monitor(policy) {}
+    mutable label::LabelingPipeline pipeline;
+    policy::ReferenceMonitor monitor;
+    std::unordered_map<std::string, policy::PrincipalState> states;
+  };
+
   const Database* db_;
-  // The interned+memoized labeling front end; mutable because its caches
-  // warm up inside logically-const explanation calls.
-  mutable label::LabelingPipeline pipeline_;
-  policy::ReferenceMonitor monitor_;
-  std::unordered_map<std::string, policy::PrincipalState> states_;
+  // Exactly one of these is non-null. The engine pointee is deliberately
+  // non-const behind const methods — it is internally synchronized and its
+  // "mutations" are cache warmups.
+  std::unique_ptr<engine::DisclosureEngine> engine_;
+  std::unique_ptr<SeedState> seed_;
 };
 
 }  // namespace fdc::storage

@@ -16,26 +16,12 @@
 namespace fdc::label {
 namespace {
 
-struct FbFixture {
-  cq::Schema schema;
-  ViewCatalog catalog;
-
-  FbFixture() : schema(fb::BuildFacebookSchema()), catalog(&schema) {
-    auto added = fb::RegisterFacebookViews(&catalog);
-    if (!added.ok()) std::abort();
-  }
-};
+using test::FbFixture;
 
 std::vector<cq::ConjunctiveQuery> Workload(const cq::Schema* schema,
                                            int subqueries, int count,
                                            uint64_t seed) {
-  workload::GeneratorOptions options;
-  options.subqueries = subqueries;
-  workload::QueryGenerator generator(schema, options, seed);
-  std::vector<cq::ConjunctiveQuery> pool;
-  pool.reserve(count);
-  for (int i = 0; i < count; ++i) pool.push_back(generator.Next());
-  return pool;
+  return test::RandomWorkload(schema, subqueries, count, seed);
 }
 
 TEST(BatchPipelineTest, LabelAgreesWithLabelPacked) {

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <climits>
+#include <thread>
 
 #include "order/rewriting_order.h"
 #include "order/universe.h"
@@ -40,7 +42,8 @@ TEST(ContainmentCacheTest, KindsAreSeparateNamespaces) {
 }
 
 TEST(ContainmentCacheTest, CapacityIsBoundedAndEvictionsCounted) {
-  ContainmentCache cache(8);
+  // Single shard so the total capacity is exactly the requested 8 slots.
+  ContainmentCache cache(8, /*shards=*/1);
   EXPECT_EQ(cache.capacity(), 8u);
   for (int i = 0; i < 1000; ++i) {
     cache.Insert(Kind::kUniverseRewritable, i, i + 1, (i % 2) == 0);
@@ -75,7 +78,7 @@ TEST(ContainmentCacheTest, AdversarialIdPairsNeverAlias) {
   // probability; correctness still must not depend on it (full keys are
   // compared), so also run with a tiny cache below.
   for (size_t capacity : {size_t{1} << 12, size_t{4}}) {
-    ContainmentCache cache(capacity);
+    ContainmentCache cache(capacity, /*shards=*/1);
     for (size_t i = 0; i < pairs.size(); ++i) {
       cache.Insert(Kind::kUniverseRewritable, pairs[i].first, pairs[i].second,
                    (i % 3) == 0);
@@ -147,6 +150,41 @@ TEST(ContainmentCacheTest, ForeignInternerBypassesCatalogCache) {
       cache.RewritableCached(foreign, foreign_times_id, 0, times, times));
   // And the bound id space must not have been poisoned.
   EXPECT_FALSE(cache.RewritableCached(bound, scan_id, 0, scan, times));
+}
+
+// Many threads hammering one small sharded cache: every Lookup hit must
+// return the pure-function value for its key (never a torn or cross-kind
+// entry), and the summed stats must balance. Run under TSan in CI.
+TEST(ContainmentCacheTest, ConcurrentLookupInsertIsConsistent) {
+  ContainmentCache cache(256, /*shards=*/4);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 20000;
+  std::vector<std::thread> threads;
+  std::atomic<int> wrong{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &wrong, t] {
+      uint64_t rng = 0x9e3779b97f4a7c15ULL * (t + 1);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        const int a = static_cast<int>(rng % 64);
+        const int b = static_cast<int>((rng >> 8) % 64);
+        // The cached decision is a pure function of the pair: a < b.
+        if (auto cached = cache.Lookup(Kind::kUniverseRewritable, a, b)) {
+          if (*cached != (a < b)) wrong.fetch_add(1);
+        } else {
+          cache.Insert(Kind::kUniverseRewritable, a, b, a < b);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(wrong.load(), 0);
+  const ContainmentCache::Stats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(stats.insertions, stats.misses);
 }
 
 TEST(ContainmentCacheTest, RewritingOrderSharesOneCache) {

@@ -1,0 +1,272 @@
+// Concurrency suite for the DisclosureEngine — designed to run clean under
+// ThreadSanitizer (the CI tsan job runs exactly these tests).
+//
+//   * Stress: N threads × M principals with randomized interleavings; each
+//     principal's decision sequence must be identical to a single-threaded
+//     replay of the same per-principal query stream (per-principal state is
+//     independent, so cross-principal interleaving must not matter).
+//   * Epoch swap: concurrent policy updates must be atomic — every batch
+//     decision vector matches one policy wholly; a half-updated policy
+//     would produce a mixed vector.
+#include "engine/disclosure_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/principal_map.h"
+
+#include "fb/fb_schema.h"
+#include "fb/fb_views.h"
+#include "test_util.h"
+#include "workload/policy_generator.h"
+#include "workload/query_generator.h"
+
+namespace fdc::engine {
+namespace {
+
+using test::FbFixture;
+using test::RandomWorkload;
+
+// N threads drive M principals each (disjoint principal sets, shared
+// engine); the per-principal decision sequences must equal a fresh
+// single-threaded replay.
+TEST(EngineConcurrencyTest, StressMatchesSingleThreadedReplay) {
+  FbFixture fb;
+  constexpr int kThreads = 8;
+  constexpr int kPrincipalsPerThread = 4;
+  constexpr int kQueriesPerPrincipal = 120;
+
+  policy::SecurityPolicy policy =
+      workload::PolicyGenerator(&fb.catalog, {}, 0xabba01ULL).Next();
+
+  // Per-principal query streams, drawn from a shared pool so labeling
+  // contends on the same structures across threads.
+  const auto pool = RandomWorkload(&fb.schema, 2, 512, 0x1234'5678ULL);
+  const int total_principals = kThreads * kPrincipalsPerThread;
+  std::vector<std::vector<int>> streams(total_principals);
+  {
+    Rng rng(0x5eedULL);
+    for (auto& stream : streams) {
+      stream.reserve(kQueriesPerPrincipal);
+      for (int i = 0; i < kQueriesPerPrincipal; ++i) {
+        stream.push_back(static_cast<int>(rng.Below(pool.size())));
+      }
+    }
+  }
+  auto name_of = [](int p) { return "principal-" + std::to_string(p); };
+
+  DisclosureEngine engine(/*db=*/nullptr, &fb.catalog, policy);
+  std::vector<std::vector<bool>> decisions(total_principals);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Randomized interleaving: each thread round-robins its principals
+      // with a thread-specific skew, alternating Submit and SubmitBatch.
+      Rng rng(0x77ULL * (t + 1));
+      std::vector<int> cursor(kPrincipalsPerThread, 0);
+      int remaining = kPrincipalsPerThread * kQueriesPerPrincipal;
+      while (remaining > 0) {
+        const int local = static_cast<int>(rng.Below(kPrincipalsPerThread));
+        const int p = t * kPrincipalsPerThread + local;
+        int& at = cursor[local];
+        if (at >= kQueriesPerPrincipal) continue;
+        if (rng.Chance(0.3)) {
+          const int span = std::min(
+              static_cast<int>(rng.Below(8)) + 1, kQueriesPerPrincipal - at);
+          std::vector<cq::ConjunctiveQuery> batch;
+          batch.reserve(span);
+          for (int i = 0; i < span; ++i) {
+            batch.push_back(pool[streams[p][at + i]]);
+          }
+          const std::vector<bool> out = engine.SubmitBatch(
+              name_of(p), std::span(batch.data(), batch.size()));
+          decisions[p].insert(decisions[p].end(), out.begin(), out.end());
+          at += span;
+          remaining -= span;
+        } else {
+          decisions[p].push_back(
+              engine.Submit(name_of(p), pool[streams[p][at]]));
+          ++at;
+          --remaining;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Single-threaded replay on a fresh engine.
+  DisclosureEngine replay(/*db=*/nullptr, &fb.catalog, policy);
+  for (int p = 0; p < total_principals; ++p) {
+    ASSERT_EQ(decisions[p].size(), static_cast<size_t>(kQueriesPerPrincipal));
+    for (int i = 0; i < kQueriesPerPrincipal; ++i) {
+      const bool expected = replay.Submit(name_of(p), pool[streams[p][i]]);
+      ASSERT_EQ(decisions[p][i], expected)
+          << "principal " << p << " diverged at query " << i;
+    }
+    EXPECT_EQ(engine.ConsistentPartitions(name_of(p)),
+              replay.ConsistentPartitions(name_of(p)));
+  }
+
+  const DisclosureEngine::EngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.submitted,
+            static_cast<uint64_t>(total_principals) * kQueriesPerPrincipal);
+  EXPECT_EQ(stats.num_principals, static_cast<size_t>(total_principals));
+  EXPECT_EQ(stats.submitted, stats.accepted + stats.refused);
+}
+
+// Concurrent reads during concurrent policy swaps: every SubmitBatch on a
+// fresh principal must match policy A's expected decisions or policy B's —
+// never a mix, which is what a torn (half-updated) policy would produce.
+TEST(EngineConcurrencyTest, EpochSwapIsAtomicUnderConcurrency) {
+  cq::Schema schema = test::MakePaperSchema();
+  label::ViewCatalog catalog(&schema);
+  (void)catalog.AddViewText("meetings_full", "V(x, y) :- Meetings(x, y)");
+  (void)catalog.AddViewText("contacts_full",
+                            "V(x, y, z) :- Contacts(x, y, z)");
+  const int meetings = catalog.FindByName("meetings_full")->id;
+  const int contacts = catalog.FindByName("contacts_full")->id;
+  auto policy_a =
+      policy::SecurityPolicy::Compile(catalog, {{"m", {meetings}}});
+  auto policy_b =
+      policy::SecurityPolicy::Compile(catalog, {{"c", {contacts}}});
+  ASSERT_TRUE(policy_a.ok());
+  ASSERT_TRUE(policy_b.ok());
+
+  const std::vector<cq::ConjunctiveQuery> probe = {
+      test::Q("Q(x) :- Meetings(x, y)", schema),
+      test::Q("Q(x) :- Contacts(x, e, p)", schema),
+      test::Q("Q(x) :- Meetings(x, y)", schema),
+  };
+  // Expected whole-batch decisions under each policy (fresh principal):
+  // A (meetings only): accept, refuse, accept. B: refuse, accept, refuse.
+  const std::vector<bool> expect_a = {true, false, true};
+  const std::vector<bool> expect_b = {false, true, false};
+
+  DisclosureEngine engine(/*db=*/nullptr, &catalog, *policy_a);
+  std::atomic<bool> stop{false};
+  std::atomic<int> torn{0};
+
+  std::thread swapper([&] {
+    for (int i = 0; i < 400; ++i) {
+      engine.UpdatePolicy((i % 2) == 0 ? *policy_b : *policy_a);
+    }
+    stop.store(true);
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&, t] {
+      int serial = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        // Fresh principal per batch: decisions depend only on the policy
+        // the batch's snapshot captured.
+        const std::string name =
+            "probe-" + std::to_string(t) + "-" + std::to_string(serial++);
+        const std::vector<bool> out =
+            engine.SubmitBatch(name, std::span(probe.data(), probe.size()));
+        if (out != expect_a && out != expect_b) torn.fetch_add(1);
+      }
+    });
+  }
+  swapper.join();
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(torn.load(), 0) << "a batch observed a half-updated policy";
+  EXPECT_EQ(engine.Snapshot()->epoch(), 401u);
+}
+
+// Regression (found in review): per-principal slots must never move
+// backwards across epochs. A caller holding a stale (older-epoch) snapshot
+// is refused — it must reload and retry — instead of resetting the slot,
+// which would erase the newer epoch's accumulated narrowing and let the
+// next new-epoch request restart from the full mask.
+TEST(EngineConcurrencyTest, PrincipalSlotsNeverRegressAcrossEpochs) {
+  PrincipalStateMap map(4);
+  auto narrow = [](uint64_t to) {
+    return [to](policy::PrincipalState& state) {
+      state.consistent = to;
+      return true;
+    };
+  };
+  ASSERT_TRUE(map.TryWithState("p", 1, 0b11, narrow(0b01)).has_value());
+  // Epoch 2 advances the slot and resets it to the new init mask first.
+  auto advanced =
+      map.TryWithState("p", 2, 0b111, [](policy::PrincipalState& state) {
+        EXPECT_EQ(state.consistent, 0b111u);
+        state.consistent = 0b100;
+        return true;
+      });
+  ASSERT_TRUE(advanced.has_value());
+  // A stale epoch-1 caller is refused and must not touch the slot.
+  EXPECT_FALSE(map.TryWithState("p", 1, 0b11, narrow(0b01)).has_value());
+  EXPECT_FALSE(map.Consistent("p", 1, 0b11).has_value());
+  // The epoch-2 narrowing survived the stale access.
+  const std::optional<uint64_t> consistent = map.Consistent("p", 2, 0b111);
+  ASSERT_TRUE(consistent.has_value());
+  EXPECT_EQ(*consistent, 0b100u);
+  // And a later epoch restarts from its own init mask.
+  const std::optional<uint64_t> later = map.Consistent("p", 3, 0b1111);
+  ASSERT_TRUE(later.has_value());
+  EXPECT_EQ(*later, 0b1111u);
+}
+
+// Concurrent submits on the SAME principal must serialize through the
+// shard lock: the outcome must be *some* valid serialization. §6.2
+// narrowing makes that checkable exactly: the final consistency bits must
+// equal the AND of the allowed-partition masks of precisely the accepted
+// labels, every accepted label's allowed mask must cover the final state,
+// and every refused label's allowed mask must be disjoint from it (refusal
+// happened at a superset of the final state, and AllowedPartitions is
+// monotone in its candidate set).
+TEST(EngineConcurrencyTest, SamePrincipalSubmitsAreAValidSerialization) {
+  FbFixture fb;
+  policy::SecurityPolicy policy =
+      workload::PolicyGenerator(&fb.catalog, {}, 3ULL).Next();
+  DisclosureEngine engine(/*db=*/nullptr, &fb.catalog, policy);
+  const auto pool = RandomWorkload(&fb.schema, 1, 16, 0x42ULL);
+
+  constexpr int kThreads = 8;
+  constexpr int kSubmits = 200;
+  std::vector<std::vector<bool>> decisions(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      decisions[t].reserve(kSubmits);
+      for (int i = 0; i < kSubmits; ++i) {
+        decisions[t].push_back(
+            engine.Submit("hot-principal", pool[i % pool.size()]));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  label::LabelingPipeline seed(&fb.catalog);
+  std::vector<uint64_t> allowed_full(pool.size());
+  for (size_t q = 0; q < pool.size(); ++q) {
+    allowed_full[q] = policy.AllowedPartitions(seed.Label(pool[q]),
+                                               policy.AllPartitionsMask());
+  }
+  const uint64_t final_state = engine.ConsistentPartitions("hot-principal");
+  uint64_t expected_final = policy.AllPartitionsMask();
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kSubmits; ++i) {
+      const uint64_t mask = allowed_full[i % pool.size()];
+      if (decisions[t][i]) {
+        expected_final &= mask;
+        EXPECT_EQ(final_state & mask, final_state)
+            << "accepted label does not cover the final state";
+      } else {
+        EXPECT_EQ(final_state & mask, 0u)
+            << "refused label intersects the final state";
+      }
+    }
+  }
+  EXPECT_EQ(final_state, expected_final);
+}
+
+}  // namespace
+}  // namespace fdc::engine

@@ -1,0 +1,218 @@
+// Decision-equivalence property suite: a 1-thread DisclosureEngine must
+// produce byte-identical accept/refuse sequences to the seed
+// ReferenceMonitor / GuardedDatabase path on randomized workloads, and the
+// engine's labels must match the seed labeler's exactly. This is the oracle
+// that licenses every concurrency optimization in src/engine/ — if the
+// frozen tier, the overlay, or the sharded state ever drift from the seed
+// semantics, this suite is meant to catch it.
+#include "engine/disclosure_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "fb/fb_schema.h"
+#include "fb/fb_views.h"
+#include "label/pipeline.h"
+#include "policy/reference_monitor.h"
+#include "rewriting/atom_rewriting.h"
+#include "storage/guarded_database.h"
+#include "test_util.h"
+#include "workload/policy_generator.h"
+#include "workload/query_generator.h"
+
+namespace fdc::engine {
+namespace {
+
+using test::FbFixture;
+using test::RandomWorkload;
+
+// Engine labels agree exactly with the seed labeler on random workloads —
+// through the frozen warmup tier, the dynamic overlay, and the saturated
+// stateless fallback alike.
+TEST(EngineEquivalenceTest, LabelsMatchSeedPipeline) {
+  FbFixture fb;
+  const auto pool = RandomWorkload(&fb.schema, 3, 300, 0xfeed'beefULL);
+  // Warm the frozen tier with a prefix so all three tiers are exercised.
+  const std::span<const cq::ConjunctiveQuery> warmup(pool.data(), 100);
+  ConcurrentLabeler::Options tight;
+  tight.max_interned_queries = 50;  // force stateless fallbacks too
+  EngineOptions options;
+  options.labeler = tight;
+  DisclosureEngine engine(/*db=*/nullptr, &fb.catalog,
+                          workload::PolicyGenerator(&fb.catalog, {}, 7).Next(),
+                          options, warmup);
+
+  label::LabelingPipeline seed(&fb.catalog);
+  for (const cq::ConjunctiveQuery& query : pool) {
+    EXPECT_EQ(engine.Explain(query), seed.Label(query));
+  }
+  const DisclosureEngine::EngineStats stats = engine.Stats();
+  EXPECT_GT(stats.labeler.frozen_hits, 0u);
+  EXPECT_GT(stats.labeler.overlay_misses, 0u);
+  EXPECT_GT(stats.labeler.stateless_fallbacks, 0u);
+}
+
+// The core acceptance property: randomized multi-principal workloads give
+// identical accept/refuse sequences on the engine and on the seed
+// ReferenceMonitor path, and identical final consistency bits.
+TEST(EngineEquivalenceTest, DecisionSequencesMatchSeedMonitor) {
+  FbFixture fb;
+  constexpr int kPrincipals = 7;
+  constexpr int kQueries = 400;
+  for (uint64_t seed : {0x1ULL, 0xdecade'5eedULL, 0xc0ffeeULL}) {
+    workload::PolicyOptions popts;
+    popts.max_partitions = 5;
+    popts.max_elements_per_partition = 15;
+    policy::SecurityPolicy policy =
+        workload::PolicyGenerator(&fb.catalog, popts, seed).Next();
+
+    DisclosureEngine engine(/*db=*/nullptr, &fb.catalog, policy);
+
+    label::LabelingPipeline pipeline(&fb.catalog);
+    policy::ReferenceMonitor monitor(&policy);
+    std::vector<policy::PrincipalState> states(kPrincipals,
+                                               monitor.InitialState());
+
+    const auto pool = RandomWorkload(&fb.schema, 2, kQueries, seed ^ 0xabcd);
+    Rng rng(seed * 31 + 1);
+    for (int i = 0; i < kQueries; ++i) {
+      const int p = static_cast<int>(rng.Below(kPrincipals));
+      const std::string name = "principal-" + std::to_string(p);
+      const bool seed_decision =
+          monitor.Submit(&states[p], pipeline.Label(pool[i]));
+      const bool engine_decision = engine.Submit(name, pool[i]);
+      ASSERT_EQ(engine_decision, seed_decision)
+          << "divergence at query " << i << " principal " << p << " seed "
+          << seed;
+    }
+    for (int p = 0; p < kPrincipals; ++p) {
+      EXPECT_EQ(
+          engine.ConsistentPartitions("principal-" + std::to_string(p)),
+          states[p].consistent);
+    }
+  }
+}
+
+// SubmitBatch must agree with per-query Submit (and hence with the seed).
+TEST(EngineEquivalenceTest, SubmitBatchMatchesSequentialSubmit) {
+  FbFixture fb;
+  policy::SecurityPolicy policy =
+      workload::PolicyGenerator(&fb.catalog, {}, 0x5107ULL).Next();
+  DisclosureEngine batched(/*db=*/nullptr, &fb.catalog, policy);
+  DisclosureEngine sequential(/*db=*/nullptr, &fb.catalog, policy);
+
+  const auto pool = RandomWorkload(&fb.schema, 3, 256, 0x77ULL);
+  const std::vector<bool> batch =
+      batched.SubmitBatch("app", std::span(pool.data(), pool.size()));
+  ASSERT_EQ(batch.size(), pool.size());
+  for (size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_EQ(batch[i], sequential.Submit("app", pool[i])) << "query " << i;
+  }
+  EXPECT_EQ(batched.ConsistentPartitions("app"),
+            sequential.ConsistentPartitions("app"));
+}
+
+// GuardedDatabase engine mode vs seed mode: same evaluated rows, same
+// refusals, same diagnostics — on the paper's running example.
+TEST(EngineEquivalenceTest, GuardedDatabaseModesAgree) {
+  cq::Schema schema = test::MakePaperSchema();
+  storage::Database db(&schema);
+  (void)db.Insert("Meetings", {"9", "Jim"});
+  (void)db.Insert("Meetings", {"10", "Cathy"});
+  (void)db.Insert("Contacts", {"Jim", "jim@e.com", "Manager"});
+
+  label::ViewCatalog catalog(&schema);
+  (void)catalog.AddViewText("meetings_full", "V(x, y) :- Meetings(x, y)");
+  (void)catalog.AddViewText("contacts_full",
+                            "V(x, y, z) :- Contacts(x, y, z)");
+  auto policy = policy::SecurityPolicy::Compile(
+      catalog, {{"meetings", {catalog.FindByName("meetings_full")->id}},
+                {"contacts", {catalog.FindByName("contacts_full")->id}}});
+  ASSERT_TRUE(policy.ok());
+
+  storage::GuardedOptions seed_mode;
+  seed_mode.use_engine = false;
+  storage::GuardedDatabase via_engine(&db, &catalog, &*policy);
+  storage::GuardedDatabase via_seed(&db, &catalog, &*policy, seed_mode);
+  ASSERT_NE(via_engine.mutable_engine(), nullptr);
+  ASSERT_EQ(via_seed.mutable_engine(), nullptr);
+
+  const std::vector<std::pair<std::string, std::string>> session = {
+      {"app", "SELECT time FROM Meetings"},
+      {"app", "SELECT email FROM Contacts"},       // wall: refused
+      {"crm", "SELECT email FROM Contacts"},
+      {"crm", "SELECT time FROM Meetings"},        // wall: refused
+  };
+  for (const auto& [principal, sql] : session) {
+    auto a = via_engine.QuerySql(principal, sql);
+    auto b = via_seed.QuerySql(principal, sql);
+    ASSERT_EQ(a.ok(), b.ok()) << sql;
+    if (a.ok()) {
+      EXPECT_EQ(*a, *b) << sql;
+    } else {
+      EXPECT_EQ(a.status().code(), b.status().code()) << sql;
+    }
+    EXPECT_EQ(via_engine.ConsistentPartitions(principal),
+              via_seed.ConsistentPartitions(principal));
+  }
+}
+
+// A policy swap resets cumulative state at the new epoch and is effective
+// immediately for decisions (single-threaded semantics; the concurrent
+// atomicity of the swap is covered by engine_concurrency_test).
+TEST(EngineEquivalenceTest, PolicyEpochSwapResetsStateConsistently) {
+  cq::Schema schema = test::MakePaperSchema();
+  label::ViewCatalog catalog(&schema);
+  (void)catalog.AddViewText("meetings_full", "V(x, y) :- Meetings(x, y)");
+  (void)catalog.AddViewText("contacts_full",
+                            "V(x, y, z) :- Contacts(x, y, z)");
+  const int meetings = catalog.FindByName("meetings_full")->id;
+  const int contacts = catalog.FindByName("contacts_full")->id;
+  auto meetings_only =
+      policy::SecurityPolicy::Compile(catalog, {{"m", {meetings}}});
+  auto contacts_only =
+      policy::SecurityPolicy::Compile(catalog, {{"c", {contacts}}});
+  ASSERT_TRUE(meetings_only.ok());
+  ASSERT_TRUE(contacts_only.ok());
+
+  DisclosureEngine engine(/*db=*/nullptr, &catalog, *meetings_only);
+  const cq::ConjunctiveQuery meetings_q =
+      test::Q("Q(x) :- Meetings(x, y)", schema);
+  const cq::ConjunctiveQuery contacts_q =
+      test::Q("Q(x) :- Contacts(x, e, p)", schema);
+
+  EXPECT_TRUE(engine.Submit("app", meetings_q));
+  EXPECT_FALSE(engine.Submit("app", contacts_q));
+  EXPECT_EQ(engine.Snapshot()->epoch(), 1u);
+
+  const uint64_t epoch = engine.UpdatePolicy(*contacts_only);
+  EXPECT_EQ(epoch, 2u);
+  EXPECT_EQ(engine.Snapshot()->epoch(), 2u);
+  // Under the new epoch the principal restarts from the new policy's full
+  // mask: contacts is now allowed, meetings refused.
+  EXPECT_TRUE(engine.Submit("app", contacts_q));
+  EXPECT_FALSE(engine.Submit("app", meetings_q));
+}
+
+// The frozen tier's catalog-level precomputations agree with direct
+// computation: per-view labels and the rewriting-order closure.
+TEST(EngineEquivalenceTest, FrozenCatalogClosureMatchesDirect) {
+  FbFixture fb;
+  auto frozen = FrozenCatalog::Build(&fb.catalog);
+  label::LabelerPipeline seed(&fb.catalog);
+  for (int v = 0; v < fb.catalog.size(); ++v) {
+    EXPECT_EQ(frozen->ViewLabel(v),
+              seed.LabelPacked(fb.catalog.view(v).pattern.ToQuery("V")));
+    for (int w = 0; w < fb.catalog.size(); ++w) {
+      EXPECT_EQ(frozen->ViewLeq(v, w),
+                rewriting::AtomRewritable(fb.catalog.view(v).pattern,
+                                          fb.catalog.view(w).pattern))
+          << "views " << v << ", " << w;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fdc::engine

@@ -11,8 +11,36 @@
 #include "cq/pattern.h"
 #include "cq/query.h"
 #include "cq/schema.h"
+#include "fb/fb_schema.h"
+#include "fb/fb_views.h"
+#include "label/view_catalog.h"
+#include "workload/query_generator.h"
 
 namespace fdc::test {
+
+/// The §7.2 Facebook environment (schema + 37-view catalog), shared by the
+/// pipeline/engine equivalence and concurrency suites.
+struct FbFixture {
+  cq::Schema schema;
+  label::ViewCatalog catalog;
+
+  FbFixture() : schema(fb::BuildFacebookSchema()), catalog(&schema) {
+    auto added = fb::RegisterFacebookViews(&catalog);
+    if (!added.ok()) std::abort();
+  }
+};
+
+/// Pregenerates `count` §7.2 workload queries (`subqueries` stress factor).
+inline std::vector<cq::ConjunctiveQuery> RandomWorkload(
+    const cq::Schema* schema, int subqueries, int count, uint64_t seed) {
+  workload::GeneratorOptions options;
+  options.subqueries = subqueries;
+  workload::QueryGenerator generator(schema, options, seed);
+  std::vector<cq::ConjunctiveQuery> pool;
+  pool.reserve(count);
+  for (int i = 0; i < count; ++i) pool.push_back(generator.Next());
+  return pool;
+}
 
 /// Schema of Figure 1: Meetings(time, person), Contacts(person, email,
 /// position).
