@@ -1,0 +1,177 @@
+// Cold-mask kernel sweep: the compiled catalog matcher vs the seed
+// per-view loop, across catalog sizes 8 → 256 views.
+//
+// "Cold" means no memoization anywhere — every evaluation computes the full
+// per-relation ℓ+ mask for a pattern it has never seen, which is exactly
+// the work a novel query pays on the labeling path. The seed series runs
+// one AtomRewritable per (pattern, view) pair (the pre-PR-3 kernel); the
+// compiled series evaluates the discrimination net in one pass. Catalogs
+// pack 32 views per relation (the packed-label capacity), so the per-view
+// loop's cost per atom grows with catalog density while the compiled
+// evaluation stays O(arity + requirements).
+//
+// bench/run_benchmarks.sh folds the ratio into BENCH_hotpath.json as
+// matcher_compiled_vs_seed/views/N; the acceptance floor is ≥ 3× at 64
+// views.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "cq/pattern.h"
+#include "cq/schema.h"
+#include "label/compiled_matcher.h"
+#include "label/view_catalog.h"
+#include "rewriting/atom_rewriting.h"
+
+namespace fdc::bench {
+namespace {
+
+using cq::Atom;
+using cq::AtomPattern;
+using cq::Term;
+
+constexpr int kArity = 6;
+constexpr int kViewsPerRelation = 32;
+constexpr int kPatternPool = 1024;
+
+// One catalog of `num_views` views, packed 32 per relation over
+// ceil(num_views / 32) Album-like relations, plus a pregenerated pattern
+// pool. Views are projection/selection shapes (distinguished subsets,
+// per-view selection constants) with a few repeated-variable views mixed in
+// so the compiled net's equality machinery is on the measured path.
+struct MatcherEnv {
+  cq::Schema schema;
+  std::unique_ptr<label::ViewCatalog> catalog;
+  label::CompiledCatalogMatcher matcher;
+  std::vector<AtomPattern> patterns;
+
+  explicit MatcherEnv(int num_views) {
+    const int num_relations =
+        (num_views + kViewsPerRelation - 1) / kViewsPerRelation;
+    for (int r = 0; r < num_relations; ++r) {
+      auto id = schema.AddRelation(
+          "T" + std::to_string(r),
+          {"uid", "viewer_rel", "c1", "c2", "c3", "c4"});
+      if (!id.ok()) std::abort();
+    }
+    catalog = std::make_unique<label::ViewCatalog>(&schema);
+    for (int v = 0; v < num_views; ++v) {
+      const int relation = v / kViewsPerRelation;
+      const int k = v % kViewsPerRelation;
+      std::vector<Term> terms;
+      terms.push_back(Term::Var(0));  // uid
+      if (k % 2 == 1) {
+        terms.push_back(Term::Const("g" + std::to_string(k / 2)));
+      } else {
+        terms.push_back(Term::Var(1));
+      }
+      for (int p = 0; p < 4; ++p) terms.push_back(Term::Var(2 + p));
+      if (k % 8 == 7) terms[3] = Term::Var(2);  // repeated variable (c1=c2)
+      std::vector<bool> distinguished(6, false);
+      distinguished[0] = true;       // uid always exposed
+      distinguished[1] = k % 4 < 2;  // viewer_rel sometimes exposed
+      for (int p = 0; p < 4; ++p) {
+        distinguished[2 + p] = ((k / 2) >> p) & 1;
+      }
+      AtomPattern pattern = AtomPattern::FromAtom(
+          Atom(relation, std::move(terms)), distinguished);
+      auto added = catalog->AddView("v" + std::to_string(v),
+                                    pattern.ToQuery("V"));
+      if (!added.ok()) std::abort();
+    }
+    matcher = label::CompiledCatalogMatcher::Compile(*catalog);
+
+    Rng rng(0x3a7c'4e00ULL + num_views);
+    patterns.reserve(kPatternPool);
+    for (int i = 0; i < kPatternPool; ++i) {
+      const int relation = static_cast<int>(rng.Below(num_relations));
+      std::vector<Term> terms;
+      terms.push_back(Term::Var(0));
+      if (rng.Chance(0.6)) {
+        terms.push_back(Term::Const("g" + std::to_string(rng.Below(16))));
+      } else {
+        terms.push_back(Term::Var(1));
+      }
+      for (int p = 0; p < 4; ++p) {
+        if (rng.Chance(0.15)) {
+          terms.push_back(Term::Const("x" + std::to_string(rng.Below(4))));
+        } else {
+          // Occasional repeats so the C5 path is exercised.
+          terms.push_back(Term::Var(rng.Chance(0.2)
+                                        ? 2
+                                        : 2 + static_cast<int>(p)));
+        }
+      }
+      std::vector<bool> distinguished(6, false);
+      for (int c = 0; c < 6; ++c) distinguished[c] = rng.Chance(0.5);
+      patterns.push_back(AtomPattern::FromAtom(
+          Atom(relation, std::move(terms)), distinguished));
+    }
+  }
+
+  static const MatcherEnv& Get(int num_views) {
+    static std::map<int, std::unique_ptr<MatcherEnv>> envs;
+    auto it = envs.find(num_views);
+    if (it == envs.end()) {
+      it = envs.emplace(num_views, std::make_unique<MatcherEnv>(num_views))
+               .first;
+    }
+    return *it->second;
+  }
+};
+
+void ReportRate(benchmark::State& state, int masks_per_iteration) {
+  state.SetItemsProcessed(state.iterations() * masks_per_iteration);
+  state.counters["masks_per_second"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * masks_per_iteration,
+      benchmark::Counter::kIsRate);
+}
+
+// The pre-PR-3 kernel: one AtomRewritable per (pattern, view) pair, with
+// the packed 32-view guard — identical decisions to the compiled net
+// (property-tested in tests/compiled_matcher_test.cc).
+void BM_SeedPerView(benchmark::State& state) {
+  const MatcherEnv& env = MatcherEnv::Get(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    for (const AtomPattern& pattern : env.patterns) {
+      uint32_t mask = 0;
+      for (int view_id : env.catalog->ViewsOfRelation(pattern.relation)) {
+        const label::SecurityView& view = env.catalog->view(view_id);
+        if (view.bit < 32 &&
+            rewriting::AtomRewritable(pattern, view.pattern)) {
+          mask |= uint32_t{1} << view.bit;
+        }
+      }
+      benchmark::DoNotOptimize(mask);
+    }
+  }
+  ReportRate(state, kPatternPool);
+}
+
+void BM_Compiled(benchmark::State& state) {
+  const MatcherEnv& env = MatcherEnv::Get(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    for (const AtomPattern& pattern : env.patterns) {
+      benchmark::DoNotOptimize(env.matcher.MatchMask(pattern));
+    }
+  }
+  ReportRate(state, kPatternPool);
+}
+
+void CatalogAxis(benchmark::internal::Benchmark* bench) {
+  for (int views : {8, 16, 32, 64, 128, 256}) bench->Arg(views);
+}
+
+BENCHMARK(BM_SeedPerView)->Apply(CatalogAxis)
+    ->Name("Matcher/seed_per_view/views");
+BENCHMARK(BM_Compiled)->Apply(CatalogAxis)
+    ->Name("Matcher/compiled/views");
+
+}  // namespace
+}  // namespace fdc::bench
+
+BENCHMARK_MAIN();

@@ -12,7 +12,24 @@ out="${1:-BENCH_hotpath.json}"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
-benchmarks=(fig_batch_monitor fig5_labeler fig_engine_scaling)
+benchmarks=(fig_batch_monitor fig5_labeler fig_engine_scaling fig_matcher)
+
+# Run metadata so the bench trajectory across PRs is attributable to a
+# commit and a machine shape. Each field may be pre-set by the caller
+# (e.g. CI passing its own checkout sha).
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+detect_sha() {
+  local sha
+  sha="$(git -C "$repo_root" rev-parse HEAD 2>/dev/null)" || { echo unknown; return; }
+  # Flag uncommitted state so results are never misattributed to a clean sha.
+  if [[ -n "$(git -C "$repo_root" status --porcelain 2>/dev/null)" ]]; then
+    sha="$sha-dirty"
+  fi
+  echo "$sha"
+}
+export FDC_BENCH_GIT_SHA="${FDC_BENCH_GIT_SHA:-$(detect_sha)}"
+export FDC_BENCH_CORES="${FDC_BENCH_CORES:-$(nproc 2>/dev/null || echo unknown)}"
+export FDC_BENCH_TIMESTAMP="${FDC_BENCH_TIMESTAMP:-$(date -u +%Y-%m-%dT%H:%M:%SZ)}"
 
 # Fail up front with a clear message instead of dying mid-merge: every
 # benchmark binary must exist and be executable before we run any of them.
@@ -46,8 +63,14 @@ import json, sys, os
 
 tmp, out = sys.argv[1], sys.argv[2]
 merged = {"benchmarks": {}, "speedups": {}}
+merged["run_metadata"] = {
+    "git_sha": os.environ.get("FDC_BENCH_GIT_SHA", "unknown"),
+    "hardware_cores": os.environ.get("FDC_BENCH_CORES", "unknown"),
+    "timestamp_utc": os.environ.get("FDC_BENCH_TIMESTAMP", "unknown"),
+}
 
-for name in ("fig_batch_monitor", "fig5_labeler", "fig_engine_scaling"):
+for name in ("fig_batch_monitor", "fig5_labeler", "fig_engine_scaling",
+             "fig_matcher"):
     with open(os.path.join(tmp, name + ".json")) as f:
         data = json.load(f)
     merged.setdefault("context", data.get("context", {}))
@@ -56,7 +79,7 @@ for name in ("fig_batch_monitor", "fig5_labeler", "fig_engine_scaling"):
             k: bench[k]
             for k in ("real_time", "cpu_time", "time_unit",
                       "items_per_second", "queries_per_second",
-                      "sec_per_1M_queries")
+                      "masks_per_second", "sec_per_1M_queries")
             if k in bench
         }
 
@@ -83,6 +106,26 @@ for atoms in (3, 6, 9, 12, 15):
 ratios = [v for k, v in merged["speedups"].items()
           if k.startswith("batch_monitor_vs_baseline")]
 merged["min_batch_monitor_speedup"] = min(ratios) if ratios else None
+
+# Compiled catalog matcher vs the seed per-view loop (cold masks, no
+# memoization on either side). Acceptance floor: ≥ 3x at 64 catalog views.
+def mask_rate(name):
+    b = merged["benchmarks"].get(name, {})
+    return b.get("masks_per_second") or b.get("items_per_second")
+
+merged["fig_matcher"] = {}
+for views in (8, 16, 32, 64, 128, 256):
+    seed = mask_rate(f"Matcher/seed_per_view/views/{views}")
+    compiled = mask_rate(f"Matcher/compiled/views/{views}")
+    if seed:
+        merged["fig_matcher"][f"seed_per_view/views/{views}"] = seed
+    if compiled:
+        merged["fig_matcher"][f"compiled/views/{views}"] = compiled
+    if seed and compiled:
+        merged["speedups"][f"matcher_compiled_vs_seed/views/{views}"] = \
+            round(compiled / seed, 2)
+merged["matcher_compiled_speedup_at_64_views"] = \
+    merged["speedups"].get("matcher_compiled_vs_seed/views/64")
 
 # Engine thread-scaling: aggregate throughput and parallel efficiency
 # rate(N) / (N * rate(1)) per series. Multi-threaded google-benchmark rows
@@ -119,5 +162,8 @@ msg = f"wrote {out}; min batched speedup = {merged['min_batch_monitor_speedup']}
 eff4 = merged["engine_scaling_efficiency"].get("submit_batch/threads/4")
 if eff4 is not None:
     msg += f"; engine 4-thread efficiency = {eff4}"
+m64 = merged["matcher_compiled_speedup_at_64_views"]
+if m64 is not None:
+    msg += f"; compiled matcher @64 views = {m64}x"
 print(msg)
 EOF

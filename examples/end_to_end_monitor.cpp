@@ -103,11 +103,13 @@ int main() {
       "  decisions : %llu submitted = %llu accepted + %llu refused\n"
       "  labeler   : %llu frozen hits, %llu overlay hits, %llu overlay "
       "misses, %llu stateless fallbacks\n"
+      "  matcher   : %llu compiled mask evals, %llu per-view tests avoided\n"
+      "  fold      : %llu warm-scratch atom-drop searches (process-wide)\n"
       "  interner  : %llu query hits / %llu misses, %llu pattern hits / %llu "
       "misses\n"
       "  containment cache (sharded, per-shard counters summed):\n"
       "            : %llu hits, %llu misses, %llu insertions, %llu "
-      "evictions\n",
+      "evictions, %llu hom-scratch reuses\n",
       static_cast<unsigned long long>(stats.epoch), stats.num_principals,
       stats.frozen_labels, static_cast<unsigned long long>(stats.submitted),
       static_cast<unsigned long long>(stats.accepted),
@@ -116,6 +118,9 @@ int main() {
       static_cast<unsigned long long>(stats.labeler.overlay_hits),
       static_cast<unsigned long long>(stats.labeler.overlay_misses),
       static_cast<unsigned long long>(stats.labeler.stateless_fallbacks),
+      static_cast<unsigned long long>(stats.labeler.compiled_mask_evals),
+      static_cast<unsigned long long>(stats.labeler.per_view_tests_avoided),
+      static_cast<unsigned long long>(stats.fold_scratch_reuses),
       static_cast<unsigned long long>(stats.interner.query_hits),
       static_cast<unsigned long long>(stats.interner.query_misses),
       static_cast<unsigned long long>(stats.interner.pattern_hits),
@@ -123,6 +128,7 @@ int main() {
       static_cast<unsigned long long>(stats.containment.hits),
       static_cast<unsigned long long>(stats.containment.misses),
       static_cast<unsigned long long>(stats.containment.insertions),
-      static_cast<unsigned long long>(stats.containment.evictions));
+      static_cast<unsigned long long>(stats.containment.evictions),
+      static_cast<unsigned long long>(stats.containment.hom_scratch_reuses));
   return 0;
 }

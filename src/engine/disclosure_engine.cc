@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "policy/reference_monitor.h"
+#include "rewriting/fold.h"
 #include "storage/evaluator.h"
 
 namespace fdc::engine {
@@ -146,6 +147,7 @@ DisclosureEngine::EngineStats DisclosureEngine::Stats() const {
   stats.labeler = labeler_.stats();
   stats.interner = labeler_.interner_stats();
   stats.containment = labeler_.cache_stats();
+  stats.fold_scratch_reuses = rewriting::FoldScratchReuses();
   return stats;
 }
 

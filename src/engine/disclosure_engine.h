@@ -132,6 +132,10 @@ class DisclosureEngine {
     ConcurrentLabeler::Stats labeler;
     cq::QueryInterner::Stats interner;          // dynamic overlay interner
     rewriting::ContainmentCache::Stats containment;  // sharded cache, summed
+    /// Folding's atom-drop hom searches served by a warm thread-local
+    /// scratch arena. Process-wide (rewriting::FoldScratchReuses), not
+    /// per-engine: it counts every consumer in the process.
+    uint64_t fold_scratch_reuses = 0;
   };
   EngineStats Stats() const;
 

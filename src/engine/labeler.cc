@@ -1,5 +1,6 @@
 #include "engine/labeler.h"
 
+#include <algorithm>
 #include <mutex>
 
 #include "label/dissect.h"
@@ -10,8 +11,30 @@ ConcurrentLabeler::ConcurrentLabeler(
     std::shared_ptr<const FrozenCatalog> frozen, Options options)
     : frozen_(std::move(frozen)),
       options_(options),
-      stateless_(&frozen_->catalog(), frozen_->dissect_options()),
-      cache_(options.containment_cache_capacity) {}
+      stateless_(&frozen_->catalog(), frozen_->dissect_options()) {
+  if (options_.ablate_compiled_matcher) {
+    cache_ = std::make_unique<rewriting::ContainmentCache>(
+        options_.containment_cache_capacity);
+  }
+}
+
+label::DisclosureLabel ConcurrentLabeler::LabelCompiled(
+    const cq::ConjunctiveQuery& query) {
+  // One matcher evaluation per atom against the frozen artifact — no
+  // pattern interning, no mask memo, no cache probes, no locks.
+  label::DisclosureLabel label;
+  for (const cq::AtomPattern& atom :
+       label::Dissect(query, frozen_->dissect_options())) {
+    compiled_mask_evals_.fetch_add(1, std::memory_order_relaxed);
+    per_view_tests_avoided_.fetch_add(
+        static_cast<uint64_t>(
+            frozen_->matcher().AvoidedPerViewTests(atom.relation)),
+        std::memory_order_relaxed);
+    label.Add(frozen_->matcher().MatchLabel(atom));
+  }
+  label.Seal();
+  return label;
+}
 
 label::DisclosureLabel ConcurrentLabeler::ComputeLabelLocked(
     const cq::ConjunctiveQuery& canonical) {
@@ -26,7 +49,7 @@ label::DisclosureLabel ConcurrentLabeler::ComputeLabelLocked(
       it = mask_by_pattern_
                .emplace(pattern_id,
                         label::ComputePatternMask(frozen_->catalog(),
-                                                  interner_, cache_,
+                                                  interner_, *cache_,
                                                   pattern_id, atom))
                .first;
     }
@@ -56,8 +79,41 @@ label::DisclosureLabel ConcurrentLabeler::Label(
     }
   }
 
-  // Tier 2b: exclusive intern + label. Double-check under the writer lock:
-  // another thread may have labeled the same structure since we unlocked.
+  // Tier 2b: label, intern, memoize. On the compiled path the label is
+  // computed *before* the writer lock — LabelCompiled only reads frozen
+  // state, so N threads labeling distinct novel structures (Dissect,
+  // folding's hom searches, the net evaluations) proceed in parallel and
+  // the exclusive section shrinks to TryIntern + one memo insert. Labels
+  // are pure functions of the structure, so a racing duplicate compute
+  // stores the identical value. The ablated seed kernel mutates overlay
+  // state (pattern interner + mask memo) and must stay fully locked.
+  if (!options_.ablate_compiled_matcher) {
+    label::DisclosureLabel label = LabelCompiled(query);
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    const cq::InternedQuery* interned =
+        interner_.TryIntern(query, options_.max_interned_queries);
+    if (interned == nullptr) {
+      // Tier 3: overlay saturated; the label is already stateless.
+      lock.unlock();
+      stateless_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      return label;
+    }
+    auto it = label_by_query_.find(interned->id());
+    if (it != label_by_query_.end()) {
+      overlay_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+    overlay_misses_.fetch_add(1, std::memory_order_relaxed);
+    if (label_by_query_.size() >= options_.max_label_cache) {
+      label_by_query_.clear();
+    }
+    label_by_query_.emplace(interned->id(), label);
+    return label;
+  }
+
+  // Ablated (seed-kernel) path: exclusive intern + label. Double-check
+  // under the writer lock: another thread may have labeled the same
+  // structure since we unlocked.
   std::unique_lock<std::shared_mutex> lock(mu_);
   const cq::InternedQuery* interned =
       interner_.TryIntern(query, options_.max_interned_queries);
@@ -98,6 +154,10 @@ ConcurrentLabeler::Stats ConcurrentLabeler::stats() const {
   stats.overlay_misses = overlay_misses_.load(std::memory_order_relaxed);
   stats.stateless_fallbacks =
       stateless_fallbacks_.load(std::memory_order_relaxed);
+  stats.compiled_mask_evals =
+      compiled_mask_evals_.load(std::memory_order_relaxed);
+  stats.per_view_tests_avoided =
+      per_view_tests_avoided_.load(std::memory_order_relaxed);
   return stats;
 }
 

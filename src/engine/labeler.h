@@ -6,21 +6,24 @@
 //
 //   1. the FrozenCatalog warmup tier is probed first — an immutable
 //      interner + label table, read lock-free by any number of threads;
-//   2. misses fall into a *dynamic overlay*: one shared QueryInterner and
-//      whole-query/per-pattern memo maps guarded by a reader/writer lock.
-//      Repeated structures resolve under the shared (reader) side via
+//   2. misses fall into a *dynamic overlay*: one shared QueryInterner and a
+//      whole-query label memo guarded by a reader/writer lock. Repeated
+//      structures resolve under the shared (reader) side via
 //      QueryInterner::Find; only genuinely novel structures take the
-//      exclusive side to intern and label once, backed by the sharded
-//      (thread-safe) rewriting::ContainmentCache;
+//      exclusive side to intern and label once. Per-atom ℓ+ masks come from
+//      the frozen tier's CompiledCatalogMatcher (one allocation-free pass
+//      per atom, read lock-free); the seed per-view kernel — pattern
+//      interning + the sharded rewriting::ContainmentCache — stays behind
+//      Options::ablate_compiled_matcher as the oracle;
 //   3. when the overlay interner saturates (principal-controlled input must
 //      not grow memory without bound), novel structures are labeled
-//      statelessly via LabelerPipeline::LabelPacked — a pure function, no
-//      locks.
+//      statelessly via the compiled matcher — a pure function, no locks.
 //
 // Labels produced here are byte-identical to LabelingPipeline::Label /
-// LabelerPipeline::LabelPacked on the same catalog: all three run the same
-// Dissect + per-view rewritability algorithm, so the engine path is
-// decision-equivalent to the seed path (property-tested).
+// LabelerPipeline::LabelPacked on the same catalog: every path evaluates
+// the same Dissect + single-atom rewritability decision (the compiled
+// matcher is property-tested mask-for-mask against the per-view loop), so
+// the engine path is decision-equivalent to the seed path.
 #pragma once
 
 #include <atomic>
@@ -46,8 +49,11 @@ struct ConcurrentLabelerOptions {
   size_t max_interned_queries = 1 << 20;
   /// Overlay whole-query label memo entries kept before a reset.
   size_t max_label_cache = 1 << 20;
-  /// Total slots in the sharded containment cache.
+  /// Total slots in the sharded containment cache (seed-kernel path only).
   size_t containment_cache_capacity = 1 << 16;
+  /// Ablation: per-atom masks via the seed per-view kernel (pattern
+  /// interning + ContainmentCache) instead of the compiled matcher.
+  bool ablate_compiled_matcher = false;
 };
 
 class ConcurrentLabeler {
@@ -59,6 +65,10 @@ class ConcurrentLabeler {
     uint64_t overlay_hits = 0;   // resolved by the shared overlay memo
     uint64_t overlay_misses = 0; // labeled from scratch into the overlay
     uint64_t stateless_fallbacks = 0;  // overlay saturated; pure compute
+    uint64_t compiled_mask_evals = 0;  // per-atom masks from the matcher
+    // Per-view rewritability tests the seed kernel would have run for
+    // those masks.
+    uint64_t per_view_tests_avoided = 0;
   };
 
   explicit ConcurrentLabeler(std::shared_ptr<const FrozenCatalog> frozen,
@@ -73,21 +83,28 @@ class ConcurrentLabeler {
 
   Stats stats() const;
   rewriting::ContainmentCache::Stats cache_stats() const {
-    return cache_.stats();
+    return cache_ != nullptr ? cache_->stats()
+                             : rewriting::ContainmentCache::Stats{};
   }
   cq::QueryInterner::Stats interner_stats() const;
   const FrozenCatalog& frozen() const { return *frozen_; }
 
  private:
-  /// Computes a label from scratch; requires mu_ held exclusively (the
-  /// per-pattern mask memo and overlay interner mutate).
+  /// Dissect + compiled-matcher evaluation: pure reads of frozen state plus
+  /// relaxed counter bumps, safe from any thread with no locks held.
+  label::DisclosureLabel LabelCompiled(const cq::ConjunctiveQuery& query);
+
+  /// Seed-kernel (ablated) labeling; requires mu_ held exclusively — it
+  /// mutates the per-pattern mask memo and the overlay pattern interner.
   label::DisclosureLabel ComputeLabelLocked(
       const cq::ConjunctiveQuery& canonical);
 
   std::shared_ptr<const FrozenCatalog> frozen_;
   Options options_;
   label::LabelerPipeline stateless_;  // pure fallback; const methods only
-  rewriting::ContainmentCache cache_;  // sharded; internally synchronized
+  // Sharded, internally synchronized; only the ablated seed kernel probes
+  // it, so it is constructed only when that mode is selected.
+  std::unique_ptr<rewriting::ContainmentCache> cache_;
 
   // Dynamic overlay: reader side for Find + memo probes, writer side for
   // interning and labeling novel structures.
@@ -100,6 +117,8 @@ class ConcurrentLabeler {
   std::atomic<uint64_t> overlay_hits_{0};
   std::atomic<uint64_t> overlay_misses_{0};
   std::atomic<uint64_t> stateless_fallbacks_{0};
+  std::atomic<uint64_t> compiled_mask_evals_{0};
+  std::atomic<uint64_t> per_view_tests_avoided_{0};
 };
 
 }  // namespace fdc::engine

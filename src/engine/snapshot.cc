@@ -12,13 +12,16 @@ std::shared_ptr<const FrozenCatalog> FrozenCatalog::Build(
   auto frozen = std::shared_ptr<FrozenCatalog>(new FrozenCatalog());
   frozen->catalog_ = catalog;
   frozen->dissect_options_ = dissect_options;
+  frozen->matcher_ = label::CompiledCatalogMatcher::Compile(*catalog);
 
   // Label the views' own defining queries and the warmup workload through
-  // one LabelingPipeline sharing the frozen interner, so warmup pattern ids
-  // and per-pattern ℓ+ masks land in the same id space the labels were
-  // computed in.
+  // one LabelingPipeline sharing the frozen interner (so warmup query ids
+  // land in the id space FindLabel probes) and the compiled matcher (so
+  // build-time labels come from the exact artifact the serving tiers
+  // evaluate).
   label::LabelingPipeline pipeline(catalog, &frozen->interner_,
-                                   /*cache=*/nullptr, dissect_options);
+                                   /*cache=*/nullptr, dissect_options,
+                                   /*options=*/{}, &frozen->matcher_);
   const int n = catalog->size();
   frozen->view_labels_.reserve(n);
   for (int v = 0; v < n; ++v) {

@@ -33,6 +33,7 @@
 
 #include "cq/interned.h"
 #include "cq/query.h"
+#include "label/compiled_matcher.h"
 #include "label/compressed_label.h"
 #include "label/dissect.h"
 #include "label/view_catalog.h"
@@ -42,11 +43,12 @@ namespace fdc::engine {
 
 class FrozenCatalog {
  public:
-  /// Builds the frozen tier: interns every catalog view pattern, labels
-  /// each view's defining query, closes the single-atom rewriting order
-  /// over the catalog, and pre-labels `warmup` queries into the frozen
-  /// label table. Single-threaded; the result is immutable and every const
-  /// method below is safe from any number of threads without locks.
+  /// Builds the frozen tier: compiles the catalog's matcher automaton
+  /// (label::CompiledCatalogMatcher), interns every catalog view pattern,
+  /// labels each view's defining query, closes the single-atom rewriting
+  /// order over the catalog, and pre-labels `warmup` queries into the
+  /// frozen label table. Single-threaded; the result is immutable and every
+  /// const method below is safe from any number of threads without locks.
   static std::shared_ptr<const FrozenCatalog> Build(
       const label::ViewCatalog* catalog,
       std::span<const cq::ConjunctiveQuery> warmup = {},
@@ -56,6 +58,12 @@ class FrozenCatalog {
   const label::DissectOptions& dissect_options() const {
     return dissect_options_;
   }
+
+  /// The catalog's compiled matcher automaton — the frozen tier owns the
+  /// compiled artifact; every labeling consumer (overlay, stateless
+  /// fallback, pipelines built over this catalog) evaluates this one
+  /// instance lock-free.
+  const label::CompiledCatalogMatcher& matcher() const { return matcher_; }
 
   /// Disclosure label of view `id`'s own defining query.
   const label::DisclosureLabel& ViewLabel(int id) const {
@@ -84,6 +92,7 @@ class FrozenCatalog {
 
   const label::ViewCatalog* catalog_ = nullptr;
   label::DissectOptions dissect_options_;
+  label::CompiledCatalogMatcher matcher_;  // frozen after Build
   cq::QueryInterner interner_;  // frozen after Build; const reads only
   std::unordered_map<int, label::DisclosureLabel> label_by_query_;
   std::vector<label::DisclosureLabel> view_labels_;

@@ -1,0 +1,217 @@
+#include "label/compiled_matcher.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "rewriting/atom_rewriting.h"
+
+namespace fdc::label {
+
+namespace {
+
+using cq::AtomPattern;
+using cq::PatTerm;
+
+// "v implies position q ≡ position p": equal constants or the same variable
+// class — exactly the implication test AtomRewritable runs for C2.
+inline bool ImpliesEquality(const PatTerm& a, const PatTerm& b) {
+  if (a.is_const != b.is_const) return false;
+  if (a.is_const) return a.value == b.value;
+  return a.cls == b.cls;
+}
+
+}  // namespace
+
+CompiledCatalogMatcher CompiledCatalogMatcher::Compile(
+    const ViewCatalog& catalog) {
+  CompiledCatalogMatcher matcher;
+  matcher.catalog_ = &catalog;
+
+  int max_relation = -1;
+  for (const SecurityView& view : catalog.views()) {
+    max_relation = std::max(max_relation, view.relation);
+  }
+  matcher.nets_.resize(static_cast<size_t>(max_relation + 1));
+
+  for (int relation = 0; relation <= max_relation; ++relation) {
+    const std::vector<int>& view_ids = catalog.ViewsOfRelation(relation);
+    if (view_ids.empty()) continue;
+    RelationNet& net = matcher.nets_[static_cast<size_t>(relation)];
+    net.arity = catalog.view(view_ids.front()).pattern.arity();
+    if (net.arity > kMaxCompiledArity) {
+      // Pathological arity: MatchMask runs the per-view loop instead. The
+      // net stays empty but the relation is still answered correctly.
+      net.use_fallback = true;
+      continue;
+    }
+    const int n = net.arity;
+    net.const_at.assign(static_cast<size_t>(n), 0);
+    net.dist_at.assign(static_cast<size_t>(n), 0);
+    net.same_class.assign(static_cast<size_t>(n) * n, 0);
+
+    // (pos, value, view bit) triples, sorted into the flat table below.
+    std::vector<std::tuple<int, std::string, int>> constants;
+    // (q, p) -> requirement mask, merged across views.
+    std::vector<std::vector<uint32_t>> eq_mask(
+        static_cast<size_t>(n), std::vector<uint32_t>(n, 0));
+
+    for (int view_id : view_ids) {
+      const SecurityView& view = catalog.view(view_id);
+      // Packed masks carry 32 views per relation; later views are excluded
+      // (strictly higher labels — fail-safe), matching ComputePatternMask.
+      if (view.bit >= 32) continue;
+      const uint32_t bit = uint32_t{1} << view.bit;
+      const AtomPattern& w = view.pattern;
+      // Mixed-arity views over one relation cannot come from a validated
+      // schema; a mismatch would make every per-position mask meaningless.
+      if (w.arity() != n) {
+        net.use_fallback = true;
+        break;
+      }
+      net.all_views |= bit;
+      // class -> first position, for C2 requirement extraction.
+      int first_pos[kMaxCompiledArity];
+      std::fill(first_pos, first_pos + n, -1);
+      for (int p = 0; p < n; ++p) {
+        const PatTerm& wt = w.terms[p];
+        if (wt.is_const) {
+          net.const_at[p] |= bit;
+          constants.emplace_back(p, wt.value, view.bit);
+          continue;
+        }
+        if (wt.distinguished) net.dist_at[p] |= bit;
+        const int q = first_pos[wt.cls];
+        if (q < 0) {
+          first_pos[wt.cls] = p;
+        } else {
+          // The view imposes q ≡ p (via the class representative, exactly
+          // as AtomRewritable checks it).
+          eq_mask[q][p] |= bit;
+        }
+        // Same-class masks for every earlier position of the class (C5
+        // probes arbitrary (first, later) pairs of the *incoming* pattern's
+        // classes, so all pairs are needed, not just representatives).
+        for (int r = 0; r < p; ++r) {
+          const PatTerm& wr = w.terms[r];
+          if (!wr.is_const && wr.cls == wt.cls) {
+            net.same_class[static_cast<size_t>(r) * n + p] |= bit;
+            net.same_class[static_cast<size_t>(p) * n + r] |= bit;
+          }
+        }
+      }
+    }
+    if (net.use_fallback) continue;
+
+    for (int q = 0; q < n; ++q) {
+      for (int p = 0; p < n; ++p) {
+        if (eq_mask[q][p] != 0) {
+          net.eq_requirements.push_back({static_cast<uint16_t>(q),
+                                         static_cast<uint16_t>(p),
+                                         eq_mask[q][p]});
+        }
+      }
+    }
+
+    // Flat sorted constant-value table with per-position spans.
+    std::sort(constants.begin(), constants.end(),
+              [](const auto& a, const auto& b) {
+                if (std::get<0>(a) != std::get<0>(b)) {
+                  return std::get<0>(a) < std::get<0>(b);
+                }
+                return std::get<1>(a) < std::get<1>(b);
+              });
+    net.value_begin.assign(static_cast<size_t>(n) + 1, 0);
+    for (size_t i = 0; i < constants.size();) {
+      const int pos = std::get<0>(constants[i]);
+      const std::string& value = std::get<1>(constants[i]);
+      uint32_t value_mask = 0;
+      size_t j = i;  // merge the run of views selecting `value` at `pos`
+      while (j < constants.size() && std::get<0>(constants[j]) == pos &&
+             std::get<1>(constants[j]) == value) {
+        value_mask |= uint32_t{1} << std::get<2>(constants[j]);
+        ++j;
+      }
+      net.values.push_back(value);
+      net.value_masks.push_back(value_mask);
+      net.value_begin[static_cast<size_t>(pos) + 1] =
+          static_cast<int>(net.values.size());
+      i = j;
+    }
+    // Positions without constants inherit the previous offset, so every
+    // span [value_begin[p], value_begin[p+1]) is well-formed.
+    for (int p = 1; p <= n; ++p) {
+      net.value_begin[p] = std::max(net.value_begin[p], net.value_begin[p - 1]);
+    }
+  }
+  return matcher;
+}
+
+uint32_t CompiledCatalogMatcher::LookupValue(const RelationNet& net, int p,
+                                             const std::string& value) {
+  const auto begin = net.values.begin() + net.value_begin[p];
+  const auto end = net.values.begin() + net.value_begin[p + 1];
+  const auto it = std::lower_bound(begin, end, value);
+  if (it == end || *it != value) return 0;
+  return net.value_masks[static_cast<size_t>(it - net.values.begin())];
+}
+
+uint32_t CompiledCatalogMatcher::MatchMask(const cq::AtomPattern& v) const {
+  if (v.relation < 0 ||
+      static_cast<size_t>(v.relation) >= nets_.size()) {
+    return 0;  // no views over this relation
+  }
+  const RelationNet& net = nets_[static_cast<size_t>(v.relation)];
+  if (net.use_fallback) {
+    // Seed per-view loop for pathological relations; same 32-view packing.
+    uint32_t mask = 0;
+    for (int view_id : catalog_->ViewsOfRelation(v.relation)) {
+      const SecurityView& view = catalog_->view(view_id);
+      if (view.bit < 32 && rewriting::AtomRewritable(v, view.pattern)) {
+        mask |= uint32_t{1} << view.bit;
+      }
+    }
+    return mask;
+  }
+  if (v.arity() != net.arity) return 0;  // never rewritable (arity mismatch)
+  const int n = net.arity;
+
+  uint32_t mask = net.all_views;
+  // class -> first position of the *incoming* pattern (normalized classes
+  // are numbered by first occurrence, so `cls == next_class` detects one).
+  int first_pos[kMaxCompiledArity];
+  int next_class = 0;
+  for (int p = 0; p < n && mask != 0; ++p) {
+    const PatTerm& vt = v.terms[p];
+    if (vt.is_const) {
+      // C1: views selecting a constant here must select this value.
+      // C3: views exposing the column instead can filter on it.
+      mask &= LookupValue(net, p, vt.value) | net.dist_at[p];
+      continue;
+    }
+    // C1 (converse): views selecting any constant here miss tuples v needs.
+    mask &= ~net.const_at[p];
+    // C4: columns v outputs must be exposed.
+    if (vt.distinguished) mask &= net.dist_at[p];
+    // C5: equalities v imposes must be imposed by the view or checkable
+    // from its output (both positions distinguished). Representative
+    // pairing against the class's first occurrence, as in AtomRewritable.
+    if (vt.cls == next_class) {
+      first_pos[next_class++] = p;
+    } else {
+      const int q = first_pos[vt.cls];
+      mask &= net.same_class[static_cast<size_t>(q) * n + p] |
+              (net.dist_at[q] & net.dist_at[p]);
+    }
+  }
+  if (mask == 0) return 0;
+  // C2: equalities views impose must be implied by v.
+  for (const RelationNet::EqRequirement& req : net.eq_requirements) {
+    if ((mask & req.mask) != 0 &&
+        !ImpliesEquality(v.terms[req.q], v.terms[req.p])) {
+      mask &= ~req.mask;
+    }
+  }
+  return mask;
+}
+
+}  // namespace fdc::label

@@ -1,0 +1,128 @@
+// Compiled view-catalog matcher: the catalog-side dual of AtomRewritable.
+//
+// The labeling hot path needs, for every dissected atom pattern v, the full
+// per-relation ℓ+ mask { i : AtomRewritable(v, w_i) } over the catalog's
+// views w_i. The seed kernel answers that with one AtomRewritable call per
+// (pattern, view) pair — a ContainmentCache probe and, on miss, a fresh
+// position-class analysis per view. Because catalog views are single-atom
+// patterns (ViewCatalog enforces this), the whole per-relation test can be
+// *compiled once* at catalog-freeze time into a discrimination net over
+// constant positions/values and class structure, and then evaluated for any
+// incoming pattern in one pass over its positions:
+//
+//   * per-position view bitmasks (const_at / dist_at / not_const_at) fold
+//     conditions C1/C3/C4 of the rewriting test into AND-masks;
+//   * per-position constant-value tables (flat, sorted, string_view probes)
+//     resolve "which views select exactly this constant here" in one
+//     binary search;
+//   * view-side equality constraints (C2) are precompiled into a short list
+//     of (q, p, mask) requirements shared by all views imposing them;
+//   * pattern-side equality constraints (C5) are answered by a precomputed
+//     position×position same-class mask plus the distinguished masks.
+//
+// MatchMask is allocation-free, touches no interner and no cache, and is
+// pure/immutable after Compile — any number of threads may evaluate
+// concurrently. Equivalence with the seed per-view loop is property-tested
+// (tests/compiled_matcher_test.cc); the seed loop is kept behind the
+// `ablate_compiled_matcher` labeling option as the oracle.
+//
+// Packed-mask contract: like every packed-label kernel, the matcher
+// represents at most 32 views per relation (bit i of the mask = the i-th
+// view registered for that relation). Views with bit ≥ 32 are excluded from
+// packed masks — labels get strictly higher (stricter, fail-safe), never
+// looser — mirroring the guard in label::ComputePatternMask; relations that
+// genuinely need more views belong on the WideLabel path.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cq/pattern.h"
+#include "label/compressed_label.h"
+#include "label/view_catalog.h"
+
+namespace fdc::label {
+
+class CompiledCatalogMatcher {
+ public:
+  /// Largest pattern arity the discrimination net compiles for. Covers
+  /// every real schema (the widest Facebook relation, User, has 34
+  /// columns); wider relations fall back to the seed per-view loop inside
+  /// MatchMask, so results never change.
+  static constexpr int kMaxCompiledArity = 64;
+
+  CompiledCatalogMatcher() = default;
+
+  /// Compiles `catalog` (one pass over its views). The catalog must outlive
+  /// the matcher and must not be mutated afterwards — the matcher is a
+  /// frozen artifact, rebuilt whenever the catalog is.
+  static CompiledCatalogMatcher Compile(const ViewCatalog& catalog);
+
+  /// ℓ+ mask of `pattern` against every view of its relation: bit i set iff
+  /// AtomRewritable(pattern, i-th view of the relation) and i < 32.
+  /// `pattern` must be normalized (class ids by first occurrence), which
+  /// Dissect/AtomPattern::FromAtom guarantee. Zero allocation; lock-free.
+  uint32_t MatchMask(const cq::AtomPattern& pattern) const;
+
+  /// MatchMask wrapped in the packed per-atom label. Whole-query labeling
+  /// (Dissect + one MatchLabel per atom) lives with the consumers —
+  /// LabelingPipeline::LabelViaMatcher and ConcurrentLabeler::LabelCompiled
+  /// — which layer their own counters over this kernel.
+  PackedAtomLabel MatchLabel(const cq::AtomPattern& pattern) const {
+    return PackedAtomLabel(static_cast<uint32_t>(pattern.relation),
+                           MatchMask(pattern));
+  }
+
+  /// Per-view rewritability tests the seed kernel would run for an atom
+  /// over `relation` that a MatchMask evaluation does NOT run: the
+  /// relation's packed-representable view count — or 0 for fallback
+  /// relations, where MatchMask itself executes the per-view loop. Feeds
+  /// the per_view_tests_avoided observability counters.
+  int AvoidedPerViewTests(int relation) const {
+    if (relation < 0 || static_cast<size_t>(relation) >= nets_.size()) {
+      return 0;
+    }
+    const RelationNet& net = nets_[static_cast<size_t>(relation)];
+    return net.use_fallback ? 0 : std::popcount(net.all_views);
+  }
+
+ private:
+  /// One relation's compiled net, flat SoA: per-position masks share one
+  /// stride-`arity` layout, value tables one sorted (pos, value) span list.
+  struct RelationNet {
+    int arity = 0;
+    uint32_t all_views = 0;  // views representable in the packed mask
+    bool use_fallback = false;  // arity > kMaxCompiledArity: per-view loop
+    // Per-position masks (length = arity each).
+    std::vector<uint32_t> const_at;      // views with a constant at p
+    std::vector<uint32_t> dist_at;       // views with a distinguished var
+    // same_class[q * arity + p]: views with the same variable class at
+    // positions q and p (both non-const).
+    std::vector<uint32_t> same_class;
+    // Constant-value table: values sorted within each position's span
+    // [value_begin[p], value_begin[p + 1]); masks parallel to values.
+    std::vector<int> value_begin;        // length arity + 1
+    std::vector<std::string> values;
+    std::vector<uint32_t> value_masks;
+    // C2: view-side equalities. Views in `mask` require the incoming
+    // pattern to imply equality between positions q and p.
+    struct EqRequirement {
+      uint16_t q = 0;
+      uint16_t p = 0;
+      uint32_t mask = 0;
+    };
+    std::vector<EqRequirement> eq_requirements;
+  };
+
+  /// Views at `pattern.relation` whose constant at position p equals
+  /// `value`, as a mask (binary search in the flat value table).
+  static uint32_t LookupValue(const RelationNet& net, int p,
+                              const std::string& value);
+
+  const ViewCatalog* catalog_ = nullptr;
+  std::vector<RelationNet> nets_;  // indexed by relation id
+};
+
+}  // namespace fdc::label

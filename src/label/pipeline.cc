@@ -1,7 +1,6 @@
 #include "label/pipeline.h"
 
 #include <algorithm>
-#include <cassert>
 
 #include "rewriting/atom_rewriting.h"
 
@@ -58,14 +57,15 @@ SetLabel LabelerPipeline::LabelHashed(const cq::ConjunctiveQuery& query) const {
 
 DisclosureLabel LabelerPipeline::LabelPacked(
     const cq::ConjunctiveQuery& query) const {
-  assert(catalog_->MaxViewsPerRelation() <= 32 &&
-         "packed labels hold at most 32 views per relation; use LabelWide");
   DisclosureLabel label;
   for (const cq::AtomPattern& atom : Dissect(query, dissect_options_)) {
     uint32_t mask = 0;
     for (int view_id : catalog_->ViewsOfRelation(atom.relation)) {
       const SecurityView& view = catalog_->view(view_id);
-      if (rewriting::AtomRewritable(atom, view.pattern)) {
+      // Packed masks hold 32 views per relation; views beyond that are
+      // excluded (labels get strictly higher — fail-safe), never shifted
+      // out of range. LabelWide is the real >32 path.
+      if (view.bit < 32 && rewriting::AtomRewritable(atom, view.pattern)) {
         mask |= (1u << view.bit);
       }
     }
@@ -79,19 +79,32 @@ LabelingPipeline::LabelingPipeline(const ViewCatalog* catalog,
                                    cq::QueryInterner* interner,
                                    rewriting::ContainmentCache* cache,
                                    DissectOptions dissect_options,
-                                   Options options)
+                                   Options options,
+                                   const CompiledCatalogMatcher* matcher)
     : inner_(catalog, dissect_options),
       dissect_options_(dissect_options),
       options_(options),
       interner_(interner),
-      cache_(cache) {
+      cache_(cache),
+      matcher_(matcher) {
   if (interner_ == nullptr) {
     owned_interner_ = std::make_unique<cq::QueryInterner>();
     interner_ = owned_interner_.get();
   }
-  if (cache_ == nullptr) {
-    owned_cache_ = std::make_unique<rewriting::ContainmentCache>();
-    cache_ = owned_cache_.get();
+  if (options_.ablate_compiled_matcher) {
+    matcher_ = nullptr;  // seed kernel is the whole point of the ablation
+    // The seed kernel probes the cache on its hot path — build it up
+    // front. On the compiled path nothing probes it, so a private cache
+    // is created lazily on first use (EnsureCache) instead of paying
+    // ~1.5 MB per pipeline (e.g. once per FrozenCatalog build).
+    EnsureCache();
+  } else if (matcher_ == nullptr && !options_.ablate_interning) {
+    // ablate_interning routes every query through LabelPacked (the seed
+    // benchmark baseline), which never consults the matcher — skip the
+    // compile rather than build a dead artifact.
+    owned_matcher_ = std::make_unique<CompiledCatalogMatcher>(
+        CompiledCatalogMatcher::Compile(*catalog));
+    matcher_ = owned_matcher_.get();
   }
 }
 
@@ -103,12 +116,27 @@ PackedAtomLabel ComputePatternMask(const ViewCatalog& catalog,
   uint32_t mask = 0;
   for (int view_id : catalog.ViewsOfRelation(pattern.relation)) {
     const SecurityView& view = catalog.view(view_id);
-    if (cache.RewritableCached(interner, pattern_id, view_id, pattern,
+    // OutOfRange guard at the kernel: packed masks carry 32 views per
+    // relation, and shifting by bit ≥ 32 is UB (the seed only asserted one
+    // level up, in ComputeLabel, and the assert vanishes under NDEBUG).
+    // Excess views are excluded — labels get strictly higher (stricter,
+    // fail-safe) — identically to CompiledCatalogMatcher and LabelPacked,
+    // so the three kernels stay mask-for-mask equivalent.
+    if (view.bit < 32 &&
+        cache.RewritableCached(interner, pattern_id, view_id, pattern,
                                view.pattern)) {
       mask |= (1u << view.bit);
     }
   }
   return PackedAtomLabel(static_cast<uint32_t>(pattern.relation), mask);
+}
+
+rewriting::ContainmentCache& LabelingPipeline::EnsureCache() {
+  if (cache_ == nullptr) {
+    owned_cache_ = std::make_unique<rewriting::ContainmentCache>();
+    cache_ = owned_cache_.get();
+  }
+  return *cache_;
 }
 
 PackedAtomLabel LabelingPipeline::MaskFor(int pattern_id,
@@ -120,15 +148,36 @@ PackedAtomLabel LabelingPipeline::MaskFor(int pattern_id,
   }
   ++stats_.mask_misses;
   const PackedAtomLabel packed = ComputePatternMask(
-      inner_.catalog(), *interner_, *cache_, pattern_id, pattern);
+      inner_.catalog(), *interner_, EnsureCache(), pattern_id, pattern);
   mask_by_pattern_.emplace(pattern_id, packed);
   return packed;
 }
 
+DisclosureLabel LabelingPipeline::LabelViaMatcher(
+    const cq::ConjunctiveQuery& query) {
+  // Compiled path: one net evaluation per atom — no pattern interning
+  // (which builds a key string), no mask memo, no cache probes. The net
+  // evaluation is cheaper than the memo probe it would feed.
+  DisclosureLabel label;
+  for (const cq::AtomPattern& atom : Dissect(query, dissect_options_)) {
+    ++stats_.compiled_mask_evals;
+    stats_.per_view_tests_avoided +=
+        static_cast<uint64_t>(matcher_->AvoidedPerViewTests(atom.relation));
+    label.Add(matcher_->MatchLabel(atom));
+  }
+  label.Seal();
+  return label;
+}
+
+DisclosureLabel LabelingPipeline::LabelStateless(
+    const cq::ConjunctiveQuery& query) {
+  if (matcher_ != nullptr) return LabelViaMatcher(query);
+  return inner_.LabelPacked(query);
+}
+
 DisclosureLabel LabelingPipeline::ComputeLabel(
     const cq::ConjunctiveQuery& canonical) {
-  assert(inner_.catalog().MaxViewsPerRelation() <= 32 &&
-         "packed labels hold at most 32 views per relation; use LabelWide");
+  if (matcher_ != nullptr) return LabelViaMatcher(canonical);
   DisclosureLabel label;
   for (const cq::AtomPattern& atom : Dissect(canonical, dissect_options_)) {
     label.Add(MaskFor(interner_->InternPattern(atom), atom));
@@ -141,7 +190,7 @@ DisclosureLabel LabelingPipeline::Label(const cq::ConjunctiveQuery& query) {
   if (options_.ablate_interning) return inner_.LabelPacked(query);
   const cq::InternedQuery* handle =
       interner_->TryIntern(query, options_.max_interned_queries);
-  if (handle == nullptr) return inner_.LabelPacked(query);  // saturated
+  if (handle == nullptr) return LabelStateless(query);  // saturated
   const cq::InternedQuery& interned = *handle;
   auto it = label_by_query_.find(interned.id());
   if (it != label_by_query_.end()) {
@@ -178,7 +227,7 @@ std::vector<DisclosureLabel> LabelingPipeline::LabelBatch(
     const cq::InternedQuery* handle =
         interner_->TryIntern(query, options_.max_interned_queries);
     if (handle == nullptr) {
-      out.push_back(inner_.LabelPacked(query));  // interner saturated
+      out.push_back(LabelStateless(query));  // interner saturated
       continue;
     }
     const int id = handle->id();

@@ -23,6 +23,7 @@
 #include "common/result.h"
 #include "cq/interned.h"
 #include "cq/query.h"
+#include "label/compiled_matcher.h"
 #include "label/compressed_label.h"
 #include "label/dissect.h"
 #include "label/view_catalog.h"
@@ -54,8 +55,10 @@ class LabelerPipeline {
   /// Figure 5 series "hashing only".
   SetLabel LabelHashed(const cq::ConjunctiveQuery& query) const;
 
-  /// Figure 5 series "bit vectors + hashing" — the production path.
-  /// Requires ≤ 32 views per relation (checked); use LabelWide beyond that.
+  /// Figure 5 series "bit vectors + hashing" — the seed packed path.
+  /// Packed masks carry 32 views per relation; views with bit ≥ 32 are
+  /// excluded (labels strictly higher — fail-safe). Use LabelWide for
+  /// catalogs that genuinely need more views per relation.
   DisclosureLabel LabelPacked(const cq::ConjunctiveQuery& query) const;
 
   /// Wide-mask fallback (ablation A2); no per-relation view-count limit.
@@ -70,10 +73,16 @@ class LabelerPipeline {
 
 /// ℓ+ mask of one normalized single-atom pattern against `catalog`,
 /// memoizing per-(pattern, view) rewritability decisions in `cache` under
-/// kCatalogRewritable, keyed by `pattern_id` from `interner`. The single
-/// shared kernel behind LabelingPipeline::Label and
-/// engine::ConcurrentLabeler — both paths' decision-identity rests on them
-/// calling exactly this.
+/// kCatalogRewritable, keyed by `pattern_id` from `interner`. This is the
+/// *seed per-view kernel*: since PR 3 the production paths evaluate the
+/// CompiledCatalogMatcher instead (one pass, no interner, no cache), and
+/// this loop remains as the ablation baseline and property-test oracle —
+/// tests/compiled_matcher_test.cc pins the two mask-for-mask.
+///
+/// Packed masks hold 32 views per relation; views with bit ≥ 32 are
+/// excluded here rather than shifted out of range (which was UB) — labels
+/// over such catalogs are strictly higher (stricter, fail-safe). Catalogs
+/// that need more views per relation belong on the LabelWide path.
 PackedAtomLabel ComputePatternMask(const ViewCatalog& catalog,
                                    const cq::QueryInterner& interner,
                                    rewriting::ContainmentCache& cache,
@@ -88,10 +97,12 @@ PackedAtomLabel ComputePatternMask(const ViewCatalog& catalog,
 ///      so structurally repeated queries share one interned id;
 ///   2. whole-query labels are memoized by interned id — the §7.2
 ///      repeated-template workload turns into one hash probe per query;
-///   3. dissected atom patterns are interned too, and their per-relation ℓ+
-///      masks memoized, so even novel queries built from seen atoms skip
-///      the per-view rewritability scans (backed by the shared
-///      rewriting::ContainmentCache under kCatalogRewritable);
+///   3. per-atom ℓ+ masks come from the CompiledCatalogMatcher — one
+///      allocation-free pass per dissected atom, no interner probes, no
+///      cache probes, no per-view tests — so even fully novel queries pay
+///      O(arity) per atom. The seed variant (patterns interned, masks
+///      memoized, per-view tests through the shared ContainmentCache under
+///      kCatalogRewritable) is kept behind `ablate_compiled_matcher`;
 ///   4. LabelBatch buckets a whole batch by interned id and computes each
 ///      distinct label exactly once.
 ///
@@ -111,6 +122,11 @@ PackedAtomLabel ComputePatternMask(const ViewCatalog& catalog,
 struct LabelingOptions {
   /// Baseline mode: no interning, no memoization (bench ablation).
   bool ablate_interning = false;
+  /// Seed-kernel mode: per-atom ℓ+ masks come from the per-view
+  /// ComputePatternMask loop (pattern interning + ContainmentCache) instead
+  /// of the CompiledCatalogMatcher. Kept as the ablation baseline and the
+  /// oracle the compiled matcher is property-tested against.
+  bool ablate_compiled_matcher = false;
   /// Whole-query label memo entries kept before the memo is reset.
   size_t max_label_cache = 1 << 20;
   /// Interner growth bound: once this many distinct structures are
@@ -128,18 +144,26 @@ class LabelingPipeline {
   struct Stats {
     uint64_t label_hits = 0;    // whole-query label memo hits
     uint64_t label_misses = 0;  // labels computed from scratch
-    uint64_t mask_hits = 0;     // per-pattern ℓ+ mask memo hits
+    uint64_t mask_hits = 0;     // per-pattern ℓ+ mask memo hits (seed path)
     uint64_t mask_misses = 0;
+    uint64_t compiled_mask_evals = 0;  // masks answered by the compiled net
+    // Per-view rewritability tests the seed loop would have run for those
+    // masks (the work the compiled matcher replaces outright).
+    uint64_t per_view_tests_avoided = 0;
   };
 
   /// `interner` and `cache` may be null (private ones are created). When
   /// shared, the cache's kCatalogRewritable kind must only carry this
-  /// (interner, catalog) pair's ids.
+  /// (interner, catalog) pair's ids. `matcher`, when non-null, must be
+  /// compiled from `catalog` and outlive the pipeline (engine::FrozenCatalog
+  /// shares its compiled artifact this way); when null and neither ablation
+  /// flag is set, the pipeline compiles and owns one.
   LabelingPipeline(const ViewCatalog* catalog,
                    cq::QueryInterner* interner = nullptr,
                    rewriting::ContainmentCache* cache = nullptr,
                    DissectOptions dissect_options = {},
-                   LabelingOptions options = {});
+                   LabelingOptions options = {},
+                   const CompiledCatalogMatcher* matcher = nullptr);
 
   /// Interned + memoized packed label; agrees with LabelPacked.
   DisclosureLabel Label(const cq::ConjunctiveQuery& query);
@@ -149,13 +173,24 @@ class LabelingPipeline {
       std::span<const cq::ConjunctiveQuery> queries);
 
   cq::QueryInterner& interner() { return *interner_; }
-  rewriting::ContainmentCache& cache() { return *cache_; }
+  /// The shared decision cache (created on first use when none was
+  /// injected — the compiled-matcher path never probes one itself).
+  rewriting::ContainmentCache& cache() { return EnsureCache(); }
   const Stats& stats() const { return stats_; }
   const ViewCatalog& catalog() const { return inner_.catalog(); }
+  /// The compiled matcher in use, or nullptr when ablated.
+  const CompiledCatalogMatcher* matcher() const { return matcher_; }
 
  private:
+  /// Lazily creates the private cache when none was injected.
+  rewriting::ContainmentCache& EnsureCache();
   /// ℓ+ mask of one interned pattern (memoized).
   PackedAtomLabel MaskFor(int pattern_id, const cq::AtomPattern& pattern);
+  /// Dissect + one compiled-net evaluation per atom; requires matcher_.
+  DisclosureLabel LabelViaMatcher(const cq::ConjunctiveQuery& query);
+  /// Stateless label for uninterned queries (interner saturated): the
+  /// compiled net when available, else the seed LabelPacked loop.
+  DisclosureLabel LabelStateless(const cq::ConjunctiveQuery& query);
   DisclosureLabel ComputeLabel(const cq::ConjunctiveQuery& canonical);
 
   LabelerPipeline inner_;
@@ -163,8 +198,10 @@ class LabelingPipeline {
   Options options_;
   cq::QueryInterner* interner_;
   rewriting::ContainmentCache* cache_;
+  const CompiledCatalogMatcher* matcher_ = nullptr;
   std::unique_ptr<cq::QueryInterner> owned_interner_;
   std::unique_ptr<rewriting::ContainmentCache> owned_cache_;
+  std::unique_ptr<CompiledCatalogMatcher> owned_matcher_;
   std::unordered_map<int, DisclosureLabel> label_by_query_;
   std::unordered_map<int, PackedAtomLabel> mask_by_pattern_;
   Stats stats_;

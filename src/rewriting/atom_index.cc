@@ -7,23 +7,38 @@ namespace fdc::rewriting {
 
 TargetAtomIndex::TargetAtomIndex(
     const cq::ConjunctiveQuery& target, const std::vector<bool>& allowed,
-    const std::vector<cq::AtomSignature>* signatures)
-    : target_(&target) {
+    const std::vector<cq::AtomSignature>* signatures, Storage* storage)
+    : s_(storage != nullptr ? storage : &owned_), target_(&target) {
   int max_relation = -1;
   for (const cq::Atom& atom : target.atoms()) {
     max_relation = std::max(max_relation, atom.relation);
   }
-  buckets_.resize(static_cast<size_t>(max_relation + 1));
+  // Counting sort by relation id into one flat entries array:
+  // bucket_begin[r] .. bucket_begin[r + 1] is relation r's group.
+  s_->bucket_begin.assign(static_cast<size_t>(max_relation + 2), 0);
+  size_t kept = 0;
+  for (size_t i = 0; i < target.atoms().size(); ++i) {
+    if (!allowed.empty() && !allowed[i]) continue;
+    const int relation = target.atoms()[i].relation;
+    if (relation < 0) continue;
+    ++s_->bucket_begin[static_cast<size_t>(relation) + 1];
+    ++kept;
+  }
+  for (size_t r = 1; r < s_->bucket_begin.size(); ++r) {
+    s_->bucket_begin[r] += s_->bucket_begin[r - 1];
+  }
+  s_->cursor.assign(s_->bucket_begin.begin(), s_->bucket_begin.end());
+  s_->entries.resize(kept);
   for (size_t i = 0; i < target.atoms().size(); ++i) {
     if (!allowed.empty() && !allowed[i]) continue;
     const cq::Atom& atom = target.atoms()[i];
     if (atom.relation < 0) continue;
-    Entry entry;
+    Entry& entry = s_->entries[static_cast<size_t>(
+        s_->cursor[static_cast<size_t>(atom.relation)]++)];
     entry.position = static_cast<int>(i);
     entry.signature = signatures != nullptr
                           ? (*signatures)[i]
                           : cq::ComputeAtomSignature(atom);
-    buckets_[static_cast<size_t>(atom.relation)].push_back(entry);
   }
 }
 
@@ -31,10 +46,13 @@ void TargetAtomIndex::CandidatesFor(const cq::Atom& atom,
                                     const cq::AtomSignature& sig,
                                     std::vector<int>* out) const {
   if (atom.relation < 0 ||
-      static_cast<size_t>(atom.relation) >= buckets_.size()) {
+      static_cast<size_t>(atom.relation) + 1 >= s_->bucket_begin.size()) {
     return;
   }
-  for (const Entry& entry : buckets_[static_cast<size_t>(atom.relation)]) {
+  const int begin = s_->bucket_begin[static_cast<size_t>(atom.relation)];
+  const int end = s_->bucket_begin[static_cast<size_t>(atom.relation) + 1];
+  for (int e = begin; e < end; ++e) {
+    const Entry& entry = s_->entries[static_cast<size_t>(e)];
     // Signature filter: arity, then "all source constant positions are also
     // constant in the target" (constants map to themselves).
     if (!sig.CompatibleWith(entry.signature)) continue;

@@ -8,8 +8,11 @@
 // relation, wrong arity, and constant-position/value mismatches never reach
 // the backtracking search at all.
 //
-// Built in one pass over the target; intended to be constructed per search
-// (cheap) or from the precomputed signatures of an interned query.
+// Built in one pass over the target (a counting sort into a flat
+// entries/offsets layout — no per-bucket vectors). Construction normally
+// writes into a caller-owned Storage so a steady-state caller (HomScratch)
+// reuses the same capacity across searches and allocates nothing; without
+// one, the index owns its storage.
 #pragma once
 
 #include <vector>
@@ -21,13 +24,28 @@ namespace fdc::rewriting {
 
 class TargetAtomIndex {
  public:
+  struct Entry {
+    int position;  // atom index in the target query
+    cq::AtomSignature signature;
+  };
+
+  /// Reusable backing buffers; contents are rebuilt by each construction,
+  /// capacity persists. One Storage must back at most one live index.
+  struct Storage {
+    std::vector<Entry> entries;   // grouped by relation id
+    std::vector<int> bucket_begin;  // per relation: offset of its group
+    std::vector<int> cursor;      // scratch for the counting sort
+  };
+
   /// Indexes `target`'s atoms. When `allowed` is non-empty, positions with
   /// allowed[i] == false are excluded (folding's dropped-atom restriction).
   /// `target` must outlive the index. `signatures`, when non-null, supplies
-  /// precomputed per-atom signatures (from an interned query).
+  /// precomputed per-atom signatures (from an interned query). `storage`,
+  /// when non-null, must outlive the index and is overwritten.
   TargetAtomIndex(const cq::ConjunctiveQuery& target,
                   const std::vector<bool>& allowed,
-                  const std::vector<cq::AtomSignature>* signatures = nullptr);
+                  const std::vector<cq::AtomSignature>* signatures = nullptr,
+                  Storage* storage = nullptr);
 
   /// Appends to `out` the target atom positions source atom `atom` (with
   /// signature `sig`) could map onto: same relation and arity, and every
@@ -38,13 +56,8 @@ class TargetAtomIndex {
                      std::vector<int>* out) const;
 
  private:
-  struct Entry {
-    int position;  // atom index in the target query
-    cq::AtomSignature signature;
-  };
-
-  // Buckets keyed by relation id (dense schema ids → flat vector).
-  std::vector<std::vector<Entry>> buckets_;
+  Storage owned_;  // used only when no caller storage was provided
+  Storage* s_;
   const cq::ConjunctiveQuery* target_;
 };
 

@@ -5,22 +5,38 @@
 namespace fdc::rewriting {
 
 bool IsContainedIn(const cq::ConjunctiveQuery& q1,
-                   const cq::ConjunctiveQuery& q2) {
+                   const cq::ConjunctiveQuery& q2, HomScratch* scratch) {
   if (q1.head().size() != q2.head().size()) return false;
   // Hom from q2 to q1 aligning heads: h(q2.head[i]) = q1.head[i].
   HomOptions options;
-  options.seed.reserve(q2.head().size());
+  if (scratch != nullptr) {
+    // Borrow the scratch's seed buffer (capacity persists across calls)
+    // and run the search itself inside the scratch too.
+    options.seed = std::move(scratch->seed_storage);
+    options.seed.clear();
+    options.scratch = scratch;
+  } else {
+    options.seed.reserve(q2.head().size());
+  }
+  bool result = true;
   for (size_t i = 0; i < q2.head().size(); ++i) {
     const cq::Term& src = q2.head()[i];
     const cq::Term& dst = q1.head()[i];
     if (src.is_const()) {
       // Head constants are rejected by Validate; treat defensively.
-      if (!dst.is_const() || src.value() != dst.value()) return false;
+      if (!dst.is_const() || src.value() != dst.value()) {
+        result = false;
+        break;
+      }
       continue;
     }
     options.seed.emplace_back(src.var(), dst);
   }
-  return FindHomomorphism(q2, q1, options).has_value();
+  if (result) result = ExistsHomomorphism(q2, q1, options);
+  if (scratch != nullptr) {
+    scratch->seed_storage = std::move(options.seed);  // return the buffer
+  }
+  return result;
 }
 
 bool AreEquivalent(const cq::ConjunctiveQuery& q1,

@@ -9,10 +9,16 @@
 
 namespace fdc::rewriting {
 
+struct HomScratch;
+
 /// True iff q1 ⊆ q2 (q1's answers always a subset of q2's). Requires equal
-/// head arity; returns false otherwise (incomparable).
+/// head arity; returns false otherwise (incomparable). `scratch`, when
+/// non-null, hosts the head-alignment seeds and the whole search — a warm
+/// scratch makes the steady-state check allocation-free
+/// (ContainmentCache::Contained passes a thread-local one).
 bool IsContainedIn(const cq::ConjunctiveQuery& q1,
-                   const cq::ConjunctiveQuery& q2);
+                   const cq::ConjunctiveQuery& q2,
+                   HomScratch* scratch = nullptr);
 
 /// True iff q1 and q2 return the same answer on every database (§2.3).
 bool AreEquivalent(const cq::ConjunctiveQuery& q1,

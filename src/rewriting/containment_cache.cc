@@ -4,6 +4,7 @@
 
 #include "rewriting/atom_rewriting.h"
 #include "rewriting/containment.h"
+#include "rewriting/homomorphism.h"
 
 namespace fdc::rewriting {
 
@@ -74,7 +75,14 @@ bool ContainmentCache::Contained(const cq::InternedQuery& a,
     // a ⊆ b needs a homomorphism b → a; some relation of b is absent from a.
     result = false;
   } else {
-    result = IsContainedIn(a.query(), b.query());
+    // One scratch arena per thread (Contained runs outside shard locks, so
+    // concurrent callers each need their own): after the first search on a
+    // thread, containment compute makes zero heap allocations.
+    static thread_local HomScratch scratch;
+    if (scratch.uses > 0) {
+      hom_scratch_reuses_.fetch_add(1, std::memory_order_relaxed);
+    }
+    result = IsContainedIn(a.query(), b.query(), &scratch);
   }
   Insert(Kind::kQueryContainment, a.id(), b.id(), result);
   return result;
@@ -113,6 +121,8 @@ ContainmentCache::Stats ContainmentCache::stats() const {
     total.insertions += shard.stats.insertions;
     total.evictions += shard.stats.evictions;
   }
+  total.hom_scratch_reuses =
+      hom_scratch_reuses_.load(std::memory_order_relaxed);
   return total;
 }
 
@@ -124,6 +134,7 @@ void ContainmentCache::Clear() {
     shard.stats = Stats{};
   }
   pattern_id_space_uid_.store(0, std::memory_order_release);
+  hom_scratch_reuses_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace fdc::rewriting

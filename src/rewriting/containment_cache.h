@@ -62,6 +62,10 @@ class ContainmentCache {
     uint64_t misses = 0;
     uint64_t insertions = 0;
     uint64_t evictions = 0;
+    /// Homomorphism searches (Contained misses) served by an already-warm
+    /// thread-local HomScratch — i.e. containment decisions computed with
+    /// zero steady-state heap allocation.
+    uint64_t hom_scratch_reuses = 0;
   };
 
   /// `capacity` (total, across shards) is rounded up to a power of two;
@@ -77,7 +81,9 @@ class ContainmentCache {
   void Insert(Kind kind, int a, int b, bool value);
 
   /// Memoized a ⊆ b (IsContainedIn) on interned queries, with digest-level
-  /// fast rejects before the homomorphism search.
+  /// fast rejects before the homomorphism search. Misses that do reach the
+  /// search run it inside a thread-local HomScratch, so steady-state
+  /// containment compute allocates nothing.
   bool Contained(const cq::InternedQuery& a, const cq::InternedQuery& b);
 
   /// Memoized AtomRewritable(v, w) under kCatalogRewritable, keyed by
@@ -133,6 +139,7 @@ class ContainmentCache {
   // uid of the interner whose pattern ids populate kCatalogRewritable
   // entries (bound by the first RewritableCached call; 0 = unbound).
   std::atomic<uint64_t> pattern_id_space_uid_{0};
+  std::atomic<uint64_t> hom_scratch_reuses_{0};
 };
 
 }  // namespace fdc::rewriting

@@ -1,5 +1,6 @@
 #include "rewriting/fold.h"
 
+#include <atomic>
 #include <numeric>
 
 #include "rewriting/homomorphism.h"
@@ -8,15 +9,28 @@ namespace fdc::rewriting {
 
 namespace {
 
+std::atomic<uint64_t> g_fold_scratch_reuses{0};
+
 // Tries to drop atom `drop_idx` from `query`: succeeds iff there is an
 // endomorphism of `query` into the remaining atoms that fixes every
 // distinguished variable (so the result stays equivalent).
+//
+// Folding sits on the multi-atom labeling hot path (every Dissect runs it),
+// so the retraction searches share one warm arena per thread: the scratch
+// and the drop mask live in thread_local buffers, making the steady-state
+// atom-drop test allocation-free.
 bool CanDropAtom(const cq::ConjunctiveQuery& query, size_t drop_idx) {
-  std::vector<bool> allowed(query.atoms().size(), true);
+  static thread_local std::vector<bool> allowed;
+  static thread_local HomScratch scratch;
+  if (scratch.uses > 0) {
+    g_fold_scratch_reuses.fetch_add(1, std::memory_order_relaxed);
+  }
+  allowed.assign(query.atoms().size(), true);
   allowed[drop_idx] = false;
   HomOptions options;
   options.fix_distinguished = true;
-  return FindHomomorphism(query, query, options, allowed).has_value();
+  options.scratch = &scratch;
+  return ExistsHomomorphism(query, query, options, allowed);
 }
 
 // Fast path: a retraction maps each atom onto an atom over the same
@@ -55,6 +69,10 @@ cq::ConjunctiveQuery Fold(const cq::ConjunctiveQuery& query) {
     }
   }
   return current;
+}
+
+uint64_t FoldScratchReuses() {
+  return g_fold_scratch_reuses.load(std::memory_order_relaxed);
 }
 
 bool IsFolded(const cq::ConjunctiveQuery& query) {

@@ -20,4 +20,11 @@ cq::ConjunctiveQuery Fold(const cq::ConjunctiveQuery& query);
 /// i.e. Fold(query) would keep every atom.
 bool IsFolded(const cq::ConjunctiveQuery& query);
 
+/// Process-wide count of atom-drop homomorphism searches served by an
+/// already-warm thread-local scratch arena (i.e. folding steps on the
+/// multi-atom labeling path that made zero heap allocations). Monotone,
+/// relaxed, shared by every consumer in the process — an observability
+/// counter, not a per-instance metric.
+uint64_t FoldScratchReuses();
+
 }  // namespace fdc::rewriting

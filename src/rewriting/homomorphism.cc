@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "rewriting/atom_index.h"
-
 namespace fdc::rewriting {
 
 namespace {
@@ -13,78 +11,104 @@ using cq::AtomSignature;
 using cq::ConjunctiveQuery;
 using cq::Term;
 
+// Stable, allocation-free ordering for the atom schedule. std::stable_sort
+// grabs a temporary buffer from the heap on every call, which is the one
+// allocation the warm-scratch path would otherwise keep paying; queries
+// have a handful of atoms, where insertion sort also wins outright.
+template <typename Less>
+void StableInsertionSort(std::vector<int>& v, Less less) {
+  for (size_t i = 1; i < v.size(); ++i) {
+    const int x = v[i];
+    size_t j = i;
+    while (j > 0 && less(x, v[j - 1])) {
+      v[j] = v[j - 1];
+      --j;
+    }
+    v[j] = x;
+  }
+}
+
+// The backtracking search, operating entirely inside a HomScratch: a
+// caller-provided warm arena makes a whole search allocation-free (small-
+// buffer-optimized constant strings aside); a cold local one behaves like
+// the seed (buffers grow once, then the search runs).
 class HomSearch {
  public:
   HomSearch(const ConjunctiveQuery& from, const ConjunctiveQuery& to,
             const HomOptions& options, const std::vector<bool>& to_allowed,
             const std::vector<AtomSignature>* from_signatures,
-            const std::vector<AtomSignature>* to_signatures)
+            const std::vector<AtomSignature>* to_signatures, HomScratch& s)
       : from_(from),
         to_(to),
         options_(options),
         to_allowed_(to_allowed),
         from_signatures_(from_signatures),
-        to_signatures_(to_signatures) {
-    mapping_.assign(static_cast<size_t>(from.MaxVarId() + 1), std::nullopt);
+        to_signatures_(to_signatures),
+        s_(s) {
+    s_.mapping.assign(static_cast<size_t>(from.MaxVarId() + 1), std::nullopt);
+    s_.trail.clear();
   }
 
-  std::optional<VarMapping> Run() {
+  // Existence decision; on success the witness is left in scratch.mapping.
+  bool RunExists() {
+    const bool found = Search();
+    FlushStats();
+    ++s_.uses;
+    return found;
+  }
+
+ private:
+  bool Search() {
     // Seed: fixed distinguished variables and explicit seeds.
     if (options_.fix_distinguished) {
       for (int v : from_.DistinguishedVars()) {
-        if (!Assign(v, Term::Var(v))) return Fail();
+        if (!Assign(v, Term::Var(v))) return false;
       }
     }
     for (const auto& [v, t] : options_.seed) {
-      if (!Assign(v, t)) return Fail();
+      if (!Assign(v, t)) return false;
     }
 
     const size_t n = from_.atoms().size();
-    atom_order_.resize(n);
-    for (size_t i = 0; i < n; ++i) atom_order_[i] = static_cast<int>(i);
+    s_.atom_order.resize(n);
+    for (size_t i = 0; i < n; ++i) s_.atom_order[i] = static_cast<int>(i);
 
     if (options_.engine == HomEngine::kIndexed) {
-      // Build the per-predicate index and materialize each source atom's
-      // static candidate list. An empty list is a proof of non-existence —
-      // reject before any backtracking.
-      TargetAtomIndex index(to_, to_allowed_, to_signatures_);
-      candidates_.resize(n);
+      // Build the per-predicate index (inside the scratch's backing
+      // buffers) and materialize each source atom's static candidate list,
+      // flattened into candidate_data with one [begin, end) span per atom.
+      // An empty list is a proof of non-existence — reject before any
+      // backtracking.
+      TargetAtomIndex index(to_, to_allowed_, to_signatures_, &s_.index);
+      s_.candidate_data.clear();
+      s_.candidate_spans.assign(n, {0, 0});
       for (size_t i = 0; i < n; ++i) {
         const Atom& atom = from_.atoms()[i];
         const AtomSignature sig = from_signatures_ != nullptr
                                       ? (*from_signatures_)[i]
                                       : cq::ComputeAtomSignature(atom);
-        index.CandidatesFor(atom, sig, &candidates_[i]);
-        if (candidates_[i].empty()) return Fail();
+        const int begin = static_cast<int>(s_.candidate_data.size());
+        index.CandidatesFor(atom, sig, &s_.candidate_data);
+        const int end = static_cast<int>(s_.candidate_data.size());
+        if (begin == end) return false;
+        s_.candidate_spans[i] = {begin, end};
       }
       // Most-constrained-first: fewest candidate images first, breaking
       // ties toward atoms with more constants/pre-mapped variables.
-      std::stable_sort(atom_order_.begin(), atom_order_.end(),
-                       [&](int a, int b) {
-                         const size_t ca = candidates_[a].size();
-                         const size_t cb = candidates_[b].size();
-                         if (ca != cb) return ca < cb;
-                         return Constrainedness(a) > Constrainedness(b);
-                       });
+      StableInsertionSort(s_.atom_order, [&](int a, int b) {
+        const int ca = SpanSize(a);
+        const int cb = SpanSize(b);
+        if (ca != cb) return ca < cb;
+        return Constrainedness(a) > Constrainedness(b);
+      });
     } else {
       // Seed ordering: more constants/mapped vars first.
-      std::stable_sort(atom_order_.begin(), atom_order_.end(),
-                       [&](int a, int b) {
-                         return Constrainedness(a) > Constrainedness(b);
-                       });
+      StableInsertionSort(s_.atom_order, [&](int a, int b) {
+        return Constrainedness(a) > Constrainedness(b);
+      });
     }
 
-    if (Backtrack(0)) {
-      FlushStats();
-      return mapping_;
-    }
-    return Fail();
-  }
-
- private:
-  std::optional<VarMapping> Fail() {
-    FlushStats();
-    return std::nullopt;
+    return Backtrack(0);
   }
 
   void FlushStats() {
@@ -94,12 +118,17 @@ class HomSearch {
     }
   }
 
+  int SpanSize(int atom_idx) const {
+    const auto& [begin, end] = s_.candidate_spans[atom_idx];
+    return end - begin;
+  }
+
   int Constrainedness(int atom_idx) const {
     int score = 0;
     for (const Term& t : from_.atoms()[atom_idx].terms) {
       if (t.is_const()) {
         score += 2;
-      } else if (mapping_[t.var()].has_value()) {
+      } else if (s_.mapping[t.var()].has_value()) {
         score += 1;
       }
     }
@@ -107,12 +136,12 @@ class HomSearch {
   }
 
   bool Assign(int var, const Term& image) {
-    if (var >= static_cast<int>(mapping_.size())) {
-      mapping_.resize(var + 1, std::nullopt);
+    if (var >= static_cast<int>(s_.mapping.size())) {
+      s_.mapping.resize(var + 1, std::nullopt);
     }
-    if (mapping_[var].has_value()) return *mapping_[var] == image;
-    mapping_[var] = image;
-    trail_.push_back(var);
+    if (s_.mapping[var].has_value()) return *s_.mapping[var] == image;
+    s_.mapping[var] = image;
+    s_.trail.push_back(var);
     return true;
   }
 
@@ -135,11 +164,11 @@ class HomSearch {
 
   bool TryImage(const Atom& a, size_t bi, size_t depth) {
     ++steps_;
-    const size_t mark = trail_.size();
+    const size_t mark = s_.trail.size();
     if (MatchAtom(a, to_.atoms()[bi]) && Backtrack(depth + 1)) return true;
-    while (trail_.size() > mark) {
-      mapping_[trail_.back()] = std::nullopt;
-      trail_.pop_back();
+    while (s_.trail.size() > mark) {
+      s_.mapping[s_.trail.back()] = std::nullopt;
+      s_.trail.pop_back();
     }
     return false;
   }
@@ -153,13 +182,16 @@ class HomSearch {
   }
 
   bool Backtrack(size_t depth) {
-    if (depth == atom_order_.size()) return true;
-    const int atom_idx = atom_order_[depth];
+    if (depth == s_.atom_order.size()) return true;
+    const int atom_idx = s_.atom_order[depth];
     const Atom& a = from_.atoms()[atom_idx];
     if (options_.engine == HomEngine::kIndexed) {
-      for (int bi : candidates_[atom_idx]) {
+      const auto [begin, end] = s_.candidate_spans[atom_idx];
+      for (int c = begin; c < end; ++c) {
         if (BudgetExceeded()) return false;
-        if (TryImage(a, static_cast<size_t>(bi), depth)) return true;
+        if (TryImage(a, static_cast<size_t>(s_.candidate_data[c]), depth)) {
+          return true;
+        }
       }
     } else {
       for (size_t bi = 0; bi < to_.atoms().size(); ++bi) {
@@ -177,21 +209,45 @@ class HomSearch {
   const std::vector<bool>& to_allowed_;
   const std::vector<AtomSignature>* from_signatures_;
   const std::vector<AtomSignature>* to_signatures_;
-  VarMapping mapping_;
-  std::vector<int> trail_;
-  std::vector<int> atom_order_;
-  std::vector<std::vector<int>> candidates_;  // per source atom (kIndexed)
+  HomScratch& s_;
   uint64_t steps_ = 0;
   bool budget_exhausted_ = false;
 };
+
+bool RunSearch(const cq::ConjunctiveQuery& from, const cq::ConjunctiveQuery& to,
+               const HomOptions& options,
+               const std::vector<bool>& to_atom_allowed,
+               const std::vector<AtomSignature>* from_signatures,
+               const std::vector<AtomSignature>* to_signatures,
+               HomScratch& local) {
+  HomScratch& s = options.scratch != nullptr ? *options.scratch : local;
+  return HomSearch(from, to, options, to_atom_allowed, from_signatures,
+                   to_signatures, s)
+      .RunExists();
+}
 
 }  // namespace
 
 std::optional<VarMapping> FindHomomorphism(
     const cq::ConjunctiveQuery& from, const cq::ConjunctiveQuery& to,
     const HomOptions& options, const std::vector<bool>& to_atom_allowed) {
-  return HomSearch(from, to, options, to_atom_allowed, nullptr, nullptr)
-      .Run();
+  HomScratch local;
+  if (!RunSearch(from, to, options, to_atom_allowed, nullptr, nullptr,
+                 local)) {
+    return std::nullopt;
+  }
+  // Copy the witness out of whichever scratch ran the search.
+  return options.scratch != nullptr ? options.scratch->mapping
+                                    : local.mapping;
+}
+
+bool ExistsHomomorphism(const cq::ConjunctiveQuery& from,
+                        const cq::ConjunctiveQuery& to,
+                        const HomOptions& options,
+                        const std::vector<bool>& to_atom_allowed) {
+  HomScratch local;
+  return RunSearch(from, to, options, to_atom_allowed, nullptr, nullptr,
+                   local);
 }
 
 std::optional<VarMapping> FindHomomorphismInterned(
@@ -204,9 +260,13 @@ std::optional<VarMapping> FindHomomorphismInterned(
     if (options.stats != nullptr) *options.stats = HomStats{};
     return std::nullopt;
   }
-  return HomSearch(from.query(), to.query(), options, to_atom_allowed,
-                   &from.atom_signatures(), &to.atom_signatures())
-      .Run();
+  HomScratch local;
+  if (!RunSearch(from.query(), to.query(), options, to_atom_allowed,
+                 &from.atom_signatures(), &to.atom_signatures(), local)) {
+    return std::nullopt;
+  }
+  return options.scratch != nullptr ? options.scratch->mapping
+                                    : local.mapping;
 }
 
 }  // namespace fdc::rewriting

@@ -12,20 +12,46 @@
 // backtracking starts. The seed linear-scan engine (kLinear) is kept both
 // as the ablation baseline and as the oracle for the agreement property
 // tests.
+//
+// Every buffer the search touches (mapping, trail, order, candidates, the
+// target index) can live in a caller-owned HomScratch, so steady-state
+// callers that only need existence (folding, memoized containment) pay
+// zero heap allocations per search — see ExistsHomomorphism.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "cq/interned.h"
 #include "cq/query.h"
+#include "rewriting/atom_index.h"
 
 namespace fdc::rewriting {
 
 /// A variable mapping: index = variable id in the source query, value = image
 /// term in the target query. Unmapped ids hold std::nullopt.
 using VarMapping = std::vector<std::optional<cq::Term>>;
+
+/// Caller-owned scratch arena for the backtracking search: the mapping, the
+/// assignment trail, the atom ordering, the per-atom candidate lists
+/// (flattened into one array + spans), and the target index's backing
+/// buffers all live here, so a warm scratch makes repeated searches
+/// allocation-free (constants small enough for SSO aside). Not
+/// thread-safe: one scratch per thread (ContainmentCache and Fold keep
+/// thread_local ones); a scratch must not be shared by nested searches.
+struct HomScratch {
+  VarMapping mapping;
+  std::vector<int> trail;       // assignment order, for backtrack undo
+  std::vector<int> atom_order;  // most-constrained-first schedule
+  std::vector<int> candidate_data;  // flattened per-atom candidate lists
+  std::vector<std::pair<int, int>> candidate_spans;  // [begin, end) per atom
+  std::vector<std::pair<int, cq::Term>> seed_storage;  // IsContainedIn seeds
+  TargetAtomIndex::Storage index;
+  /// Searches completed with this scratch; > 0 means buffers are warm.
+  uint64_t uses = 0;
+};
 
 /// Which search engine to use. Both return identical answers (existence and
 /// validity; the particular witness mapping may differ) when no budget is
@@ -64,6 +90,12 @@ struct HomOptions {
 
   /// When non-null, filled with search statistics.
   HomStats* stats = nullptr;
+
+  /// When non-null, the search runs entirely inside this caller-owned
+  /// arena; a warm scratch makes steady-state searches allocation-free
+  /// (pair it with ExistsHomomorphism — returning a witness mapping still
+  /// copies it out).
+  HomScratch* scratch = nullptr;
 };
 
 /// Searches for a homomorphism from `from` to `to`. Returns the mapping if
@@ -74,6 +106,15 @@ std::optional<VarMapping> FindHomomorphism(
     const cq::ConjunctiveQuery& from, const cq::ConjunctiveQuery& to,
     const HomOptions& options = {},
     const std::vector<bool>& to_atom_allowed = {});
+
+/// Existence-only variant: identical decision to FindHomomorphism but never
+/// copies a witness mapping out of the search. With a warm
+/// HomOptions::scratch this makes zero heap allocations — the hot shape for
+/// folding and memoized containment, where only the answer matters.
+bool ExistsHomomorphism(const cq::ConjunctiveQuery& from,
+                        const cq::ConjunctiveQuery& to,
+                        const HomOptions& options = {},
+                        const std::vector<bool>& to_atom_allowed = {});
 
 /// Interned fast path: same semantics as FindHomomorphism(from.query(),
 /// to.query(), ...) but reuses both queries' precomputed digests and atom

@@ -161,7 +161,12 @@ TEST(BatchPipelineTest, InternerSaturationFallsBackStatelessly) {
 
 TEST(BatchPipelineTest, OverprivilegeAnalysisSharesPipelineCache) {
   FbFixture fb;
-  LabelingPipeline pipeline(&fb.catalog);
+  // The compiled matcher never touches the ContainmentCache, so run the
+  // pipeline on the seed kernel — this test is specifically about the
+  // cache-sharing contract between labeling and the overprivilege audit.
+  LabelingOptions options;
+  options.ablate_compiled_matcher = true;
+  LabelingPipeline pipeline(&fb.catalog, nullptr, nullptr, {}, options);
   auto workload = Workload(&fb.schema, 1, 64, 0xdddd);
   // Warm the shared cache through the pipeline.
   (void)pipeline.LabelBatch(workload);
