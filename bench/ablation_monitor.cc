@@ -43,7 +43,7 @@ policy::PolicyStore* StoreWithPartitions(int partitions) {
   store = std::make_unique<policy::PolicyStore>(env.schema.NumRelations());
   store->Reserve(kPrincipals, partitions);
   for (uint32_t p = 0; p < kPrincipals; ++p) {
-    store->AddPrincipal(generator.Next());
+    if (!store->AddPrincipal(generator.Next()).ok()) std::abort();
   }
   current = partitions;
   return store.get();

@@ -61,7 +61,7 @@ policy::PolicyStore* StoreFor(const StoreKey& key) {
   store = std::make_unique<policy::PolicyStore>(env.schema.NumRelations());
   store->Reserve(key.principals, key.partitions);
   for (uint32_t p = 0; p < key.principals; ++p) {
-    store->AddPrincipal(generator.Next());
+    if (!store->AddPrincipal(generator.Next()).ok()) std::abort();
   }
   current = key;
   return store.get();

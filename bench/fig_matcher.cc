@@ -5,14 +5,22 @@
 // per-relation ℓ+ mask for a pattern it has never seen, which is exactly
 // the work a novel query pays on the labeling path. The seed series runs
 // one AtomRewritable per (pattern, view) pair (the pre-PR-3 kernel); the
-// compiled series evaluates the discrimination net in one pass. Catalogs
-// pack 32 views per relation (the packed-label capacity), so the per-view
-// loop's cost per atom grows with catalog density while the compiled
-// evaluation stays O(arity + requirements).
+// compiled series evaluates the discrimination net in one pass. The packed
+// sweep keeps 32 views per relation (the packed-label capacity), so the
+// per-view loop's cost per atom grows with catalog density while the
+// compiled evaluation stays O(arity + requirements).
 //
-// bench/run_benchmarks.sh folds the ratio into BENCH_hotpath.json as
-// matcher_compiled_vs_seed/views/N; the acceptance floor is ≥ 3× at 64
-// views.
+// The wide sweep (MatcherWide/*) fixes the catalog at 256 views and raises
+// the *density* to 64 and 128 views per relation — one- and two-word
+// multi-word masks, the Lalaine-scale shape where every view used to fall
+// off the packed 32-view edge. Both series compute full wide masks
+// (MatchMaskWords vs the uncapped per-view loop), so the ratio isolates
+// the wide compiled kernel.
+//
+// bench/run_benchmarks.sh folds the ratios into BENCH_hotpath.json as
+// matcher_compiled_vs_seed/views/N and matcher_wide_vs_seed/vpr/N; the
+// acceptance floors are ≥ 3× at 64 views (packed sweep) and ≥ 3× at 64
+// views/relation (wide sweep).
 #include <benchmark/benchmark.h>
 
 #include <map>
@@ -38,20 +46,21 @@ constexpr int kArity = 6;
 constexpr int kViewsPerRelation = 32;
 constexpr int kPatternPool = 1024;
 
-// One catalog of `num_views` views, packed 32 per relation over
-// ceil(num_views / 32) Album-like relations, plus a pregenerated pattern
-// pool. Views are projection/selection shapes (distinguished subsets,
-// per-view selection constants) with a few repeated-variable views mixed in
-// so the compiled net's equality machinery is on the measured path.
+// One catalog of `num_views` views, `views_per_relation` per relation over
+// ceil(num_views / views_per_relation) Album-like relations, plus a
+// pregenerated pattern pool. Views are projection/selection shapes
+// (distinguished subsets, per-view selection constants) with a few
+// repeated-variable views mixed in so the compiled net's equality machinery
+// is on the measured path.
 struct MatcherEnv {
   cq::Schema schema;
   std::unique_ptr<label::ViewCatalog> catalog;
   label::CompiledCatalogMatcher matcher;
   std::vector<AtomPattern> patterns;
 
-  explicit MatcherEnv(int num_views) {
+  MatcherEnv(int num_views, int views_per_relation) {
     const int num_relations =
-        (num_views + kViewsPerRelation - 1) / kViewsPerRelation;
+        (num_views + views_per_relation - 1) / views_per_relation;
     for (int r = 0; r < num_relations; ++r) {
       auto id = schema.AddRelation(
           "T" + std::to_string(r),
@@ -60,8 +69,8 @@ struct MatcherEnv {
     }
     catalog = std::make_unique<label::ViewCatalog>(&schema);
     for (int v = 0; v < num_views; ++v) {
-      const int relation = v / kViewsPerRelation;
-      const int k = v % kViewsPerRelation;
+      const int relation = v / views_per_relation;
+      const int k = v % views_per_relation;
       std::vector<Term> terms;
       terms.push_back(Term::Var(0));  // uid
       if (k % 2 == 1) {
@@ -85,7 +94,7 @@ struct MatcherEnv {
     }
     matcher = label::CompiledCatalogMatcher::Compile(*catalog);
 
-    Rng rng(0x3a7c'4e00ULL + num_views);
+    Rng rng(0x3a7c'4e00ULL + num_views * 31 + views_per_relation);
     patterns.reserve(kPatternPool);
     for (int i = 0; i < kPatternPool; ++i) {
       const int relation = static_cast<int>(rng.Below(num_relations));
@@ -113,11 +122,14 @@ struct MatcherEnv {
     }
   }
 
-  static const MatcherEnv& Get(int num_views) {
-    static std::map<int, std::unique_ptr<MatcherEnv>> envs;
-    auto it = envs.find(num_views);
+  static const MatcherEnv& Get(int num_views,
+                               int views_per_relation = kViewsPerRelation) {
+    static std::map<std::pair<int, int>, std::unique_ptr<MatcherEnv>> envs;
+    const std::pair<int, int> key(num_views, views_per_relation);
+    auto it = envs.find(key);
     if (it == envs.end()) {
-      it = envs.emplace(num_views, std::make_unique<MatcherEnv>(num_views))
+      it = envs.emplace(key, std::make_unique<MatcherEnv>(num_views,
+                                                          views_per_relation))
                .first;
     }
     return *it->second;
@@ -166,10 +178,59 @@ void CatalogAxis(benchmark::internal::Benchmark* bench) {
   for (int views : {8, 16, 32, 64, 128, 256}) bench->Arg(views);
 }
 
+// Wide sweep: 256-view catalog at 64 / 128 views per relation — full
+// multi-word masks on both sides, no packed cap anywhere, so the former
+// 32-view edge is squarely on the measured path.
+constexpr int kWideCatalogViews = 256;
+constexpr int kMaxMaskWords = 4;  // enough for 256 views on one relation
+
+// The uncapped seed kernel: one AtomRewritable per (pattern, view) pair,
+// every bit recorded — what labeling beyond the packed edge costs without
+// the compiled net (decision-identical to MatchMaskWords, property-tested
+// in tests/wide_matcher_property_test.cc).
+void BM_SeedPerViewWide(benchmark::State& state) {
+  const MatcherEnv& env =
+      MatcherEnv::Get(kWideCatalogViews, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    for (const AtomPattern& pattern : env.patterns) {
+      uint64_t words[kMaxMaskWords] = {0, 0, 0, 0};
+      for (int view_id : env.catalog->ViewsOfRelation(pattern.relation)) {
+        const label::SecurityView& view = env.catalog->view(view_id);
+        if (rewriting::AtomRewritable(pattern, view.pattern)) {
+          words[view.bit / 64] |= uint64_t{1} << (view.bit % 64);
+        }
+      }
+      benchmark::DoNotOptimize(words);
+    }
+  }
+  ReportRate(state, kPatternPool);
+}
+
+void BM_CompiledWide(benchmark::State& state) {
+  const MatcherEnv& env =
+      MatcherEnv::Get(kWideCatalogViews, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    for (const AtomPattern& pattern : env.patterns) {
+      uint64_t words[kMaxMaskWords];
+      env.matcher.MatchMaskWords(pattern, words);
+      benchmark::DoNotOptimize(words);
+    }
+  }
+  ReportRate(state, kPatternPool);
+}
+
+void WideAxis(benchmark::internal::Benchmark* bench) {
+  for (int views_per_relation : {64, 128}) bench->Arg(views_per_relation);
+}
+
 BENCHMARK(BM_SeedPerView)->Apply(CatalogAxis)
     ->Name("Matcher/seed_per_view/views");
 BENCHMARK(BM_Compiled)->Apply(CatalogAxis)
     ->Name("Matcher/compiled/views");
+BENCHMARK(BM_SeedPerViewWide)->Apply(WideAxis)
+    ->Name("MatcherWide/seed_per_view/vpr");
+BENCHMARK(BM_CompiledWide)->Apply(WideAxis)
+    ->Name("MatcherWide/compiled/vpr");
 
 }  // namespace
 }  // namespace fdc::bench

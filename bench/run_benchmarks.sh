@@ -127,6 +127,27 @@ for views in (8, 16, 32, 64, 128, 256):
 merged["matcher_compiled_speedup_at_64_views"] = \
     merged["speedups"].get("matcher_compiled_vs_seed/views/64")
 
+# Wide-mask sweep: 256-view catalog at 64/128 views per relation, full
+# multi-word masks on both sides (no packed cap). Acceptance floor: the
+# compiled wide kernel stays >= 3x the uncapped per-view loop at 64
+# views/relation (recorded below next to the measured ratios).
+merged["fig_matcher_wide"] = {}
+for vpr in (64, 128):
+    seed = mask_rate(f"MatcherWide/seed_per_view/vpr/{vpr}")
+    compiled = mask_rate(f"MatcherWide/compiled/vpr/{vpr}")
+    if seed:
+        merged["fig_matcher_wide"][f"seed_per_view/vpr/{vpr}"] = seed
+    if compiled:
+        merged["fig_matcher_wide"][f"compiled/vpr/{vpr}"] = compiled
+    if seed and compiled:
+        merged["speedups"][f"matcher_wide_vs_seed/vpr/{vpr}"] = \
+            round(compiled / seed, 2)
+merged["matcher_wide_speedup_at_64_vpr"] = \
+    merged["speedups"].get("matcher_wide_vs_seed/vpr/64")
+merged["matcher_wide_speedup_at_128_vpr"] = \
+    merged["speedups"].get("matcher_wide_vs_seed/vpr/128")
+merged["matcher_wide_speedup_floor"] = 3.0
+
 # Engine thread-scaling: aggregate throughput and parallel efficiency
 # rate(N) / (N * rate(1)) per series. Multi-threaded google-benchmark rows
 # are suffixed "/threads:N" except N=1 with UseRealTime ("/real_time").
@@ -165,5 +186,8 @@ if eff4 is not None:
 m64 = merged["matcher_compiled_speedup_at_64_views"]
 if m64 is not None:
     msg += f"; compiled matcher @64 views = {m64}x"
+w64 = merged["matcher_wide_speedup_at_64_vpr"]
+if w64 is not None:
+    msg += f"; wide matcher @64 views/relation = {w64}x"
 print(msg)
 EOF

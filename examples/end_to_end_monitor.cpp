@@ -103,7 +103,8 @@ int main() {
       "  decisions : %llu submitted = %llu accepted + %llu refused\n"
       "  labeler   : %llu frozen hits, %llu overlay hits, %llu overlay "
       "misses, %llu stateless fallbacks\n"
-      "  matcher   : %llu compiled mask evals, %llu per-view tests avoided\n"
+      "  matcher   : %llu compiled mask evals (%llu wide), %llu per-view "
+      "tests avoided\n"
       "  fold      : %llu warm-scratch atom-drop searches (process-wide)\n"
       "  interner  : %llu query hits / %llu misses, %llu pattern hits / %llu "
       "misses\n"
@@ -119,6 +120,7 @@ int main() {
       static_cast<unsigned long long>(stats.labeler.overlay_misses),
       static_cast<unsigned long long>(stats.labeler.stateless_fallbacks),
       static_cast<unsigned long long>(stats.labeler.compiled_mask_evals),
+      static_cast<unsigned long long>(stats.labeler.wide_mask_evals),
       static_cast<unsigned long long>(stats.labeler.per_view_tests_avoided),
       static_cast<unsigned long long>(stats.fold_scratch_reuses),
       static_cast<unsigned long long>(stats.interner.query_hits),

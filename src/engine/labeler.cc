@@ -21,16 +21,24 @@ ConcurrentLabeler::ConcurrentLabeler(
 label::DisclosureLabel ConcurrentLabeler::LabelCompiled(
     const cq::ConjunctiveQuery& query) {
   // One matcher evaluation per atom against the frozen artifact — no
-  // pattern interning, no mask memo, no cache probes, no locks.
+  // pattern interning, no mask memo, no cache probes, no locks. Relations
+  // beyond the packed view capacity get exact multi-word wide atoms.
   label::DisclosureLabel label;
+  const label::CompiledCatalogMatcher& matcher = frozen_->matcher();
   for (const cq::AtomPattern& atom :
        label::Dissect(query, frozen_->dissect_options())) {
     compiled_mask_evals_.fetch_add(1, std::memory_order_relaxed);
     per_view_tests_avoided_.fetch_add(
-        static_cast<uint64_t>(
-            frozen_->matcher().AvoidedPerViewTests(atom.relation)),
+        static_cast<uint64_t>(matcher.AvoidedPerViewTests(atom.relation)),
         std::memory_order_relaxed);
-    label.Add(frozen_->matcher().MatchLabel(atom));
+    if (matcher.UsesWideMask(atom.relation)) {
+      wide_mask_evals_.fetch_add(1, std::memory_order_relaxed);
+      label::WideAtomLabel wide;
+      matcher.MatchWideAtom(atom, &wide);
+      label.AddWide(std::move(wide));
+    } else {
+      label.Add(matcher.MatchLabel(atom));
+    }
   }
   label.Seal();
   return label;
@@ -156,6 +164,7 @@ ConcurrentLabeler::Stats ConcurrentLabeler::stats() const {
       stateless_fallbacks_.load(std::memory_order_relaxed);
   stats.compiled_mask_evals =
       compiled_mask_evals_.load(std::memory_order_relaxed);
+  stats.wide_mask_evals = wide_mask_evals_.load(std::memory_order_relaxed);
   stats.per_view_tests_avoided =
       per_view_tests_avoided_.load(std::memory_order_relaxed);
   return stats;

@@ -19,11 +19,13 @@
 //      not grow memory without bound), novel structures are labeled
 //      statelessly via the compiled matcher — a pure function, no locks.
 //
-// Labels produced here are byte-identical to LabelingPipeline::Label /
-// LabelerPipeline::LabelPacked on the same catalog: every path evaluates
-// the same Dissect + single-atom rewritability decision (the compiled
-// matcher is property-tested mask-for-mask against the per-view loop), so
-// the engine path is decision-equivalent to the seed path.
+// Labels produced here are byte-identical to LabelingPipeline::Label on
+// the same catalog — including which relations ride packed vs wide atoms:
+// every path evaluates the same Dissect + single-atom rewritability
+// decision (the compiled matcher is property-tested mask-for-mask against
+// the per-view loop, across the packed 32-view edge), so the engine path
+// is decision-equivalent to the seed path. On packed-only catalogs that
+// also coincides with LabelerPipeline::LabelPacked.
 #pragma once
 
 #include <atomic>
@@ -52,7 +54,11 @@ struct ConcurrentLabelerOptions {
   /// Total slots in the sharded containment cache (seed-kernel path only).
   size_t containment_cache_capacity = 1 << 16;
   /// Ablation: per-atom masks via the seed per-view kernel (pattern
-  /// interning + ContainmentCache) instead of the compiled matcher.
+  /// interning + ContainmentCache) instead of the compiled matcher. The
+  /// seed kernel is packed-only (views with bit ≥ 32 excluded — strictly
+  /// higher labels), so this oracle is meaningful on catalogs within the
+  /// packed view capacity; the wide path has its own per-view oracle
+  /// (LabelerPipeline::LabelWide, tests/wide_matcher_property_test.cc).
   bool ablate_compiled_matcher = false;
 };
 
@@ -66,6 +72,9 @@ class ConcurrentLabeler {
     uint64_t overlay_misses = 0; // labeled from scratch into the overlay
     uint64_t stateless_fallbacks = 0;  // overlay saturated; pure compute
     uint64_t compiled_mask_evals = 0;  // per-atom masks from the matcher
+    // Of those, evaluations over relations beyond the packed view capacity
+    // (multi-word wide atoms).
+    uint64_t wide_mask_evals = 0;
     // Per-view rewritability tests the seed kernel would have run for
     // those masks.
     uint64_t per_view_tests_avoided = 0;
@@ -74,7 +83,8 @@ class ConcurrentLabeler {
   explicit ConcurrentLabeler(std::shared_ptr<const FrozenCatalog> frozen,
                              Options options = {});
 
-  /// Thread-safe label; agrees with LabelerPipeline::LabelPacked.
+  /// Thread-safe label; agrees with LabelingPipeline::Label (and with
+  /// LabelerPipeline::LabelPacked on packed-only catalogs).
   label::DisclosureLabel Label(const cq::ConjunctiveQuery& query);
 
   /// Labels a batch; each distinct novel structure is computed once.
@@ -118,6 +128,7 @@ class ConcurrentLabeler {
   std::atomic<uint64_t> overlay_misses_{0};
   std::atomic<uint64_t> stateless_fallbacks_{0};
   std::atomic<uint64_t> compiled_mask_evals_{0};
+  std::atomic<uint64_t> wide_mask_evals_{0};
   std::atomic<uint64_t> per_view_tests_avoided_{0};
 };
 

@@ -62,8 +62,14 @@ class FrozenCatalog {
   /// The catalog's compiled matcher automaton — the frozen tier owns the
   /// compiled artifact; every labeling consumer (overlay, stateless
   /// fallback, pipelines built over this catalog) evaluates this one
-  /// instance lock-free.
+  /// instance lock-free. Mask width is per-relation (multi-word beyond 64
+  /// views; wide label atoms beyond the packed 32-view capacity), fixed
+  /// when this catalog froze.
   const label::CompiledCatalogMatcher& matcher() const { return matcher_; }
+
+  /// Largest per-relation mask word count in the compiled matcher: 1 for
+  /// packed-only catalogs, more when some relation carries > 64 views.
+  int max_mask_words() const { return matcher_.max_mask_words(); }
 
   /// Disclosure label of view `id`'s own defining query.
   const label::DisclosureLabel& ViewLabel(int id) const {

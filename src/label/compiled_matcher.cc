@@ -37,30 +37,32 @@ CompiledCatalogMatcher CompiledCatalogMatcher::Compile(
     const std::vector<int>& view_ids = catalog.ViewsOfRelation(relation);
     if (view_ids.empty()) continue;
     RelationNet& net = matcher.nets_[static_cast<size_t>(relation)];
+    net.num_views = static_cast<int>(view_ids.size());
+    net.words = MaskWordsFor(net.num_views);
+    matcher.max_words_ = std::max(matcher.max_words_, net.words);
     net.arity = catalog.view(view_ids.front()).pattern.arity();
     if (net.arity > kMaxCompiledArity) {
-      // Pathological arity: MatchMask runs the per-view loop instead. The
+      // Pathological arity: MatchMask* runs the per-view loop instead. The
       // net stays empty but the relation is still answered correctly.
       net.use_fallback = true;
       continue;
     }
     const int n = net.arity;
-    net.const_at.assign(static_cast<size_t>(n), 0);
-    net.dist_at.assign(static_cast<size_t>(n), 0);
-    net.same_class.assign(static_cast<size_t>(n) * n, 0);
+    const int W = net.words;
+    net.all_views.assign(static_cast<size_t>(W), 0);
+    net.const_at.assign(static_cast<size_t>(n) * W, 0);
+    net.dist_at.assign(static_cast<size_t>(n) * W, 0);
+    net.same_class.assign(static_cast<size_t>(n) * n * W, 0);
 
     // (pos, value, view bit) triples, sorted into the flat table below.
     std::vector<std::tuple<int, std::string, int>> constants;
-    // (q, p) -> requirement mask, merged across views.
-    std::vector<std::vector<uint32_t>> eq_mask(
-        static_cast<size_t>(n), std::vector<uint32_t>(n, 0));
+    // (q * n + p) -> requirement mask words, merged across views.
+    std::vector<uint64_t> eq_mask(static_cast<size_t>(n) * n * W, 0);
 
     for (int view_id : view_ids) {
       const SecurityView& view = catalog.view(view_id);
-      // Packed masks carry 32 views per relation; later views are excluded
-      // (strictly higher labels — fail-safe), matching ComputePatternMask.
-      if (view.bit >= 32) continue;
-      const uint32_t bit = uint32_t{1} << view.bit;
+      const size_t bit_word = static_cast<size_t>(view.bit) / 64;
+      const uint64_t bit = uint64_t{1} << (view.bit % 64);
       const AtomPattern& w = view.pattern;
       // Mixed-arity views over one relation cannot come from a validated
       // schema; a mismatch would make every per-position mask meaningless.
@@ -68,25 +70,27 @@ CompiledCatalogMatcher CompiledCatalogMatcher::Compile(
         net.use_fallback = true;
         break;
       }
-      net.all_views |= bit;
+      net.all_views[bit_word] |= bit;
       // class -> first position, for C2 requirement extraction.
       int first_pos[kMaxCompiledArity];
       std::fill(first_pos, first_pos + n, -1);
       for (int p = 0; p < n; ++p) {
         const PatTerm& wt = w.terms[p];
         if (wt.is_const) {
-          net.const_at[p] |= bit;
+          net.const_at[static_cast<size_t>(p) * W + bit_word] |= bit;
           constants.emplace_back(p, wt.value, view.bit);
           continue;
         }
-        if (wt.distinguished) net.dist_at[p] |= bit;
+        if (wt.distinguished) {
+          net.dist_at[static_cast<size_t>(p) * W + bit_word] |= bit;
+        }
         const int q = first_pos[wt.cls];
         if (q < 0) {
           first_pos[wt.cls] = p;
         } else {
           // The view imposes q ≡ p (via the class representative, exactly
           // as AtomRewritable checks it).
-          eq_mask[q][p] |= bit;
+          eq_mask[(static_cast<size_t>(q) * n + p) * W + bit_word] |= bit;
         }
         // Same-class masks for every earlier position of the class (C5
         // probes arbitrary (first, later) pairs of the *incoming* pattern's
@@ -94,8 +98,10 @@ CompiledCatalogMatcher CompiledCatalogMatcher::Compile(
         for (int r = 0; r < p; ++r) {
           const PatTerm& wr = w.terms[r];
           if (!wr.is_const && wr.cls == wt.cls) {
-            net.same_class[static_cast<size_t>(r) * n + p] |= bit;
-            net.same_class[static_cast<size_t>(p) * n + r] |= bit;
+            net.same_class[(static_cast<size_t>(r) * n + p) * W + bit_word] |=
+                bit;
+            net.same_class[(static_cast<size_t>(p) * n + r) * W + bit_word] |=
+                bit;
           }
         }
       }
@@ -104,10 +110,14 @@ CompiledCatalogMatcher CompiledCatalogMatcher::Compile(
 
     for (int q = 0; q < n; ++q) {
       for (int p = 0; p < n; ++p) {
-        if (eq_mask[q][p] != 0) {
-          net.eq_requirements.push_back({static_cast<uint16_t>(q),
-                                         static_cast<uint16_t>(p),
-                                         eq_mask[q][p]});
+        const uint64_t* row = &eq_mask[(static_cast<size_t>(q) * n + p) * W];
+        bool any = false;
+        for (int w = 0; w < W; ++w) any = any || row[w] != 0;
+        if (any) {
+          net.eq_requirements.push_back(
+              {static_cast<uint16_t>(q), static_cast<uint16_t>(p),
+               static_cast<uint32_t>(net.eq_masks.size() / W)});
+          net.eq_masks.insert(net.eq_masks.end(), row, row + W);
         }
       }
     }
@@ -124,15 +134,17 @@ CompiledCatalogMatcher CompiledCatalogMatcher::Compile(
     for (size_t i = 0; i < constants.size();) {
       const int pos = std::get<0>(constants[i]);
       const std::string& value = std::get<1>(constants[i]);
-      uint32_t value_mask = 0;
+      const size_t row = net.values.size();
+      net.value_masks.insert(net.value_masks.end(), static_cast<size_t>(W), 0);
       size_t j = i;  // merge the run of views selecting `value` at `pos`
       while (j < constants.size() && std::get<0>(constants[j]) == pos &&
              std::get<1>(constants[j]) == value) {
-        value_mask |= uint32_t{1} << std::get<2>(constants[j]);
+        const int view_bit = std::get<2>(constants[j]);
+        net.value_masks[row * W + static_cast<size_t>(view_bit) / 64] |=
+            uint64_t{1} << (view_bit % 64);
         ++j;
       }
       net.values.push_back(value);
-      net.value_masks.push_back(value_mask);
       net.value_begin[static_cast<size_t>(pos) + 1] =
           static_cast<int>(net.values.size());
       i = j;
@@ -146,36 +158,23 @@ CompiledCatalogMatcher CompiledCatalogMatcher::Compile(
   return matcher;
 }
 
-uint32_t CompiledCatalogMatcher::LookupValue(const RelationNet& net, int p,
-                                             const std::string& value) {
+const uint64_t* CompiledCatalogMatcher::LookupValue(const RelationNet& net,
+                                                    int p,
+                                                    const std::string& value) {
   const auto begin = net.values.begin() + net.value_begin[p];
   const auto end = net.values.begin() + net.value_begin[p + 1];
   const auto it = std::lower_bound(begin, end, value);
-  if (it == end || *it != value) return 0;
-  return net.value_masks[static_cast<size_t>(it - net.values.begin())];
+  if (it == end || *it != value) return nullptr;
+  return &net.value_masks[static_cast<size_t>(it - net.values.begin()) *
+                          net.words];
 }
 
-uint32_t CompiledCatalogMatcher::MatchMask(const cq::AtomPattern& v) const {
-  if (v.relation < 0 ||
-      static_cast<size_t>(v.relation) >= nets_.size()) {
-    return 0;  // no views over this relation
-  }
-  const RelationNet& net = nets_[static_cast<size_t>(v.relation)];
-  if (net.use_fallback) {
-    // Seed per-view loop for pathological relations; same 32-view packing.
-    uint32_t mask = 0;
-    for (int view_id : catalog_->ViewsOfRelation(v.relation)) {
-      const SecurityView& view = catalog_->view(view_id);
-      if (view.bit < 32 && rewriting::AtomRewritable(v, view.pattern)) {
-        mask |= uint32_t{1} << view.bit;
-      }
-    }
-    return mask;
-  }
-  if (v.arity() != net.arity) return 0;  // never rewritable (arity mismatch)
+uint64_t CompiledCatalogMatcher::MatchWordNarrow(const RelationNet& net,
+                                                 const AtomPattern& v) {
+  // One-word relations: the pre-wide code shape — a single accumulator,
+  // no scratch, indexes collapse because words == 1.
   const int n = net.arity;
-
-  uint32_t mask = net.all_views;
+  uint64_t mask = net.all_views[0];
   // class -> first position of the *incoming* pattern (normalized classes
   // are numbered by first occurrence, so `cls == next_class` detects one).
   int first_pos[kMaxCompiledArity];
@@ -185,7 +184,8 @@ uint32_t CompiledCatalogMatcher::MatchMask(const cq::AtomPattern& v) const {
     if (vt.is_const) {
       // C1: views selecting a constant here must select this value.
       // C3: views exposing the column instead can filter on it.
-      mask &= LookupValue(net, p, vt.value) | net.dist_at[p];
+      const uint64_t* value_row = LookupValue(net, p, vt.value);
+      mask &= (value_row != nullptr ? value_row[0] : 0) | net.dist_at[p];
       continue;
     }
     // C1 (converse): views selecting any constant here miss tuples v needs.
@@ -206,12 +206,139 @@ uint32_t CompiledCatalogMatcher::MatchMask(const cq::AtomPattern& v) const {
   if (mask == 0) return 0;
   // C2: equalities views impose must be implied by v.
   for (const RelationNet::EqRequirement& req : net.eq_requirements) {
-    if ((mask & req.mask) != 0 &&
+    const uint64_t req_mask = net.eq_masks[req.mask_row];
+    if ((mask & req_mask) != 0 &&
         !ImpliesEquality(v.terms[req.q], v.terms[req.p])) {
-      mask &= ~req.mask;
+      mask &= ~req_mask;
     }
   }
   return mask;
+}
+
+void CompiledCatalogMatcher::MatchWordsWide(const RelationNet& net,
+                                            const AtomPattern& v,
+                                            uint64_t* out) {
+  // The width-generic kernel: identical C1–C5 structure, each AND applied
+  // word-wise against the relation's MaskSpan rows; `acc` ORs the surviving
+  // words so a dead mask still exits early.
+  const int n = net.arity;
+  const int W = net.words;
+  std::copy(net.all_views.begin(), net.all_views.end(), out);
+  int first_pos[kMaxCompiledArity];
+  int next_class = 0;
+  uint64_t acc = 1;
+  for (int p = 0; p < n && acc != 0; ++p) {
+    const PatTerm& vt = v.terms[p];
+    const uint64_t* dist_p = &net.dist_at[static_cast<size_t>(p) * W];
+    acc = 0;
+    if (vt.is_const) {
+      const uint64_t* value_row = LookupValue(net, p, vt.value);
+      for (int w = 0; w < W; ++w) {
+        out[w] &= (value_row != nullptr ? value_row[w] : 0) | dist_p[w];
+        acc |= out[w];
+      }
+      continue;
+    }
+    const uint64_t* const_p = &net.const_at[static_cast<size_t>(p) * W];
+    if (vt.distinguished) {
+      for (int w = 0; w < W; ++w) out[w] &= ~const_p[w] & dist_p[w];
+    } else {
+      for (int w = 0; w < W; ++w) out[w] &= ~const_p[w];
+    }
+    if (vt.cls == next_class) {
+      first_pos[next_class++] = p;
+    } else {
+      const int q = first_pos[vt.cls];
+      const uint64_t* same =
+          &net.same_class[(static_cast<size_t>(q) * n + p) * W];
+      const uint64_t* dist_q = &net.dist_at[static_cast<size_t>(q) * W];
+      for (int w = 0; w < W; ++w) out[w] &= same[w] | (dist_q[w] & dist_p[w]);
+    }
+    for (int w = 0; w < W; ++w) acc |= out[w];
+  }
+  if (acc == 0) return;  // every word already zero
+  for (const RelationNet::EqRequirement& req : net.eq_requirements) {
+    const uint64_t* req_mask = &net.eq_masks[static_cast<size_t>(req.mask_row) * W];
+    uint64_t hit = 0;
+    for (int w = 0; w < W; ++w) hit |= out[w] & req_mask[w];
+    if (hit != 0 && !ImpliesEquality(v.terms[req.q], v.terms[req.p])) {
+      for (int w = 0; w < W; ++w) out[w] &= ~req_mask[w];
+    }
+  }
+}
+
+void CompiledCatalogMatcher::FallbackMaskWords(int relation,
+                                               const AtomPattern& v,
+                                               uint64_t* out, int words) const {
+  std::fill(out, out + words, 0);
+  for (int view_id : catalog_->ViewsOfRelation(relation)) {
+    const SecurityView& view = catalog_->view(view_id);
+    if (rewriting::AtomRewritable(v, view.pattern)) {
+      out[static_cast<size_t>(view.bit) / 64] |= uint64_t{1} << (view.bit % 64);
+    }
+  }
+}
+
+uint32_t CompiledCatalogMatcher::MatchMask(const cq::AtomPattern& v) const {
+  const RelationNet* net = NetFor(v.relation);
+  if (net == nullptr) return 0;  // no views over this relation
+  if (net->use_fallback) {
+    // Seed per-view loop for pathological relations; packed bits only, so
+    // views beyond the packed capacity are not even tested.
+    uint32_t mask = 0;
+    for (int view_id : catalog_->ViewsOfRelation(v.relation)) {
+      const SecurityView& view = catalog_->view(view_id);
+      if (view.bit < kPackedViewCapacity &&
+          rewriting::AtomRewritable(v, view.pattern)) {
+        mask |= uint32_t{1} << view.bit;
+      }
+    }
+    return mask;
+  }
+  if (v.arity() != net->arity) return 0;  // never rewritable (arity mismatch)
+  if (net->words == 1) {
+    // The packed contract is the low 32 bits of the full mask — views with
+    // bit ≥ kPackedViewCapacity are excluded (labels strictly higher —
+    // fail-safe), mirroring the guard in label::ComputePatternMask.
+    return static_cast<uint32_t>(MatchWordNarrow(*net, v));
+  }
+  thread_local std::vector<uint64_t> scratch;
+  if (scratch.size() < static_cast<size_t>(net->words)) {
+    scratch.resize(static_cast<size_t>(net->words));
+  }
+  MatchWordsWide(*net, v, scratch.data());
+  return static_cast<uint32_t>(scratch[0]);
+}
+
+void CompiledCatalogMatcher::MatchMaskWords(const cq::AtomPattern& v,
+                                            uint64_t* out) const {
+  const RelationNet* net = NetFor(v.relation);
+  if (net == nullptr) {
+    out[0] = 0;  // MaskWords == 1 for unknown relations
+    return;
+  }
+  if (net->use_fallback) {
+    FallbackMaskWords(v.relation, v, out, net->words);
+    return;
+  }
+  if (v.arity() != net->arity) {
+    std::fill(out, out + net->words, 0);
+    return;
+  }
+  if (net->words == 1) {
+    out[0] = MatchWordNarrow(*net, v);
+    return;
+  }
+  MatchWordsWide(*net, v, out);
+}
+
+void CompiledCatalogMatcher::MatchWideAtom(const cq::AtomPattern& pattern,
+                                           WideAtomLabel* out) const {
+  out->relation = pattern.relation;
+  const size_t words = static_cast<size_t>(MaskWords(pattern.relation));
+  out->mask.resize(words);
+  MatchMaskWords(pattern, out->mask.data());
+  out->Normalize();
 }
 
 }  // namespace fdc::label

@@ -12,7 +12,7 @@
 //
 //   * per-position view bitmasks (const_at / dist_at / not_const_at) fold
 //     conditions C1/C3/C4 of the rewriting test into AND-masks;
-//   * per-position constant-value tables (flat, sorted, string_view probes)
+//   * per-position constant-value tables (flat, sorted, string probes)
 //     resolve "which views select exactly this constant here" in one
 //     binary search;
 //   * view-side equality constraints (C2) are precompiled into a short list
@@ -20,18 +20,26 @@
 //   * pattern-side equality constraints (C5) are answered by a precomputed
 //     position×position same-class mask plus the distinguished masks.
 //
-// MatchMask is allocation-free, touches no interner and no cache, and is
-// pure/immutable after Compile — any number of threads may evaluate
-// concurrently. Equivalence with the seed per-view loop is property-tested
-// (tests/compiled_matcher_test.cc); the seed loop is kept behind the
-// `ablate_compiled_matcher` labeling option as the oracle.
+// Mask width: every per-view mask in the net is an array of uint64_t words
+// whose count is fixed per relation at compile time (MaskWords(relation) =
+// ceil(view count / 64), minimum 1) — a MaskSpan threaded through the whole
+// SoA layout. MatchMaskWords therefore evaluates C1–C5 for *any* number of
+// views per relation in one allocation-free pass; there is no 32-view
+// capacity cliff in the compiled kernel. One-word relations (the common
+// case) run a specialized single-word loop with exactly the pre-wide code
+// shape. Whether a relation's ℓ+ rides in packed or wide label atoms is a
+// catalog property exposed as UsesWideMask(relation) (view count >
+// kPackedViewCapacity); MatchMask/MatchLabel keep the packed 32-bit
+// contract — the low 32 bits of the full mask, identical to the seed
+// ComputePatternMask guard — for consumers and oracles that stay packed.
 //
-// Packed-mask contract: like every packed-label kernel, the matcher
-// represents at most 32 views per relation (bit i of the mask = the i-th
-// view registered for that relation). Views with bit ≥ 32 are excluded from
-// packed masks — labels get strictly higher (stricter, fail-safe), never
-// looser — mirroring the guard in label::ComputePatternMask; relations that
-// genuinely need more views belong on the WideLabel path.
+// MatchMask/MatchMaskWords are allocation-free, touch no interner and no
+// cache, and are pure/immutable after Compile — any number of threads may
+// evaluate concurrently. Equivalence with the seed per-view loop is
+// property-tested over the packed range (tests/compiled_matcher_test.cc)
+// and across the 31/32/33/63/64/65/128 view boundaries
+// (tests/wide_matcher_property_test.cc); the seed loop is kept behind the
+// `ablate_compiled_matcher` labeling option as the oracle.
 #pragma once
 
 #include <bit>
@@ -50,7 +58,7 @@ class CompiledCatalogMatcher {
   /// Largest pattern arity the discrimination net compiles for. Covers
   /// every real schema (the widest Facebook relation, User, has 34
   /// columns); wider relations fall back to the seed per-view loop inside
-  /// MatchMask, so results never change.
+  /// MatchMask*, so results never change.
   static constexpr int kMaxCompiledArity = 64;
 
   CompiledCatalogMatcher() = default;
@@ -60,9 +68,11 @@ class CompiledCatalogMatcher {
   /// frozen artifact, rebuilt whenever the catalog is.
   static CompiledCatalogMatcher Compile(const ViewCatalog& catalog);
 
-  /// ℓ+ mask of `pattern` against every view of its relation: bit i set iff
-  /// AtomRewritable(pattern, i-th view of the relation) and i < 32.
-  /// `pattern` must be normalized (class ids by first occurrence), which
+  /// Packed ℓ+ mask of `pattern` against its relation's views: bit i set
+  /// iff AtomRewritable(pattern, i-th view of the relation) and
+  /// i < kPackedViewCapacity — i.e. the low 32 bits of the full wide mask,
+  /// matching the seed ComputePatternMask guard exactly. `pattern` must be
+  /// normalized (class ids by first occurrence), which
   /// Dissect/AtomPattern::FromAtom guarantee. Zero allocation; lock-free.
   uint32_t MatchMask(const cq::AtomPattern& pattern) const;
 
@@ -75,54 +85,109 @@ class CompiledCatalogMatcher {
                            MatchMask(pattern));
   }
 
+  /// Mask words per view-set of `relation` (ceil(view count / 64), minimum
+  /// 1 — also 1 for unknown relations). The stride of every wide-mask
+  /// buffer a caller hands to MatchMaskWords.
+  int MaskWords(int relation) const {
+    const RelationNet* net = NetFor(relation);
+    return net != nullptr ? net->words : 1;
+  }
+
+  /// Largest MaskWords over the catalog (1 for an empty catalog): size a
+  /// single scratch buffer once and it fits every relation.
+  int max_mask_words() const { return max_words_; }
+
+  /// True iff `relation` has more views than a packed atom mask can carry,
+  /// so its ℓ+ belongs in WideAtomLabel entries.
+  bool UsesWideMask(int relation) const {
+    const RelationNet* net = NetFor(relation);
+    return net != nullptr && net->num_views > kPackedViewCapacity;
+  }
+
+  /// Full ℓ+ mask of `pattern` over *all* of its relation's views — no
+  /// packed capacity, bit b of view b lives in out[b / 64]. Writes exactly
+  /// MaskWords(pattern.relation) words into `out`. Zero allocation;
+  /// lock-free; same C1–C5 evaluation as MatchMask.
+  void MatchMaskWords(const cq::AtomPattern& pattern, uint64_t* out) const;
+
+  /// MatchMaskWords into a reusable WideAtomLabel: sets the relation, fills
+  /// the mask words, and normalizes (trims trailing zero words). Reuses
+  /// `out->mask`'s storage, so a warm caller-owned label makes this
+  /// allocation-free too.
+  void MatchWideAtom(const cq::AtomPattern& pattern, WideAtomLabel* out) const;
+
   /// Per-view rewritability tests the seed kernel would run for an atom
-  /// over `relation` that a MatchMask evaluation does NOT run: the
-  /// relation's packed-representable view count — or 0 for fallback
-  /// relations, where MatchMask itself executes the per-view loop. Feeds
-  /// the per_view_tests_avoided observability counters.
+  /// over `relation` that a compiled evaluation does NOT run: the
+  /// relation's full view count — or 0 for fallback relations, where the
+  /// compiled path itself executes the per-view loop. Feeds the
+  /// per_view_tests_avoided observability counters.
   int AvoidedPerViewTests(int relation) const {
-    if (relation < 0 || static_cast<size_t>(relation) >= nets_.size()) {
-      return 0;
-    }
-    const RelationNet& net = nets_[static_cast<size_t>(relation)];
-    return net.use_fallback ? 0 : std::popcount(net.all_views);
+    const RelationNet* net = NetFor(relation);
+    return (net == nullptr || net->use_fallback) ? 0 : net->num_views;
   }
 
  private:
-  /// One relation's compiled net, flat SoA: per-position masks share one
-  /// stride-`arity` layout, value tables one sorted (pos, value) span list.
+  /// One relation's compiled net, flat SoA: every mask is `words`
+  /// consecutive uint64_t (the relation's MaskSpan width); per-position
+  /// masks share one stride-`arity×words` layout, value tables one sorted
+  /// (pos, value) span list with `words`-stride mask rows.
   struct RelationNet {
     int arity = 0;
-    uint32_t all_views = 0;  // views representable in the packed mask
+    int words = 1;      // mask words per view-set: ceil(num_views / 64), ≥ 1
+    int num_views = 0;  // total views of the relation (all representable)
     bool use_fallback = false;  // arity > kMaxCompiledArity: per-view loop
-    // Per-position masks (length = arity each).
-    std::vector<uint32_t> const_at;      // views with a constant at p
-    std::vector<uint32_t> dist_at;       // views with a distinguished var
-    // same_class[q * arity + p]: views with the same variable class at
-    // positions q and p (both non-const).
-    std::vector<uint32_t> same_class;
+    // Per-position masks (arity × words each).
+    std::vector<uint64_t> all_views;     // words: every compiled view
+    std::vector<uint64_t> const_at;      // views with a constant at p
+    std::vector<uint64_t> dist_at;       // views with a distinguished var
+    // same_class[(q * arity + p) * words + w]: views with the same variable
+    // class at positions q and p (both non-const).
+    std::vector<uint64_t> same_class;
     // Constant-value table: values sorted within each position's span
-    // [value_begin[p], value_begin[p + 1]); masks parallel to values.
+    // [value_begin[p], value_begin[p + 1]); mask rows parallel to values.
     std::vector<int> value_begin;        // length arity + 1
     std::vector<std::string> values;
-    std::vector<uint32_t> value_masks;
-    // C2: view-side equalities. Views in `mask` require the incoming
+    std::vector<uint64_t> value_masks;   // values.size() × words
+    // C2: view-side equalities. Views in the mask row require the incoming
     // pattern to imply equality between positions q and p.
     struct EqRequirement {
       uint16_t q = 0;
       uint16_t p = 0;
-      uint32_t mask = 0;
+      uint32_t mask_row = 0;  // row index into eq_masks (× words)
     };
     std::vector<EqRequirement> eq_requirements;
+    std::vector<uint64_t> eq_masks;      // eq_requirements.size() × words
   };
 
-  /// Views at `pattern.relation` whose constant at position p equals
-  /// `value`, as a mask (binary search in the flat value table).
-  static uint32_t LookupValue(const RelationNet& net, int p,
-                              const std::string& value);
+  const RelationNet* NetFor(int relation) const {
+    if (relation < 0 || static_cast<size_t>(relation) >= nets_.size()) {
+      return nullptr;
+    }
+    return &nets_[static_cast<size_t>(relation)];
+  }
+
+  /// Mask row of views at `pattern.relation` selecting exactly `value` at
+  /// position p (binary search in the flat value table), or nullptr when no
+  /// view does.
+  static const uint64_t* LookupValue(const RelationNet& net, int p,
+                                     const std::string& value);
+
+  /// The single-word kernel (net.words == 1): today's exact code shape, one
+  /// uint64_t accumulator, no scratch.
+  static uint64_t MatchWordNarrow(const RelationNet& net,
+                                  const cq::AtomPattern& v);
+
+  /// The width-generic kernel (any net.words): accumulates into `out`.
+  static void MatchWordsWide(const RelationNet& net, const cq::AtomPattern& v,
+                             uint64_t* out);
+
+  /// Per-view AtomRewritable loop for fallback relations, full bit range.
+  void FallbackMaskWords(int relation, const cq::AtomPattern& v,
+                         uint64_t* out, int words) const;
 
   const ViewCatalog* catalog_ = nullptr;
   std::vector<RelationNet> nets_;  // indexed by relation id
+  int max_words_ = 1;
 };
 
 }  // namespace fdc::label

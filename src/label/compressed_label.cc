@@ -12,9 +12,23 @@ void DisclosureLabel::Add(PackedAtomLabel atom) {
   atoms_.push_back(atom);
 }
 
+void DisclosureLabel::AddWide(WideAtomLabel atom) {
+  atom.Normalize();
+  if (atom.mask.empty()) {
+    top_ = true;
+    return;
+  }
+  wide_atoms_.push_back(std::move(atom));
+}
+
 void DisclosureLabel::Seal() {
   std::sort(atoms_.begin(), atoms_.end());
   atoms_.erase(std::unique(atoms_.begin(), atoms_.end()), atoms_.end());
+  if (!wide_atoms_.empty()) {
+    std::sort(wide_atoms_.begin(), wide_atoms_.end());
+    wide_atoms_.erase(std::unique(wide_atoms_.begin(), wide_atoms_.end()),
+                      wide_atoms_.end());
+  }
 }
 
 bool DisclosureLabel::Leq(const DisclosureLabel& other) const {
@@ -28,6 +42,22 @@ bool DisclosureLabel::Leq(const DisclosureLabel& other) const {
         break;
       }
     }
+    for (size_t i = 0; !bounded && i < other.wide_atoms_.size(); ++i) {
+      bounded = PackedCoversWide(a, other.wide_atoms_[i]);
+    }
+    if (!bounded) return false;
+  }
+  for (const WideAtomLabel& a : wide_atoms_) {
+    bool bounded = false;
+    for (const WideAtomLabel& b : other.wide_atoms_) {
+      if (a.LeqAtom(b)) {
+        bounded = true;
+        break;
+      }
+    }
+    for (size_t i = 0; !bounded && i < other.atoms_.size(); ++i) {
+      bounded = WideCoversPacked(a, other.atoms_[i]);
+    }
     if (!bounded) return false;
   }
   return true;
@@ -36,6 +66,8 @@ bool DisclosureLabel::Leq(const DisclosureLabel& other) const {
 void DisclosureLabel::UnionWith(const DisclosureLabel& other) {
   top_ = top_ || other.top_;
   atoms_.insert(atoms_.end(), other.atoms_.begin(), other.atoms_.end());
+  wide_atoms_.insert(wide_atoms_.end(), other.wide_atoms_.begin(),
+                     other.wide_atoms_.end());
   Seal();
 }
 
@@ -52,6 +84,10 @@ bool WideAtomLabel::MaskEmpty() const {
   return true;
 }
 
+void WideAtomLabel::Normalize() {
+  while (!mask.empty() && mask.back() == 0) mask.pop_back();
+}
+
 bool WideAtomLabel::LeqAtom(const WideAtomLabel& other) const {
   if (relation != other.relation) return false;
   // ℓ+(this) ⊇ ℓ+(other): every bit of other present here.
@@ -62,8 +98,33 @@ bool WideAtomLabel::LeqAtom(const WideAtomLabel& other) const {
   return true;
 }
 
+bool PackedCoversWide(const PackedAtomLabel& packed,
+                      const WideAtomLabel& wide) {
+  if (wide.relation < 0 ||
+      packed.relation() != static_cast<uint32_t>(wide.relation)) {
+    return false;
+  }
+  const uint64_t packed_bits = packed.mask();  // bits 0..31 only
+  for (size_t i = 0; i < wide.mask.size(); ++i) {
+    const uint64_t mine = i == 0 ? packed_bits : 0;
+    if ((wide.mask[i] & ~mine) != 0) return false;
+  }
+  return true;
+}
+
+bool WideCoversPacked(const WideAtomLabel& wide,
+                      const PackedAtomLabel& packed) {
+  if (wide.relation < 0 ||
+      packed.relation() != static_cast<uint32_t>(wide.relation)) {
+    return false;
+  }
+  const uint64_t mine = wide.mask.empty() ? 0 : wide.mask[0];
+  return (static_cast<uint64_t>(packed.mask()) & ~mine) == 0;
+}
+
 void WideLabel::Add(WideAtomLabel atom) {
-  if (atom.MaskEmpty()) {
+  atom.Normalize();
+  if (atom.mask.empty()) {
     top_ = true;
     return;
   }

@@ -8,21 +8,42 @@
 // A PackedAtomLabel packs the base relation id into the low 32 bits of one
 // 64-bit word and the ℓ+ membership mask (bit i = the i-th view registered
 // for that relation in the ViewCatalog) into the high 32 bits — exactly the
-// layout §6.1 describes. A multi-atom label is a small array of packed
-// atoms. WideAtomLabel is the >32-views-per-relation fallback with the same
-// comparison contract (exercised by ablation A2).
+// layout §6.1 describes. A WideAtomLabel carries the same ℓ+ set as an
+// array of 64-bit mask words for relations whose view count exceeds the
+// packed capacity; the word count is fixed per relation at catalog-compile
+// time (CompiledCatalogMatcher::MaskWords).
+//
+// A DisclosureLabel holds one entry per dissected atom, in whichever
+// representation the atom's relation uses: packed atoms for relations with
+// at most kPackedViewCapacity views, wide atoms beyond that. Which
+// representation a relation gets is a property of the catalog (its view
+// count), so any two labels over the same catalog agree representation-wise
+// and compare/hash consistently.
 //
 // An atom whose ℓ+ is empty is not determined by any security view: its
 // label is ⊤. Labels record this in a flag; ⊤-labeled queries compare above
 // everything and are refused under every partition.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
 #include "common/bit_utils.h"
 
 namespace fdc::label {
+
+/// Views representable by one packed 32-bit atom mask. Relations with more
+/// views than this use WideAtomLabel entries (multi-word masks).
+inline constexpr int kPackedViewCapacity = 32;
+
+/// Mask words a relation with `views` security views needs: ceil(views/64),
+/// minimum one. The single definition of the word-width rule that keeps
+/// labels, compiled matcher nets, policies and the flat PolicyStore
+/// layout-compatible.
+constexpr int MaskWordsFor(int views) {
+  return views > 64 ? (views + 63) / 64 : 1;
+}
 
 /// One dissected atom's ℓ+ set: relation id (low 32) + view mask (high 32).
 class PackedAtomLabel {
@@ -52,19 +73,60 @@ class PackedAtomLabel {
   uint64_t raw_;
 };
 
-/// A query's disclosure label: one packed entry per dissected atom.
+/// Atom label for relations with more than kPackedViewCapacity security
+/// views: mask words replace the single 32-bit mask (bit b of ℓ+ lives in
+/// mask[b / 64] bit b % 64). Canonical form has no trailing zero words
+/// (Normalize), so equal ℓ+ sets compare equal regardless of producer.
+struct WideAtomLabel {
+  int relation = -1;
+  std::vector<uint64_t> mask;
+
+  void SetBit(int bit);
+  /// True iff view bit `bit` is in ℓ+ (bits past the stored words are 0).
+  bool Test(int bit) const {
+    const std::size_t word = static_cast<std::size_t>(bit) / 64;
+    return word < mask.size() &&
+           (mask[word] & (uint64_t{1} << (bit % 64))) != 0;
+  }
+  bool LeqAtom(const WideAtomLabel& other) const;
+  bool MaskEmpty() const;
+  /// Drops trailing zero words (the canonical form Add/AddWide store).
+  void Normalize();
+  bool operator==(const WideAtomLabel& other) const {
+    return relation == other.relation && mask == other.mask;
+  }
+  bool operator<(const WideAtomLabel& other) const {
+    if (relation != other.relation) return relation < other.relation;
+    return mask < other.mask;
+  }
+};
+
+/// ℓ+(packed) ⊇ ℓ+(wide) over the same relation (mixed-representation
+/// comparison; only reachable when labels from different catalogs meet).
+bool PackedCoversWide(const PackedAtomLabel& packed, const WideAtomLabel& wide);
+/// ℓ+(wide) ⊇ ℓ+(packed) over the same relation.
+bool WideCoversPacked(const WideAtomLabel& wide, const PackedAtomLabel& packed);
+
+/// A query's disclosure label: one entry per dissected atom — packed for
+/// narrow relations, wide for relations beyond the packed view capacity.
 class DisclosureLabel {
  public:
   /// Adds one atom's ℓ+; an empty mask marks the whole label ⊤.
   void Add(PackedAtomLabel atom);
+
+  /// Adds one wide atom's ℓ+ (normalized in place); empty again marks ⊤.
+  void AddWide(WideAtomLabel atom);
 
   /// Marks the label ⊤ explicitly (atom over a relation with no views).
   void MarkTop() { top_ = true; }
 
   bool top() const { return top_; }
   const std::vector<PackedAtomLabel>& atoms() const { return atoms_; }
+  const std::vector<WideAtomLabel>& wide_atoms() const { return wide_atoms_; }
+  /// Packed-atom count (wide atoms are surfaced separately; total entries =
+  /// size() + wide_atoms().size()).
   int size() const { return static_cast<int>(atoms_.size()); }
-  bool empty() const { return atoms_.empty() && !top_; }
+  bool empty() const { return atoms_.empty() && wide_atoms_.empty() && !top_; }
 
   /// Canonicalizes (sorts, dedupes) — call once after the last Add when the
   /// label will be compared or hashed.
@@ -79,29 +141,21 @@ class DisclosureLabel {
   void UnionWith(const DisclosureLabel& other);
 
   bool operator==(const DisclosureLabel& other) const {
-    return top_ == other.top_ && atoms_ == other.atoms_;
+    return top_ == other.top_ && atoms_ == other.atoms_ &&
+           wide_atoms_ == other.wide_atoms_;
   }
 
  private:
   std::vector<PackedAtomLabel> atoms_;
+  std::vector<WideAtomLabel> wide_atoms_;
   bool top_ = false;
 };
 
-/// Fallback atom label for relations with more than 32 security views; mask
-/// words replace the single 32-bit mask.
-struct WideAtomLabel {
-  int relation = -1;
-  std::vector<uint64_t> mask;
-
-  void SetBit(int bit);
-  bool LeqAtom(const WideAtomLabel& other) const;
-  bool MaskEmpty() const;
-  bool operator==(const WideAtomLabel& other) const {
-    return relation == other.relation && mask == other.mask;
-  }
-};
-
-/// Wide counterpart of DisclosureLabel (same contract, ablation A2).
+/// Wide counterpart of DisclosureLabel: every atom in multi-word form with
+/// no per-relation view cap. This is the seed per-view oracle's output
+/// (LabelerPipeline::LabelWide) and the ablation-A2 representation; the
+/// production DisclosureLabel carries wide atoms only where the catalog
+/// needs them.
 class WideLabel {
  public:
   void Add(WideAtomLabel atom);

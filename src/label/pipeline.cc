@@ -62,10 +62,12 @@ DisclosureLabel LabelerPipeline::LabelPacked(
     uint32_t mask = 0;
     for (int view_id : catalog_->ViewsOfRelation(atom.relation)) {
       const SecurityView& view = catalog_->view(view_id);
-      // Packed masks hold 32 views per relation; views beyond that are
-      // excluded (labels get strictly higher — fail-safe), never shifted
-      // out of range. LabelWide is the real >32 path.
-      if (view.bit < 32 && rewriting::AtomRewritable(atom, view.pattern)) {
+      // Packed masks hold kPackedViewCapacity views per relation; views
+      // beyond that are excluded (labels get strictly higher — fail-safe),
+      // never shifted out of range. The matcher path carries such
+      // relations exactly, as wide atoms.
+      if (view.bit < kPackedViewCapacity &&
+          rewriting::AtomRewritable(atom, view.pattern)) {
         mask |= (1u << view.bit);
       }
     }
@@ -116,13 +118,15 @@ PackedAtomLabel ComputePatternMask(const ViewCatalog& catalog,
   uint32_t mask = 0;
   for (int view_id : catalog.ViewsOfRelation(pattern.relation)) {
     const SecurityView& view = catalog.view(view_id);
-    // OutOfRange guard at the kernel: packed masks carry 32 views per
-    // relation, and shifting by bit ≥ 32 is UB (the seed only asserted one
-    // level up, in ComputeLabel, and the assert vanishes under NDEBUG).
-    // Excess views are excluded — labels get strictly higher (stricter,
-    // fail-safe) — identically to CompiledCatalogMatcher and LabelPacked,
-    // so the three kernels stay mask-for-mask equivalent.
-    if (view.bit < 32 &&
+    // OutOfRange guard at the kernel: packed masks carry
+    // kPackedViewCapacity views per relation, and shifting by bit ≥ 32 is
+    // UB (the seed only asserted one level up, in ComputeLabel, and the
+    // assert vanishes under NDEBUG). Excess views are excluded — labels
+    // get strictly higher (stricter, fail-safe) — identically to
+    // CompiledCatalogMatcher::MatchMask and LabelPacked, so the packed
+    // kernels stay mask-for-mask equivalent; the wide matcher path is the
+    // one that represents such views exactly.
+    if (view.bit < kPackedViewCapacity &&
         cache.RewritableCached(interner, pattern_id, view_id, pattern,
                                view.pattern)) {
       mask |= (1u << view.bit);
@@ -157,13 +161,22 @@ DisclosureLabel LabelingPipeline::LabelViaMatcher(
     const cq::ConjunctiveQuery& query) {
   // Compiled path: one net evaluation per atom — no pattern interning
   // (which builds a key string), no mask memo, no cache probes. The net
-  // evaluation is cheaper than the memo probe it would feed.
+  // evaluation is cheaper than the memo probe it would feed. Relations
+  // beyond the packed view capacity get exact multi-word wide atoms; the
+  // rest keep the packed representation (same kernel, one word).
   DisclosureLabel label;
   for (const cq::AtomPattern& atom : Dissect(query, dissect_options_)) {
     ++stats_.compiled_mask_evals;
     stats_.per_view_tests_avoided +=
         static_cast<uint64_t>(matcher_->AvoidedPerViewTests(atom.relation));
-    label.Add(matcher_->MatchLabel(atom));
+    if (matcher_->UsesWideMask(atom.relation)) {
+      ++stats_.wide_mask_evals;
+      WideAtomLabel wide;
+      matcher_->MatchWideAtom(atom, &wide);
+      label.AddWide(std::move(wide));
+    } else {
+      label.Add(matcher_->MatchLabel(atom));
+    }
   }
   label.Seal();
   return label;

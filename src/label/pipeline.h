@@ -56,12 +56,15 @@ class LabelerPipeline {
   SetLabel LabelHashed(const cq::ConjunctiveQuery& query) const;
 
   /// Figure 5 series "bit vectors + hashing" — the seed packed path.
-  /// Packed masks carry 32 views per relation; views with bit ≥ 32 are
-  /// excluded (labels strictly higher — fail-safe). Use LabelWide for
-  /// catalogs that genuinely need more views per relation.
+  /// Packed masks carry kPackedViewCapacity (32) views per relation; views
+  /// with bit ≥ 32 are excluded (labels strictly higher — fail-safe). The
+  /// production LabelingPipeline has no such edge: its compiled matcher
+  /// emits wide atoms for relations beyond the packed capacity.
   DisclosureLabel LabelPacked(const cq::ConjunctiveQuery& query) const;
 
-  /// Wide-mask fallback (ablation A2); no per-relation view-count limit.
+  /// Every atom in multi-word form via the raw per-view AtomRewritable loop
+  /// (ablation A2); no per-relation view-count limit. This is the seed
+  /// oracle the wide compiled kernel is property-tested against.
   WideLabel LabelWide(const cq::ConjunctiveQuery& query) const;
 
   const ViewCatalog& catalog() const { return *catalog_; }
@@ -79,10 +82,13 @@ class LabelerPipeline {
 /// this loop remains as the ablation baseline and property-test oracle —
 /// tests/compiled_matcher_test.cc pins the two mask-for-mask.
 ///
-/// Packed masks hold 32 views per relation; views with bit ≥ 32 are
-/// excluded here rather than shifted out of range (which was UB) — labels
-/// over such catalogs are strictly higher (stricter, fail-safe). Catalogs
-/// that need more views per relation belong on the LabelWide path.
+/// Packed masks hold kPackedViewCapacity (32) views per relation; views
+/// with bit ≥ 32 are excluded here rather than shifted out of range (which
+/// was UB) — labels over such catalogs are strictly higher (stricter,
+/// fail-safe). The production matcher path has no such cap: relations
+/// beyond the packed capacity get exact multi-word masks
+/// (CompiledCatalogMatcher::MatchMaskWords feeding WideAtomLabel entries),
+/// so this kernel is the *packed* oracle only.
 PackedAtomLabel ComputePatternMask(const ViewCatalog& catalog,
                                    const cq::QueryInterner& interner,
                                    rewriting::ContainmentCache& cache,
@@ -100,9 +106,12 @@ PackedAtomLabel ComputePatternMask(const ViewCatalog& catalog,
 ///   3. per-atom ℓ+ masks come from the CompiledCatalogMatcher — one
 ///      allocation-free pass per dissected atom, no interner probes, no
 ///      cache probes, no per-view tests — so even fully novel queries pay
-///      O(arity) per atom. The seed variant (patterns interned, masks
-///      memoized, per-view tests through the shared ContainmentCache under
-///      kCatalogRewritable) is kept behind `ablate_compiled_matcher`;
+///      O(arity) per atom. Relations with more views than a packed mask
+///      carries get exact multi-word masks (wide label atoms); narrow
+///      relations keep the packed representation. The seed variant
+///      (patterns interned, masks memoized, per-view tests through the
+///      shared ContainmentCache under kCatalogRewritable, packed-only) is
+///      kept behind `ablate_compiled_matcher`;
 ///   4. LabelBatch buckets a whole batch by interned id and computes each
 ///      distinct label exactly once.
 ///
@@ -125,7 +134,9 @@ struct LabelingOptions {
   /// Seed-kernel mode: per-atom ℓ+ masks come from the per-view
   /// ComputePatternMask loop (pattern interning + ContainmentCache) instead
   /// of the CompiledCatalogMatcher. Kept as the ablation baseline and the
-  /// oracle the compiled matcher is property-tested against.
+  /// *packed* oracle the compiled matcher is property-tested against —
+  /// on catalogs beyond the packed view capacity it over-labels (bit ≥ 32
+  /// excluded), while the compiled path stays exact via wide atoms.
   bool ablate_compiled_matcher = false;
   /// Whole-query label memo entries kept before the memo is reset.
   size_t max_label_cache = 1 << 20;
@@ -147,6 +158,9 @@ class LabelingPipeline {
     uint64_t mask_hits = 0;     // per-pattern ℓ+ mask memo hits (seed path)
     uint64_t mask_misses = 0;
     uint64_t compiled_mask_evals = 0;  // masks answered by the compiled net
+    // Of those, evaluations over relations beyond the packed view capacity
+    // (the compiled net produced a multi-word wide atom).
+    uint64_t wide_mask_evals = 0;
     // Per-view rewritability tests the seed loop would have run for those
     // masks (the work the compiled matcher replaces outright).
     uint64_t per_view_tests_avoided = 0;

@@ -47,7 +47,9 @@ class ViewCatalog {
   /// Ids of views over one relation, in bit order.
   const std::vector<int>& ViewsOfRelation(int relation) const;
 
-  /// Largest per-relation view count (32 is the packed-label capacity).
+  /// Largest per-relation view count. Relations up to kPackedViewCapacity
+  /// (32) views label as packed atoms; beyond that the compiled matcher
+  /// emits exact multi-word wide atoms — no views are ever excluded.
   int MaxViewsPerRelation() const;
 
   const cq::Schema& schema() const { return *schema_; }

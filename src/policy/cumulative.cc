@@ -11,7 +11,20 @@ std::vector<std::vector<std::string>> CumulativeTracker::DescribeAtoms(
     std::vector<std::string> names;
     for (int view_id : catalog.ViewsOfRelation(atom.relation())) {
       const label::SecurityView& view = catalog.view(view_id);
-      if (atom.mask() & (1u << view.bit)) names.push_back(view.name);
+      if (view.bit < label::kPackedViewCapacity &&
+          (atom.mask() & (1u << view.bit))) {
+        names.push_back(view.name);
+      }
+    }
+    out.push_back(std::move(names));
+  }
+  // Wide atoms (relations beyond the packed view capacity), after the
+  // packed breakdown — same per-atom lattice-point semantics.
+  for (const label::WideAtomLabel& atom : cumulative_.wide_atoms()) {
+    std::vector<std::string> names;
+    for (int view_id : catalog.ViewsOfRelation(atom.relation)) {
+      const label::SecurityView& view = catalog.view(view_id);
+      if (atom.Test(view.bit)) names.push_back(view.name);
     }
     out.push_back(std::move(names));
   }

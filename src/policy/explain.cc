@@ -35,11 +35,25 @@ Explanation ExplainDecision(const SecurityPolicy& policy,
       // partition would unblock it.
       for (int view_id : catalog.ViewsOfRelation(atom.relation())) {
         const label::SecurityView& view = catalog.view(view_id);
-        if (atom.mask() & (1u << view.bit)) {
+        if (view.bit < label::kPackedViewCapacity &&
+            (atom.mask() & (1u << view.bit))) {
           diag.covering_views.push_back(view.name);
         }
       }
       break;
+    }
+    // Wide atoms (relations beyond the packed view capacity), indexed
+    // after the packed ones.
+    const auto& wide = label.wide_atoms();
+    for (size_t a = 0; diag.allowed && a < wide.size(); ++a) {
+      const label::WideAtomLabel& atom = wide[a];
+      if (policy.WideAtomAllowed(p, atom)) continue;
+      diag.allowed = false;
+      diag.blocking_atom = label.size() + static_cast<int>(a);
+      for (int view_id : catalog.ViewsOfRelation(atom.relation)) {
+        const label::SecurityView& view = catalog.view(view_id);
+        if (atom.Test(view.bit)) diag.covering_views.push_back(view.name);
+      }
     }
     out.accepted |= diag.allowed;
     out.partitions.push_back(std::move(diag));

@@ -26,8 +26,9 @@ struct PartitionDiagnosis {
   /// True iff the partition had already been ruled out by earlier queries
   /// (its consistency bit was clear before this query).
   bool lost_earlier = false;
-  /// Index (into label.atoms()) of the first atom the partition cannot
-  /// cover; -1 when allowed or lost_earlier.
+  /// Index of the first atom the partition cannot cover: packed atoms
+  /// first (into label.atoms()), then wide atoms (label.size() + index
+  /// into label.wide_atoms()); -1 when allowed or lost_earlier.
   int blocking_atom = -1;
   /// Views that would cover the blocking atom (names), i.e. ℓ+ of the atom.
   std::vector<std::string> covering_views;

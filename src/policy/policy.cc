@@ -17,10 +17,21 @@ Result<SecurityPolicy> SecurityPolicy::Compile(
         " bits wide; split the policy or raise kMaxPartitions");
   }
   SecurityPolicy policy;
-  policy.relation_masks_.resize(partitions.size());
   const int num_relations = catalog.schema().NumRelations();
+  // Per-relation word layout from the catalog's view counts: one word per
+  // 64 views (minimum one), the same width the wide label atoms use.
+  policy.word_begin_.assign(static_cast<size_t>(num_relations) + 1, 0);
+  for (int rel = 0; rel < num_relations; ++rel) {
+    const int words = label::MaskWordsFor(
+        static_cast<int>(catalog.ViewsOfRelation(rel).size()));
+    policy.word_begin_[static_cast<size_t>(rel) + 1] =
+        policy.word_begin_[static_cast<size_t>(rel)] +
+        static_cast<uint32_t>(words);
+  }
+  const size_t total_words = policy.word_begin_.back();
+  policy.partition_words_.resize(partitions.size());
   for (size_t p = 0; p < partitions.size(); ++p) {
-    policy.relation_masks_[p].assign(static_cast<size_t>(num_relations), 0);
+    policy.partition_words_[p].assign(total_words, 0);
     for (int view_id : partitions[p].view_ids) {
       if (view_id < 0 || view_id >= catalog.size()) {
         return Status::InvalidArgument("partition '" + partitions[p].name +
@@ -28,7 +39,9 @@ Result<SecurityPolicy> SecurityPolicy::Compile(
                                        std::to_string(view_id));
       }
       const label::SecurityView& view = catalog.view(view_id);
-      policy.relation_masks_[p][view.relation] |= (1u << view.bit);
+      policy.partition_words_[p][policy.word_begin_[view.relation] +
+                                 static_cast<size_t>(view.bit) / 64] |=
+          uint64_t{1} << (view.bit % 64);
     }
   }
   policy.partitions_ = std::move(partitions);
@@ -40,7 +53,7 @@ uint64_t SecurityPolicy::AllowedPartitions(const label::DisclosureLabel& label,
   if (label.top()) return 0;
   uint64_t surviving = candidates & AllPartitionsMask();
   // Loop atoms outer, partitions inner: labels have 1–3 atoms (§7.2) and
-  // each test is one load + AND.
+  // each test is one load + AND (a short word scan for wide atoms).
   for (const label::PackedAtomLabel& atom : label.atoms()) {
     uint64_t next = 0;
     ForEachBit(surviving, [&](int p) {
@@ -50,6 +63,14 @@ uint64_t SecurityPolicy::AllowedPartitions(const label::DisclosureLabel& label,
     });
     surviving = next;
     if (surviving == 0) break;
+  }
+  for (const label::WideAtomLabel& atom : label.wide_atoms()) {
+    if (surviving == 0) break;
+    uint64_t next = 0;
+    ForEachBit(surviving, [&](int p) {
+      if (WideAtomAllowed(p, atom)) next |= (1ULL << p);
+    });
+    surviving = next;
   }
   return surviving;
 }

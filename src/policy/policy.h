@@ -10,8 +10,15 @@
 // Compilation turns each partition into a dense per-relation view mask so a
 // "query ⪯ partition" test is one AND per dissected atom (§6.1):
 //     atom ⪯ Wi   iff   ℓ+(atom) ∩ Wi ≠ ∅.
+// Masks use the same per-relation word layout as the labels: one 64-bit
+// word per 64 views of the relation (minimum one word), fixed at compile
+// time against the catalog — so packed atoms test against the low 32 bits
+// of the first word (identical to the pre-wide layout) and wide atoms test
+// word-wise with no per-relation view cap.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -35,7 +42,8 @@ class SecurityPolicy {
 
   /// Compiles partitions against a catalog. At most kMaxPartitions
   /// partitions (the consistency state is one uint64_t); views must exist
-  /// in the catalog.
+  /// in the catalog. The per-relation mask word layout is fixed here from
+  /// the catalog's view counts.
   static Result<SecurityPolicy> Compile(const label::ViewCatalog& catalog,
                                         std::vector<Partition> partitions);
 
@@ -44,11 +52,10 @@ class SecurityPolicy {
   }
   const std::vector<Partition>& partitions() const { return partitions_; }
 
-  /// Number of relations the policy was compiled against (mask stride).
+  /// Number of relations the policy was compiled against.
   int num_relations() const {
-    return relation_masks_.empty()
-               ? 0
-               : static_cast<int>(relation_masks_[0].size());
+    return word_begin_.empty() ? 0
+                               : static_cast<int>(word_begin_.size()) - 1;
   }
 
   /// Mask with the low `partitions` bits set (the fully consistent state
@@ -63,10 +70,51 @@ class SecurityPolicy {
     return FullPartitionMask(num_partitions());
   }
 
-  /// ℓ+ mask of views partition `p` holds over `relation`.
+  /// Packed ℓ+ mask of views partition `p` holds over `relation`: the low
+  /// 32 bits of the relation's first mask word — exactly the bits a packed
+  /// label atom can carry.
   uint32_t PartitionMask(int p, uint32_t relation) const {
-    const auto& masks = relation_masks_[p];
-    return relation < masks.size() ? masks[relation] : 0;
+    // size_t arithmetic: `relation + 1` in uint32 would wrap at UINT32_MAX
+    // and bypass the bounds check.
+    if (static_cast<std::size_t>(relation) + 1 >= word_begin_.size()) {
+      return 0;
+    }
+    return static_cast<uint32_t>(
+        partition_words_[p][word_begin_[relation]]);
+  }
+
+  /// Mask words of `relation` per partition (shared layout across
+  /// partitions; ≥ 1 for every compiled relation).
+  int WordsFor(uint32_t relation) const {
+    if (static_cast<std::size_t>(relation) + 1 >= word_begin_.size()) {
+      return 0;
+    }
+    return static_cast<int>(word_begin_[relation + 1] -
+                            word_begin_[relation]);
+  }
+
+  /// Pointer to partition `p`'s mask words for `relation` (WordsFor words),
+  /// or nullptr for relations outside the compiled schema.
+  const uint64_t* PartitionWords(int p, uint32_t relation) const {
+    if (static_cast<std::size_t>(relation) + 1 >= word_begin_.size()) {
+      return nullptr;
+    }
+    return partition_words_[p].data() + word_begin_[relation];
+  }
+
+  /// Wide-atom-below-partition test: ℓ+(atom) ∩ Wi ≠ ∅, word-wise.
+  bool WideAtomAllowed(int p, const label::WideAtomLabel& atom) const {
+    if (atom.relation < 0) return false;
+    const uint64_t* words =
+        PartitionWords(p, static_cast<uint32_t>(atom.relation));
+    if (words == nullptr) return false;
+    const size_t n = std::min(
+        atom.mask.size(),
+        static_cast<size_t>(WordsFor(static_cast<uint32_t>(atom.relation))));
+    for (size_t w = 0; w < n; ++w) {
+      if ((words[w] & atom.mask[w]) != 0) return true;
+    }
+    return false;
   }
 
   /// Query-below-partition test: every atom's ℓ+ intersects the partition.
@@ -74,6 +122,9 @@ class SecurityPolicy {
     if (label.top()) return false;
     for (const label::PackedAtomLabel& atom : label.atoms()) {
       if ((PartitionMask(p, atom.relation()) & atom.mask()) == 0) return false;
+    }
+    for (const label::WideAtomLabel& atom : label.wide_atoms()) {
+      if (!WideAtomAllowed(p, atom)) return false;
     }
     return true;
   }
@@ -85,8 +136,11 @@ class SecurityPolicy {
 
  private:
   std::vector<Partition> partitions_;
-  // relation_masks_[p][relation] = allowed-view bitmask.
-  std::vector<std::vector<uint32_t>> relation_masks_;
+  // Shared per-relation word layout: relation r's masks occupy words
+  // [word_begin_[r], word_begin_[r + 1]) of each partition's row.
+  std::vector<uint32_t> word_begin_;  // length num_relations + 1
+  // partition_words_[p]: one flat row of word_begin_.back() mask words.
+  std::vector<std::vector<uint64_t>> partition_words_;
 };
 
 }  // namespace fdc::policy

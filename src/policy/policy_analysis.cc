@@ -34,11 +34,16 @@ std::vector<int> FindRedundantPartitions(const SecurityPolicy& policy) {
   const uint32_t num_relations =
       static_cast<uint32_t>(policy.num_relations());
   // Partition j dominates i iff j's view mask is a superset of i's on every
-  // relation of the compiled schema.
+  // relation of the compiled schema — word-wise, so views beyond the packed
+  // 32-view capacity participate in the dominance test too.
   auto dominates = [&](int j, int i) {
     for (uint32_t rel = 0; rel < num_relations; ++rel) {
-      const uint32_t mi = policy.PartitionMask(i, rel);
-      if ((mi & ~policy.PartitionMask(j, rel)) != 0) return false;
+      const uint64_t* wi = policy.PartitionWords(i, rel);
+      const uint64_t* wj = policy.PartitionWords(j, rel);
+      const int words = policy.WordsFor(rel);
+      for (int w = 0; w < words; ++w) {
+        if ((wi[w] & ~wj[w]) != 0) return false;
+      }
     }
     return true;
   };

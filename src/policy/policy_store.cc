@@ -1,5 +1,7 @@
 #include "policy/policy_store.h"
 
+#include <algorithm>
+
 #include "common/bit_utils.h"
 
 namespace fdc::policy {
@@ -7,16 +9,51 @@ namespace fdc::policy {
 void PolicyStore::Reserve(size_t n, int avg_partitions) {
   meta_.reserve(n);
   states_.reserve(n);
-  masks_.reserve(n * static_cast<size_t>(avg_partitions) * num_relations_);
+  const size_t words_per_partition =
+      total_words_ != 0 ? total_words_ : static_cast<size_t>(num_relations_);
+  words_.reserve(n * static_cast<size_t>(avg_partitions) *
+                 words_per_partition);
 }
 
-uint32_t PolicyStore::AddPrincipal(const SecurityPolicy& policy) {
+Result<uint32_t> PolicyStore::AddPrincipal(const SecurityPolicy& policy) {
+  // Precondition: one catalog per store — a different relation count or
+  // per-relation word layout means the flat masks would be misinterpreted.
+  if (policy.num_relations() != num_relations_) {
+    return Status::InvalidArgument(
+        "policy compiled against " + std::to_string(policy.num_relations()) +
+        " relations, but this store holds " + std::to_string(num_relations_) +
+        "-relation policies");
+  }
+  if (word_begin_.empty()) {
+    // Capture the shared word layout from the first policy.
+    word_begin_.assign(static_cast<size_t>(policy.num_relations()) + 1, 0);
+    for (int rel = 0; rel < policy.num_relations(); ++rel) {
+      word_begin_[static_cast<size_t>(rel) + 1] =
+          word_begin_[static_cast<size_t>(rel)] +
+          static_cast<uint32_t>(policy.WordsFor(static_cast<uint32_t>(rel)));
+    }
+    total_words_ = word_begin_.back();
+  }
+  for (int rel = 0; rel < num_relations_; ++rel) {
+    if (static_cast<uint32_t>(policy.WordsFor(static_cast<uint32_t>(rel))) !=
+        word_begin_[static_cast<size_t>(rel) + 1] -
+            word_begin_[static_cast<size_t>(rel)]) {
+      return Status::InvalidArgument(
+          "policy mask-word layout differs at relation " +
+          std::to_string(rel) +
+          " — all policies in a store must be compiled against the same "
+          "catalog");
+    }
+  }
   Meta meta;
-  meta.offset = static_cast<uint32_t>(masks_.size());
+  meta.offset = static_cast<uint32_t>(words_.size());
   meta.partitions = static_cast<uint8_t>(policy.num_partitions());
   for (int p = 0; p < policy.num_partitions(); ++p) {
     for (int rel = 0; rel < num_relations_; ++rel) {
-      masks_.push_back(policy.PartitionMask(p, static_cast<uint32_t>(rel)));
+      const uint64_t* row =
+          policy.PartitionWords(p, static_cast<uint32_t>(rel));
+      words_.insert(words_.end(), row,
+                    row + policy.WordsFor(static_cast<uint32_t>(rel)));
     }
   }
   meta_.push_back(meta);
@@ -29,19 +66,44 @@ uint64_t PolicyStore::SurvivingPartitions(const Meta& meta,
                                           uint64_t candidates) const {
   if (label.top()) return 0;
   uint64_t surviving = candidates;
-  const uint32_t* base = masks_.data() + meta.offset;
+  const uint64_t* base = words_.data() + meta.offset;
   for (const label::PackedAtomLabel& atom : label.atoms()) {
     const uint32_t relation = atom.relation();
-    const uint32_t mask = atom.mask();
+    // size_t arithmetic: uint32 `relation + 1` would wrap at UINT32_MAX.
+    if (static_cast<size_t>(relation) + 1 >= word_begin_.size()) return 0;
+    const size_t word = word_begin_[relation];
+    const uint64_t mask = atom.mask();
     uint64_t next = 0;
     ForEachBit(surviving, [&](int p) {
-      if ((base[static_cast<size_t>(p) * num_relations_ + relation] & mask) !=
-          0) {
+      if ((base[static_cast<size_t>(p) * total_words_ + word] & mask) != 0) {
         next |= (1ULL << p);
       }
     });
     surviving = next;
     if (surviving == 0) break;
+  }
+  for (const label::WideAtomLabel& atom : label.wide_atoms()) {
+    if (surviving == 0) break;
+    if (atom.relation < 0 ||
+        static_cast<size_t>(atom.relation) + 1 >= word_begin_.size()) {
+      return 0;
+    }
+    const size_t begin = word_begin_[static_cast<size_t>(atom.relation)];
+    const size_t words = word_begin_[static_cast<size_t>(atom.relation) + 1] -
+                         begin;
+    const size_t n = std::min(atom.mask.size(), words);
+    uint64_t next = 0;
+    ForEachBit(surviving, [&](int p) {
+      const uint64_t* row = base + static_cast<size_t>(p) * total_words_ +
+                            begin;
+      for (size_t w = 0; w < n; ++w) {
+        if ((row[w] & atom.mask[w]) != 0) {
+          next |= (1ULL << p);
+          return;
+        }
+      }
+    });
+    surviving = next;
   }
   return surviving;
 }
@@ -70,7 +132,8 @@ void PolicyStore::ResetStates() {
 }
 
 size_t PolicyStore::MemoryBytes() const {
-  return masks_.capacity() * sizeof(uint32_t) + meta_.capacity() * sizeof(Meta) +
+  return words_.capacity() * sizeof(uint64_t) +
+         meta_.capacity() * sizeof(Meta) +
          states_.capacity() * sizeof(uint64_t);
 }
 

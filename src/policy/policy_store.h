@@ -7,11 +7,18 @@
 // into one contiguous array and keeps per-principal state as a single
 // 64-bit consistency vector (§6.2), so the whole fleet fits in a few
 // hundred bytes per principal and the hot path touches two cache lines.
+//
+// Masks are stored in the policies' shared per-relation word layout (one
+// 64-bit word per 64 views of a relation, minimum one), so wide label
+// atoms — relations beyond the packed 32-view capacity — submit exactly
+// like packed ones. Every policy added must be compiled against the same
+// catalog (the layout is captured from the first AddPrincipal).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "common/result.h"
 #include "common/status.h"
 #include "label/compressed_label.h"
 #include "policy/policy.h"
@@ -20,14 +27,18 @@ namespace fdc::policy {
 
 class PolicyStore {
  public:
-  /// `num_relations` fixes the per-partition mask stride (schema size).
+  /// `num_relations` fixes the schema size every added policy must match.
   explicit PolicyStore(int num_relations) : num_relations_(num_relations) {}
 
-  /// Pre-allocates for `n` principals with ~`avg_partitions` each.
+  /// Pre-allocates for `n` principals with ~`avg_partitions` each
+  /// (one word per relation assumed; wide relations grow on demand).
   void Reserve(size_t n, int avg_partitions);
 
-  /// Copies a compiled policy in; returns the new principal id.
-  uint32_t AddPrincipal(const SecurityPolicy& policy);
+  /// Copies a compiled policy in; returns the new principal id. All added
+  /// policies must share one catalog — a mismatched relation count or
+  /// per-relation word layout returns InvalidArgument (the flat masks
+  /// would otherwise be misinterpreted).
+  Result<uint32_t> AddPrincipal(const SecurityPolicy& policy);
 
   size_t NumPrincipals() const { return meta_.size(); }
 
@@ -53,7 +64,7 @@ class PolicyStore {
 
  private:
   struct Meta {
-    uint32_t offset;       // index into masks_ of this principal's block
+    uint32_t offset;       // index into words_ of this principal's block
     uint8_t partitions;    // k
   };
 
@@ -62,7 +73,12 @@ class PolicyStore {
                                uint64_t candidates) const;
 
   int num_relations_;
-  std::vector<uint32_t> masks_;  // per principal: k × num_relations masks
+  // Shared per-relation word layout, captured from the first added policy
+  // (word_begin_[r]..word_begin_[r+1] = relation r's words in a partition
+  // row of total_words_ words).
+  std::vector<uint32_t> word_begin_;
+  uint32_t total_words_ = 0;
+  std::vector<uint64_t> words_;  // per principal: k × total_words_ mask words
   std::vector<Meta> meta_;
   std::vector<uint64_t> states_;
 };

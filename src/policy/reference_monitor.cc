@@ -4,12 +4,19 @@ namespace fdc::policy {
 
 namespace {
 
-// Content hash of a sealed label (atoms are sorted by Seal, so equal labels
-// hash equally).
+// Content hash of a sealed label (atoms are sorted by Seal and wide atoms
+// normalized, so equal labels hash equally).
 size_t HashLabel(const label::DisclosureLabel& label) {
   uint64_t h = label.top() ? 0x9e3779b97f4a7c15ULL : 0x517cc1b727220a95ULL;
+  auto mix = [&h](uint64_t x) {
+    h ^= x + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  };
   for (const label::PackedAtomLabel& atom : label.atoms()) {
-    h ^= atom.raw() + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    mix(atom.raw());
+  }
+  for (const label::WideAtomLabel& atom : label.wide_atoms()) {
+    mix(static_cast<uint64_t>(atom.relation));
+    for (uint64_t word : atom.mask) mix(word);
   }
   return static_cast<size_t>(h);
 }

@@ -196,6 +196,160 @@ TEST(EngineEquivalenceTest, PolicyEpochSwapResetsStateConsistently) {
   EXPECT_FALSE(engine.Submit("app", meetings_q));
 }
 
+// ---------------------------------------------------------------------------
+// Wide-catalog equivalence: the same decision-identity properties, on a
+// catalog whose relations cross the former packed 32-views edge (40 and 72
+// views per relation, one- and two-word masks plus a narrow control). Both
+// routes label through the wide compiled matcher, so no view is excluded on
+// either side; the suite checks they still agree query-for-query —
+// including across an epoch swap whose partitions are built almost entirely
+// from views with bit ≥ 32.
+// ---------------------------------------------------------------------------
+
+// A deterministic catalog with `views` random single-atom views on each
+// relation of a 3-relation schema (arities 3/4/2).
+struct WideFixture {
+  cq::Schema schema;
+  std::unique_ptr<label::ViewCatalog> catalog;
+  std::vector<int> arities{3, 4, 2};
+  // Per-relation view counts: one narrow control, one one-word wide
+  // relation, one two-word relation.
+  std::vector<int> views_per_relation{8, 40, 72};
+
+  explicit WideFixture(uint64_t seed) {
+    (void)schema.AddRelation("A", {"x", "y", "z"});
+    (void)schema.AddRelation("B", {"x", "y", "z", "w"});
+    (void)schema.AddRelation("C", {"x", "y"});
+    catalog = std::make_unique<label::ViewCatalog>(&schema);
+    Rng rng(seed);
+    for (int relation = 0; relation < 3; ++relation) {
+      for (int k = 0; k < views_per_relation[relation]; ++k) {
+        const cq::AtomPattern pattern =
+            test::RandomPattern(&rng, relation, arities[relation]);
+        (void)catalog->AddView(
+            "w" + std::to_string(relation) + "_" + std::to_string(k),
+            pattern.ToQuery("V"));
+      }
+    }
+  }
+
+  cq::ConjunctiveQuery RandomQuery(Rng* rng) const {
+    const int natoms = 1 + static_cast<int>(rng->Below(2));
+    std::vector<cq::Atom> atoms;
+    std::vector<bool> used(3, false);
+    for (int a = 0; a < natoms; ++a) {
+      const int relation = static_cast<int>(rng->Below(3));
+      std::vector<cq::Term> terms;
+      for (int p = 0; p < arities[relation]; ++p) {
+        if (rng->Chance(0.3)) {
+          terms.push_back(cq::Term::Const(std::string(1, 'a' + rng->Below(4))));
+        } else {
+          const int v = static_cast<int>(rng->Below(3));
+          used[v] = true;
+          terms.push_back(cq::Term::Var(v));
+        }
+      }
+      atoms.emplace_back(relation, std::move(terms));
+    }
+    std::vector<cq::Term> head;
+    for (int v = 0; v < 3; ++v) {
+      if (used[v] && rng->Chance(0.5)) head.push_back(cq::Term::Var(v));
+    }
+    return cq::ConjunctiveQuery("Q", std::move(head), std::move(atoms));
+  }
+};
+
+TEST(EngineEquivalenceTest, WideCatalogDecisionsMatchSeedMonitor) {
+  constexpr int kPrincipals = 5;
+  constexpr int kQueries = 300;
+  for (uint64_t seed : {0x11dULL, 0x5eedULL}) {
+    WideFixture wide(seed);
+    ASSERT_GT(wide.catalog->MaxViewsPerRelation(), 64);
+    policy::SecurityPolicy policy =
+        workload::PolicyGenerator(wide.catalog.get(), {}, seed ^ 0x99).Next();
+
+    DisclosureEngine engine(/*db=*/nullptr, wide.catalog.get(), policy);
+    label::LabelingPipeline pipeline(wide.catalog.get());
+    policy::ReferenceMonitor monitor(&policy);
+    std::vector<policy::PrincipalState> states(kPrincipals,
+                                               monitor.InitialState());
+
+    Rng rng(seed * 77 + 3);
+    for (int i = 0; i < kQueries; ++i) {
+      const cq::ConjunctiveQuery query = wide.RandomQuery(&rng);
+      const int p = static_cast<int>(rng.Below(kPrincipals));
+      const std::string name = "wide-principal-" + std::to_string(p);
+      const label::DisclosureLabel seed_label = pipeline.Label(query);
+      // Labels agree exactly (including which atoms ride wide), so the
+      // decisions below diverge only if the policy/monitor widening broke.
+      ASSERT_EQ(engine.Explain(query), seed_label) << "query " << i;
+      const bool seed_decision = monitor.Submit(&states[p], seed_label);
+      ASSERT_EQ(engine.Submit(name, query), seed_decision)
+          << "divergence at query " << i << " principal " << p;
+    }
+    for (int p = 0; p < kPrincipals; ++p) {
+      EXPECT_EQ(engine.ConsistentPartitions("wide-principal-" +
+                                            std::to_string(p)),
+                states[p].consistent);
+    }
+    // The wide path was actually exercised.
+    EXPECT_GT(engine.Stats().labeler.wide_mask_evals, 0u);
+  }
+}
+
+TEST(EngineEquivalenceTest, WideCatalogEpochSwapMatchesSeedReset) {
+  WideFixture wide(0xabcdULL);
+  // Partitions drawn from the >32-bit view range: a policy whose decisions
+  // are *only* correct if no view is excluded anywhere.
+  auto high_bit_partition = [&](int relation, int first_bit, int count,
+                                const std::string& name) {
+    policy::Partition part;
+    part.name = name;
+    const auto& ids = wide.catalog->ViewsOfRelation(relation);
+    for (int b = first_bit; b < first_bit + count &&
+                            b < static_cast<int>(ids.size());
+         ++b) {
+      part.view_ids.push_back(ids[b]);
+    }
+    return part;
+  };
+  auto policy_a = policy::SecurityPolicy::Compile(
+      *wide.catalog, {high_bit_partition(1, 33, 7, "b-high"),
+                      high_bit_partition(2, 40, 30, "c-mid")});
+  auto policy_b = policy::SecurityPolicy::Compile(
+      *wide.catalog, {high_bit_partition(2, 64, 8, "c-high"),
+                      high_bit_partition(0, 0, 8, "a-all")});
+  ASSERT_TRUE(policy_a.ok());
+  ASSERT_TRUE(policy_b.ok());
+
+  DisclosureEngine engine(/*db=*/nullptr, wide.catalog.get(), *policy_a);
+  label::LabelingPipeline pipeline(wide.catalog.get());
+  policy::ReferenceMonitor monitor_a(&*policy_a);
+  policy::ReferenceMonitor monitor_b(&*policy_b);
+  policy::PrincipalState state = monitor_a.InitialState();
+
+  Rng rng(0x715ULL);
+  for (int i = 0; i < 150; ++i) {
+    const cq::ConjunctiveQuery query = wide.RandomQuery(&rng);
+    ASSERT_EQ(engine.Submit("app", query),
+              monitor_a.Submit(&state, pipeline.Label(query)))
+        << "pre-swap query " << i;
+  }
+  EXPECT_EQ(engine.ConsistentPartitions("app"), state.consistent);
+
+  // Swap: the engine restarts the principal at the new policy's full mask;
+  // the seed side mirrors that with a fresh monitor + state.
+  engine.UpdatePolicy(*policy_b);
+  state = monitor_b.InitialState();
+  for (int i = 0; i < 150; ++i) {
+    const cq::ConjunctiveQuery query = wide.RandomQuery(&rng);
+    ASSERT_EQ(engine.Submit("app", query),
+              monitor_b.Submit(&state, pipeline.Label(query)))
+        << "post-swap query " << i;
+  }
+  EXPECT_EQ(engine.ConsistentPartitions("app"), state.consistent);
+}
+
 // The frozen tier's catalog-level precomputations agree with direct
 // computation: per-view labels and the rewriting-order closure.
 TEST(EngineEquivalenceTest, FrozenCatalogClosureMatchesDirect) {

@@ -46,8 +46,9 @@ TEST_F(PolicyStoreTest, MatchesPerPrincipalMonitors) {
     policies.push_back(policy_gen.Next());
     monitor_states.push_back(
         ReferenceMonitor(&policies.back()).InitialState());
-    EXPECT_EQ(store.AddPrincipal(policies.back()),
-              static_cast<uint32_t>(p));
+    auto id = store.AddPrincipal(policies.back());
+    ASSERT_TRUE(id.ok());
+    EXPECT_EQ(*id, static_cast<uint32_t>(p));
   }
 
   auto stream = workload::GenerateLabelStream(*pipeline_, 3000, kPrincipals,
@@ -76,7 +77,7 @@ TEST_F(PolicyStoreTest, StatelessIgnoresState) {
   ASSERT_TRUE(policy.ok());
 
   PolicyStore store(schema_.NumRelations());
-  store.AddPrincipal(*policy);
+  ASSERT_TRUE(store.AddPrincipal(*policy).ok());
 
   label::DisclosureLabel likes =
       pipeline_->LabelPacked(fb::MakeAttributeQuery(schema_, "likes",
@@ -95,7 +96,7 @@ TEST_F(PolicyStoreTest, ResetRestoresAllPartitions) {
   workload::PolicyGenerator policy_gen(catalog_.get(), options, 8);
   PolicyStore store(schema_.NumRelations());
   SecurityPolicy policy = policy_gen.Next();
-  store.AddPrincipal(policy);
+  ASSERT_TRUE(store.AddPrincipal(policy).ok());
   const uint64_t initial = store.ConsistentPartitions(0);
 
   auto stream = workload::GenerateLabelStream(*pipeline_, 50, 1, 2);
@@ -108,7 +109,7 @@ TEST_F(PolicyStoreTest, TopLabelRefused) {
   workload::PolicyOptions options;
   workload::PolicyGenerator policy_gen(catalog_.get(), options, 44);
   PolicyStore store(schema_.NumRelations());
-  store.AddPrincipal(policy_gen.Next());
+  ASSERT_TRUE(store.AddPrincipal(policy_gen.Next()).ok());
   label::DisclosureLabel top;
   top.MarkTop();
   EXPECT_FALSE(store.Submit(0, top));
@@ -122,9 +123,12 @@ TEST_F(PolicyStoreTest, MemoryStaysCompact) {
   PolicyStore store(schema_.NumRelations());
   const int kPrincipals = 1000;
   store.Reserve(kPrincipals, 5);
-  for (int i = 0; i < kPrincipals; ++i) store.AddPrincipal(policy_gen.Next());
-  // ≤ ~200 bytes/principal: 5 partitions × 8 relations × 4B + metadata.
-  EXPECT_LT(store.MemoryBytes(), kPrincipals * 256u);
+  for (int i = 0; i < kPrincipals; ++i) {
+    ASSERT_TRUE(store.AddPrincipal(policy_gen.Next()).ok());
+  }
+  // ≤ ~350 bytes/principal: 5 partitions × 8 relations × 8B (one 64-bit
+  // mask word per relation — the wide-capable layout) + metadata.
+  EXPECT_LT(store.MemoryBytes(), kPrincipals * 400u);
 }
 
 }  // namespace
