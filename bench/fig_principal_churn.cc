@@ -1,0 +1,186 @@
+// Principal-churn benchmark: steady-state enforcement over a principal
+// population ≥ 5x the configured live capacity (the Lalaine-style app-
+// ecosystem shape: huge, heavily long-tailed). The bounded engine must
+// serve it with a bounded footprint:
+//
+//   * PrincipalChurn/bounded   — capacity 4096 + TTL sweeps + one policy
+//     epoch swap per full churn pass (the residual store's natural TTL).
+//   * PrincipalChurn/unbounded — the pre-lifecycle behavior: the map only
+//     grows (one live slot per distinct principal ever seen).
+//
+// Reported counters: num_principals (live slots after the run),
+// residual_bytes / residual_records (steady state within an epoch, plus
+// residual_bytes_after_swap proving the swap collapses the store), and the
+// eviction/residual-hit traffic. The bounded run *hard-fails the process*
+// if the live-slot bound or the residual collapse is violated, so the CI
+// bench smoke job enforces the footprint acceptance floor on every run.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "engine/disclosure_engine.h"
+#include "workload/policy_generator.h"
+
+namespace fdc::bench {
+namespace {
+
+constexpr size_t kCapacity = 4096;       // bounded engine's live-slot cap
+constexpr size_t kChurnFactor = 5;       // distinct principals = 5x capacity
+constexpr size_t kPrincipals = kCapacity * kChurnFactor;
+constexpr int kQueriesPerVisit = 4;
+constexpr int kPoolSize = 512;
+constexpr int kSubqueries = 2;
+
+const std::vector<cq::ConjunctiveQuery>& Pool() {
+  static const std::vector<cq::ConjunctiveQuery> pool =
+      MakeQueryPool(kSubqueries, kPoolSize, 0xc4'121eULL);
+  return pool;
+}
+
+const policy::SecurityPolicy& Policy() {
+  static const policy::SecurityPolicy policy = [] {
+    workload::PolicyOptions options;
+    options.max_partitions = 5;
+    options.max_elements_per_partition = 15;
+    workload::PolicyGenerator generator(FacebookEnv::Get().catalog.get(),
+                                        options, 0x90'90'90ULL);
+    // A Chinese-Wall shape with real walls: under a 1-partition policy
+    // consistency bits cannot narrow, and the churn would never touch the
+    // residual machinery it is here to measure.
+    policy::SecurityPolicy candidate = generator.Next();
+    while (candidate.num_partitions() < 3) candidate = generator.Next();
+    return candidate;
+  }();
+  return policy;
+}
+
+// One iteration = one principal visit (a 4-query batch). Principals cycle
+// round-robin through a population kChurnFactor times the bounded
+// capacity, so every principal keeps returning long after its slot was
+// reclaimed; a full pass ends with an epoch swap.
+void RunChurn(benchmark::State& state, const engine::EngineOptions& options,
+              engine::DisclosureEngine::EngineStats* out_stats,
+              engine::DisclosureEngine::EngineStats* out_after_swap) {
+  engine::DisclosureEngine engine(/*db=*/nullptr,
+                                  FacebookEnv::Get().catalog.get(), Policy(),
+                                  options);
+  const auto& pool = Pool();
+  size_t serial = 0;
+  for (auto _ : state) {
+    // Even visits round-robin the whole 5x-capacity population (full
+    // coverage); odd visits revisit a pseudo-random principal, so evicted
+    // principals return *within* an epoch and exercise residual
+    // rehydration (pure round-robin would only return after the swap
+    // below already dropped every residual).
+    uint64_t mix = serial;
+    const size_t p = (serial & 1)
+                         ? SplitMix64Next(&mix) % kPrincipals
+                         : (serial / 2) % kPrincipals;
+    if (serial != 0 && serial % (2 * kPrincipals) == 0) {
+      // Full pass over the population: publish a new epoch. Consistency
+      // bits never transfer across epochs, so this drops every residual —
+      // the natural TTL that keeps the residual store bounded.
+      engine.UpdatePolicy(Policy());
+    }
+    const std::string principal = "app-" + std::to_string(p);
+    std::vector<cq::ConjunctiveQuery> batch;
+    batch.reserve(kQueriesPerVisit);
+    for (int j = 0; j < kQueriesPerVisit; ++j) {
+      batch.push_back(pool[(serial * 7 + static_cast<size_t>(j) * 131) %
+                           pool.size()]);
+    }
+    benchmark::DoNotOptimize(
+        engine.SubmitBatch(principal, std::span(batch.data(), batch.size())));
+    ++serial;
+  }
+  *out_stats = engine.Stats();
+  // One more swap outside the timed loop: the residual store must collapse.
+  engine.UpdatePolicy(Policy());
+  *out_after_swap = engine.Stats();
+
+  state.SetItemsProcessed(state.iterations() * kQueriesPerVisit);
+  state.counters["queries_per_second"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * kQueriesPerVisit,
+      benchmark::Counter::kIsRate);
+  state.counters["num_principals"] =
+      static_cast<double>(out_stats->num_principals);
+  state.counters["residual_records"] =
+      static_cast<double>(out_stats->principal_map.residuals);
+  state.counters["residual_bytes"] =
+      static_cast<double>(out_stats->principal_map.residual_bytes);
+  state.counters["residual_bytes_after_swap"] =
+      static_cast<double>(out_after_swap->principal_map.residual_bytes);
+  state.counters["evictions"] =
+      static_cast<double>(out_stats->principal_map.evictions);
+  state.counters["residual_hits"] =
+      static_cast<double>(out_stats->principal_map.residual_hits);
+}
+
+void BM_PrincipalChurnBounded(benchmark::State& state) {
+  engine::EngineOptions options;
+  options.principals.shards = 64;  // 4096 / 64 = 64 live slots per shard
+  options.principals.max_principals = kCapacity;
+  options.principals.idle_ttl_ticks = 2;
+  options.principal_sweep_interval = 8192;
+  engine::DisclosureEngine::EngineStats stats, after_swap;
+  RunChurn(state, options, &stats, &after_swap);
+
+  // Acceptance floor (enforced in CI by the bench smoke job): live slots
+  // stay within the configured capacity under 5x-capacity churn, the
+  // residual store never outgrows one epoch's distinct churned population,
+  // and an epoch swap collapses it entirely.
+  if (stats.num_principals > kCapacity) {
+    std::fprintf(stderr,
+                 "FAIL: bounded engine holds %zu live principals "
+                 "(capacity %zu)\n",
+                 stats.num_principals, kCapacity);
+    std::exit(1);
+  }
+  if (stats.principal_map.residuals > kPrincipals) {
+    std::fprintf(stderr,
+                 "FAIL: %zu residuals exceed the per-epoch distinct "
+                 "population %zu\n",
+                 stats.principal_map.residuals, kPrincipals);
+    std::exit(1);
+  }
+  if (after_swap.principal_map.residual_bytes != 0) {
+    std::fprintf(stderr,
+                 "FAIL: %zu residual bytes survived an epoch swap\n",
+                 after_swap.principal_map.residual_bytes);
+    std::exit(1);
+  }
+  if (stats.principal_map.residual_hits == 0) {
+    std::fprintf(stderr,
+                 "FAIL: no evicted principal ever resumed a residual — the "
+                 "churn pattern is not exercising rehydration\n");
+    std::exit(1);
+  }
+}
+
+void BM_PrincipalChurnUnbounded(benchmark::State& state) {
+  engine::DisclosureEngine::EngineStats stats, after_swap;
+  RunChurn(state, engine::EngineOptions{}, &stats, &after_swap);
+}
+
+// Fixed iteration count (overrides --benchmark_min_time): exactly two full
+// round-robin passes over the 5x-capacity population (half the visits are
+// the randomized revisit stream), so every run — including the CI smoke
+// run — actually churns 20480 distinct principals through 4096 slots and
+// crosses one in-loop epoch swap. Time-based iteration scaling would
+// silently shrink the workload below the capacity on fast exits.
+BENCHMARK(BM_PrincipalChurnBounded)
+    ->Name("PrincipalChurn/bounded")
+    ->Iterations(static_cast<int64_t>(kPrincipals) * 4);
+BENCHMARK(BM_PrincipalChurnUnbounded)
+    ->Name("PrincipalChurn/unbounded")
+    ->Iterations(static_cast<int64_t>(kPrincipals) * 4);
+
+}  // namespace
+}  // namespace fdc::bench
+
+BENCHMARK_MAIN();

@@ -12,7 +12,8 @@ out="${1:-BENCH_hotpath.json}"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
-benchmarks=(fig_batch_monitor fig5_labeler fig_engine_scaling fig_matcher)
+benchmarks=(fig_batch_monitor fig5_labeler fig_engine_scaling fig_matcher
+            fig_principal_churn)
 
 # Run metadata so the bench trajectory across PRs is attributable to a
 # commit and a machine shape. Each field may be pre-set by the caller
@@ -70,7 +71,7 @@ merged["run_metadata"] = {
 }
 
 for name in ("fig_batch_monitor", "fig5_labeler", "fig_engine_scaling",
-             "fig_matcher"):
+             "fig_matcher", "fig_principal_churn"):
     with open(os.path.join(tmp, name + ".json")) as f:
         data = json.load(f)
     merged.setdefault("context", data.get("context", {}))
@@ -79,7 +80,10 @@ for name in ("fig_batch_monitor", "fig5_labeler", "fig_engine_scaling",
             k: bench[k]
             for k in ("real_time", "cpu_time", "time_unit",
                       "items_per_second", "queries_per_second",
-                      "masks_per_second", "sec_per_1M_queries")
+                      "masks_per_second", "sec_per_1M_queries",
+                      "num_principals", "residual_records", "residual_bytes",
+                      "residual_bytes_after_swap", "evictions",
+                      "residual_hits")
             if k in bench
         }
 
@@ -148,6 +152,28 @@ merged["matcher_wide_speedup_at_128_vpr"] = \
     merged["speedups"].get("matcher_wide_vs_seed/vpr/128")
 merged["matcher_wide_speedup_floor"] = 3.0
 
+# Principal churn: steady-state footprint over a principal population 5x
+# the bounded engine's live capacity (4096). The bench binary itself
+# hard-fails when the bound is violated; the merged metrics record the
+# measured footprint next to the unbounded baseline's.
+merged["principal_churn"] = {"capacity": 4096, "churn_factor": 5}
+for series in ("bounded", "unbounded"):
+    # Fixed-iteration benchmarks report as "PrincipalChurn/<series>/
+    # iterations:N" — match by prefix.
+    prefix = f"PrincipalChurn/{series}"
+    b = next((bench for name, bench in merged["benchmarks"].items()
+              if name == prefix or name.startswith(prefix + "/")), {})
+    for k in ("num_principals", "residual_records", "residual_bytes",
+              "residual_bytes_after_swap", "evictions", "residual_hits"):
+        if k in b:
+            merged["principal_churn"][f"{series}/{k}"] = b[k]
+    r = b.get("queries_per_second") or b.get("items_per_second")
+    if r:
+        merged["principal_churn"][f"{series}/queries_per_second"] = r
+bounded_live = merged["principal_churn"].get("bounded/num_principals")
+merged["principal_churn"]["bounded_within_capacity"] = \
+    bounded_live is not None and bounded_live <= 4096
+
 # Engine thread-scaling: aggregate throughput and parallel efficiency
 # rate(N) / (N * rate(1)) per series. Multi-threaded google-benchmark rows
 # are suffixed "/threads:N" except N=1 with UseRealTime ("/real_time").
@@ -189,5 +215,9 @@ if m64 is not None:
 w64 = merged["matcher_wide_speedup_at_64_vpr"]
 if w64 is not None:
     msg += f"; wide matcher @64 views/relation = {w64}x"
+churn_live = merged["principal_churn"].get("bounded/num_principals")
+if churn_live is not None:
+    msg += (f"; churn live principals = {int(churn_live)}/4096 "
+            f"(5x churn)")
 print(msg)
 EOF

@@ -46,7 +46,13 @@ int main() {
     return 1;
   }
 
-  engine::DisclosureEngine engine(&db, &catalog, *policy);
+  // A bounded principal lifecycle: live monitor state is capped and idle
+  // principals are swept after 8 idle ticks — evicted principals keep a
+  // compact residual so a returning app resumes its narrowed state.
+  engine::EngineOptions options;
+  options.principals.max_principals = 1024;
+  options.principals.idle_ttl_ticks = 8;
+  engine::DisclosureEngine engine(&db, &catalog, *policy, options);
 
   struct Step {
     const char* principal;
@@ -97,9 +103,14 @@ int main() {
     run({"crm", "SELECT time FROM Meetings"});
   }
 
+  // One maintenance sweep (normally driven by principal_sweep_interval).
+  (void)engine.SweepPrincipals();
+
   const engine::DisclosureEngine::EngineStats stats = engine.Stats();
   std::printf(
       "\nengine stats (epoch %llu, %zu principals, %zu frozen labels)\n"
+      "  lifecycle : %llu evictions (%llu capacity, %llu ttl), %llu "
+      "residual hits, %zu residuals (%zu bytes)\n"
       "  decisions : %llu submitted = %llu accepted + %llu refused\n"
       "  labeler   : %llu frozen hits, %llu overlay hits, %llu overlay "
       "misses, %llu stateless fallbacks\n"
@@ -112,7 +123,13 @@ int main() {
       "            : %llu hits, %llu misses, %llu insertions, %llu "
       "evictions, %llu hom-scratch reuses\n",
       static_cast<unsigned long long>(stats.epoch), stats.num_principals,
-      stats.frozen_labels, static_cast<unsigned long long>(stats.submitted),
+      stats.frozen_labels,
+      static_cast<unsigned long long>(stats.principal_map.evictions),
+      static_cast<unsigned long long>(stats.principal_map.capacity_evictions),
+      static_cast<unsigned long long>(stats.principal_map.ttl_evictions),
+      static_cast<unsigned long long>(stats.principal_map.residual_hits),
+      stats.principal_map.residuals, stats.principal_map.residual_bytes,
+      static_cast<unsigned long long>(stats.submitted),
       static_cast<unsigned long long>(stats.accepted),
       static_cast<unsigned long long>(stats.refused),
       static_cast<unsigned long long>(stats.labeler.frozen_hits),

@@ -16,9 +16,10 @@ DisclosureEngine::DisclosureEngine(const storage::Database* db,
     : db_(db),
       frozen_(FrozenCatalog::Build(catalog, warmup, options.dissect)),
       labeler_(frozen_, options.labeler),
-      principals_(options.principal_shards),
+      principals_(options.principals),
       snapshot_(std::make_shared<const EngineSnapshot>(
-          frozen_, std::move(policy), /*epoch=*/1)) {}
+          frozen_, std::move(policy), /*epoch=*/1)),
+      sweep_interval_(options.principal_sweep_interval) {}
 
 uint64_t DisclosureEngine::UpdatePolicy(policy::SecurityPolicy policy) {
   std::shared_ptr<const EngineSnapshot> retired;
@@ -35,7 +36,29 @@ uint64_t DisclosureEngine::UpdatePolicy(policy::SecurityPolicy policy) {
   }
   // The retired snapshot releases after the lock; in-flight requests
   // holding their own shared_ptr copies keep it alive until they finish.
+  //
+  // Residuals narrowed under retired epochs can never be resumed
+  // (consistency bits do not transfer across policies) — drop them all and
+  // raise the floor, so a straggler still holding a retired snapshot is
+  // refused into the standard reload-and-retry path instead of re-creating
+  // state whose narrowing was just forgotten.
+  principals_.DropResidualsBefore(epoch);
   return epoch;
+}
+
+size_t DisclosureEngine::SweepPrincipals() {
+  principals_.AdvanceClock();
+  return principals_.Sweep();
+}
+
+void DisclosureEngine::MaybeAutoSweep(uint64_t decisions) {
+  if (sweep_interval_ == 0) return;
+  const uint64_t before =
+      decisions_since_sweep_.fetch_add(decisions, std::memory_order_relaxed);
+  // Exactly the thread that crosses a multiple of the interval sweeps.
+  if (before / sweep_interval_ != (before + decisions) / sweep_interval_) {
+    SweepPrincipals();
+  }
 }
 
 bool DisclosureEngine::Submit(std::string_view principal,
@@ -57,6 +80,7 @@ bool DisclosureEngine::Submit(std::string_view principal,
     } else {
       refused_.fetch_add(1, std::memory_order_relaxed);
     }
+    MaybeAutoSweep(1);
     return *ok;
   }
 }
@@ -79,6 +103,7 @@ std::vector<bool> DisclosureEngine::SubmitBatch(
     for (const bool d : *decisions) ok += d ? 1 : 0;
     accepted_.fetch_add(ok, std::memory_order_relaxed);
     refused_.fetch_add(decisions->size() - ok, std::memory_order_relaxed);
+    MaybeAutoSweep(decisions->size());
     return *std::move(decisions);
   }
 }
@@ -137,7 +162,8 @@ uint64_t DisclosureEngine::ConsistentPartitions(
 DisclosureEngine::EngineStats DisclosureEngine::Stats() const {
   EngineStats stats;
   stats.epoch = Snapshot()->epoch();
-  stats.num_principals = principals_.NumPrincipals();
+  stats.principal_map = principals_.stats();
+  stats.num_principals = stats.principal_map.live;
   stats.frozen_labels = frozen_->num_frozen_labels();
   // Independent relaxed counters: totals may be transiently inconsistent
   // with each other under concurrency, but each is monotone and exact.

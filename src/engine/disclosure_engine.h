@@ -49,8 +49,14 @@
 namespace fdc::engine {
 
 struct EngineOptions {
-  /// Shards for per-principal monitor state.
-  size_t principal_shards = 64;
+  /// Per-principal monitor-state lifecycle: shard count, live-slot
+  /// capacity, idle TTL (see PrincipalMapOptions). The defaults preserve
+  /// the unbounded pre-lifecycle behavior.
+  PrincipalMapOptions principals;
+  /// Decisions between automatic principal sweeps (each sweep advances the
+  /// map's idle clock one tick and reclaims slots idle longer than
+  /// principals.idle_ttl_ticks). 0 = sweep only via SweepPrincipals().
+  uint64_t principal_sweep_interval = 0;
   /// Dynamic-labeler bounds (see ConcurrentLabeler::Options).
   ConcurrentLabeler::Options labeler;
   /// Dissection options shared by every tier (must not vary per request:
@@ -77,10 +83,22 @@ class DisclosureEngine {
   }
 
   /// Compiles `policy` into a new snapshot and publishes it atomically.
-  /// In-flight requests finish against the snapshot they already loaded;
-  /// principals' cumulative state restarts at the new epoch. Returns the
-  /// new epoch id. Safe from any thread; publishers are serialized.
+  /// In-flight requests finish against the snapshot they already loaded
+  /// (until the residual drop below refuses them into a retry);
+  /// principals' cumulative state restarts at the new epoch. Publishing
+  /// also drops every evicted-principal residual narrowed under an older
+  /// epoch — consistency bits never transfer across policies, so an epoch
+  /// swap is the residual store's natural TTL. Returns the new epoch id.
+  /// Safe from any thread; publishers are serialized.
   uint64_t UpdatePolicy(policy::SecurityPolicy policy);
+
+  /// Advances the principal map's idle clock one tick and reclaims every
+  /// slot idle for more than the configured TTL (narrowed slots leave a
+  /// resumable residual behind). Returns the number of slots evicted.
+  /// Cheap when nothing is idle; safe from any thread. Also runs
+  /// automatically every principal_sweep_interval decisions when that
+  /// option is set.
+  size_t SweepPrincipals();
 
   /// Stateful decision only (no evaluation): answers iff the principal's
   /// cumulative disclosure stays below some partition of the current
@@ -125,6 +143,9 @@ class DisclosureEngine {
   struct EngineStats {
     uint64_t epoch = 0;
     size_t num_principals = 0;
+    /// Principal-lifecycle counters: evictions (capacity + TTL), residual
+    /// store occupancy/bytes, resumed returning principals.
+    PrincipalStateMap::Stats principal_map;
     size_t frozen_labels = 0;  // structures pre-labeled in the frozen tier
     uint64_t submitted = 0;
     uint64_t accepted = 0;
@@ -155,6 +176,11 @@ class DisclosureEngine {
   uint64_t next_epoch_ = 2;  // guarded by snapshot_mu_; epoch 1 = ctor
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> refused_{0};
+  /// Auto-sweep cadence: the thread whose decision count crosses a
+  /// multiple of principal_sweep_interval runs one sweep.
+  uint64_t sweep_interval_;
+  std::atomic<uint64_t> decisions_since_sweep_{0};
+  void MaybeAutoSweep(uint64_t decisions);
 };
 
 }  // namespace fdc::engine

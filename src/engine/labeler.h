@@ -19,6 +19,13 @@
 //      not grow memory without bound), novel structures are labeled
 //      statelessly via the compiled matcher — a pure function, no locks.
 //
+// This saturation bound is the labeling-side twin of the principal map's
+// capacity/TTL lifecycle (engine/principal_map.h): both cap the only two
+// engine tiers that grow with untrusted traffic. Labels are pure functions
+// of the query, so overlay saturation merely costs recomputation; monitor
+// state is *not* recomputable, which is why the principal map needs its
+// residual store where the labeler can simply fall back.
+//
 // Labels produced here are byte-identical to LabelingPipeline::Label on
 // the same catalog — including which relations ride packed vs wide atoms:
 // every path evaluates the same Dissect + single-atom rewritability

@@ -1,0 +1,354 @@
+#include "engine/principal_map.h"
+
+#include <algorithm>
+
+namespace fdc::engine {
+namespace {
+
+// Smallest power-of-two table size that keeps `entries` under the ~70% load
+// factor the probe chains are tuned for.
+size_t TableSizeFor(size_t entries) {
+  size_t size = 16;
+  while (entries * 10 >= size * 7) size <<= 1;
+  return size;
+}
+
+}  // namespace
+
+PrincipalStateMap::PrincipalStateMap(PrincipalMapOptions options)
+    : options_(options) {
+  num_shards_ = 1;
+  while (num_shards_ < options.shards) num_shards_ <<= 1;
+  shard_capacity_ =
+      options.max_principals == 0
+          ? 0
+          : std::max<size_t>(
+                1, (options.max_principals + num_shards_ - 1) / num_shards_);
+  shards_ = std::make_unique<Shard[]>(num_shards_);
+}
+
+policy::PrincipalState* PrincipalStateMap::AccessLocked(Shard& shard,
+                                                        uint64_t hash,
+                                                        std::string_view name,
+                                                        uint64_t epoch,
+                                                        uint64_t init_mask) {
+  if (epoch < shard.floor_epoch) return nullptr;  // epoch's residuals dropped
+  Slot* slot = FindSlotLocked(shard, hash, name);
+  if (slot == nullptr) {
+    // Make room first: both eviction (backward shift) and growth move
+    // slots, so the insert position is computed only after them.
+    if (shard_capacity_ != 0 && shard.used >= shard_capacity_) {
+      EvictLruLocked(shard);
+      ++shard.capacity_evictions;
+    }
+    if (shard.slots.empty()) shard.slots.resize(16);
+    if (shard.used * 10 >= shard.slots.size() * 7) GrowSlotsLocked(shard);
+    const size_t mask = shard.slots.size() - 1;
+    size_t i = hash & mask;
+    while (shard.slots[i].used) i = (i + 1) & mask;
+    slot = &shard.slots[i];
+    slot->used = true;
+    slot->hash = hash;
+    slot->name = std::string(name);
+    slot->epoch = 0;
+    slot->init_mask = 0;
+    slot->state.consistent = 0;
+    ++shard.used;
+    // A returning evicted principal rehydrates its residual and resumes
+    // the narrowing it left off with (never the full mask). The residual
+    // is COPIED, not consumed: two principals whose names collide on the
+    // 64-bit fingerprint share one record, and erasing it when the first
+    // of them returns would silently forget the other's narrowing — the
+    // over-disclosure collisions must never cause. A lingering record
+    // costs 24 bytes until the next epoch swap drops it, and stays exact:
+    // re-evicting the live slot AND-merges its (further-narrowed) bits
+    // back in, and it is never consulted while the slot exists. Records
+    // under an epoch older than the caller's carry nothing resumable and
+    // are skipped (DropResidualsBefore reaps them).
+    if (const Residual* residual = FindResidualLocked(shard, hash);
+        residual != nullptr && residual->epoch >= epoch) {
+      slot->epoch = residual->epoch;
+      slot->state.consistent = residual->consistent;
+      // The residual epoch's init mask is only known when it matches the
+      // caller's; 0 otherwise forces a residual at the next eviction —
+      // conservative, never unsound.
+      slot->init_mask = residual->epoch == epoch ? init_mask : 0;
+      if (residual->epoch == epoch) ++shard.residual_hits;
+    }
+  }
+  if (slot->epoch > epoch) return nullptr;  // stale caller; no regress
+  if (slot->epoch < epoch) {
+    // First touch under a newer policy: restart from its full mask
+    // (partition bit positions do not transfer across epochs).
+    slot->epoch = epoch;
+    slot->state.consistent = init_mask;
+  }
+  // init_mask is constant per epoch; refreshing keeps slots rehydrated
+  // under an older epoch exact once they advance.
+  slot->init_mask = init_mask;
+  slot->last_used = clock_.load(std::memory_order_relaxed);
+  return &slot->state;
+}
+
+std::optional<uint64_t> PrincipalStateMap::Consistent(
+    std::string_view principal, uint64_t epoch, uint64_t init_mask) const {
+  const uint64_t hash = HashName(principal);
+  const Shard& shard = ShardFor(hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (epoch < shard.floor_epoch) return std::nullopt;
+  if (const Slot* slot = FindSlotLocked(shard, hash, principal)) {
+    if (slot->epoch > epoch) return std::nullopt;
+    return slot->epoch == epoch ? slot->state.consistent : init_mask;
+  }
+  if (const Residual* residual = FindResidualLocked(shard, hash)) {
+    if (residual->epoch > epoch) return std::nullopt;
+    if (residual->epoch == epoch) return residual->consistent;
+  }
+  return init_mask;
+}
+
+size_t PrincipalStateMap::Sweep() {
+  if (options_.idle_ttl_ticks == 0) return 0;
+  const uint64_t now = clock_.load(std::memory_order_relaxed);
+  const uint64_t ttl = options_.idle_ttl_ticks;
+  size_t evicted = 0;
+  for (size_t s = 0; s < num_shards_; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.used == 0) continue;
+    // A racing AdvanceClock + access can stamp a slot with a clock value
+    // newer than the `now` this sweep loaded; saturate such slots to idle
+    // time 0 (they were just touched) instead of letting the unsigned
+    // subtraction underflow and evict the hottest slot.
+    const auto idle_for = [now](const Slot& slot) {
+      return now >= slot.last_used ? now - slot.last_used : 0;
+    };
+    bool any_idle = false;
+    for (const Slot& slot : shard.slots) {
+      if (slot.used && idle_for(slot) > ttl) {
+        any_idle = true;
+        break;
+      }
+    }
+    if (!any_idle) continue;
+    // Evict by rebuilding the table from the survivors: simpler to reason
+    // about than chained backward shifts under iteration, and it shrinks
+    // the table after a large reclaim.
+    std::vector<Slot> live;
+    live.reserve(shard.used);
+    for (Slot& slot : shard.slots) {
+      if (!slot.used) continue;
+      if (idle_for(slot) > ttl) {
+        if (slot.state.consistent != slot.init_mask &&
+            slot.epoch >= shard.floor_epoch) {
+          StoreResidualLocked(shard, slot);
+        }
+        ++shard.ttl_evictions;
+        ++evicted;
+      } else {
+        live.push_back(std::move(slot));
+      }
+    }
+    RebuildSlotsLocked(shard, std::move(live));
+  }
+  return evicted;
+}
+
+size_t PrincipalStateMap::DropResidualsBefore(uint64_t epoch) {
+  size_t dropped = 0;
+  for (size_t s = 0; s < num_shards_; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.floor_epoch = std::max(shard.floor_epoch, epoch);
+    if (shard.residuals.empty()) continue;
+    std::vector<Residual> keep;
+    keep.reserve(shard.residuals_used);
+    for (const Residual& residual : shard.residuals) {
+      if (residual.epoch == 0) continue;
+      if (residual.epoch < epoch) {
+        ++dropped;
+        ++shard.residual_drops;
+      } else {
+        keep.push_back(residual);
+      }
+    }
+    if (keep.empty()) {
+      std::vector<Residual>().swap(shard.residuals);  // free the table
+      shard.residuals_used = 0;
+      continue;
+    }
+    RebuildResidualsLocked(shard, std::move(keep));
+  }
+  return dropped;
+}
+
+PrincipalStateMap::Stats PrincipalStateMap::stats() const {
+  Stats stats;
+  for (size_t s = 0; s < num_shards_; ++s) {
+    const Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.live += shard.used;
+    stats.residuals += shard.residuals_used;
+    stats.residual_bytes += shard.residuals.capacity() * sizeof(Residual);
+    stats.capacity_evictions += shard.capacity_evictions;
+    stats.ttl_evictions += shard.ttl_evictions;
+    stats.residual_hits += shard.residual_hits;
+    stats.residual_drops += shard.residual_drops;
+  }
+  stats.evictions = stats.capacity_evictions + stats.ttl_evictions;
+  return stats;
+}
+
+PrincipalStateMap::Slot* PrincipalStateMap::FindSlotLocked(
+    const Shard& shard, uint64_t hash, std::string_view name) const {
+  if (shard.slots.empty()) return nullptr;
+  const size_t mask = shard.slots.size() - 1;
+  for (size_t i = hash & mask;; i = (i + 1) & mask) {
+    const Slot& slot = shard.slots[i];
+    if (!slot.used) return nullptr;
+    if (slot.hash == hash && slot.name == name) {
+      return const_cast<Slot*>(&slot);
+    }
+  }
+}
+
+void PrincipalStateMap::RemoveSlotLocked(Shard& shard, size_t index) {
+  // Backward-shift deletion: linear-probe chains stay hole-free, so the
+  // unguarded probe loops in FindSlotLocked never break. An entry at j with
+  // home position h may move into the hole iff probing from h reaches the
+  // hole no later than j (h cyclically outside (hole, j]).
+  std::vector<Slot>& slots = shard.slots;
+  const size_t mask = slots.size() - 1;
+  size_t hole = index;
+  for (size_t j = index;;) {
+    j = (j + 1) & mask;
+    if (!slots[j].used) break;
+    const size_t home = slots[j].hash & mask;
+    if (((j - home) & mask) >= ((j - hole) & mask)) {
+      slots[hole] = std::move(slots[j]);
+      hole = j;
+    }
+  }
+  slots[hole] = Slot{};
+  --shard.used;
+}
+
+bool PrincipalStateMap::EvictLruLocked(Shard& shard) {
+  // Exact LRU by scanning the whole shard table: O(slots-per-shard) under
+  // the shard lock, paid once per new-principal insert when the shard is
+  // at capacity. Fine at the intended shape (capacity/shards slots per
+  // shard, e.g. 64); a config with few shards and a very large capacity
+  // would want an incremental clock-hand instead.
+  size_t lru = shard.slots.size();
+  uint64_t oldest = 0;
+  for (size_t i = 0; i < shard.slots.size(); ++i) {
+    const Slot& slot = shard.slots[i];
+    if (!slot.used) continue;
+    if (lru == shard.slots.size() || slot.last_used < oldest) {
+      lru = i;
+      oldest = slot.last_used;
+    }
+  }
+  if (lru == shard.slots.size()) return false;
+  EvictSlotLocked(shard, lru);
+  return true;
+}
+
+void PrincipalStateMap::EvictSlotLocked(Shard& shard, size_t index) {
+  const Slot& slot = shard.slots[index];
+  // Reclaim the name string and the probe slot; keep the narrowing. A slot
+  // still at its epoch's full mask needs no residual (re-creation restarts
+  // at exactly init_mask), and a slot below the floor epoch can never be
+  // resumed (its epoch's accesses are refused).
+  if (slot.state.consistent != slot.init_mask &&
+      slot.epoch >= shard.floor_epoch) {
+    StoreResidualLocked(shard, slot);
+  }
+  RemoveSlotLocked(shard, index);
+}
+
+void PrincipalStateMap::StoreResidualLocked(Shard& shard, const Slot& slot) {
+  if (Residual* existing = FindResidualLocked(shard, slot.hash)) {
+    // Re-eviction or fingerprint collision: newer epoch wins; same-epoch
+    // records merge by ANDing — strictly narrowing, so a collision can
+    // only over-refuse, never over-disclose.
+    if (slot.epoch > existing->epoch) {
+      existing->epoch = slot.epoch;
+      existing->consistent = slot.state.consistent;
+    } else if (slot.epoch == existing->epoch) {
+      existing->consistent &= slot.state.consistent;
+    }
+    return;
+  }
+  if (shard.residuals.empty() ||
+      (shard.residuals_used + 1) * 10 >= shard.residuals.size() * 7) {
+    std::vector<Residual> keep;
+    keep.reserve(shard.residuals_used);
+    for (const Residual& residual : shard.residuals) {
+      if (residual.epoch != 0) keep.push_back(residual);
+    }
+    RebuildResidualsLocked(shard, std::move(keep));
+  }
+  const size_t mask = shard.residuals.size() - 1;
+  size_t i = slot.hash & mask;
+  while (shard.residuals[i].epoch != 0) i = (i + 1) & mask;
+  shard.residuals[i] =
+      Residual{slot.hash, slot.epoch, slot.state.consistent};
+  ++shard.residuals_used;
+}
+
+PrincipalStateMap::Residual* PrincipalStateMap::FindResidualLocked(
+    const Shard& shard, uint64_t fingerprint) const {
+  if (shard.residuals.empty()) return nullptr;
+  const size_t mask = shard.residuals.size() - 1;
+  for (size_t i = fingerprint & mask;; i = (i + 1) & mask) {
+    const Residual& residual = shard.residuals[i];
+    if (residual.epoch == 0) return nullptr;
+    if (residual.fingerprint == fingerprint) {
+      return const_cast<Residual*>(&residual);
+    }
+  }
+}
+
+void PrincipalStateMap::RebuildResidualsLocked(Shard& shard,
+                                               std::vector<Residual> keep) {
+  // Sized for one imminent insert (StoreResidualLocked rebuilds right
+  // before inserting); never frees — DropResidualsBefore handles the
+  // all-dropped case itself.
+  std::vector<Residual> table(TableSizeFor(keep.size() + 1));
+  const size_t mask = table.size() - 1;
+  for (const Residual& residual : keep) {
+    size_t i = residual.fingerprint & mask;
+    while (table[i].epoch != 0) i = (i + 1) & mask;
+    table[i] = residual;
+  }
+  shard.residuals.swap(table);
+  shard.residuals_used = keep.size();
+}
+
+void PrincipalStateMap::GrowSlotsLocked(Shard& shard) {
+  std::vector<Slot> old = std::move(shard.slots);
+  shard.slots.assign(old.size() * 2, Slot{});
+  const size_t mask = shard.slots.size() - 1;
+  for (Slot& slot : old) {
+    if (!slot.used) continue;
+    size_t i = slot.hash & mask;
+    while (shard.slots[i].used) i = (i + 1) & mask;
+    shard.slots[i] = std::move(slot);
+  }
+}
+
+void PrincipalStateMap::RebuildSlotsLocked(Shard& shard,
+                                           std::vector<Slot> live) {
+  std::vector<Slot> table(TableSizeFor(live.size()));
+  const size_t mask = table.size() - 1;
+  for (Slot& slot : live) {
+    size_t i = slot.hash & mask;
+    while (table[i].used) i = (i + 1) & mask;
+    table[i] = std::move(slot);
+  }
+  shard.slots.swap(table);
+  shard.used = live.size();
+}
+
+}  // namespace fdc::engine

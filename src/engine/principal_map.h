@@ -1,13 +1,47 @@
-// Tier 2 of the DisclosureEngine: sharded per-principal monitor state.
+// Tier 2 of the DisclosureEngine: sharded per-principal monitor state with a
+// bounded lifecycle.
 //
 // Per-principal state is the one genuinely mutable piece of the enforcement
 // hot path (a 64-bit consistency vector that narrows monotonically, §6.2).
 // PrincipalStateMap shards it: principal names hash into one of N shards,
-// each an independently locked open-addressed (linear-probing) table, so
-// submits from different threads on distinct principals contend only when
-// their names land in the same shard — with the default shard count that is
-// rare, and the critical section is a probe plus a partition scan, never a
-// labeling or containment computation.
+// each an independently locked open-addressed (linear-probing, backward-
+// shift deletion) table, so submits from different threads on distinct
+// principals contend only when their names land in the same shard — with the
+// default shard count that is rare, and the critical section is a probe plus
+// a partition scan, never a labeling or containment computation.
+//
+// Lifecycle (PR 5): app-ecosystem principal populations are huge and heavily
+// long-tailed, so a map that only ever grows is an unbounded leak — but
+// naive forgetting is *unsound*: a reclaimed-then-returning principal would
+// restart at the policy's full partition mask and could extract more than
+// any single partition allows. The map therefore reclaims in two sound ways:
+//
+//   * Capacity: `PrincipalMapOptions::max_principals` bounds live slots.
+//     When a shard is full, inserting a new principal first evicts the
+//     shard's least-recently-used slot (per-slot idle-clock stamps).
+//   * TTL: `Sweep()` reclaims every slot idle for more than
+//     `idle_ttl_ticks` ticks of the map's logical clock (`AdvanceClock()`,
+//     driven by the engine's sweep cadence).
+//
+// Eviction reclaims the expensive parts of a slot — the name string and the
+// probe slot — but not the principal's narrowing: if the slot's consistency
+// bits have narrowed below the epoch's initial mask, a compact *residual*
+// record (name fingerprint → epoch + consistent bits, 24 bytes) is kept in a
+// per-shard side table. A returning principal rehydrates its residual and
+// resumes narrowing exactly where it left off; it never widens. Slots that
+// never narrowed need no residual (re-creation at the initial mask is
+// byte-identical), which keeps the residual store proportional to the
+// *narrowed* churned population, not to total churn.
+//
+// Residuals are keyed by the 64-bit name hash only. A fingerprint collision
+// makes two principals share one record; records merge by ANDing the
+// consistency bits, which is strictly narrowing — stricter-never-looser, so
+// collisions can only over-refuse, never over-disclose. For the same
+// reason rehydration COPIES the record rather than consuming it (erasing
+// it when the first colliding principal returned would forget the other's
+// narrowing — an over-disclosure): a record lives until an epoch swap
+// drops it, is never consulted while its principal's slot is live, and
+// re-evicting the slot AND-merges the further-narrowed bits back in.
 //
 // Policy-epoch semantics: each slot records the epoch its state was last
 // narrowed under, and slots only ever move *forward*. An access with a
@@ -20,8 +54,19 @@
 // newer epoch's accumulated narrowing and let the next new-epoch request
 // restart from the full mask, silently forgetting disclosures. The engine
 // handles the rejection by reloading the current snapshot and retrying.
+//
+// Epochs are also the residual store's natural TTL: consistency bits never
+// transfer across policy epochs, so once the engine publishes epoch E,
+// every residual with an older epoch is dead weight.
+// `DropResidualsBefore(E)` frees them all and raises the shard's *floor
+// epoch*: accesses older than the floor are rejected like any other stale
+// access (their residuals are gone, so letting them re-create state at the
+// dropped epoch would silently forget disclosures — the exact unsoundness
+// eviction must avoid). Callers must use epochs >= 1; epoch 0 is the
+// empty-residual sentinel.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -35,21 +80,48 @@
 
 namespace fdc::engine {
 
+/// Namespace-scope (not nested) so it can brace-default in signatures —
+/// mirrors ConcurrentLabelerOptions.
+struct PrincipalMapOptions {
+  /// Shard count (rounded up to a power of two).
+  size_t shards = 64;
+  /// Live-slot capacity across all shards; 0 = unbounded (the pre-lifecycle
+  /// behavior). Enforced per shard as ceil(max_principals / shards), so the
+  /// effective global bound rounds up to a shard multiple (and hash skew
+  /// inside one shard can never push the total past it).
+  size_t max_principals = 0;
+  /// Slots idle for more than this many logical-clock ticks are reclaimed
+  /// by Sweep(); 0 disables TTL eviction (Sweep is then a no-op).
+  uint64_t idle_ttl_ticks = 0;
+};
+
 class PrincipalStateMap {
  public:
-  explicit PrincipalStateMap(size_t shards = 64) {
-    num_shards_ = 1;
-    while (num_shards_ < shards) num_shards_ <<= 1;
-    shards_ = std::make_unique<Shard[]>(num_shards_);
-  }
+  /// Lifecycle counters, summed across shards under their locks.
+  struct Stats {
+    size_t live = 0;            // live slots (== NumPrincipals())
+    size_t residuals = 0;       // residual records currently held
+    size_t residual_bytes = 0;  // bytes backing the residual tables
+    uint64_t evictions = 0;     // slots reclaimed = capacity + ttl
+    uint64_t capacity_evictions = 0;
+    uint64_t ttl_evictions = 0;
+    uint64_t residual_hits = 0;   // returning principals resumed a residual
+    uint64_t residual_drops = 0;  // residuals discarded (older epoch)
+  };
+
+  explicit PrincipalStateMap(PrincipalMapOptions options = {});
+  explicit PrincipalStateMap(size_t shards)
+      : PrincipalStateMap(PrincipalMapOptions{.shards = shards}) {}
 
   /// Runs `fn(policy::PrincipalState&)` under the owning shard's lock and
   /// returns its result wrapped in an optional. The slot is created (or
   /// epoch-advanced-and-reset) with `init_mask` when absent or older than
-  /// `epoch`; if the slot has already moved to a NEWER epoch, returns
+  /// `epoch`; an evicted principal returning under the epoch its residual
+  /// was taken at resumes that narrowed state instead. If the slot (or the
+  /// shard's floor epoch) has already moved to a NEWER epoch, returns
   /// nullopt without touching it — the caller's snapshot is stale and it
   /// must reload and retry. `fn` must not call back into this map (single
-  /// shard lock held throughout).
+  /// shard lock held throughout). Requires epoch >= 1.
   template <typename Fn>
   auto TryWithState(std::string_view principal, uint64_t epoch,
                     uint64_t init_mask, Fn&& fn)
@@ -57,37 +129,40 @@ class PrincipalStateMap {
     const uint64_t hash = HashName(principal);
     Shard& shard = ShardFor(hash);
     std::lock_guard<std::mutex> lock(shard.mu);
-    Slot& slot = FindOrCreateLocked(shard, hash, principal);
-    if (slot.epoch > epoch) return std::nullopt;  // stale caller; no regress
-    if (slot.epoch < epoch) {
-      slot.epoch = epoch;
-      slot.state.consistent = init_mask;
-    }
-    return std::forward<Fn>(fn)(slot.state);
+    policy::PrincipalState* state =
+        AccessLocked(shard, hash, principal, epoch, init_mask);
+    if (state == nullptr) return std::nullopt;  // stale caller; no regress
+    return std::forward<Fn>(fn)(*state);
   }
 
-  /// The principal's consistent-partition bits under `epoch`: init_mask if
-  /// it has not submitted since the epoch began, nullopt if the slot has
-  /// already advanced past `epoch` (stale caller — reload the snapshot).
-  /// Does not create or mutate a slot.
+  /// The principal's consistent-partition bits under `epoch`: the live
+  /// slot's bits, an evicted principal's residual bits, or init_mask if it
+  /// has not submitted since the epoch began; nullopt if the slot, residual
+  /// or shard floor has already advanced past `epoch` (stale caller —
+  /// reload the snapshot). Does not create or mutate a slot.
   std::optional<uint64_t> Consistent(std::string_view principal,
                                      uint64_t epoch,
-                                     uint64_t init_mask) const {
-    const uint64_t hash = HashName(principal);
-    const Shard& shard = ShardFor(hash);
-    std::lock_guard<std::mutex> lock(shard.mu);
-    const std::vector<Slot>& slots = shard.slots;
-    if (slots.empty()) return init_mask;
-    const size_t mask = slots.size() - 1;
-    for (size_t i = hash & mask;; i = (i + 1) & mask) {
-      const Slot& slot = slots[i];
-      if (!slot.used) return init_mask;
-      if (slot.hash == hash && slot.name == principal) {
-        if (slot.epoch > epoch) return std::nullopt;
-        return slot.epoch == epoch ? slot.state.consistent : init_mask;
-      }
-    }
+                                     uint64_t init_mask) const;
+
+  /// Advances the idle clock by one tick and returns the new value. Slots
+  /// are stamped with the clock value current at access time; the engine
+  /// ticks the clock once per sweep, so idle_ttl_ticks is measured in
+  /// sweep periods.
+  uint64_t AdvanceClock() {
+    return clock_.fetch_add(1, std::memory_order_relaxed) + 1;
   }
+
+  /// Reclaims every slot idle for more than idle_ttl_ticks clock ticks
+  /// (storing residuals for narrowed slots). Returns slots evicted. No-op
+  /// when idle_ttl_ticks == 0.
+  size_t Sweep();
+
+  /// Frees every residual narrowed under an epoch older than `epoch` (they
+  /// can never be resumed: consistency bits do not transfer across epochs)
+  /// and raises the floor so accesses older than `epoch` are refused as
+  /// stale. Called by the engine after publishing epoch `epoch`. Returns
+  /// the number of residuals dropped.
+  size_t DropResidualsBefore(uint64_t epoch);
 
   size_t NumPrincipals() const {
     size_t total = 0;
@@ -99,6 +174,7 @@ class PrincipalStateMap {
   }
 
   size_t num_shards() const { return num_shards_; }
+  Stats stats() const;
 
  private:
   struct Slot {
@@ -106,13 +182,35 @@ class PrincipalStateMap {
     bool used = false;
     std::string name;
     uint64_t epoch = 0;
+    uint64_t init_mask = 0;  // the epoch's full mask; != consistent means
+                             // the slot has narrowed and needs a residual
+    uint64_t last_used = 0;  // idle-clock stamp (LRU order within a shard)
     policy::PrincipalState state;
+  };
+
+  // One evicted principal's resumable narrowing. 24 bytes vs a Slot's
+  // string + table overhead; epoch == 0 marks an empty table entry.
+  struct Residual {
+    uint64_t fingerprint = 0;
+    uint64_t epoch = 0;
+    uint64_t consistent = 0;
   };
 
   struct Shard {
     mutable std::mutex mu;
     std::vector<Slot> slots;  // open-addressed, power-of-two size
     size_t used = 0;
+    std::vector<Residual> residuals;  // open-addressed by fingerprint
+    size_t residuals_used = 0;
+    // Accesses with epoch < floor_epoch are refused: their epoch's
+    // residuals may have been dropped, so touching state for it again
+    // could silently forget disclosures.
+    uint64_t floor_epoch = 0;
+    // Lifecycle counters (guarded by mu, summed by stats()).
+    uint64_t capacity_evictions = 0;
+    uint64_t ttl_evictions = 0;
+    uint64_t residual_hits = 0;
+    uint64_t residual_drops = 0;
   };
 
   static uint64_t HashName(std::string_view name) {
@@ -130,40 +228,30 @@ class PrincipalStateMap {
     return shards_[(hash >> 48) & (num_shards_ - 1)];
   }
 
-  // Requires shard.mu held.
-  Slot& FindOrCreateLocked(Shard& shard, uint64_t hash,
-                           std::string_view name) {
-    if (shard.slots.empty()) shard.slots.resize(16);
-    // Grow at ~70% load so probe chains stay short.
-    if (shard.used * 10 >= shard.slots.size() * 7) GrowLocked(shard);
-    const size_t mask = shard.slots.size() - 1;
-    for (size_t i = hash & mask;; i = (i + 1) & mask) {
-      Slot& slot = shard.slots[i];
-      if (!slot.used) {
-        slot.used = true;
-        slot.hash = hash;
-        slot.name = std::string(name);
-        ++shard.used;
-        return slot;
-      }
-      if (slot.hash == hash && slot.name == name) return slot;
-    }
-  }
+  /// Find-or-create with the full lifecycle applied: floor/epoch staleness
+  /// checks, capacity eviction, residual rehydration, LRU stamping.
+  /// Returns nullptr when the caller's epoch is stale. Requires shard.mu.
+  policy::PrincipalState* AccessLocked(Shard& shard, uint64_t hash,
+                                       std::string_view name, uint64_t epoch,
+                                       uint64_t init_mask);
 
-  static void GrowLocked(Shard& shard) {
-    std::vector<Slot> old = std::move(shard.slots);
-    shard.slots.assign(old.size() * 2, Slot{});
-    const size_t mask = shard.slots.size() - 1;
-    for (Slot& slot : old) {
-      if (!slot.used) continue;
-      size_t i = slot.hash & mask;
-      while (shard.slots[i].used) i = (i + 1) & mask;
-      shard.slots[i] = std::move(slot);
-    }
-  }
+  // The locked helpers below all require shard.mu held.
+  Slot* FindSlotLocked(const Shard& shard, uint64_t hash,
+                       std::string_view name) const;
+  void RemoveSlotLocked(Shard& shard, size_t index);  // backward-shift
+  bool EvictLruLocked(Shard& shard);
+  void EvictSlotLocked(Shard& shard, size_t index);
+  void StoreResidualLocked(Shard& shard, const Slot& slot);
+  Residual* FindResidualLocked(const Shard& shard, uint64_t fingerprint) const;
+  static void RebuildResidualsLocked(Shard& shard, std::vector<Residual> keep);
+  static void GrowSlotsLocked(Shard& shard);
+  static void RebuildSlotsLocked(Shard& shard, std::vector<Slot> live);
 
+  PrincipalMapOptions options_;
   size_t num_shards_;
+  size_t shard_capacity_;  // per-shard live-slot cap; 0 = unbounded
   std::unique_ptr<Shard[]> shards_;
+  std::atomic<uint64_t> clock_{0};
 };
 
 }  // namespace fdc::engine

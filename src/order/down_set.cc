@@ -1,6 +1,6 @@
 #include "order/down_set.h"
 
-#include <cassert>
+#include <algorithm>
 
 #include "common/bit_utils.h"
 
@@ -8,9 +8,14 @@ namespace fdc::order {
 
 uint64_t DownSet(const DisclosureOrder& order, const ViewSet& w_set,
                  int universe_size) {
-  assert(universe_size <= 64);
+  // Wrap-safe at the 64-bit representation edge: views beyond bit 63 cannot
+  // be represented, so they are skipped — the returned down-set
+  // under-approximates, which is the stricter (fail-safe) direction. The
+  // former assert-only guard vanished under NDEBUG and left `1ULL << v`
+  // undefined for v >= 64.
+  const int bound = std::min(universe_size, 64);
   uint64_t bits = 0;
-  for (int v = 0; v < universe_size; ++v) {
+  for (int v = 0; v < bound; ++v) {
     if (order.LeqSingle(v, w_set)) bits |= (1ULL << v);
   }
   return bits;
@@ -25,7 +30,10 @@ ViewSet BitsToViewSet(uint64_t bits) {
 uint64_t ViewSetToBits(const ViewSet& set) {
   uint64_t bits = 0;
   for (int v : set) {
-    assert(v >= 0 && v < 64);
+    // Ids outside [0, 64) have no bit; skipping them loses members of the
+    // *upper* set W, shrinking ⇓W — again stricter, never looser (and no
+    // longer UB under NDEBUG).
+    if (v < 0 || v >= 64) continue;
     bits |= (1ULL << v);
   }
   return bits;

@@ -11,15 +11,18 @@
 
 namespace fdc::order {
 
-/// Computes ⇓(w_set) over a universe of `universe_size` views (≤ 64).
-/// Bit v of the result is set iff {v} ⪯ w_set.
+/// Computes ⇓(w_set) over a universe of `universe_size` views. Bit v of the
+/// result is set iff {v} ⪯ w_set. Views beyond the 64-bit representation
+/// (universe_size > 64) are skipped — the result under-approximates, which
+/// is the stricter direction; it is never undefined behavior.
 uint64_t DownSet(const DisclosureOrder& order, const ViewSet& w_set,
                  int universe_size);
 
 /// Converts a bitmask back to an explicit sorted view set.
 ViewSet BitsToViewSet(uint64_t bits);
 
-/// Converts a view set to a bitmask (ids must be < 64).
+/// Converts a view set to a bitmask. Ids outside [0, 64) are skipped
+/// (stricter, never looser — and never an undefined shift).
 uint64_t ViewSetToBits(const ViewSet& set);
 
 }  // namespace fdc::order

@@ -42,14 +42,15 @@ Explanation ExplainDecision(const SecurityPolicy& policy,
       }
       break;
     }
-    // Wide atoms (relations beyond the packed view capacity), indexed
-    // after the packed ones.
+    // Wide atoms (relations beyond the packed view capacity) follow the
+    // packed ones in the label-order numbering (see PartitionDiagnosis).
     const auto& wide = label.wide_atoms();
     for (size_t a = 0; diag.allowed && a < wide.size(); ++a) {
       const label::WideAtomLabel& atom = wide[a];
       if (policy.WideAtomAllowed(p, atom)) continue;
       diag.allowed = false;
       diag.blocking_atom = label.size() + static_cast<int>(a);
+      diag.blocking_atom_wide = true;
       for (int view_id : catalog.ViewsOfRelation(atom.relation)) {
         const label::SecurityView& view = catalog.view(view_id);
         if (atom.Test(view.bit)) diag.covering_views.push_back(view.name);
@@ -77,8 +78,11 @@ std::string Explanation::ToString() const {
     } else if (diag.allowed) {
       out += "allows this query\n";
     } else {
-      out += "blocked by query atom #" +
+      // Label-order numbering: packed atoms first, then wide atoms (see
+      // PartitionDiagnosis::blocking_atom).
+      out += "blocked by label atom #" +
              std::to_string(diag.blocking_atom) +
+             (diag.blocking_atom_wide ? " (wide)" : "") +
              " (would need one of:";
       for (const std::string& name : diag.covering_views) {
         out += " " + name;

@@ -26,10 +26,17 @@ struct PartitionDiagnosis {
   /// True iff the partition had already been ruled out by earlier queries
   /// (its consistency bit was clear before this query).
   bool lost_earlier = false;
-  /// Index of the first atom the partition cannot cover: packed atoms
-  /// first (into label.atoms()), then wide atoms (label.size() + index
-  /// into label.wide_atoms()); -1 when allowed or lost_earlier.
+  /// Index of the first atom the partition cannot cover, numbered in
+  /// *label order*: the sealed label's packed atoms (label.atoms() order)
+  /// are #0 .. label.size()-1, wide atoms (label.wide_atoms() order)
+  /// follow from #label.size(). This numbering is a stable property of the
+  /// sealed label — NOT of the query text: Seal() sorts atoms, and whether
+  /// an atom is packed or wide is a property of its relation's view count
+  /// in the catalog. -1 when allowed or lost_earlier.
   int blocking_atom = -1;
+  /// True iff blocking_atom refers to a wide atom, i.e. indexes
+  /// label.wide_atoms()[blocking_atom - label.size()].
+  bool blocking_atom_wide = false;
   /// Views that would cover the blocking atom (names), i.e. ℓ+ of the atom.
   std::vector<std::string> covering_views;
 };

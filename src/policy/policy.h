@@ -70,13 +70,23 @@ class SecurityPolicy {
     return FullPartitionMask(num_partitions());
   }
 
+  /// True iff `p` names a compiled partition. Every public accessor below
+  /// guards on this: a negative or too-large partition index from a public
+  /// API must degrade to "allows nothing" (stricter-never-looser), not
+  /// index out of bounds. The size_t cast folds the negative case into one
+  /// comparison (a negative int wraps to a huge size_t).
+  bool ValidPartition(int p) const {
+    return static_cast<std::size_t>(p) < partition_words_.size();
+  }
+
   /// Packed ℓ+ mask of views partition `p` holds over `relation`: the low
   /// 32 bits of the relation's first mask word — exactly the bits a packed
-  /// label atom can carry.
+  /// label atom can carry. 0 for out-of-range `p` or `relation`.
   uint32_t PartitionMask(int p, uint32_t relation) const {
     // size_t arithmetic: `relation + 1` in uint32 would wrap at UINT32_MAX
     // and bypass the bounds check.
-    if (static_cast<std::size_t>(relation) + 1 >= word_begin_.size()) {
+    if (!ValidPartition(p) ||
+        static_cast<std::size_t>(relation) + 1 >= word_begin_.size()) {
       return 0;
     }
     return static_cast<uint32_t>(
@@ -94,15 +104,18 @@ class SecurityPolicy {
   }
 
   /// Pointer to partition `p`'s mask words for `relation` (WordsFor words),
-  /// or nullptr for relations outside the compiled schema.
+  /// or nullptr for an out-of-range partition index or for relations
+  /// outside the compiled schema.
   const uint64_t* PartitionWords(int p, uint32_t relation) const {
-    if (static_cast<std::size_t>(relation) + 1 >= word_begin_.size()) {
+    if (!ValidPartition(p) ||
+        static_cast<std::size_t>(relation) + 1 >= word_begin_.size()) {
       return nullptr;
     }
     return partition_words_[p].data() + word_begin_[relation];
   }
 
-  /// Wide-atom-below-partition test: ℓ+(atom) ∩ Wi ≠ ∅, word-wise.
+  /// Wide-atom-below-partition test: ℓ+(atom) ∩ Wi ≠ ∅, word-wise. False
+  /// for an out-of-range partition index.
   bool WideAtomAllowed(int p, const label::WideAtomLabel& atom) const {
     if (atom.relation < 0) return false;
     const uint64_t* words =
@@ -118,7 +131,10 @@ class SecurityPolicy {
   }
 
   /// Query-below-partition test: every atom's ℓ+ intersects the partition.
+  /// False for an out-of-range partition index (guarded here too: the
+  /// per-atom guards alone would let an *empty* label through).
   bool LabelAllowed(int p, const label::DisclosureLabel& label) const {
+    if (!ValidPartition(p)) return false;
     if (label.top()) return false;
     for (const label::PackedAtomLabel& atom : label.atoms()) {
       if ((PartitionMask(p, atom.relation()) & atom.mask()) == 0) return false;

@@ -26,7 +26,14 @@
 namespace fdc::policy {
 
 /// Per-principal monitor state: which partitions remain consistent with the
-/// queries answered so far.
+/// queries answered so far. Within one policy epoch the bits only ever
+/// narrow (Submit clears bits, never sets them) — the monotonicity every
+/// lifecycle layer above relies on: batch deduplication is sound because a
+/// label's decision is stable under narrowing, and the engine's
+/// PrincipalStateMap may reclaim an idle principal's slot and later resume
+/// these exact bits from a compact residual record (engine/principal_map.h)
+/// precisely because resuming a narrowed value can never widen what the
+/// principal may still learn.
 struct PrincipalState {
   uint64_t consistent = 0;
 };

@@ -214,6 +214,74 @@ TEST(EngineConcurrencyTest, PrincipalSlotsNeverRegressAcrossEpochs) {
   EXPECT_EQ(*later, 0b1111u);
 }
 
+// Lifecycle stress (PR 5): submits racing principal sweeps AND epoch swaps
+// on a capacity+TTL-bounded map. Run under TSan by CI. Evictions, residual
+// rehydration, residual drops and floor-epoch refusals all interleave with
+// the submit path here; the invariants checked are the ones that survive
+// arbitrary interleaving — decision counters add up, the live-slot bound
+// holds, and every principal stays answerable afterwards.
+TEST(EngineConcurrencyTest, SubmitsRaceSweepsAndEpochSwaps) {
+  FbFixture fb;
+  policy::SecurityPolicy policy_a =
+      workload::PolicyGenerator(&fb.catalog, {}, 0xabba01ULL).Next();
+  policy::SecurityPolicy policy_b =
+      workload::PolicyGenerator(&fb.catalog, {}, 0xabba02ULL).Next();
+  const auto pool = RandomWorkload(&fb.schema, 2, 128, 0xfeedULL);
+
+  EngineOptions options;
+  options.principals.shards = 4;
+  options.principals.max_principals = 8;
+  options.principals.idle_ttl_ticks = 1;
+  options.principal_sweep_interval = 16;  // auto-sweeps from submit threads
+  DisclosureEngine engine(/*db=*/nullptr, &fb.catalog, policy_a, options);
+
+  constexpr int kThreads = 4;
+  constexpr int kSubmitsPerThread = 400;
+  constexpr int kPrincipals = 24;  // 3x the live capacity: constant churn
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(0x1CEULL * (t + 1));
+      for (int i = 0; i < kSubmitsPerThread; ++i) {
+        const std::string principal =
+            "p" + std::to_string(rng.Below(kPrincipals));
+        if (rng.Chance(0.2)) {
+          std::vector<cq::ConjunctiveQuery> batch;
+          for (int j = 0; j < 4; ++j) {
+            batch.push_back(pool[rng.Below(pool.size())]);
+          }
+          (void)engine.SubmitBatch(principal,
+                                   std::span(batch.data(), batch.size()));
+          i += 3;
+        } else {
+          (void)engine.Submit(principal, pool[rng.Below(pool.size())]);
+        }
+      }
+    });
+  }
+  std::thread maintainer([&] {
+    for (int i = 0; i < 60; ++i) {
+      engine.UpdatePolicy((i % 2) == 0 ? policy_b : policy_a);
+      (void)engine.SweepPrincipals();
+      (void)engine.Stats();
+      (void)engine.ConsistentPartitions("p0");
+    }
+  });
+  for (std::thread& thread : threads) thread.join();
+  maintainer.join();
+
+  const DisclosureEngine::EngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.submitted, stats.accepted + stats.refused);
+  EXPECT_GE(stats.submitted,
+            static_cast<uint64_t>(kThreads) * kSubmitsPerThread);
+  EXPECT_LE(stats.num_principals, 8u);
+  EXPECT_GT(stats.principal_map.evictions, 0u);
+  // Quiesced: every principal is answerable under the final epoch.
+  for (int p = 0; p < kPrincipals; ++p) {
+    (void)engine.ConsistentPartitions("p" + std::to_string(p));
+  }
+}
+
 // Concurrent submits on the SAME principal must serialize through the
 // shard lock: the outcome must be *some* valid serialization. §6.2
 // narrowing makes that checkable exactly: the final consistency bits must

@@ -101,6 +101,59 @@ TEST_F(ExplainTest, ExplanationMatchesMonitorDecision) {
   }
 }
 
+// Regression: wide blocking atoms are numbered after the packed ones in
+// the documented *label order* (packed atoms #0..size()-1, wide atoms from
+// #size()), flagged as wide, and rendered as such — on a mixed label the
+// old "query atom #N" wording implied the query's dissected-atom order,
+// which the split packed/wide storage does not preserve.
+TEST(ExplainWideTest, MixedPackedAndWideNumberingIsStable) {
+  cq::Schema schema;
+  (void)schema.AddRelation("Meetings", {"time", "person"});
+  (void)schema.AddRelation("Wide", {"a", "b"});
+  label::ViewCatalog catalog(&schema);
+  ASSERT_TRUE(
+      catalog.AddViewText("meetings_full", "V(x, y) :- Meetings(x, y)").ok());
+  // 33 views over one relation: one past the packed capacity, so Wide
+  // atoms ride the multi-word representation.
+  for (int i = 0; i < 33; ++i) {
+    ASSERT_TRUE(catalog
+                    .AddViewText("w" + std::to_string(i),
+                                 "V(x, y) :- Wide(x, y)")
+                    .ok());
+  }
+  label::LabelingPipeline pipeline(&catalog);
+  const label::DisclosureLabel label = pipeline.Label(
+      test::Q("Q(x, y, u, v) :- Meetings(x, y), Wide(u, v)", schema));
+  ASSERT_EQ(label.size(), 1);                 // Meetings: packed
+  ASSERT_EQ(label.wide_atoms().size(), 1u);   // Wide: 33 views -> wide
+
+  auto policy = SecurityPolicy::Compile(
+      catalog, {{"meetings_side", {catalog.FindByName("meetings_full")->id}},
+                {"wide_w0", {catalog.FindByName("w0")->id}}});
+  ASSERT_TRUE(policy.ok());
+
+  Explanation e = ExplainDecision(*policy, catalog, label,
+                                  policy->AllPartitionsMask());
+  EXPECT_FALSE(e.accepted);
+  ASSERT_EQ(e.partitions.size(), 2u);
+  // meetings_side covers the packed atom; the wide atom blocks it at label
+  // index size() + 0 = 1.
+  EXPECT_FALSE(e.partitions[0].allowed);
+  EXPECT_EQ(e.partitions[0].blocking_atom, label.size());
+  EXPECT_TRUE(e.partitions[0].blocking_atom_wide);
+  EXPECT_EQ(e.partitions[0].covering_views.size(), 33u);
+  // wide_w0 covers the wide atom; the packed atom blocks it at index 0.
+  EXPECT_FALSE(e.partitions[1].allowed);
+  EXPECT_EQ(e.partitions[1].blocking_atom, 0);
+  EXPECT_FALSE(e.partitions[1].blocking_atom_wide);
+  const std::string rendered = e.ToString();
+  EXPECT_NE(rendered.find("blocked by label atom #1 (wide)"),
+            std::string::npos)
+      << rendered;
+  EXPECT_NE(rendered.find("blocked by label atom #0 ("), std::string::npos)
+      << rendered;
+}
+
 // ---- CumulativeTracker -----------------------------------------------------
 
 TEST_F(ExplainTest, TrackerAccumulatesLub) {

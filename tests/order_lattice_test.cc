@@ -63,6 +63,29 @@ TEST(DownSetTest, BitsRoundTrip) {
   EXPECT_EQ(BitsToViewSet(0b101ULL), (ViewSet{0, 2}));
 }
 
+// Regression: the 1ULL << v shifts were guarded only by asserts, so under
+// NDEBUG a universe (or view id) at or past 64 was undefined behavior. The
+// wrap-safe contract skips unrepresentable views — under-approximating the
+// down-set (stricter, never looser) — pinned here at the 63/64/65 boundary.
+TEST(DownSetTest, RepresentationBoundaryIsWrapSafe) {
+  // 66 views that all carry the same single fact: every view ⪯ any
+  // non-empty W, so an exact down-set would be the whole universe.
+  ExplicitPreorder order(std::vector<uint64_t>(66, 0b1ULL));
+  EXPECT_EQ(DownSet(order, {0}, 63), (~0ULL) >> 1);  // bits 0..62
+  EXPECT_EQ(DownSet(order, {0}, 64), ~0ULL);         // bits 0..63, no UB
+  // universe_size 65/66: views 64+ have no bit; they are skipped, the
+  // representable 64 remain exact.
+  EXPECT_EQ(DownSet(order, {0}, 65), ~0ULL);
+  EXPECT_EQ(DownSet(order, {65}, 66), ~0ULL);  // W beyond 64 still usable
+  EXPECT_EQ(DownSet(order, {}, 65), 0ULL);
+
+  EXPECT_EQ(ViewSetToBits({62, 63}), (0b11ULL << 62));
+  // Ids 64/65 (and negatives) have no bit: skipped, not shifted.
+  EXPECT_EQ(ViewSetToBits({63, 64, 65}), (1ULL << 63));
+  EXPECT_EQ(ViewSetToBits({64}), 0ULL);
+  EXPECT_EQ(ViewSetToBits({-1, 7}), (1ULL << 7));
+}
+
 TEST(DisclosureLatticeTest, Figure3LatticeShape) {
   ExplicitPreorder order = Figure3Order();
   auto lattice = DisclosureLattice::Build(order, 4);

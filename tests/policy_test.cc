@@ -167,6 +167,40 @@ TEST_F(Example62Test, PartitionMasksReflectBits) {
   EXPECT_EQ(policy_->PartitionMask(1, contacts), 0b001u);
 }
 
+// Regression: an out-of-range partition index from a public API must
+// degrade to "allows nothing" (stricter-never-looser), never index
+// partition_words_ out of bounds (UB). Mirrors the PR 4 wrap-safe relation
+// guards one argument over.
+TEST_F(Example62Test, OutOfRangePartitionIndexIsGuarded) {
+  const uint32_t meetings =
+      static_cast<uint32_t>(schema_.Find("Meetings")->id);
+  const int k = policy_->num_partitions();
+  for (const int p : {-1, -1000, k, k + 1, 1 << 20}) {
+    EXPECT_FALSE(policy_->ValidPartition(p)) << p;
+    EXPECT_EQ(policy_->PartitionMask(p, meetings), 0u) << p;
+    EXPECT_EQ(policy_->PartitionWords(p, meetings), nullptr) << p;
+
+    label::WideAtomLabel wide;
+    wide.relation = static_cast<int>(meetings);
+    wide.mask = {~0ULL};
+    EXPECT_FALSE(policy_->WideAtomAllowed(p, wide)) << p;
+
+    label::DisclosureLabel label;
+    label.Add(label::PackedAtomLabel(meetings, 0b01));
+    label.Seal();
+    EXPECT_FALSE(policy_->LabelAllowed(p, label)) << p;
+    // The empty label is the subtle case: with only per-atom guards the
+    // atom loops would be vacuous and an out-of-range p would "allow" it.
+    label::DisclosureLabel empty;
+    EXPECT_FALSE(policy_->LabelAllowed(p, empty)) << p;
+  }
+  // In-range indices still answer (sanity that the guard is not too wide).
+  EXPECT_TRUE(policy_->ValidPartition(0));
+  EXPECT_TRUE(policy_->ValidPartition(k - 1));
+  EXPECT_EQ(policy_->PartitionMask(0, meetings), 0b01u);
+  ASSERT_NE(policy_->PartitionWords(0, meetings), nullptr);
+}
+
 // ---- Policy analysis --------------------------------------------------------
 
 TEST_F(Example62Test, FindViewRedundancies) {

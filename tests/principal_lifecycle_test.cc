@@ -1,0 +1,275 @@
+// The principal-state lifecycle (PR 5): bounded live slots, TTL sweeps and
+// the residual store that makes eviction *sound* — a reclaimed-then-
+// returning principal resumes its narrowing instead of restarting at the
+// full partition mask (which would let it extract more than any single
+// partition allows).
+//
+// The load-bearing suites:
+//   * a single-shard insert/evict/lookup fuzz against a no-eviction oracle
+//     — because residual resumption is lossless, the bounded map must stay
+//     *bit-identical* to an unbounded one, which simultaneously proves
+//     probe-chain integrity after backward-shift deletions;
+//   * an engine-level differential run: a capacity+TTL-bounded engine vs an
+//     unbounded oracle engine on a churning principal population, decision-
+//     for-decision, across an epoch swap.
+#include "engine/principal_map.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/disclosure_engine.h"
+#include "test_util.h"
+#include "workload/policy_generator.h"
+
+namespace fdc::engine {
+namespace {
+
+using test::FbFixture;
+using test::RandomWorkload;
+
+constexpr uint64_t kInit = 0b111;
+
+// Narrowing accessor: state &= mask, returns the result.
+auto Narrow(uint64_t mask) {
+  return [mask](policy::PrincipalState& state) {
+    state.consistent &= mask;
+    return state.consistent;
+  };
+}
+
+TEST(PrincipalLifecycleTest, CapacityKeepsLiveSlotsBounded) {
+  PrincipalStateMap map(
+      PrincipalMapOptions{.shards = 4, .max_principals = 16});
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(map.TryWithState("p" + std::to_string(i), 1, kInit,
+                                 Narrow(kInit))
+                    .has_value());
+    ASSERT_LE(map.NumPrincipals(), 16u) << "after principal " << i;
+  }
+  const PrincipalStateMap::Stats stats = map.stats();
+  EXPECT_EQ(stats.live, map.NumPrincipals());
+  EXPECT_GE(stats.capacity_evictions, 200u - 16u);
+  EXPECT_EQ(stats.evictions, stats.capacity_evictions + stats.ttl_evictions);
+  // None of these principals narrowed below the initial mask, so eviction
+  // needs no residuals at all: re-creation restarts at exactly kInit.
+  EXPECT_EQ(stats.residuals, 0u);
+  EXPECT_EQ(stats.residual_bytes, 0u);
+}
+
+TEST(PrincipalLifecycleTest, EvictedPrincipalResumesItsNarrowing) {
+  PrincipalStateMap map(
+      PrincipalMapOptions{.shards = 1, .max_principals = 2});
+  ASSERT_EQ(map.TryWithState("alice", 1, kInit, Narrow(0b001)), 0b001u);
+  // Churn enough fresh principals through the 2-slot shard to evict alice;
+  // the clock advances between inserts so alice is strictly the LRU slot.
+  for (int i = 0; i < 8; ++i) {
+    map.AdvanceClock();
+    ASSERT_TRUE(map.TryWithState("b" + std::to_string(i), 1, kInit,
+                                 Narrow(kInit))
+                    .has_value());
+  }
+  ASSERT_LE(map.NumPrincipals(), 2u);
+  PrincipalStateMap::Stats stats = map.stats();
+  EXPECT_GT(stats.evictions, 0u);
+  ASSERT_EQ(stats.residuals, 1u);  // only alice narrowed
+  EXPECT_GT(stats.residual_bytes, 0u);
+
+  // The residual answers reads without recreating a slot...
+  EXPECT_EQ(map.Consistent("alice", 1, kInit), 0b001u);
+  EXPECT_EQ(map.NumPrincipals(), stats.live);
+  // ...and a returning alice resumes at 0b001 — never the full mask.
+  const std::optional<uint64_t> resumed =
+      map.TryWithState("alice", 1, kInit, [](policy::PrincipalState& state) {
+        return state.consistent;
+      });
+  ASSERT_TRUE(resumed.has_value());
+  EXPECT_EQ(*resumed, 0b001u);
+  stats = map.stats();
+  EXPECT_EQ(stats.residual_hits, 1u);
+  // Rehydration copies the record, it does not consume it: a fingerprint-
+  // colliding principal returning later must still find the narrowing.
+  // The record dies at the next epoch swap.
+  EXPECT_EQ(stats.residuals, 1u);
+  EXPECT_EQ(map.DropResidualsBefore(2), 1u);
+  EXPECT_EQ(map.stats().residuals, 0u);
+}
+
+TEST(PrincipalLifecycleTest, TtlSweepReclaimsIdleSlotsOnly) {
+  PrincipalStateMap map(
+      PrincipalMapOptions{.shards = 1, .idle_ttl_ticks = 2});
+  ASSERT_EQ(map.TryWithState("idle", 1, kInit, Narrow(0b010)), 0b010u);
+  for (int tick = 0; tick < 3; ++tick) {
+    map.AdvanceClock();
+    // "hot" is touched every tick and must survive every sweep.
+    ASSERT_TRUE(map.TryWithState("hot", 1, kInit, Narrow(kInit)).has_value());
+  }
+  const size_t evicted = map.Sweep();
+  EXPECT_EQ(evicted, 1u);
+  EXPECT_EQ(map.NumPrincipals(), 1u);
+  const PrincipalStateMap::Stats stats = map.stats();
+  EXPECT_EQ(stats.ttl_evictions, 1u);
+  EXPECT_EQ(stats.capacity_evictions, 0u);
+  // The idle principal's narrowing survived as a residual.
+  EXPECT_EQ(map.Consistent("idle", 1, kInit), 0b010u);
+  EXPECT_EQ(map.Consistent("hot", 1, kInit), kInit);
+}
+
+TEST(PrincipalLifecycleTest, SweepWithoutTtlIsANoOp) {
+  PrincipalStateMap map(PrincipalMapOptions{.shards = 1});
+  ASSERT_TRUE(map.TryWithState("p", 1, kInit, Narrow(0b1)).has_value());
+  for (int i = 0; i < 5; ++i) map.AdvanceClock();
+  EXPECT_EQ(map.Sweep(), 0u);
+  EXPECT_EQ(map.NumPrincipals(), 1u);
+}
+
+TEST(PrincipalLifecycleTest, EpochSwapDropsResidualsAndRaisesFloor) {
+  PrincipalStateMap map(
+      PrincipalMapOptions{.shards = 1, .max_principals = 1});
+  ASSERT_EQ(map.TryWithState("a", 1, kInit, Narrow(0b001)), 0b001u);
+  ASSERT_TRUE(map.TryWithState("b", 1, kInit, Narrow(kInit)).has_value());
+  ASSERT_EQ(map.stats().residuals, 1u);  // a evicted, narrowed
+
+  // Epoch 2 publishes: epoch-1 residuals can never be resumed again.
+  EXPECT_EQ(map.DropResidualsBefore(2), 1u);
+  PrincipalStateMap::Stats stats = map.stats();
+  EXPECT_EQ(stats.residuals, 0u);
+  EXPECT_EQ(stats.residual_bytes, 0u);  // table freed, not just emptied
+  EXPECT_EQ(stats.residual_drops, 1u);
+
+  // Epoch-1 accesses are refused outright — a's epoch-1 narrowing was just
+  // forgotten, so letting an epoch-1 straggler re-create state would be
+  // the exact unsoundness eviction must avoid. The engine retries such
+  // refusals against the current snapshot.
+  EXPECT_FALSE(map.TryWithState("a", 1, kInit, Narrow(kInit)).has_value());
+  EXPECT_FALSE(map.Consistent("a", 1, kInit).has_value());
+  EXPECT_FALSE(map.Consistent("never-seen", 1, kInit).has_value());
+  // Epoch-2 accesses restart from the new policy's full mask.
+  EXPECT_EQ(map.TryWithState("a", 2, 0b1111, Narrow(0b1111)), 0b1111u);
+}
+
+TEST(PrincipalLifecycleTest, ResidualFromNewerEpochRefusesStaleCaller) {
+  PrincipalStateMap map(
+      PrincipalMapOptions{.shards = 1, .max_principals = 1});
+  ASSERT_EQ(map.TryWithState("a", 5, kInit, Narrow(0b100)), 0b100u);
+  ASSERT_TRUE(map.TryWithState("b", 5, kInit, Narrow(kInit)).has_value());
+  // a's residual is tagged epoch 5; a caller still on epoch 4 is stale.
+  EXPECT_FALSE(map.TryWithState("a", 4, kInit, Narrow(kInit)).has_value());
+  EXPECT_FALSE(map.Consistent("a", 4, kInit).has_value());
+  // The epoch-5 narrowing is intact.
+  EXPECT_EQ(map.Consistent("a", 5, kInit), 0b100u);
+}
+
+// The central soundness property, fuzzed: because eviction keeps narrowed
+// state resumable, a capacity+TTL-bounded single-shard map must stay
+// bit-identical to an unbounded oracle over any same-epoch access sequence
+// — while backward-shift deletions continuously rearrange the probe chains
+// underneath (a naive "hole" deletion breaks chains and loses slots, which
+// this fuzz catches immediately).
+TEST(PrincipalLifecycleTest, SingleShardFuzzMatchesNoEvictionOracle) {
+  constexpr uint64_t kFuzzInit = 0xFFFFull;
+  constexpr int kNames = 64;
+  PrincipalStateMap map(PrincipalMapOptions{
+      .shards = 1, .max_principals = 8, .idle_ttl_ticks = 3});
+  std::unordered_map<std::string, uint64_t> oracle;  // never evicts
+
+  Rng rng(0xF00DULL);
+  for (int op = 0; op < 20000; ++op) {
+    const std::string name =
+        "principal-" + std::to_string(rng.Below(kNames));
+    if (rng.Chance(0.25)) {
+      // Read-only probe: resident slot, residual, or first-touch default.
+      const std::optional<uint64_t> got =
+          map.Consistent(name, 1, kFuzzInit);
+      ASSERT_TRUE(got.has_value());
+      const auto it = oracle.find(name);
+      ASSERT_EQ(*got, it == oracle.end() ? kFuzzInit : it->second)
+          << "op " << op << " name " << name;
+    } else {
+      // Narrowing access. Keep a random subset — occasionally everything,
+      // so some principals never narrow and exercise the no-residual path.
+      const uint64_t mask =
+          rng.Chance(0.3) ? ~0ULL : (rng.Next() | rng.Next());
+      const std::optional<uint64_t> got =
+          map.TryWithState(name, 1, kFuzzInit, Narrow(mask));
+      ASSERT_TRUE(got.has_value());
+      auto [it, inserted] = oracle.try_emplace(name, kFuzzInit);
+      it->second &= mask;
+      ASSERT_EQ(*got, it->second) << "op " << op << " name " << name;
+    }
+    if (rng.Chance(0.02)) {
+      map.AdvanceClock();
+      map.Sweep();
+    }
+    ASSERT_LE(map.NumPrincipals(), 8u);
+  }
+  // Every principal ever seen is still answerable, bit-identically.
+  for (const auto& [name, bits] : oracle) {
+    ASSERT_EQ(map.Consistent(name, 1, kFuzzInit), bits) << name;
+  }
+  const PrincipalStateMap::Stats stats = map.stats();
+  EXPECT_GT(stats.evictions, 0u);      // the fuzz actually churned
+  EXPECT_GT(stats.residual_hits, 0u);  // and principals actually returned
+}
+
+// Engine-level differential: a bounded engine (capacity 16, TTL, automatic
+// sweeps) serving 48 churning principals must be decision-for-decision
+// identical to an unbounded oracle engine — including across an epoch
+// swap, and including principals that were evicted and returned (their
+// resumed narrowing must refuse exactly what the oracle refuses: no
+// post-eviction widening, no spurious refusals).
+TEST(PrincipalLifecycleTest, BoundedEngineMatchesUnboundedOracle) {
+  FbFixture fb;
+  policy::SecurityPolicy policy_a =
+      workload::PolicyGenerator(&fb.catalog, {}, 0xabba01ULL).Next();
+  policy::SecurityPolicy policy_b =
+      workload::PolicyGenerator(&fb.catalog, {}, 0xabba02ULL).Next();
+  const auto pool = RandomWorkload(&fb.schema, 2, 256, 0x1234'5678ULL);
+
+  EngineOptions bounded_options;
+  bounded_options.principals.shards = 4;
+  bounded_options.principals.max_principals = 16;
+  bounded_options.principals.idle_ttl_ticks = 2;
+  bounded_options.principal_sweep_interval = 64;
+  DisclosureEngine bounded(/*db=*/nullptr, &fb.catalog, policy_a,
+                           bounded_options);
+  DisclosureEngine oracle(/*db=*/nullptr, &fb.catalog, policy_a);
+
+  constexpr int kPrincipals = 48;
+  constexpr int kRounds = 40;
+  auto name_of = [](int p) { return "churn-" + std::to_string(p); };
+  Rng rng(0x5eedULL);
+  for (int round = 0; round < kRounds; ++round) {
+    // Round-robin across all principals: everyone keeps returning long
+    // after the bounded engine evicted them.
+    for (int p = 0; p < kPrincipals; ++p) {
+      const cq::ConjunctiveQuery& query = pool[rng.Below(pool.size())];
+      ASSERT_EQ(bounded.Submit(name_of(p), query),
+                oracle.Submit(name_of(p), query))
+          << "principal " << p << " diverged in round " << round;
+    }
+    if (round == kRounds / 2) {
+      // Epoch swap on both engines at the same sequence point.
+      ASSERT_EQ(bounded.UpdatePolicy(policy_b), oracle.UpdatePolicy(policy_b));
+    }
+  }
+  for (int p = 0; p < kPrincipals; ++p) {
+    EXPECT_EQ(bounded.ConsistentPartitions(name_of(p)),
+              oracle.ConsistentPartitions(name_of(p)))
+        << "principal " << p;
+  }
+  const DisclosureEngine::EngineStats stats = bounded.Stats();
+  EXPECT_LE(stats.num_principals, 16u);
+  EXPECT_GT(stats.principal_map.evictions, 0u);
+  EXPECT_GT(stats.principal_map.residual_hits, 0u);
+  // The swap dropped every epoch-1 residual.
+  EXPECT_EQ(oracle.Stats().num_principals,
+            static_cast<size_t>(kPrincipals));
+  EXPECT_EQ(stats.submitted, oracle.Stats().submitted);
+}
+
+}  // namespace
+}  // namespace fdc::engine
