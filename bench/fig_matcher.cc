@@ -17,10 +17,20 @@
 // (MatchMaskWords vs the uncapped per-view loop), so the ratio isolates
 // the wide compiled kernel.
 //
+// The batched sweep (MatcherBatch/*) keeps the wide catalogs (64 / 128
+// views per relation) and varies the batch size 1 → 512: per_atom runs
+// MatchMaskWords once per pattern (the PR-4 shape), scalar runs
+// MatchMaskBatch with vector dispatch forced off, simd runs it under the
+// detected ISA. The per-relation pools are contiguous AtomPattern arrays —
+// exactly what LabelBatch's buckets hand the kernel — so the ratio
+// isolates batch structure (shared probes, position-major AND passes) from
+// vectorization (the scalar→simd gap).
+//
 // bench/run_benchmarks.sh folds the ratios into BENCH_hotpath.json as
-// matcher_compiled_vs_seed/views/N and matcher_wide_vs_seed/vpr/N; the
-// acceptance floors are ≥ 3× at 64 views (packed sweep) and ≥ 3× at 64
-// views/relation (wide sweep).
+// matcher_compiled_vs_seed/views/N, matcher_wide_vs_seed/vpr/N, and
+// matcher_batch_vs_scalar/vpr/N/batch/B; the acceptance floors are ≥ 3× at
+// 64 views (packed sweep), ≥ 3× at 64 views/relation (wide sweep), and
+// ≥ 1.5× batch-over-per-atom at batch ≥ 64 (batched sweep).
 #include <benchmark/benchmark.h>
 
 #include <map>
@@ -29,6 +39,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/simd.h"
 #include "cq/pattern.h"
 #include "cq/schema.h"
 #include "label/compiled_matcher.h"
@@ -223,6 +234,115 @@ void WideAxis(benchmark::internal::Benchmark* bench) {
   for (int views_per_relation : {64, 128}) bench->Arg(views_per_relation);
 }
 
+// ---------------------------------------------------------------------------
+// Batched sweep: per-relation contiguous pools over the wide catalogs,
+// evaluated in chunks of the batch size. 512 patterns per relation so
+// every batch size in {1, 8, 64, 512} tiles the pool exactly.
+// ---------------------------------------------------------------------------
+constexpr int kBatchPool = 512;
+
+struct BatchEnv {
+  const MatcherEnv* base;
+  // Contiguous per-relation pools, each exactly kBatchPool patterns
+  // (cycling the base env's mixed-relation pool to fill).
+  std::vector<std::vector<AtomPattern>> by_relation;
+
+  explicit BatchEnv(int views_per_relation) {
+    base = &MatcherEnv::Get(kWideCatalogViews, views_per_relation);
+    const int num_relations = kWideCatalogViews / views_per_relation;
+    by_relation.resize(static_cast<size_t>(num_relations));
+    for (int r = 0; r < num_relations; ++r) {
+      std::vector<AtomPattern>& pool = by_relation[static_cast<size_t>(r)];
+      pool.reserve(kBatchPool);
+      while (static_cast<int>(pool.size()) < kBatchPool) {
+        for (const AtomPattern& p : base->patterns) {
+          if (p.relation == r) {
+            pool.push_back(p);
+            if (static_cast<int>(pool.size()) == kBatchPool) break;
+          }
+        }
+      }
+    }
+  }
+
+  static const BatchEnv& Get(int views_per_relation) {
+    static std::map<int, std::unique_ptr<BatchEnv>> envs;
+    auto it = envs.find(views_per_relation);
+    if (it == envs.end()) {
+      it = envs.emplace(views_per_relation,
+                        std::make_unique<BatchEnv>(views_per_relation))
+               .first;
+    }
+    return *it->second;
+  }
+};
+
+// Per-atom baseline over the same pools and the same output layout: one
+// MatchMaskWords call per pattern, rows written at the batch stride.
+void BM_BatchPerAtom(benchmark::State& state) {
+  const BatchEnv& env = BatchEnv::Get(static_cast<int>(state.range(0)));
+  const int batch = static_cast<int>(state.range(1));
+  std::vector<uint64_t> rows(
+      static_cast<size_t>(batch) * kMaxMaskWords);
+  for (auto _ : state) {
+    for (const std::vector<AtomPattern>& pool : env.by_relation) {
+      const int w = env.base->matcher.MaskWords(pool.front().relation);
+      for (int begin = 0; begin < kBatchPool; begin += batch) {
+        for (int i = 0; i < batch; ++i) {
+          env.base->matcher.MatchMaskWords(
+              pool[static_cast<size_t>(begin + i)],
+              rows.data() + static_cast<size_t>(i) * w);
+        }
+        benchmark::DoNotOptimize(rows.data());
+      }
+    }
+  }
+  ReportRate(state,
+             static_cast<int>(env.by_relation.size()) * kBatchPool);
+}
+
+void RunBatchKernel(benchmark::State& state, simd::Isa isa) {
+  const BatchEnv& env = BatchEnv::Get(static_cast<int>(state.range(0)));
+  const int batch = static_cast<int>(state.range(1));
+  simd::ForceIsa(isa);
+  label::BatchScratch scratch;
+  std::vector<uint64_t> rows(
+      static_cast<size_t>(batch) * kMaxMaskWords);
+  for (auto _ : state) {
+    for (const std::vector<AtomPattern>& pool : env.by_relation) {
+      for (int begin = 0; begin < kBatchPool; begin += batch) {
+        env.base->matcher.MatchMaskBatch(
+            std::span<const AtomPattern>(
+                pool.data() + begin, static_cast<size_t>(batch)),
+            rows.data(), &scratch);
+        benchmark::DoNotOptimize(rows.data());
+      }
+    }
+  }
+  simd::ClearForcedIsa();
+  ReportRate(state,
+             static_cast<int>(env.by_relation.size()) * kBatchPool);
+}
+
+// Batch kernel with vector dispatch forced off: batch structure alone.
+void BM_BatchScalar(benchmark::State& state) {
+  RunBatchKernel(state, simd::Isa::kScalar);
+}
+
+// Batch kernel under the detected ISA; on hardware with no vector unit
+// this equals the scalar series (ForceIsa clamps) and the script's
+// speedup floor is carried by batch structure alone.
+void BM_BatchSimd(benchmark::State& state) {
+  RunBatchKernel(state, simd::DetectIsa());
+}
+
+void BatchAxis(benchmark::internal::Benchmark* bench) {
+  bench->ArgNames({"vpr", "batch"});
+  for (int vpr : {64, 128}) {
+    for (int batch : {1, 8, 64, 512}) bench->Args({vpr, batch});
+  }
+}
+
 BENCHMARK(BM_SeedPerView)->Apply(CatalogAxis)
     ->Name("Matcher/seed_per_view/views");
 BENCHMARK(BM_Compiled)->Apply(CatalogAxis)
@@ -231,8 +351,23 @@ BENCHMARK(BM_SeedPerViewWide)->Apply(WideAxis)
     ->Name("MatcherWide/seed_per_view/vpr");
 BENCHMARK(BM_CompiledWide)->Apply(WideAxis)
     ->Name("MatcherWide/compiled/vpr");
+BENCHMARK(BM_BatchPerAtom)->Apply(BatchAxis)->Name("MatcherBatch/per_atom");
+BENCHMARK(BM_BatchScalar)->Apply(BatchAxis)->Name("MatcherBatch/scalar");
+BENCHMARK(BM_BatchSimd)->Apply(BatchAxis)->Name("MatcherBatch/simd");
 
 }  // namespace
 }  // namespace fdc::bench
 
-BENCHMARK_MAIN();
+// Custom main (instead of BENCHMARK_MAIN) so the run records which ISA the
+// runtime dispatcher actually selected — run_benchmarks.sh lifts this into
+// BENCH_hotpath.json's run_metadata so batch-sweep numbers are attributable
+// to a vector unit (or its absence).
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext(
+      "simd_isa", fdc::simd::IsaName(fdc::simd::ActiveIsa()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

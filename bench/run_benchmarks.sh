@@ -75,6 +75,10 @@ for name in ("fig_batch_monitor", "fig5_labeler", "fig_engine_scaling",
     with open(os.path.join(tmp, name + ".json")) as f:
         data = json.load(f)
     merged.setdefault("context", data.get("context", {}))
+    # Custom context entries (e.g. fig_matcher's simd_isa) live only in the
+    # binary that registered them; lift them over the first file's context.
+    if "simd_isa" in data.get("context", {}):
+        merged["context"]["simd_isa"] = data["context"]["simd_isa"]
     for bench in data.get("benchmarks", []):
         merged["benchmarks"][bench["name"]] = {
             k: bench[k]
@@ -152,6 +156,43 @@ merged["matcher_wide_speedup_at_128_vpr"] = \
     merged["speedups"].get("matcher_wide_vs_seed/vpr/128")
 merged["matcher_wide_speedup_floor"] = 3.0
 
+# Batched sweep: the batch-structured kernel (scalar-forced and
+# SIMD-dispatched) vs the per-atom loop over the same per-relation
+# contiguous pools. The fig_matcher binary records which ISA the runtime
+# dispatcher selected; lift it into run_metadata so the batch numbers are
+# attributable to a vector unit (or its absence — on scalar-only hardware
+# the simd series equals the scalar series and the floor is carried by
+# batch structure alone). Acceptance floor: ≥ 1.5x over per-atom at some
+# batch size ≥ 64.
+merged["run_metadata"]["simd_isa"] = \
+    merged.get("context", {}).get("simd_isa", "unknown")
+merged["fig_matcher_batch"] = {}
+for vpr in (64, 128):
+    per_batch = {}
+    for batch in (1, 8, 64, 512):
+        suffix = f"vpr:{vpr}/batch:{batch}"
+        per_atom = mask_rate(f"MatcherBatch/per_atom/{suffix}")
+        scalar = mask_rate(f"MatcherBatch/scalar/{suffix}")
+        simd = mask_rate(f"MatcherBatch/simd/{suffix}")
+        for series, r in (("per_atom", per_atom), ("scalar", scalar),
+                          ("simd", simd)):
+            if r:
+                merged["fig_matcher_batch"][
+                    f"{series}/vpr/{vpr}/batch/{batch}"] = r
+        if scalar and simd:
+            merged["speedups"][
+                f"matcher_batch_vs_scalar/vpr/{vpr}/batch/{batch}"] = \
+                round(simd / scalar, 2)
+        if per_atom and simd:
+            merged["speedups"][
+                f"matcher_batch_vs_per_atom/vpr/{vpr}/batch/{batch}"] = \
+                round(simd / per_atom, 2)
+            if batch >= 64:
+                per_batch[batch] = simd / per_atom
+    merged[f"matcher_batch_speedup_at_{vpr}_vpr"] = \
+        round(max(per_batch.values()), 2) if per_batch else None
+merged["matcher_batch_speedup_floor"] = 1.5
+
 # Principal churn: steady-state footprint over a principal population 5x
 # the bounded engine's live capacity (4096). The bench binary itself
 # hard-fails when the bound is violated; the merged metrics record the
@@ -215,6 +256,10 @@ if m64 is not None:
 w64 = merged["matcher_wide_speedup_at_64_vpr"]
 if w64 is not None:
     msg += f"; wide matcher @64 views/relation = {w64}x"
+b64 = merged["matcher_batch_speedup_at_64_vpr"]
+if b64 is not None:
+    msg += (f"; batch kernel @64 views/relation = {b64}x "
+            f"({merged['run_metadata']['simd_isa']})")
 churn_live = merged["principal_churn"].get("bounded/num_principals")
 if churn_live is not None:
     msg += (f"; churn live principals = {int(churn_live)}/4096 "

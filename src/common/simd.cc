@@ -1,0 +1,83 @@
+#include "common/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace fdc::simd {
+
+namespace {
+
+Isa ProbeHardware() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (__builtin_cpu_supports("avx2")) return Isa::kAvx2;
+  return Isa::kScalar;
+#elif defined(__aarch64__) || defined(__ARM_NEON)
+  // NEON is architecturally mandatory on AArch64 and implied by __ARM_NEON
+  // on 32-bit ARM builds that define it — no runtime probe needed.
+  return Isa::kNeon;
+#else
+  return Isa::kScalar;
+#endif
+}
+
+Isa ClampToAvailable(Isa isa) {
+  return IsaAvailable(isa) ? isa : Isa::kScalar;
+}
+
+/// FDC_SIMD parse result: the requested ISA, or detection when unset/"auto"
+/// (unrecognized values fall back to detection rather than silently
+/// disabling the vector path).
+Isa EnvIsa() {
+  const char* env = std::getenv("FDC_SIMD");
+  if (env == nullptr || *env == '\0') return DetectIsa();
+  if (std::strcmp(env, "scalar") == 0 || std::strcmp(env, "off") == 0 ||
+      std::strcmp(env, "0") == 0) {
+    return Isa::kScalar;
+  }
+  if (std::strcmp(env, "avx2") == 0) return ClampToAvailable(Isa::kAvx2);
+  if (std::strcmp(env, "neon") == 0) return ClampToAvailable(Isa::kNeon);
+  return DetectIsa();
+}
+
+// -1 = no ForceIsa() pin; otherwise the pinned Isa value.
+std::atomic<int> g_forced{-1};
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kNeon:
+      return "neon";
+    case Isa::kScalar:
+      return "scalar";
+  }
+  return "scalar";
+}
+
+Isa DetectIsa() {
+  static const Isa detected = ProbeHardware();
+  return detected;
+}
+
+bool IsaAvailable(Isa isa) {
+  return isa == Isa::kScalar || isa == DetectIsa();
+}
+
+Isa ActiveIsa() {
+  const int forced = g_forced.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<Isa>(forced);
+  static const Isa from_env = EnvIsa();
+  return from_env;
+}
+
+void ForceIsa(Isa isa) {
+  g_forced.store(static_cast<int>(ClampToAvailable(isa)),
+                 std::memory_order_relaxed);
+}
+
+void ClearForcedIsa() { g_forced.store(-1, std::memory_order_relaxed); }
+
+}  // namespace fdc::simd

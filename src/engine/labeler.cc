@@ -147,10 +147,135 @@ label::DisclosureLabel ConcurrentLabeler::Label(
 
 std::vector<label::DisclosureLabel> ConcurrentLabeler::LabelBatch(
     std::span<const cq::ConjunctiveQuery> queries) {
-  std::vector<label::DisclosureLabel> out;
-  out.reserve(queries.size());
-  for (const cq::ConjunctiveQuery& query : queries) {
-    out.push_back(Label(query));
+  if (options_.ablate_compiled_matcher || options_.ablate_batch_kernel) {
+    // Ablations: the seed kernel mutates overlay state per query, and the
+    // batch ablation deliberately restores the pre-batch shape.
+    std::vector<label::DisclosureLabel> out;
+    out.reserve(queries.size());
+    for (const cq::ConjunctiveQuery& query : queries) {
+      out.push_back(Label(query));
+    }
+    return out;
+  }
+
+  std::vector<label::DisclosureLabel> out(queries.size());
+
+  // Tier 1: frozen warmup table, no locks.
+  std::vector<size_t> unresolved;
+  for (size_t k = 0; k < queries.size(); ++k) {
+    if (const label::DisclosureLabel* hit = frozen_->FindLabel(queries[k])) {
+      frozen_hits_.fetch_add(1, std::memory_order_relaxed);
+      out[k] = *hit;
+    } else {
+      unresolved.push_back(k);
+    }
+  }
+  if (unresolved.empty()) return out;
+
+  // Tier 2a: one shared (reader) section probes the overlay for every miss.
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    size_t kept = 0;
+    for (const size_t k : unresolved) {
+      if (const cq::InternedQuery* interned = interner_.Find(queries[k])) {
+        auto it = label_by_query_.find(interned->id());
+        if (it != label_by_query_.end()) {
+          overlay_hits_.fetch_add(1, std::memory_order_relaxed);
+          out[k] = it->second;
+          continue;
+        }
+      }
+      unresolved[kept++] = k;
+    }
+    unresolved.resize(kept);
+  }
+  if (unresolved.empty()) return out;
+
+  // Writer pass 1: intern the misses and dedupe the batch's novel
+  // structures (racing threads may have labeled some since the reader
+  // probe — those resolve here). Saturated-interner queries get compute
+  // slots too; they are just never memoized.
+  constexpr int32_t kResolved = -1;
+  std::vector<int32_t> slot_of(unresolved.size(), kResolved);
+  std::vector<int> slot_id;  // interned id per slot, -1 = stateless
+  std::vector<const cq::ConjunctiveQuery*> slot_query;
+  std::unordered_map<int, int32_t> first_slot;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    for (size_t u = 0; u < unresolved.size(); ++u) {
+      const size_t k = unresolved[u];
+      const cq::InternedQuery* interned =
+          interner_.TryIntern(queries[k], options_.max_interned_queries);
+      if (interned == nullptr) {
+        stateless_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+        slot_of[u] = static_cast<int32_t>(slot_id.size());
+        slot_id.push_back(-1);
+        slot_query.push_back(&queries[k]);
+        continue;
+      }
+      const int id = interned->id();
+      auto it = label_by_query_.find(id);
+      if (it != label_by_query_.end()) {
+        overlay_hits_.fetch_add(1, std::memory_order_relaxed);
+        out[k] = it->second;
+        continue;
+      }
+      auto fit = first_slot.find(id);
+      if (fit != first_slot.end()) {
+        overlay_hits_.fetch_add(1, std::memory_order_relaxed);
+        slot_of[u] = fit->second;  // batch-internal duplicate structure
+        continue;
+      }
+      const int32_t slot = static_cast<int32_t>(slot_id.size());
+      first_slot.emplace(id, slot);
+      slot_of[u] = slot;
+      slot_id.push_back(id);
+      slot_query.push_back(&queries[k]);
+    }
+  }
+
+  // Heavy compute with no lock held: Dissect + the per-relation
+  // MatchMaskBatch buckets over every distinct novel structure at once.
+  // Labels are pure functions of the (raw) query — exactly what the
+  // per-query compiled path evaluates — so per-thread scratch suffices.
+  if (!slot_query.empty()) {
+    thread_local label::BatchLabelScratch scratch;
+    std::vector<label::DisclosureLabel> computed;
+    label::BatchLabelCounters counters;
+    label::LabelQueriesBatched(
+        frozen_->matcher(), frozen_->dissect_options(),
+        std::span<const cq::ConjunctiveQuery* const>(slot_query), &scratch,
+        &computed, &counters);
+    compiled_mask_evals_.fetch_add(counters.batch_mask_evals,
+                                   std::memory_order_relaxed);
+    batch_mask_evals_.fetch_add(counters.batch_mask_evals,
+                                std::memory_order_relaxed);
+    wide_mask_evals_.fetch_add(counters.wide_mask_evals,
+                               std::memory_order_relaxed);
+    per_view_tests_avoided_.fetch_add(counters.per_view_tests_avoided,
+                                      std::memory_order_relaxed);
+    simd_lanes_used_.fetch_add(counters.simd_lanes_used,
+                               std::memory_order_relaxed);
+
+    // Writer pass 2: memoize the genuinely novel structures. A racing
+    // duplicate insert loses harmlessly — labels of one structure are
+    // identical by purity.
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      for (size_t s = 0; s < slot_id.size(); ++s) {
+        if (slot_id[s] < 0) continue;  // stateless: never memoized
+        overlay_misses_.fetch_add(1, std::memory_order_relaxed);
+        if (label_by_query_.size() >= options_.max_label_cache) {
+          label_by_query_.clear();
+        }
+        label_by_query_.emplace(slot_id[s], computed[s]);
+      }
+    }
+    for (size_t u = 0; u < unresolved.size(); ++u) {
+      if (slot_of[u] != kResolved) {
+        out[unresolved[u]] = computed[static_cast<size_t>(slot_of[u])];
+      }
+    }
   }
   return out;
 }
@@ -165,6 +290,8 @@ ConcurrentLabeler::Stats ConcurrentLabeler::stats() const {
   stats.compiled_mask_evals =
       compiled_mask_evals_.load(std::memory_order_relaxed);
   stats.wide_mask_evals = wide_mask_evals_.load(std::memory_order_relaxed);
+  stats.batch_mask_evals = batch_mask_evals_.load(std::memory_order_relaxed);
+  stats.simd_lanes_used = simd_lanes_used_.load(std::memory_order_relaxed);
   stats.per_view_tests_avoided =
       per_view_tests_avoided_.load(std::memory_order_relaxed);
   return stats;

@@ -67,6 +67,10 @@ struct ConcurrentLabelerOptions {
   /// packed view capacity; the wide path has its own per-view oracle
   /// (LabelerPipeline::LabelWide, tests/wide_matcher_property_test.cc).
   bool ablate_compiled_matcher = false;
+  /// Batch ablation: LabelBatch degrades to one Label() per query (the
+  /// pre-batch shape) instead of the bucketed MatchMaskBatch path. Labels
+  /// are identical either way; isolates the batch kernel in benchmarks.
+  bool ablate_batch_kernel = false;
 };
 
 class ConcurrentLabeler {
@@ -82,6 +86,13 @@ class ConcurrentLabeler {
     // Of those, evaluations over relations beyond the packed view capacity
     // (multi-word wide atoms).
     uint64_t wide_mask_evals = 0;
+    // Of those, masks evaluated through the batch-structured kernel
+    // (LabelBatch's per-relation buckets via MatchMaskBatch).
+    uint64_t batch_mask_evals = 0;
+    // 64-bit mask words ANDed by vector (AVX2/NEON) instructions in those
+    // batch evaluations; 0 under scalar dispatch (FDC_SIMD=scalar) and for
+    // one-word (narrow) relations, which always run the scalar fused loop.
+    uint64_t simd_lanes_used = 0;
     // Per-view rewritability tests the seed kernel would have run for
     // those masks.
     uint64_t per_view_tests_avoided = 0;
@@ -94,7 +105,14 @@ class ConcurrentLabeler {
   /// LabelerPipeline::LabelPacked on packed-only catalogs).
   label::DisclosureLabel Label(const cq::ConjunctiveQuery& query);
 
-  /// Labels a batch; each distinct novel structure is computed once.
+  /// Labels a batch; each distinct novel structure is computed once. On the
+  /// compiled path the batch's novel structures resolve through the
+  /// batch-structured frozen-tier kernel: one reader section probes the
+  /// overlay for every miss, a first writer section interns and dedupes,
+  /// the heavy compute (Dissect + per-relation MatchMaskBatch buckets via
+  /// label::LabelQueriesBatched) runs with no lock held, and a second
+  /// writer section memoizes. `ablate_batch_kernel` (or the seed-kernel
+  /// ablation) restores the per-query loop.
   std::vector<label::DisclosureLabel> LabelBatch(
       std::span<const cq::ConjunctiveQuery> queries);
 
@@ -136,6 +154,8 @@ class ConcurrentLabeler {
   std::atomic<uint64_t> stateless_fallbacks_{0};
   std::atomic<uint64_t> compiled_mask_evals_{0};
   std::atomic<uint64_t> wide_mask_evals_{0};
+  std::atomic<uint64_t> batch_mask_evals_{0};
+  std::atomic<uint64_t> simd_lanes_used_{0};
   std::atomic<uint64_t> per_view_tests_avoided_{0};
 };
 

@@ -22,15 +22,26 @@ std::shared_ptr<const FrozenCatalog> FrozenCatalog::Build(
   label::LabelingPipeline pipeline(catalog, &frozen->interner_,
                                    /*cache=*/nullptr, dissect_options,
                                    /*options=*/{}, &frozen->matcher_);
+  // Freeze-time labeling runs batched: the views' defining queries and the
+  // warmup pool each go through LabelBatch, whose per-relation buckets feed
+  // the batch-structured mask kernel — the whole table is labeled in a
+  // handful of MatchMaskBatch calls instead of one net pass per atom.
   const int n = catalog->size();
   frozen->view_labels_.reserve(n);
+  std::vector<cq::ConjunctiveQuery> view_queries;
+  view_queries.reserve(n);
   for (int v = 0; v < n; ++v) {
-    const cq::ConjunctiveQuery view_query =
-        catalog->view(v).pattern.ToQuery("V");
-    const cq::InternedQuery& interned = frozen->interner_.Intern(view_query);
-    label::DisclosureLabel view_label = pipeline.Label(view_query);
-    frozen->label_by_query_.emplace(interned.id(), view_label);
-    frozen->view_labels_.push_back(std::move(view_label));
+    view_queries.push_back(catalog->view(v).pattern.ToQuery("V"));
+  }
+  std::vector<label::DisclosureLabel> view_labels =
+      pipeline.LabelBatch(view_queries);
+  for (int v = 0; v < n; ++v) {
+    const cq::InternedQuery& interned =
+        frozen->interner_.Intern(view_queries[static_cast<size_t>(v)]);
+    frozen->label_by_query_.emplace(interned.id(),
+                                    view_labels[static_cast<size_t>(v)]);
+    frozen->view_labels_.push_back(
+        std::move(view_labels[static_cast<size_t>(v)]));
   }
 
   // Rewriting-order closure over catalog views: one bit per ordered pair.
@@ -52,12 +63,16 @@ std::shared_ptr<const FrozenCatalog> FrozenCatalog::Build(
     }
   }
 
-  // Frozen warmup tier: label each distinct warmup structure once.
-  for (const cq::ConjunctiveQuery& query : warmup) {
-    const cq::InternedQuery& interned = frozen->interner_.Intern(query);
+  // Frozen warmup tier: the whole pool labeled in one batch (LabelBatch
+  // computes each distinct structure once; duplicates are memo probes).
+  std::vector<label::DisclosureLabel> warmup_labels =
+      pipeline.LabelBatch(warmup);
+  for (size_t i = 0; i < warmup.size(); ++i) {
+    const cq::InternedQuery& interned = frozen->interner_.Intern(warmup[i]);
     auto it = frozen->label_by_query_.find(interned.id());
     if (it == frozen->label_by_query_.end()) {
-      frozen->label_by_query_.emplace(interned.id(), pipeline.Label(query));
+      frozen->label_by_query_.emplace(interned.id(),
+                                      std::move(warmup_labels[i]));
     }
   }
   return frozen;

@@ -3,7 +3,17 @@
 #include <algorithm>
 #include <tuple>
 
+#include "common/simd.h"
 #include "rewriting/atom_rewriting.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define FDC_SIMD_X86 1
+#include <immintrin.h>
+#endif
+#if defined(__aarch64__) || defined(__ARM_NEON)
+#define FDC_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
 
 namespace fdc::label {
 
@@ -19,6 +29,341 @@ inline bool ImpliesEquality(const PatTerm& a, const PatTerm& b) {
   if (a.is_const) return a.value == b.value;
   return a.cls == b.cls;
 }
+
+// 8-byte big-endian prefix of `s`, zero-padded: integer key order is a
+// coarsening of lexicographic order (shorter prefixes sort below any
+// continuation because the pad byte 0 is the minimum), so sorted-by-key
+// probe runs line up with the sorted value table and ties only need a
+// string comparison to resolve.
+inline uint64_t ValueKey(const std::string& s) {
+  const size_t n = s.size() < 8 ? s.size() : 8;
+  uint64_t key = 0;
+  for (size_t i = 0; i < n; ++i) {
+    key |= static_cast<uint64_t>(static_cast<unsigned char>(s[i]))
+           << (56 - 8 * i);
+  }
+  return key;
+}
+
+// ---- Fused wide batch kernels -----------------------------------------
+//
+// The batch kernel evaluates each pattern through a fused loop that keeps
+// the running W-word mask hot (the per-atom code shape — every C1–C5
+// condition is an AND against a precomputed net row, with early exit the
+// moment the mask dies), while the batch-level win comes from the shared
+// constant-probe memo threaded in via `lookup`. For multi-word (wide)
+// relations the per-position row ANDs are the kernel's densest work, so
+// they are specialized per ISA: the AVX2 variant folds four 64-bit mask
+// words per vpand (plus a 128-bit step), NEON two, and the scalar variant
+// is always compiled and selected when simd::ActiveIsa() == kScalar
+// (FDC_SIMD=scalar, ForceIsa, or hardware without AVX2/NEON). `lanes`
+// counts 64-bit words that went through vector instructions — the
+// simd_lanes_used observability counter. The kernels are templates over
+// the (private) RelationNet so they can live outside the class.
+//
+// Each position contributes up to two operand rows: op1 is the C1/C3 value
+// row (constants) or the C1-converse/C4 row nc/ncd (variables), op2 the C5
+// same_or_dist row for repeated variables. The AND helpers apply both in
+// one pass and OR-accumulate the surviving words so a dead mask exits the
+// position loop, exactly like the per-atom kernel.
+
+#if FDC_SIMD_X86
+__attribute__((target("avx2"))) inline uint64_t AndRowAccAvx2(
+    uint64_t* out, const uint64_t* a, const uint64_t* b, int w_count,
+    uint64_t* lanes) {
+  __m256i accv = _mm256_setzero_si256();
+  int w = 0;
+  for (; w + 4 <= w_count; w += 4) {
+    __m256i r =
+        _mm256_and_si256(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(out + w)),
+                         _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w)));
+    if (b != nullptr) {
+      r = _mm256_and_si256(
+          r, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w)));
+    }
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + w), r);
+    accv = _mm256_or_si256(accv, r);
+  }
+  uint64_t acc = _mm256_testz_si256(accv, accv) ? 0 : 1;
+  if (w + 2 <= w_count) {
+    __m128i r =
+        _mm_and_si128(_mm_loadu_si128(reinterpret_cast<const __m128i*>(out + w)),
+                      _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + w)));
+    if (b != nullptr) {
+      r = _mm_and_si128(
+          r, _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + w)));
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + w), r);
+    if (!_mm_testz_si128(r, r)) acc = 1;
+    w += 2;
+  }
+  *lanes += static_cast<uint64_t>(w);
+  for (; w < w_count; ++w) {
+    out[w] &= a[w];
+    if (b != nullptr) out[w] &= b[w];
+    acc |= out[w];
+  }
+  return acc;
+}
+#endif  // FDC_SIMD_X86
+
+#if FDC_SIMD_NEON
+inline uint64_t AndRowAccNeon(uint64_t* out, const uint64_t* a,
+                              const uint64_t* b, int w_count,
+                              uint64_t* lanes) {
+  uint64x2_t accv = vdupq_n_u64(0);
+  int w = 0;
+  for (; w + 2 <= w_count; w += 2) {
+    uint64x2_t r = vandq_u64(vld1q_u64(out + w), vld1q_u64(a + w));
+    if (b != nullptr) r = vandq_u64(r, vld1q_u64(b + w));
+    vst1q_u64(out + w, r);
+    accv = vorrq_u64(accv, r);
+  }
+  *lanes += static_cast<uint64_t>(w);
+  uint64_t acc = vgetq_lane_u64(accv, 0) | vgetq_lane_u64(accv, 1);
+  for (; w < w_count; ++w) {
+    out[w] &= a[w];
+    if (b != nullptr) out[w] &= b[w];
+    acc |= out[w];
+  }
+  return acc;
+}
+#endif  // FDC_SIMD_NEON
+
+inline uint64_t AndRowAccScalar(uint64_t* out, const uint64_t* a,
+                                const uint64_t* b, int w_count) {
+  uint64_t acc = 0;
+  if (b == nullptr) {
+    for (int w = 0; w < w_count; ++w) {
+      out[w] &= a[w];
+      acc |= out[w];
+    }
+  } else {
+    for (int w = 0; w < w_count; ++w) {
+      out[w] &= a[w] & b[w];
+      acc |= out[w];
+    }
+  }
+  return acc;
+}
+
+// Resolves the (up to two) operand rows position p contributes for pattern
+// term vt; returns op1, sets *op2 for C5 repeats. Identical classification
+// to the per-atom kernels.
+template <typename Net, typename Lookup>
+inline const uint64_t* WideOperands(const Net& net, const PatTerm& vt, int p,
+                                    int* first_pos, int* next_class,
+                                    Lookup& lookup, const uint64_t** op2) {
+  const int n = net.arity;
+  const int W = net.words;
+  *op2 = nullptr;
+  if (vt.is_const) {
+    return lookup(p, ValueKey(vt.value), vt.value);
+  }
+  const uint64_t* op1 = vt.distinguished
+                            ? &net.ncd_at[static_cast<size_t>(p) * W]
+                            : &net.nc_at[static_cast<size_t>(p) * W];
+  if (vt.cls == *next_class) {
+    first_pos[(*next_class)++] = p;
+  } else {
+    *op2 = &net.same_or_dist[(static_cast<size_t>(first_pos[vt.cls]) * n + p) *
+                             W];
+  }
+  return op1;
+}
+
+// C2 epilogue shared by every wide variant: hit-check against the masked
+// words, then clear the requirement's views when the pattern does not
+// imply the equality — the per-atom shape exactly.
+template <typename Net>
+inline void WideEqEpilogue(const Net& net, const AtomPattern& v,
+                           uint64_t* out) {
+  const int W = net.words;
+  for (const auto& req : net.eq_requirements) {
+    const uint64_t* req_mask =
+        &net.eq_masks[static_cast<size_t>(req.mask_row) * W];
+    uint64_t hit = 0;
+    for (int w = 0; w < W; ++w) hit |= out[w] & req_mask[w];
+    if (hit != 0 && !ImpliesEquality(v.terms[req.q], v.terms[req.p])) {
+      for (int w = 0; w < W; ++w) out[w] &= ~req_mask[w];
+    }
+  }
+}
+
+// Two-word relations (65–128 views) are the common wide case, so they get
+// register-resident specializations: the mask pair lives in two scalar
+// registers or one 128-bit vector register across the whole position loop,
+// and memory only sees the final store.
+
+template <typename Net, typename Lookup>
+void MatchW2FusedScalar(const Net& net, const AtomPattern& v, Lookup& lookup,
+                        uint64_t* out) {
+  const int n = net.arity;
+  uint64_t m0 = net.all_views[0];
+  uint64_t m1 = net.all_views[1];
+  int first_pos[CompiledCatalogMatcher::kMaxCompiledArity];
+  int next_class = 0;
+  for (int p = 0; p < n && (m0 | m1) != 0; ++p) {
+    const uint64_t* op2;
+    const uint64_t* op1 =
+        WideOperands(net, v.terms[p], p, first_pos, &next_class, lookup, &op2);
+    m0 &= op1[0];
+    m1 &= op1[1];
+    if (op2 != nullptr) {
+      m0 &= op2[0];
+      m1 &= op2[1];
+    }
+  }
+  if ((m0 | m1) != 0) {
+    for (const auto& req : net.eq_requirements) {
+      const uint64_t* r = &net.eq_masks[static_cast<size_t>(req.mask_row) * 2];
+      if (((m0 & r[0]) | (m1 & r[1])) != 0 &&
+          !ImpliesEquality(v.terms[req.q], v.terms[req.p])) {
+        m0 &= ~r[0];
+        m1 &= ~r[1];
+      }
+    }
+  }
+  out[0] = m0;
+  out[1] = m1;
+}
+
+#if FDC_SIMD_X86
+template <typename Net, typename Lookup>
+__attribute__((target("avx2"))) void MatchW2FusedAvx2(const Net& net,
+                                                      const AtomPattern& v,
+                                                      Lookup& lookup,
+                                                      uint64_t* out,
+                                                      uint64_t* lanes) {
+  const int n = net.arity;
+  __m128i m =
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(net.all_views.data()));
+  int first_pos[CompiledCatalogMatcher::kMaxCompiledArity];
+  int next_class = 0;
+  uint64_t l = 0;
+  for (int p = 0; p < n && !_mm_testz_si128(m, m); ++p) {
+    const uint64_t* op2;
+    const uint64_t* op1 =
+        WideOperands(net, v.terms[p], p, first_pos, &next_class, lookup, &op2);
+    m = _mm_and_si128(m,
+                      _mm_loadu_si128(reinterpret_cast<const __m128i*>(op1)));
+    if (op2 != nullptr) {
+      m = _mm_and_si128(m,
+                        _mm_loadu_si128(reinterpret_cast<const __m128i*>(op2)));
+    }
+    l += 2;
+  }
+  if (!_mm_testz_si128(m, m)) {
+    for (const auto& req : net.eq_requirements) {
+      const __m128i r = _mm_loadu_si128(reinterpret_cast<const __m128i*>(
+          &net.eq_masks[static_cast<size_t>(req.mask_row) * 2]));
+      // testz(m, r) is the hit check: (m & r) == 0.
+      if (!_mm_testz_si128(m, r) &&
+          !ImpliesEquality(v.terms[req.q], v.terms[req.p])) {
+        m = _mm_andnot_si128(r, m);
+      }
+    }
+  }
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), m);
+  *lanes += l;
+}
+#endif  // FDC_SIMD_X86
+
+#if FDC_SIMD_NEON
+template <typename Net, typename Lookup>
+void MatchW2FusedNeon(const Net& net, const AtomPattern& v, Lookup& lookup,
+                      uint64_t* out, uint64_t* lanes) {
+  const int n = net.arity;
+  uint64x2_t m = vld1q_u64(net.all_views.data());
+  int first_pos[CompiledCatalogMatcher::kMaxCompiledArity];
+  int next_class = 0;
+  uint64_t l = 0;
+  const auto alive = [](uint64x2_t x) {
+    return (vgetq_lane_u64(x, 0) | vgetq_lane_u64(x, 1)) != 0;
+  };
+  for (int p = 0; p < n && alive(m); ++p) {
+    const uint64_t* op2;
+    const uint64_t* op1 =
+        WideOperands(net, v.terms[p], p, first_pos, &next_class, lookup, &op2);
+    m = vandq_u64(m, vld1q_u64(op1));
+    if (op2 != nullptr) m = vandq_u64(m, vld1q_u64(op2));
+    l += 2;
+  }
+  if (alive(m)) {
+    for (const auto& req : net.eq_requirements) {
+      const uint64x2_t r =
+          vld1q_u64(&net.eq_masks[static_cast<size_t>(req.mask_row) * 2]);
+      if (alive(vandq_u64(m, r)) &&
+          !ImpliesEquality(v.terms[req.q], v.terms[req.p])) {
+        m = vbicq_u64(m, r);
+      }
+    }
+  }
+  vst1q_u64(out, m);
+  *lanes += l;
+}
+#endif  // FDC_SIMD_NEON
+
+template <typename Net, typename Lookup>
+void MatchWideFusedScalar(const Net& net, const AtomPattern& v,
+                          Lookup& lookup, uint64_t* out) {
+  const int n = net.arity;
+  const int W = net.words;
+  std::copy(net.all_views.begin(), net.all_views.end(), out);
+  int first_pos[CompiledCatalogMatcher::kMaxCompiledArity];
+  int next_class = 0;
+  uint64_t acc = 1;
+  for (int p = 0; p < n && acc != 0; ++p) {
+    const uint64_t* op2;
+    const uint64_t* op1 =
+        WideOperands(net, v.terms[p], p, first_pos, &next_class, lookup, &op2);
+    acc = AndRowAccScalar(out, op1, op2, W);
+  }
+  if (acc != 0) WideEqEpilogue(net, v, out);
+}
+
+#if FDC_SIMD_X86
+template <typename Net, typename Lookup>
+__attribute__((target("avx2"))) void MatchWideFusedAvx2(const Net& net,
+                                                        const AtomPattern& v,
+                                                        Lookup& lookup,
+                                                        uint64_t* out,
+                                                        uint64_t* lanes) {
+  const int n = net.arity;
+  const int W = net.words;
+  std::copy(net.all_views.begin(), net.all_views.end(), out);
+  int first_pos[CompiledCatalogMatcher::kMaxCompiledArity];
+  int next_class = 0;
+  uint64_t acc = 1;
+  for (int p = 0; p < n && acc != 0; ++p) {
+    const uint64_t* op2;
+    const uint64_t* op1 =
+        WideOperands(net, v.terms[p], p, first_pos, &next_class, lookup, &op2);
+    acc = AndRowAccAvx2(out, op1, op2, W, lanes);
+  }
+  if (acc != 0) WideEqEpilogue(net, v, out);
+}
+#endif  // FDC_SIMD_X86
+
+#if FDC_SIMD_NEON
+template <typename Net, typename Lookup>
+void MatchWideFusedNeon(const Net& net, const AtomPattern& v, Lookup& lookup,
+                        uint64_t* out, uint64_t* lanes) {
+  const int n = net.arity;
+  const int W = net.words;
+  std::copy(net.all_views.begin(), net.all_views.end(), out);
+  int first_pos[CompiledCatalogMatcher::kMaxCompiledArity];
+  int next_class = 0;
+  uint64_t acc = 1;
+  for (int p = 0; p < n && acc != 0; ++p) {
+    const uint64_t* op2;
+    const uint64_t* op1 =
+        WideOperands(net, v.terms[p], p, first_pos, &next_class, lookup, &op2);
+    acc = AndRowAccNeon(out, op1, op2, W, lanes);
+  }
+  if (acc != 0) WideEqEpilogue(net, v, out);
+}
+#endif  // FDC_SIMD_NEON
 
 }  // namespace
 
@@ -154,23 +499,85 @@ CompiledCatalogMatcher CompiledCatalogMatcher::Compile(
     for (int p = 1; p <= n; ++p) {
       net.value_begin[p] = std::max(net.value_begin[p], net.value_begin[p - 1]);
     }
+
+    // Prefix keys parallel to the (lexicographically sorted, hence
+    // key-sorted) value spans: lookups binary-search integers and only
+    // compare strings on prefix ties.
+    net.value_keys.reserve(net.values.size());
+    for (const std::string& value : net.values) {
+      net.value_keys.push_back(ValueKey(value));
+    }
+
+    // Derived rows for the batch kernel: each per-position condition folded
+    // into one AND-able row so batch classification never composes masks.
+    net.nc_at.resize(net.const_at.size());
+    net.ncd_at.resize(net.const_at.size());
+    for (int p = 0; p < n; ++p) {
+      for (int w = 0; w < W; ++w) {
+        const size_t k = static_cast<size_t>(p) * W + w;
+        net.nc_at[k] = net.all_views[static_cast<size_t>(w)] & ~net.const_at[k];
+        net.ncd_at[k] = net.nc_at[k] & net.dist_at[k];
+      }
+    }
+    net.value_or_dist.resize(net.value_masks.size());
+    for (int p = 0; p < n; ++p) {
+      for (int row = net.value_begin[p]; row < net.value_begin[p + 1]; ++row) {
+        for (int w = 0; w < W; ++w) {
+          net.value_or_dist[static_cast<size_t>(row) * W + w] =
+              net.value_masks[static_cast<size_t>(row) * W + w] |
+              net.dist_at[static_cast<size_t>(p) * W + w];
+        }
+      }
+    }
+    net.same_or_dist.resize(net.same_class.size());
+    for (int q = 0; q < n; ++q) {
+      for (int p = 0; p < n; ++p) {
+        for (int w = 0; w < W; ++w) {
+          const size_t k = (static_cast<size_t>(q) * n + p) * W + w;
+          net.same_or_dist[k] = net.same_class[k] |
+                                (net.dist_at[static_cast<size_t>(q) * W + w] &
+                                 net.dist_at[static_cast<size_t>(p) * W + w]);
+        }
+      }
+    }
+    net.eq_not.resize(net.eq_masks.size());
+    for (size_t r = 0; r < net.eq_requirements.size(); ++r) {
+      for (int w = 0; w < W; ++w) {
+        net.eq_not[r * W + w] =
+            net.all_views[static_cast<size_t>(w)] & ~net.eq_masks[r * W + w];
+      }
+    }
   }
   return matcher;
+}
+
+int CompiledCatalogMatcher::LookupRow(const RelationNet& net, int p,
+                                      uint64_t key, const std::string& value) {
+  const uint64_t* keys = net.value_keys.data();
+  const int begin = net.value_begin[p];
+  const int end = net.value_begin[p + 1];
+  int idx = static_cast<int>(std::lower_bound(keys + begin, keys + end, key) -
+                             keys);
+  // Entries sharing the 8-byte prefix form a tiny lexicographically sorted
+  // run; resolve it with full comparisons.
+  for (; idx < end && keys[idx] == key; ++idx) {
+    if (net.values[static_cast<size_t>(idx)] == value) return idx;
+  }
+  return -1;
 }
 
 const uint64_t* CompiledCatalogMatcher::LookupValue(const RelationNet& net,
                                                     int p,
                                                     const std::string& value) {
-  const auto begin = net.values.begin() + net.value_begin[p];
-  const auto end = net.values.begin() + net.value_begin[p + 1];
-  const auto it = std::lower_bound(begin, end, value);
-  if (it == end || *it != value) return nullptr;
-  return &net.value_masks[static_cast<size_t>(it - net.values.begin()) *
-                          net.words];
+  const int row = LookupRow(net, p, ValueKey(value), value);
+  if (row < 0) return nullptr;
+  return &net.value_masks[static_cast<size_t>(row) * net.words];
 }
 
-uint64_t CompiledCatalogMatcher::MatchWordNarrow(const RelationNet& net,
-                                                 const AtomPattern& v) {
+template <typename Lookup>
+uint64_t CompiledCatalogMatcher::MatchNarrowImpl(const RelationNet& net,
+                                                 const AtomPattern& v,
+                                                 Lookup lookup) {
   // One-word relations: the pre-wide code shape — a single accumulator,
   // no scratch, indexes collapse because words == 1.
   const int n = net.arity;
@@ -183,9 +590,10 @@ uint64_t CompiledCatalogMatcher::MatchWordNarrow(const RelationNet& net,
     const PatTerm& vt = v.terms[p];
     if (vt.is_const) {
       // C1: views selecting a constant here must select this value.
-      // C3: views exposing the column instead can filter on it.
-      const uint64_t* value_row = LookupValue(net, p, vt.value);
-      mask &= (value_row != nullptr ? value_row[0] : 0) | net.dist_at[p];
+      // C3: views exposing the column instead can filter on it. The
+      // resolved row is value_or_dist (value hit) or dist (miss) — both
+      // already include the C3 disjunct.
+      mask &= lookup(p, ValueKey(vt.value), vt.value)[0];
       continue;
     }
     // C1 (converse): views selecting any constant here miss tuples v needs.
@@ -213,6 +621,17 @@ uint64_t CompiledCatalogMatcher::MatchWordNarrow(const RelationNet& net,
     }
   }
   return mask;
+}
+
+uint64_t CompiledCatalogMatcher::MatchWordNarrow(const RelationNet& net,
+                                                 const AtomPattern& v) {
+  return MatchNarrowImpl(
+      net, v,
+      [&net](int p, uint64_t key, const std::string& value) -> const uint64_t* {
+        const int row = LookupRow(net, p, key, value);
+        return row < 0 ? &net.dist_at[static_cast<size_t>(p)]
+                       : &net.value_or_dist[static_cast<size_t>(row)];
+      });
 }
 
 void CompiledCatalogMatcher::MatchWordsWide(const RelationNet& net,
@@ -339,6 +758,140 @@ void CompiledCatalogMatcher::MatchWideAtom(const cq::AtomPattern& pattern,
   out->mask.resize(words);
   MatchMaskWords(pattern, out->mask.data());
   out->Normalize();
+}
+
+template <typename Access>
+void CompiledCatalogMatcher::MatchMaskBatchImpl(Access at, int n_patterns,
+                                                uint64_t* out,
+                                                BatchScratch* s) const {
+  if (n_patterns <= 0) return;
+  const int relation = at(0).relation;
+  const RelationNet* net = NetFor(relation);
+  if (net == nullptr) {
+    std::fill(out, out + n_patterns, 0);  // MaskWords == 1 for unknown
+    return;
+  }
+  const int W = net->words;
+  if (net->use_fallback) {
+    for (int i = 0; i < n_patterns; ++i) {
+      FallbackMaskWords(relation, at(i), out + static_cast<size_t>(i) * W, W);
+    }
+    return;
+  }
+  const int n = net->arity;
+  const int N = n_patterns;
+
+  // Constant-probe memo for this batch: one epoch bump invalidates every
+  // prior batch's entries, so nothing is cleared. Only grown, never shrunk
+  // — warm batches allocate nothing.
+  const size_t memo_slots = static_cast<size_t>(n)
+                            << BatchScratch::kProbeMemoBits;
+  if (s->memo_.size() < memo_slots) s->memo_.resize(memo_slots);
+  ++s->epoch_;
+  const auto memo_lookup =
+      [net, s, W](int p, uint64_t key,
+                  const std::string& value) -> const uint64_t* {
+    const uint32_t size = static_cast<uint32_t>(value.size());
+    BatchScratch::ProbeMemo& m =
+        s->memo_[(static_cast<size_t>(p) << BatchScratch::kProbeMemoBits) +
+                 ((key * uint64_t{0x9E3779B97F4A7C15}) >>
+                  (64 - BatchScratch::kProbeMemoBits))];
+    if (m.epoch == s->epoch_ && m.key == key && m.size == size &&
+        size <= 8) {
+      return m.row;
+    }
+    const int row = LookupRow(*net, p, key, value);
+    const uint64_t* resolved =
+        row < 0 ? &net->dist_at[static_cast<size_t>(p) * W]
+                : &net->value_or_dist[static_cast<size_t>(row) * W];
+    m = {key, s->epoch_, resolved, size};
+    return resolved;
+  };
+
+  if (W == 1) {
+    // Narrow relations: one mask word per pattern leaves the vector AND
+    // stage nothing to amortize its staging against, so the batch win here
+    // is the fused per-atom loop (mask lives in a register, early exit on
+    // death) plus the shared probe memo replacing per-pattern binary
+    // searches.
+    for (int i = 0; i < N; ++i) {
+      if (i + 1 < N) {
+        // Each pattern's term array is its own heap block; start the next
+        // one's load while this one computes.
+        __builtin_prefetch(at(i + 1).terms.data());
+      }
+      const AtomPattern& v = at(i);
+      out[i] = v.arity() == n ? MatchNarrowImpl(*net, v, memo_lookup) : 0;
+    }
+    return;
+  }
+
+  // Wide relations: the same fused shape, W-word mask rows instead of a
+  // register word. The per-position row ANDs dispatch once per batch to the
+  // active ISA's kernel; the scalar kernel is always compiled and is the
+  // FDC_SIMD=scalar / no-vector-hardware path.
+  const simd::Isa isa = simd::ActiveIsa();
+  (void)isa;  // scalar-only builds compile exactly one kernel
+  uint64_t lanes = 0;
+  for (int i = 0; i < N; ++i) {
+    if (i + 1 < N) {
+      __builtin_prefetch(at(i + 1).terms.data());
+    }
+    const AtomPattern& v = at(i);
+    uint64_t* row = out + static_cast<size_t>(i) * W;
+    if (v.arity() != n) {
+      std::fill(row, row + W, 0);  // never rewritable (arity mismatch)
+      continue;
+    }
+    if (W == 2) {
+#if FDC_SIMD_X86
+      if (isa == simd::Isa::kAvx2) {
+        MatchW2FusedAvx2(*net, v, memo_lookup, row, &lanes);
+        continue;
+      }
+#endif
+#if FDC_SIMD_NEON
+      if (isa == simd::Isa::kNeon) {
+        MatchW2FusedNeon(*net, v, memo_lookup, row, &lanes);
+        continue;
+      }
+#endif
+      MatchW2FusedScalar(*net, v, memo_lookup, row);
+      continue;
+    }
+#if FDC_SIMD_X86
+    if (isa == simd::Isa::kAvx2) {
+      MatchWideFusedAvx2(*net, v, memo_lookup, row, &lanes);
+      continue;
+    }
+#endif
+#if FDC_SIMD_NEON
+    if (isa == simd::Isa::kNeon) {
+      MatchWideFusedNeon(*net, v, memo_lookup, row, &lanes);
+      continue;
+    }
+#endif
+    MatchWideFusedScalar(*net, v, memo_lookup, row);
+  }
+  s->simd_lanes_used_ += lanes;
+}
+
+void CompiledCatalogMatcher::MatchMaskBatch(
+    std::span<const cq::AtomPattern> patterns, uint64_t* out_masks,
+    BatchScratch* scratch) const {
+  const cq::AtomPattern* data = patterns.data();
+  MatchMaskBatchImpl(
+      [data](int i) -> const AtomPattern& { return data[i]; },
+      static_cast<int>(patterns.size()), out_masks, scratch);
+}
+
+void CompiledCatalogMatcher::MatchMaskBatch(
+    std::span<const cq::AtomPattern* const> patterns, uint64_t* out_masks,
+    BatchScratch* scratch) const {
+  const cq::AtomPattern* const* data = patterns.data();
+  MatchMaskBatchImpl(
+      [data](int i) -> const AtomPattern& { return *data[i]; },
+      static_cast<int>(patterns.size()), out_masks, scratch);
 }
 
 }  // namespace fdc::label

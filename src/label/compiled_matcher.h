@@ -33,17 +33,49 @@
 // contract — the low 32 bits of the full mask, identical to the seed
 // ComputePatternMask guard — for consumers and oracles that stay packed.
 //
+// Batch kernel: MatchMaskBatch evaluates one relation's net over N
+// dissected atoms at once. Each pattern still runs the fused per-atom loop
+// shape — the running mask stays hot (a register word for one-word
+// relations, W cache-resident words for wide ones) and dies early — because
+// staging per-position operands through memory loses to that shape at every
+// real mask width. What the batch adds:
+//
+//   * a batch-level constant-probe memo (BatchScratch::ProbeMemo): C1/C3
+//     value lookups are the kernel's dominant cost, and batches repeat
+//     constants heavily, so each (position, value) pair pays its binary
+//     search once per batch and resolves O(1) afterwards — for values of
+//     ≤ 8 bytes a hit needs no string access at all (the prefix key plus
+//     length is the full content);
+//   * precomputed single-AND rows for every condition (nc/ncd complements,
+//     value∨dist, same-class∨dist), so the fused loop never composes masks
+//     at eval time;
+//   * cross-pattern prefetch of the next atom's term array;
+//   * for wide relations, the per-position W-word row ANDs dispatch at
+//     runtime (common/simd.h) to AVX2 (four words per vpand plus a 128-bit
+//     step) or NEON (two words) kernel variants, with the scalar variant
+//     always compiled and selectable (FDC_SIMD env / simd::ForceIsa) for
+//     ablation and the scalar-forced CI leg. One-word relations have
+//     nothing for vector ANDs to fold, so they always run the scalar fused
+//     word kernel and report zero SIMD lanes.
+//
+// The per-atom MatchMaskWords stays the property-test oracle: the batch
+// kernel is bit-identical to it by construction and by the randomized
+// differential suite (tests/batch_kernel_property_test.cc), under every
+// compiled ISA variant.
+//
 // MatchMask/MatchMaskWords are allocation-free, touch no interner and no
 // cache, and are pure/immutable after Compile — any number of threads may
-// evaluate concurrently. Equivalence with the seed per-view loop is
-// property-tested over the packed range (tests/compiled_matcher_test.cc)
-// and across the 31/32/33/63/64/65/128 view boundaries
+// evaluate concurrently (MatchMaskBatch too, given per-thread scratch).
+// Equivalence with the seed per-view loop is property-tested over the
+// packed range (tests/compiled_matcher_test.cc) and across the
+// 31/32/33/63/64/65/128 view boundaries
 // (tests/wide_matcher_property_test.cc); the seed loop is kept behind the
 // `ablate_compiled_matcher` labeling option as the oracle.
 #pragma once
 
 #include <bit>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -52,6 +84,48 @@
 #include "label/view_catalog.h"
 
 namespace fdc::label {
+
+class CompiledCatalogMatcher;
+
+/// Reusable working state for MatchMaskBatch: the constant-probe memo plus
+/// the SIMD lane counter. A warm scratch (memo grown to the largest arity
+/// seen) makes MatchMaskBatch allocation-free; one scratch serves any
+/// number of sequential batches over any relations but must not be shared
+/// across threads concurrently.
+class BatchScratch {
+ public:
+  /// Cumulative count of 64-bit mask words ANDed through vector (AVX2/NEON)
+  /// instructions across every batch evaluated with this scratch; stays 0
+  /// under scalar dispatch and for one-word (narrow) relations, where there
+  /// is nothing for vector ANDs to fold. Feeds the simd_lanes_used stats
+  /// counters.
+  uint64_t simd_lanes_used() const { return simd_lanes_used_; }
+
+ private:
+  friend class CompiledCatalogMatcher;
+
+  /// Direct-mapped constant-probe memo, indexed by (position, hashed value
+  /// key). Batches repeat constants heavily — a catalog's selection values
+  /// form a small set — so after the first binary search for a value, every
+  /// other pattern in the batch probing the same (position, value) resolves
+  /// in O(1). Entries are validated by epoch so nothing is cleared between
+  /// batches (a batch of one pattern must not pay a table wipe). Only
+  /// values of ≤ 8 bytes are memoized: for those the prefix key plus the
+  /// length IS the full value, so a hit needs no string dereference at all;
+  /// longer values always take the binary search (they are rare as
+  /// selection constants, and correctness never depends on the memo).
+  struct ProbeMemo {
+    uint64_t key = 0;
+    uint64_t epoch = 0;
+    const uint64_t* row = nullptr;
+    uint32_t size = 0;
+  };
+  static constexpr int kProbeMemoBits = 6;  // 64 slots per position
+  std::vector<ProbeMemo> memo_;             // arity << kProbeMemoBits slots
+  uint64_t epoch_ = 0;
+
+  uint64_t simd_lanes_used_ = 0;
+};
 
 class CompiledCatalogMatcher {
  public:
@@ -116,6 +190,24 @@ class CompiledCatalogMatcher {
   /// allocation-free too.
   void MatchWideAtom(const cq::AtomPattern& pattern, WideAtomLabel* out) const;
 
+  /// Batch-structured MatchMaskWords: evaluates this relation's net over
+  /// all of `patterns` at once through the fused memoized kernel (see the
+  /// header comment for the kernel structure and SIMD dispatch contract). Every pattern must name the same relation
+  /// (`patterns[0].relation`); consumers bucket per relation first.
+  /// Writes patterns.size() rows of MaskWords(relation) words each into
+  /// `out_masks` (row i = pattern i), bit-identical to calling
+  /// MatchMaskWords per pattern — arity mismatches zero their row,
+  /// fallback relations run the per-view loop per pattern. Allocation-free
+  /// once `scratch` is warm; lock-free over the frozen net.
+  void MatchMaskBatch(std::span<const cq::AtomPattern> patterns,
+                      uint64_t* out_masks, BatchScratch* scratch) const;
+
+  /// Pointer-batch overload for consumers whose bucketed atoms are not
+  /// contiguous (LabelBatch buckets dissected atoms from many queries by
+  /// relation without copying them). Identical contract otherwise.
+  void MatchMaskBatch(std::span<const cq::AtomPattern* const> patterns,
+                      uint64_t* out_masks, BatchScratch* scratch) const;
+
   /// Per-view rewritability tests the seed kernel would run for an atom
   /// over `relation` that a compiled evaluation does NOT run: the
   /// relation's full view count — or 0 for fallback relations, where the
@@ -148,6 +240,10 @@ class CompiledCatalogMatcher {
     std::vector<int> value_begin;        // length arity + 1
     std::vector<std::string> values;
     std::vector<uint64_t> value_masks;   // values.size() × words
+    // 8-byte big-endian prefix keys parallel to `values`. Key order is a
+    // coarsening of the span's lexicographic order, so lookups binary-search
+    // the integer keys and only touch strings to break prefix ties.
+    std::vector<uint64_t> value_keys;
     // C2: view-side equalities. Views in the mask row require the incoming
     // pattern to imply equality between positions q and p.
     struct EqRequirement {
@@ -157,6 +253,17 @@ class CompiledCatalogMatcher {
     };
     std::vector<EqRequirement> eq_requirements;
     std::vector<uint64_t> eq_masks;      // eq_requirements.size() × words
+    // Derived rows for the batch kernel: every per-position condition as a
+    // single AND-able row, so classification never composes masks at eval
+    // time. All precomputed from the rows above at compile time.
+    std::vector<uint64_t> nc_at;         // arity × words: all_views & ~const_at
+    std::vector<uint64_t> ncd_at;        // arity × words: nc_at & dist_at
+    // value_masks row | dist_at of its position (parallel to value_masks).
+    std::vector<uint64_t> value_or_dist;
+    // (q·arity + p) rows: same_class | (dist_at[q] & dist_at[p]).
+    std::vector<uint64_t> same_or_dist;
+    // all_views & ~eq_masks, parallel to eq_masks.
+    std::vector<uint64_t> eq_not;
   };
 
   const RelationNet* NetFor(int relation) const {
@@ -167,15 +274,30 @@ class CompiledCatalogMatcher {
   }
 
   /// Mask row of views at `pattern.relation` selecting exactly `value` at
-  /// position p (binary search in the flat value table), or nullptr when no
-  /// view does.
+  /// position p, or nullptr when no view does. Wraps LookupRow over the
+  /// value_masks rows.
   static const uint64_t* LookupValue(const RelationNet& net, int p,
                                      const std::string& value);
+
+  /// Row index of `value` in position p's span of the flat value table
+  /// (prefix-key binary search + string tie-break), or -1 when absent.
+  /// `key` must be ValueKey(value).
+  static int LookupRow(const RelationNet& net, int p, uint64_t key,
+                       const std::string& value);
 
   /// The single-word kernel (net.words == 1): today's exact code shape, one
   /// uint64_t accumulator, no scratch.
   static uint64_t MatchWordNarrow(const RelationNet& net,
                                   const cq::AtomPattern& v);
+
+  /// Shared body of the single-word kernel, parameterized over how C1/C3
+  /// constant probes resolve: MatchWordNarrow passes the plain binary
+  /// search; the batch kernel passes the BatchScratch probe memo. `lookup`
+  /// gets (position, prefix key, value) and returns the row to AND — the
+  /// value_or_dist row on a table hit, the dist row otherwise.
+  template <typename Lookup>
+  static uint64_t MatchNarrowImpl(const RelationNet& net,
+                                  const cq::AtomPattern& v, Lookup lookup);
 
   /// The width-generic kernel (any net.words): accumulates into `out`.
   static void MatchWordsWide(const RelationNet& net, const cq::AtomPattern& v,
@@ -184,6 +306,12 @@ class CompiledCatalogMatcher {
   /// Per-view AtomRewritable loop for fallback relations, full bit range.
   void FallbackMaskWords(int relation, const cq::AtomPattern& v,
                          uint64_t* out, int words) const;
+
+  /// Batch kernel core, generic over how the batch is stored (`at(i)` must
+  /// yield the i-th cq::AtomPattern). Both public overloads forward here.
+  template <typename Access>
+  void MatchMaskBatchImpl(Access at, int n_patterns, uint64_t* out,
+                          BatchScratch* scratch) const;
 
   const ViewCatalog* catalog_ = nullptr;
   std::vector<RelationNet> nets_;  // indexed by relation id

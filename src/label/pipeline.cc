@@ -135,6 +135,97 @@ PackedAtomLabel ComputePatternMask(const ViewCatalog& catalog,
   return PackedAtomLabel(static_cast<uint32_t>(pattern.relation), mask);
 }
 
+void LabelQueriesBatched(const CompiledCatalogMatcher& matcher,
+                         DissectOptions dissect_options,
+                         std::span<const cq::ConjunctiveQuery* const> queries,
+                         BatchLabelScratch* scratch,
+                         std::vector<DisclosureLabel>* labels,
+                         BatchLabelCounters* counters) {
+  labels->clear();
+  labels->resize(queries.size());
+  if (queries.empty()) return;
+  const uint64_t lanes_before = scratch->kernel.simd_lanes_used();
+
+  // Dissect every query into one flat atom pool (folding included — the
+  // same Dissect the per-query paths run).
+  scratch->atoms.clear();
+  scratch->atom_query.clear();
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    for (cq::AtomPattern& atom : Dissect(*queries[qi], dissect_options)) {
+      scratch->atoms.push_back(std::move(atom));
+      scratch->atom_query.push_back(static_cast<int32_t>(qi));
+    }
+  }
+  const int total = static_cast<int>(scratch->atoms.size());
+  scratch->order.resize(static_cast<size_t>(total));
+  for (int i = 0; i < total; ++i) scratch->order[static_cast<size_t>(i)] = i;
+  // Bucket by relation, arrival order within a bucket (deterministic and
+  // stable without std::stable_sort's temporary buffer).
+  std::sort(scratch->order.begin(), scratch->order.end(),
+            [scratch](int32_t a, int32_t b) {
+              const int ra = scratch->atoms[static_cast<size_t>(a)].relation;
+              const int rb = scratch->atoms[static_cast<size_t>(b)].relation;
+              if (ra != rb) return ra < rb;
+              return a < b;
+            });
+
+  // Hoisted bucket mask buffer: max bucket length × max words covers every
+  // bucket, sized once per call (and only grown across calls).
+  int max_bucket = 0;
+  for (int i = 0; i < total;) {
+    const int relation = scratch->atoms[scratch->order[i]].relation;
+    int j = i + 1;
+    while (j < total && scratch->atoms[scratch->order[j]].relation == relation)
+      ++j;
+    max_bucket = std::max(max_bucket, j - i);
+    i = j;
+  }
+  const size_t masks_needed =
+      static_cast<size_t>(max_bucket) * matcher.max_mask_words();
+  if (scratch->masks.size() < masks_needed) scratch->masks.resize(masks_needed);
+
+  for (int i = 0; i < total;) {
+    const int relation = scratch->atoms[scratch->order[i]].relation;
+    int j = i + 1;
+    while (j < total && scratch->atoms[scratch->order[j]].relation == relation)
+      ++j;
+    const int len = j - i;
+    scratch->bucket.clear();
+    for (int k = i; k < j; ++k) {
+      scratch->bucket.push_back(&scratch->atoms[scratch->order[k]]);
+    }
+    const int W = matcher.MaskWords(relation);
+    matcher.MatchMaskBatch(
+        std::span<const cq::AtomPattern* const>(scratch->bucket),
+        scratch->masks.data(), &scratch->kernel);
+    counters->batch_mask_evals += static_cast<uint64_t>(len);
+    counters->per_view_tests_avoided +=
+        static_cast<uint64_t>(len) *
+        static_cast<uint64_t>(matcher.AvoidedPerViewTests(relation));
+    const bool wide = matcher.UsesWideMask(relation);
+    if (wide) counters->wide_mask_evals += static_cast<uint64_t>(len);
+    for (int k = i; k < j; ++k) {
+      DisclosureLabel& label =
+          (*labels)[static_cast<size_t>(scratch->atom_query[scratch->order[k]])];
+      const uint64_t* row =
+          scratch->masks.data() + static_cast<size_t>(k - i) * W;
+      if (wide) {
+        WideAtomLabel atom;
+        atom.relation = relation;
+        atom.mask.assign(row, row + W);
+        label.AddWide(std::move(atom));
+      } else {
+        label.Add(PackedAtomLabel(static_cast<uint32_t>(relation),
+                                  static_cast<uint32_t>(row[0])));
+      }
+    }
+    i = j;
+  }
+  for (DisclosureLabel& label : *labels) label.Seal();
+  counters->simd_lanes_used +=
+      scratch->kernel.simd_lanes_used() - lanes_before;
+}
+
 rewriting::ContainmentCache& LabelingPipeline::EnsureCache() {
   if (cache_ == nullptr) {
     owned_cache_ = std::make_unique<rewriting::ContainmentCache>();
@@ -236,24 +327,86 @@ std::vector<DisclosureLabel> LabelingPipeline::LabelBatch(
   if (label_by_query_.size() >= options_.max_label_cache) {
     label_by_query_.clear();
   }
-  for (const cq::ConjunctiveQuery& query : queries) {
+  if (matcher_ == nullptr || options_.ablate_batch_kernel) {
+    // Pre-batch-kernel shape: each novel structure through the per-atom
+    // compiled (or seed) kernel. Kept as the ablation baseline.
+    for (const cq::ConjunctiveQuery& query : queries) {
+      const cq::InternedQuery* handle =
+          interner_->TryIntern(query, options_.max_interned_queries);
+      if (handle == nullptr) {
+        out.push_back(LabelStateless(query));  // interner saturated
+        continue;
+      }
+      const int id = handle->id();
+      auto it = label_by_query_.find(id);
+      if (it == label_by_query_.end()) {
+        ++stats_.label_misses;
+        it = label_by_query_
+                 .emplace(id, ComputeLabel(interner_->query(id).query()))
+                 .first;
+      } else {
+        ++stats_.label_hits;
+      }
+      out.push_back(it->second);
+    }
+    return out;
+  }
+
+  // Batched path: one intern/memo pass marks the novel structures, then
+  // their dissected atoms are bucketed per relation and evaluated through
+  // the batch kernel (LabelQueriesBatched) — the same labels the per-query
+  // path computes, one MatchMaskBatch per relation instead of one
+  // MatchMaskWords per atom.
+  out.resize(queries.size());
+  struct PendingQuery {
+    size_t out_index;
+    int id;
+  };
+  std::vector<PendingQuery> pending;
+  std::vector<int> novel_ids;
+  std::vector<const cq::ConjunctiveQuery*> novel_queries;
+  std::unordered_map<int, int32_t> novel_slot;
+  for (size_t k = 0; k < queries.size(); ++k) {
     const cq::InternedQuery* handle =
-        interner_->TryIntern(query, options_.max_interned_queries);
+        interner_->TryIntern(queries[k], options_.max_interned_queries);
     if (handle == nullptr) {
-      out.push_back(LabelStateless(query));  // interner saturated
+      out[k] = LabelStateless(queries[k]);  // interner saturated
       continue;
     }
     const int id = handle->id();
     auto it = label_by_query_.find(id);
-    if (it == label_by_query_.end()) {
-      ++stats_.label_misses;
-      it = label_by_query_
-               .emplace(id, ComputeLabel(interner_->query(id).query()))
-               .first;
-    } else {
+    if (it != label_by_query_.end()) {
       ++stats_.label_hits;
+      out[k] = it->second;
+      continue;
     }
-    out.push_back(it->second);
+    pending.push_back({k, id});
+    if (novel_slot.emplace(id, static_cast<int32_t>(novel_ids.size())).second) {
+      ++stats_.label_misses;
+      novel_ids.push_back(id);
+      novel_queries.push_back(&interner_->query(id).query());
+    } else {
+      ++stats_.label_hits;  // batch-internal duplicate, as on the memo path
+    }
+  }
+  if (!novel_queries.empty()) {
+    std::vector<DisclosureLabel> novel_labels;
+    BatchLabelCounters counters;
+    LabelQueriesBatched(*matcher_, dissect_options_,
+                        std::span<const cq::ConjunctiveQuery* const>(
+                            novel_queries),
+                        &batch_scratch_, &novel_labels, &counters);
+    stats_.compiled_mask_evals += counters.batch_mask_evals;
+    stats_.batch_mask_evals += counters.batch_mask_evals;
+    stats_.wide_mask_evals += counters.wide_mask_evals;
+    stats_.per_view_tests_avoided += counters.per_view_tests_avoided;
+    stats_.simd_lanes_used += counters.simd_lanes_used;
+    for (size_t s = 0; s < novel_ids.size(); ++s) {
+      label_by_query_.emplace(novel_ids[s], std::move(novel_labels[s]));
+    }
+  }
+  for (const PendingQuery& p : pending) {
+    out[p.out_index] = label_by_query_.find(p.id)->second;
   }
   return out;
 }

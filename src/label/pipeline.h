@@ -95,6 +95,44 @@ PackedAtomLabel ComputePatternMask(const ViewCatalog& catalog,
                                    int pattern_id,
                                    const cq::AtomPattern& pattern);
 
+/// Working state for LabelQueriesBatched, reusable across calls: the
+/// dissected atoms, their relation-bucketed order, the bucket mask buffer
+/// hoisted out of the bucket loop (sized once per call by
+/// CompiledCatalogMatcher::max_mask_words() × the largest bucket), and the
+/// matcher's BatchScratch. A warm scratch makes the whole bucket/kernel
+/// phase allocation-free; confine an instance to one thread.
+struct BatchLabelScratch {
+  std::vector<cq::AtomPattern> atoms;
+  std::vector<int32_t> atom_query;  // atoms[i] dissected from query atom_query[i]
+  std::vector<int32_t> order;       // atom indices, bucketed by relation
+  std::vector<const cq::AtomPattern*> bucket;  // current bucket's patterns
+  std::vector<uint64_t> masks;      // hoisted per-bucket mask rows
+  BatchScratch kernel;
+};
+
+/// Counters LabelQueriesBatched accumulates for the caller's stats.
+struct BatchLabelCounters {
+  uint64_t batch_mask_evals = 0;        // masks evaluated through the kernel
+  uint64_t wide_mask_evals = 0;         // of those, wide-relation masks
+  uint64_t per_view_tests_avoided = 0;  // seed per-view tests replaced
+  uint64_t simd_lanes_used = 0;         // vector-ANDed 64-bit mask words
+};
+
+/// The batched labeling core shared by LabelingPipeline::LabelBatch and
+/// engine::ConcurrentLabeler::LabelBatch: dissects every query, buckets the
+/// dissected atoms per relation, evaluates each bucket in one
+/// CompiledCatalogMatcher::MatchMaskBatch call, and scatters the mask rows
+/// into one Sealed DisclosureLabel per query — identical output to the
+/// per-query LabelViaMatcher/LabelCompiled paths (the batch kernel is
+/// bit-identical to per-atom MatchMaskWords). Pure reads of `matcher`;
+/// thread-safe given a per-thread scratch.
+void LabelQueriesBatched(const CompiledCatalogMatcher& matcher,
+                         DissectOptions dissect_options,
+                         std::span<const cq::ConjunctiveQuery* const> queries,
+                         BatchLabelScratch* scratch,
+                         std::vector<DisclosureLabel>* labels,
+                         BatchLabelCounters* counters);
+
 /// The production labeling front end: intern → index → memoize → batch.
 ///
 /// Layered on LabelerPipeline::LabelPacked (which itself benefits from the
@@ -113,7 +151,11 @@ PackedAtomLabel ComputePatternMask(const ViewCatalog& catalog,
 ///      shared ContainmentCache under kCatalogRewritable, packed-only) is
 ///      kept behind `ablate_compiled_matcher`;
 ///   4. LabelBatch buckets a whole batch by interned id and computes each
-///      distinct label exactly once.
+///      distinct label exactly once; the novel structures' dissected atoms
+///      are then bucketed per relation and evaluated through the
+///      batch-structured SIMD kernel (MatchMaskBatch — see
+///      LabelQueriesBatched), with the per-atom loop kept behind
+///      `ablate_batch_kernel`.
 ///
 /// `ablate_interning` (baseline mode, kept for the Figure-style benchmark
 /// ablation) bypasses all of the above and calls LabelPacked per query.
@@ -138,6 +180,12 @@ struct LabelingOptions {
   /// on catalogs beyond the packed view capacity it over-labels (bit ≥ 32
   /// excluded), while the compiled path stays exact via wide atoms.
   bool ablate_compiled_matcher = false;
+  /// Batch ablation: LabelBatch labels each novel structure through the
+  /// per-atom MatchMaskWords loop (the pre-batch code shape) instead of
+  /// bucketing atoms per relation through MatchMaskBatch. Labels are
+  /// identical either way (property-tested); this isolates the batch
+  /// kernel's contribution in benchmarks.
+  bool ablate_batch_kernel = false;
   /// Whole-query label memo entries kept before the memo is reset.
   size_t max_label_cache = 1 << 20;
   /// Interner growth bound: once this many distinct structures are
@@ -161,6 +209,14 @@ class LabelingPipeline {
     // Of those, evaluations over relations beyond the packed view capacity
     // (the compiled net produced a multi-word wide atom).
     uint64_t wide_mask_evals = 0;
+    // Of those, masks evaluated through the batch-structured kernel
+    // (LabelBatch's per-relation buckets via MatchMaskBatch).
+    uint64_t batch_mask_evals = 0;
+    // 64-bit mask words ANDed by vector (AVX2/NEON) instructions inside
+    // those batch evaluations; stays 0 under scalar dispatch (FDC_SIMD) and
+    // for one-word (narrow) relations, which always run the scalar fused
+    // loop.
+    uint64_t simd_lanes_used = 0;
     // Per-view rewritability tests the seed loop would have run for those
     // masks (the work the compiled matcher replaces outright).
     uint64_t per_view_tests_avoided = 0;
@@ -218,6 +274,9 @@ class LabelingPipeline {
   std::unique_ptr<CompiledCatalogMatcher> owned_matcher_;
   std::unordered_map<int, DisclosureLabel> label_by_query_;
   std::unordered_map<int, PackedAtomLabel> mask_by_pattern_;
+  // LabelBatch's bucket/kernel scratch, reused across batches (warm batches
+  // allocate nothing in the bucket loop).
+  BatchLabelScratch batch_scratch_;
   Stats stats_;
 };
 
