@@ -13,7 +13,7 @@ tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
 benchmarks=(fig_batch_monitor fig5_labeler fig_engine_scaling fig_matcher
-            fig_principal_churn)
+            fig_principal_churn fig_server)
 
 # Run metadata so the bench trajectory across PRs is attributable to a
 # commit and a machine shape. Each field may be pre-set by the caller
@@ -71,7 +71,7 @@ merged["run_metadata"] = {
 }
 
 for name in ("fig_batch_monitor", "fig5_labeler", "fig_engine_scaling",
-             "fig_matcher", "fig_principal_churn"):
+             "fig_matcher", "fig_principal_churn", "fig_server"):
     with open(os.path.join(tmp, name + ".json")) as f:
         data = json.load(f)
     merged.setdefault("context", data.get("context", {}))
@@ -87,7 +87,9 @@ for name in ("fig_batch_monitor", "fig5_labeler", "fig_engine_scaling",
                       "masks_per_second", "sec_per_1M_queries",
                       "num_principals", "residual_records", "residual_bytes",
                       "residual_bytes_after_swap", "evictions",
-                      "residual_hits")
+                      "residual_hits", "decisions_per_second",
+                      "avg_coalesced_batch", "max_coalesced_batch",
+                      "p50_us", "p99_us", "p999_us")
             if k in bench
         }
 
@@ -215,6 +217,36 @@ bounded_live = merged["principal_churn"].get("bounded/num_principals")
 merged["principal_churn"]["bounded_within_capacity"] = \
     bounded_live is not None and bounded_live <= 4096
 
+# Socket serving front end: closed-loop loopback decisions/s per pipelined
+# connection count, the sockets-free SubmitCoalesced reference, and the
+# unloaded call/response tail latencies. Acceptance floor: >= 1M coalesced
+# decisions/s over loopback on one worker.
+def server_counter(name, key):
+    return merged["benchmarks"].get(name, {}).get(key)
+
+merged["fig_server"] = {"decisions_per_second_floor": 1_000_000}
+for conns in (1, 16):
+    r = server_counter(f"ServerLoad/engine_only/conns/{conns}",
+                       "decisions_per_second")
+    if r:
+        merged["fig_server"][f"engine_only/conns/{conns}"] = r
+for conns in (1, 4, 16):
+    row = f"ServerLoad/pipelined/conns/{conns}/real_time"
+    r = server_counter(row, "decisions_per_second")
+    if r:
+        merged["fig_server"][f"pipelined/conns/{conns}"] = r
+        avg = server_counter(row, "avg_coalesced_batch")
+        if avg:
+            merged["fig_server"][f"pipelined/conns/{conns}/avg_batch"] =                 round(avg, 1)
+for k in ("p50_us", "p99_us", "p999_us"):
+    v = server_counter("ServerLoad/latency/real_time", k)
+    if v is not None:
+        merged["fig_server"][f"latency/{k}"] = round(v, 2)
+pipelined_rates = [v for k, v in merged["fig_server"].items()
+                   if k.startswith("pipelined/") and not k.endswith("avg_batch")]
+merged["fig_server"]["pipelined_min_decisions_per_second"] =     round(min(pipelined_rates), 1) if pipelined_rates else None
+merged["fig_server"]["meets_floor"] =     bool(pipelined_rates) and min(pipelined_rates) >= 1_000_000
+
 # Engine thread-scaling: aggregate throughput and parallel efficiency
 # rate(N) / (N * rate(1)) per series. Multi-threaded google-benchmark rows
 # are suffixed "/threads:N" except N=1 with UseRealTime ("/real_time").
@@ -264,5 +296,10 @@ churn_live = merged["principal_churn"].get("bounded/num_principals")
 if churn_live is not None:
     msg += (f"; churn live principals = {int(churn_live)}/4096 "
             f"(5x churn)")
+srv = merged["fig_server"].get("pipelined_min_decisions_per_second")
+if srv is not None:
+    p99 = merged["fig_server"].get("latency/p99_us")
+    msg += (f"; server pipelined min = {srv/1e6:.2f}M dec/s "
+            f"(floor 1M, p99 = {p99} us)")
 print(msg)
 EOF

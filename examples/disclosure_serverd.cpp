@@ -1,0 +1,179 @@
+// disclosure_serverd: the engine as a standalone network daemon.
+//
+// Hosts the §7.2 Facebook environment (37-view catalog) behind
+// server::DisclosureServer and serves the binary wire protocol until
+// SIGINT/SIGTERM. The CI integration job and bench/fig_server's
+// FDC_SERVER_CONNECT mode talk to this process.
+//
+//   $ ./examples/disclosure_serverd --port=7421 --workers=2
+//   listening on 127.0.0.1:7421
+//
+//   $ ./examples/disclosure_serverd --smoke
+//     # serve on an ephemeral port, run a self-check client session
+//     # (hello, template, submits, /stats, ping), print the results and
+//     # exit 0 iff every response matched expectations.
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cq/printer.h"
+#include "engine/disclosure_engine.h"
+#include "fb/fb_schema.h"
+#include "fb/fb_views.h"
+#include "label/view_catalog.h"
+#include "server/client.h"
+#include "server/disclosure_server.h"
+#include "workload/policy_generator.h"
+#include "workload/query_generator.h"
+
+using namespace fdc;
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void HandleSignal(int) { g_stop.store(true, std::memory_order_relaxed); }
+
+int RunSmoke(server::DisclosureServer& srv, const std::string& datalog) {
+  server::BlockingClient client;
+  Status s = client.Connect("127.0.0.1", srv.port(), "smoke-app");
+  if (!s.ok()) {
+    std::fprintf(stderr, "connect: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("hello ack: epoch=%llu\n",
+              static_cast<unsigned long long>(client.epoch()));
+  std::printf("template: %s\n", datalog.c_str());
+
+  s = client.RegisterTemplate(0, datalog);
+  if (!s.ok()) {
+    std::fprintf(stderr, "register: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  int allowed = 0;
+  for (int i = 0; i < 8; ++i) {
+    server::ClientResponse resp;
+    s = client.Submit(0, &resp, /*explain=*/i == 0);
+    if (!s.ok() || resp.type != server::FrameType::kDecision) {
+      std::fprintf(stderr, "submit %d failed: %s\n", i, s.ToString().c_str());
+      return 1;
+    }
+    allowed += resp.allow ? 1 : 0;
+    if (i == 0) {
+      std::printf("decision: %s (epoch %llu)\n%s\n",
+                  resp.allow ? "allow" : "refuse",
+                  static_cast<unsigned long long>(resp.epoch),
+                  resp.text.c_str());
+    }
+  }
+  std::printf("8 submits, %d allowed\n", allowed);
+
+  std::string stats_json;
+  s = client.StatsJson(&stats_json);
+  if (!s.ok() || stats_json.empty() || stats_json.front() != '{') {
+    std::fprintf(stderr, "stats: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("stats: %s\n", stats_json.c_str());
+
+  uint64_t epoch = 0;
+  s = client.Ping(&epoch);
+  if (!s.ok()) {
+    std::fprintf(stderr, "ping: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("pong: epoch=%llu\n", static_cast<unsigned long long>(epoch));
+
+  const auto server_stats = srv.stats();
+  if (server_stats.decisions != 8 || server_stats.protocol_errors != 0) {
+    std::fprintf(stderr, "unexpected server stats: decisions=%llu errors=%llu\n",
+                 static_cast<unsigned long long>(server_stats.decisions),
+                 static_cast<unsigned long long>(server_stats.protocol_errors));
+    return 1;
+  }
+  std::printf("smoke ok\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  server::ServerOptions options;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--port=", 0) == 0) {
+      options.port = static_cast<uint16_t>(std::stoi(arg.substr(7)));
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      options.workers = std::stoi(arg.substr(10));
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--port=N] [--workers=N] [--smoke]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  // The served universe: §7.2 Facebook schema + catalog, a generated
+  // multi-partition policy, no backing database (decision serving only).
+  cq::Schema schema = fb::BuildFacebookSchema();
+  label::ViewCatalog catalog(&schema);
+  if (auto added = fb::RegisterFacebookViews(&catalog); !added.ok()) {
+    std::fprintf(stderr, "%s\n", added.status().ToString().c_str());
+    return 1;
+  }
+  workload::PolicyOptions policy_options;
+  policy_options.max_partitions = 5;
+  policy_options.max_elements_per_partition = 15;
+  workload::PolicyGenerator generator(&catalog, policy_options, 0x5107'e002);
+  // Pre-label the workload template pool into the frozen tier (same
+  // generator seed bench/fig_server.cc draws its templates from), so
+  // registered templates resolve lock-free instead of through the guarded
+  // overlay — the daemon analogue of warming an app ecosystem's known
+  // query templates at startup.
+  workload::GeneratorOptions warmup_options;
+  warmup_options.subqueries = 2;
+  workload::QueryGenerator warmup_gen(&schema, warmup_options, 0x5e43ULL);
+  std::vector<cq::ConjunctiveQuery> warmup;
+  warmup.reserve(512);
+  for (int i = 0; i < 512; ++i) warmup.push_back(warmup_gen.Next());
+  engine::DisclosureEngine engine(/*db=*/nullptr, &catalog, generator.Next(),
+                                  {}, std::span(warmup.data(), warmup.size()));
+
+  server::DisclosureServer srv(&engine, options);
+  if (Status s = srv.Start(); !s.ok()) {
+    std::fprintf(stderr, "start: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on %s:%u\n", options.host.c_str(), srv.port());
+  std::fflush(stdout);
+
+  if (smoke) {
+    workload::QueryGenerator query_gen(&schema, {}, 0xfdc'5e1f);
+    const std::string datalog = cq::ToDatalog(query_gen.Next(), schema);
+    const int rc = RunSmoke(srv, datalog);
+    srv.Stop();
+    return rc;
+  }
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!g_stop.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::printf("shutting down\n");
+  srv.Stop();
+  const auto st = srv.stats();
+  std::printf("served %llu decisions over %llu connections\n",
+              static_cast<unsigned long long>(st.decisions),
+              static_cast<unsigned long long>(st.connections_accepted));
+  return 0;
+}

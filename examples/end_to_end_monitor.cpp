@@ -12,9 +12,9 @@
 #include <string>
 #include <vector>
 
-#include "common/simd.h"
 #include "cq/sql_parser.h"
 #include "engine/disclosure_engine.h"
+#include "engine/stats_json.h"
 
 using namespace fdc;
 
@@ -127,52 +127,11 @@ int main() {
   // One maintenance sweep (normally driven by principal_sweep_interval).
   (void)engine.SweepPrincipals();
 
-  const engine::DisclosureEngine::EngineStats stats = engine.Stats();
-  std::printf(
-      "\nengine stats (epoch %llu, %zu principals, %zu frozen labels)\n"
-      "  lifecycle : %llu evictions (%llu capacity, %llu ttl), %llu "
-      "residual hits, %zu residuals (%zu bytes)\n"
-      "  decisions : %llu submitted = %llu accepted + %llu refused\n"
-      "  labeler   : %llu frozen hits, %llu overlay hits, %llu overlay "
-      "misses, %llu stateless fallbacks\n"
-      "  matcher   : %llu compiled mask evals (%llu wide), %llu per-view "
-      "tests avoided\n"
-      "  batch     : %llu batch mask evals, %llu simd lanes (dispatch: %s)\n"
-      "  fold      : %llu warm-scratch atom-drop searches (process-wide)\n"
-      "  interner  : %llu query hits / %llu misses, %llu pattern hits / %llu "
-      "misses\n"
-      "  containment cache (sharded, per-shard counters summed):\n"
-      "            : %llu hits, %llu misses, %llu insertions, %llu "
-      "evictions, %llu hom-scratch reuses\n",
-      static_cast<unsigned long long>(stats.epoch), stats.num_principals,
-      stats.frozen_labels,
-      static_cast<unsigned long long>(stats.principal_map.evictions),
-      static_cast<unsigned long long>(stats.principal_map.capacity_evictions),
-      static_cast<unsigned long long>(stats.principal_map.ttl_evictions),
-      static_cast<unsigned long long>(stats.principal_map.residual_hits),
-      stats.principal_map.residuals, stats.principal_map.residual_bytes,
-      static_cast<unsigned long long>(stats.submitted),
-      static_cast<unsigned long long>(stats.accepted),
-      static_cast<unsigned long long>(stats.refused),
-      static_cast<unsigned long long>(stats.labeler.frozen_hits),
-      static_cast<unsigned long long>(stats.labeler.overlay_hits),
-      static_cast<unsigned long long>(stats.labeler.overlay_misses),
-      static_cast<unsigned long long>(stats.labeler.stateless_fallbacks),
-      static_cast<unsigned long long>(stats.labeler.compiled_mask_evals),
-      static_cast<unsigned long long>(stats.labeler.wide_mask_evals),
-      static_cast<unsigned long long>(stats.labeler.per_view_tests_avoided),
-      static_cast<unsigned long long>(stats.labeler.batch_mask_evals),
-      static_cast<unsigned long long>(stats.labeler.simd_lanes_used),
-      fdc::simd::IsaName(fdc::simd::ActiveIsa()),
-      static_cast<unsigned long long>(stats.fold_scratch_reuses),
-      static_cast<unsigned long long>(stats.interner.query_hits),
-      static_cast<unsigned long long>(stats.interner.query_misses),
-      static_cast<unsigned long long>(stats.interner.pattern_hits),
-      static_cast<unsigned long long>(stats.interner.pattern_misses),
-      static_cast<unsigned long long>(stats.containment.hits),
-      static_cast<unsigned long long>(stats.containment.misses),
-      static_cast<unsigned long long>(stats.containment.insertions),
-      static_cast<unsigned long long>(stats.containment.evictions),
-      static_cast<unsigned long long>(stats.containment.hom_scratch_reuses));
+  // The engine's per-tier counters, in the one JSON schema shared with the
+  // serving front end's /stats frame (engine/stats_json.h): what this
+  // prints is byte-identical to what `DisclosureServer` answers on the
+  // wire, so the same tooling parses both.
+  std::printf("\nengine stats:\n%s\n",
+              engine::StatsToJson(engine.Stats()).c_str());
   return 0;
 }

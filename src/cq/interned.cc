@@ -142,6 +142,16 @@ const InternedQuery* QueryInterner::TryIntern(const ConjunctiveQuery& query,
     queries_.push_back(InternedQuery(id, Canonicalize(query)));
     approx_bytes_ += ApproxQueryBytes(queries_.back().query()) + key.size();
     query_by_key_.emplace(std::move(key), id);
+    // Make the canonical form itself level-1 findable: a caller that
+    // canonicalizes once up front (e.g. template registration) then probes
+    // with the canonical object never pays CanonicalKey again.
+    const ConjunctiveQuery& canonical = queries_.back().query();
+    if (!(canonical == query) && raw_entries_ < kMaxRawEntries &&
+        approx_bytes_ < kMaxApproxBytes) {
+      approx_bytes_ += ApproxQueryBytes(canonical);
+      raw_buckets_[HashRawQuery(canonical)].emplace_back(canonical, id);
+      ++raw_entries_;
+    }
   }
   if (raw_entries_ < kMaxRawEntries && approx_bytes_ < kMaxApproxBytes) {
     approx_bytes_ += ApproxQueryBytes(query);

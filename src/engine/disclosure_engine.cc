@@ -1,5 +1,7 @@
 #include "engine/disclosure_engine.h"
 
+#include <string_view>
+#include <unordered_map>
 #include <utility>
 
 #include "policy/reference_monitor.h"
@@ -106,6 +108,93 @@ std::vector<bool> DisclosureEngine::SubmitBatch(
     MaybeAutoSweep(decisions->size());
     return *std::move(decisions);
   }
+}
+
+void DisclosureEngine::SubmitCoalesced(
+    std::span<const SubmitRequest> requests, std::vector<bool>* decisions,
+    std::vector<uint64_t>* epochs) {
+  // Per-thread scratch: one serving thread calls this once per event-loop
+  // wake, so the gather/group vectors stay warm and allocation-free.
+  struct Scratch {
+    std::vector<const cq::ConjunctiveQuery*> queries;
+    std::unordered_map<std::string_view, uint32_t> group_of;
+    struct Group {
+      std::string_view principal;
+      std::vector<uint32_t> indices;  // request indices, arrival order
+      std::vector<const label::DisclosureLabel*> labels;
+    };
+    std::vector<Group> groups;
+    size_t groups_used = 0;
+  };
+  thread_local Scratch scratch;
+
+  decisions->clear();
+  decisions->resize(requests.size());
+  if (epochs != nullptr) {
+    epochs->clear();
+    epochs->resize(requests.size());
+  }
+  if (requests.empty()) return;
+
+  // One batched labeling pass over the whole wake: the batch/SIMD kernel
+  // and the batch's distinct-structure dedup see the full coalesced size,
+  // not per-connection fragments.
+  scratch.queries.clear();
+  scratch.queries.reserve(requests.size());
+  for (const SubmitRequest& request : requests) {
+    scratch.queries.push_back(request.query);
+  }
+  const std::vector<label::DisclosureLabel> labels = labeler_.LabelBatch(
+      std::span<const cq::ConjunctiveQuery* const>(scratch.queries));
+
+  // Group request indices by principal, preserving arrival order within
+  // each group (the only order monitor decisions depend on).
+  scratch.group_of.clear();
+  scratch.groups_used = 0;
+  for (uint32_t i = 0; i < requests.size(); ++i) {
+    auto [it, inserted] = scratch.group_of.try_emplace(
+        requests[i].principal, static_cast<uint32_t>(scratch.groups_used));
+    if (inserted) {
+      if (scratch.groups_used == scratch.groups.size()) {
+        scratch.groups.emplace_back();
+      }
+      Scratch::Group& group = scratch.groups[scratch.groups_used++];
+      group.principal = requests[i].principal;
+      group.indices.clear();
+      group.labels.clear();
+    }
+    Scratch::Group& group = scratch.groups[it->second];
+    group.indices.push_back(i);
+    group.labels.push_back(&labels[i]);
+  }
+
+  uint64_t ok_total = 0;
+  for (size_t g = 0; g < scratch.groups_used; ++g) {
+    const Scratch::Group& group = scratch.groups[g];
+    for (;;) {
+      const std::shared_ptr<const EngineSnapshot> snap = Snapshot();
+      const policy::ReferenceMonitor monitor(&snap->policy());
+      std::optional<std::vector<bool>> group_decisions =
+          principals_.TryWithState(
+              group.principal, snap->epoch(), snap->InitialMask(),
+              [&](policy::PrincipalState& state) {
+                return monitor.SubmitBatch(
+                    &state, std::span<const label::DisclosureLabel* const>(
+                                group.labels));
+              });
+      if (!group_decisions.has_value()) continue;  // raced a policy swap
+      for (size_t j = 0; j < group.indices.size(); ++j) {
+        const bool d = (*group_decisions)[j];
+        (*decisions)[group.indices[j]] = d;
+        if (epochs != nullptr) (*epochs)[group.indices[j]] = snap->epoch();
+        ok_total += d ? 1 : 0;
+      }
+      break;
+    }
+  }
+  accepted_.fetch_add(ok_total, std::memory_order_relaxed);
+  refused_.fetch_add(requests.size() - ok_total, std::memory_order_relaxed);
+  MaybeAutoSweep(requests.size());
 }
 
 Result<std::vector<storage::Tuple>> DisclosureEngine::Query(

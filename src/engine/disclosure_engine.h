@@ -115,6 +115,29 @@ class DisclosureEngine {
   std::vector<bool> SubmitBatch(std::string_view principal,
                                 std::span<const cq::ConjunctiveQuery> queries);
 
+  /// One request of a coalesced cross-principal batch (SubmitCoalesced).
+  /// `principal` and `*query` must stay valid for the duration of the call;
+  /// the serving front end points these at per-connection state.
+  struct SubmitRequest {
+    std::string_view principal;
+    const cq::ConjunctiveQuery* query = nullptr;
+  };
+
+  /// Coalesced decisions across principals: everything a server drained
+  /// from one event-loop wake goes through a single batched labeling pass
+  /// (batch/SIMD kernel + batch label dedup at the wire path's natural
+  /// batch size), then one monitor SubmitBatch per distinct principal
+  /// group (arrival order preserved within each principal). Decision-
+  /// identical to calling Submit per request in order: principals' monitor
+  /// states are independent, so only the per-principal order matters.
+  /// `decisions` is resized to requests.size(); when `epochs` is non-null
+  /// it receives the epoch each request's decision was made under (groups
+  /// racing UpdatePolicy may land on different epochs, exactly like
+  /// sequential Submit calls would).
+  void SubmitCoalesced(std::span<const SubmitRequest> requests,
+                       std::vector<bool>* decisions,
+                       std::vector<uint64_t>* epochs = nullptr);
+
   /// Full guarded query: decide, then evaluate against the database.
   Result<std::vector<storage::Tuple>> Query(const std::string& principal,
                                             const cq::ConjunctiveQuery& query);

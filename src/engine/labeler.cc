@@ -147,13 +147,22 @@ label::DisclosureLabel ConcurrentLabeler::Label(
 
 std::vector<label::DisclosureLabel> ConcurrentLabeler::LabelBatch(
     std::span<const cq::ConjunctiveQuery> queries) {
+  // Forward to the pointer-span core (the serving front end's shape).
+  std::vector<const cq::ConjunctiveQuery*> ptrs;
+  ptrs.reserve(queries.size());
+  for (const cq::ConjunctiveQuery& query : queries) ptrs.push_back(&query);
+  return LabelBatch(std::span<const cq::ConjunctiveQuery* const>(ptrs));
+}
+
+std::vector<label::DisclosureLabel> ConcurrentLabeler::LabelBatch(
+    std::span<const cq::ConjunctiveQuery* const> queries) {
   if (options_.ablate_compiled_matcher || options_.ablate_batch_kernel) {
     // Ablations: the seed kernel mutates overlay state per query, and the
     // batch ablation deliberately restores the pre-batch shape.
     std::vector<label::DisclosureLabel> out;
     out.reserve(queries.size());
-    for (const cq::ConjunctiveQuery& query : queries) {
-      out.push_back(Label(query));
+    for (const cq::ConjunctiveQuery* query : queries) {
+      out.push_back(Label(*query));
     }
     return out;
   }
@@ -163,7 +172,7 @@ std::vector<label::DisclosureLabel> ConcurrentLabeler::LabelBatch(
   // Tier 1: frozen warmup table, no locks.
   std::vector<size_t> unresolved;
   for (size_t k = 0; k < queries.size(); ++k) {
-    if (const label::DisclosureLabel* hit = frozen_->FindLabel(queries[k])) {
+    if (const label::DisclosureLabel* hit = frozen_->FindLabel(*queries[k])) {
       frozen_hits_.fetch_add(1, std::memory_order_relaxed);
       out[k] = *hit;
     } else {
@@ -177,7 +186,7 @@ std::vector<label::DisclosureLabel> ConcurrentLabeler::LabelBatch(
     std::shared_lock<std::shared_mutex> lock(mu_);
     size_t kept = 0;
     for (const size_t k : unresolved) {
-      if (const cq::InternedQuery* interned = interner_.Find(queries[k])) {
+      if (const cq::InternedQuery* interned = interner_.Find(*queries[k])) {
         auto it = label_by_query_.find(interned->id());
         if (it != label_by_query_.end()) {
           overlay_hits_.fetch_add(1, std::memory_order_relaxed);
@@ -205,12 +214,12 @@ std::vector<label::DisclosureLabel> ConcurrentLabeler::LabelBatch(
     for (size_t u = 0; u < unresolved.size(); ++u) {
       const size_t k = unresolved[u];
       const cq::InternedQuery* interned =
-          interner_.TryIntern(queries[k], options_.max_interned_queries);
+          interner_.TryIntern(*queries[k], options_.max_interned_queries);
       if (interned == nullptr) {
         stateless_fallbacks_.fetch_add(1, std::memory_order_relaxed);
         slot_of[u] = static_cast<int32_t>(slot_id.size());
         slot_id.push_back(-1);
-        slot_query.push_back(&queries[k]);
+        slot_query.push_back(queries[k]);
         continue;
       }
       const int id = interned->id();
@@ -230,7 +239,7 @@ std::vector<label::DisclosureLabel> ConcurrentLabeler::LabelBatch(
       first_slot.emplace(id, slot);
       slot_of[u] = slot;
       slot_id.push_back(id);
-      slot_query.push_back(&queries[k]);
+      slot_query.push_back(queries[k]);
     }
   }
 

@@ -116,6 +116,14 @@ class ConcurrentLabeler {
   std::vector<label::DisclosureLabel> LabelBatch(
       std::span<const cq::ConjunctiveQuery> queries);
 
+  /// Same batched labeling over non-contiguous queries (one pointer per
+  /// query). This is the serving front end's shape: the coalescing layer
+  /// gathers requests that point at per-connection interned templates, so
+  /// the batch is naturally a pointer span — labeling must not force a
+  /// copy of every query per wake.
+  std::vector<label::DisclosureLabel> LabelBatch(
+      std::span<const cq::ConjunctiveQuery* const> queries);
+
   Stats stats() const;
   rewriting::ContainmentCache::Stats cache_stats() const {
     return cache_ != nullptr ? cache_->stats()

@@ -1,0 +1,117 @@
+#include "engine/stats_json.h"
+
+#include <cinttypes>
+#include <cstdint>
+
+#include "common/simd.h"
+
+namespace fdc::engine {
+
+namespace {
+
+// Tiny append-only writer; every key in the schema is a fixed literal and
+// every value an integer or a known-safe token, so no escaping is needed.
+class JsonWriter {
+ public:
+  void Begin() { out_.push_back('{'); }
+  void End() { out_.push_back('}'); }
+
+  void Key(const char* key) {
+    if (!first_) out_.push_back(',');
+    first_ = false;
+    out_.push_back('"');
+    out_.append(key);
+    out_.append("\":");
+  }
+
+  void Field(const char* key, uint64_t value) {
+    Key(key);
+    out_.append(std::to_string(value));
+  }
+
+  void StringField(const char* key, const char* value) {
+    Key(key);
+    out_.push_back('"');
+    out_.append(value);
+    out_.push_back('"');
+  }
+
+  void BeginObject(const char* key) {
+    Key(key);
+    out_.push_back('{');
+    first_ = true;
+  }
+
+  void EndObject() {
+    out_.push_back('}');
+    first_ = false;
+  }
+
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+std::string StatsToJson(const DisclosureEngine::EngineStats& stats) {
+  JsonWriter w;
+  w.Begin();
+  w.Field("epoch", stats.epoch);
+  w.Field("num_principals", stats.num_principals);
+  w.Field("frozen_labels", stats.frozen_labels);
+
+  w.BeginObject("decisions");
+  w.Field("submitted", stats.submitted);
+  w.Field("accepted", stats.accepted);
+  w.Field("refused", stats.refused);
+  w.EndObject();
+
+  w.BeginObject("principal_lifecycle");
+  w.Field("live", stats.principal_map.live);
+  w.Field("evictions", stats.principal_map.evictions);
+  w.Field("capacity_evictions", stats.principal_map.capacity_evictions);
+  w.Field("ttl_evictions", stats.principal_map.ttl_evictions);
+  w.Field("residual_hits", stats.principal_map.residual_hits);
+  w.Field("residual_drops", stats.principal_map.residual_drops);
+  w.Field("residuals", stats.principal_map.residuals);
+  w.Field("residual_bytes", stats.principal_map.residual_bytes);
+  w.EndObject();
+
+  w.BeginObject("labeler");
+  w.Field("frozen_hits", stats.labeler.frozen_hits);
+  w.Field("overlay_hits", stats.labeler.overlay_hits);
+  w.Field("overlay_misses", stats.labeler.overlay_misses);
+  w.Field("stateless_fallbacks", stats.labeler.stateless_fallbacks);
+  w.Field("compiled_mask_evals", stats.labeler.compiled_mask_evals);
+  w.Field("wide_mask_evals", stats.labeler.wide_mask_evals);
+  w.Field("batch_mask_evals", stats.labeler.batch_mask_evals);
+  w.Field("simd_lanes_used", stats.labeler.simd_lanes_used);
+  w.Field("per_view_tests_avoided", stats.labeler.per_view_tests_avoided);
+  w.EndObject();
+
+  w.BeginObject("interner");
+  w.Field("query_hits", stats.interner.query_hits);
+  w.Field("query_misses", stats.interner.query_misses);
+  w.Field("raw_hits", stats.interner.raw_hits);
+  w.Field("pattern_hits", stats.interner.pattern_hits);
+  w.Field("pattern_misses", stats.interner.pattern_misses);
+  w.EndObject();
+
+  w.BeginObject("containment_cache");
+  w.Field("hits", stats.containment.hits);
+  w.Field("misses", stats.containment.misses);
+  w.Field("insertions", stats.containment.insertions);
+  w.Field("evictions", stats.containment.evictions);
+  w.Field("hom_scratch_reuses", stats.containment.hom_scratch_reuses);
+  w.EndObject();
+
+  w.Field("fold_scratch_reuses", stats.fold_scratch_reuses);
+  w.StringField("simd_isa", simd::IsaName(simd::ActiveIsa()));
+  w.End();
+  return w.Take();
+}
+
+}  // namespace fdc::engine

@@ -1,0 +1,39 @@
+// One JSON schema for DisclosureEngine::Stats(), shared by every consumer
+// that externalizes engine counters: the serving front end's /stats frame
+// (server/disclosure_server.cc) and examples/end_to_end_monitor.cpp print
+// byte-identical documents, so dashboards and tests parse one shape.
+//
+// The document is a flat two-level object mirroring EngineStats' nesting:
+//
+//   {"epoch": 3,
+//    "num_principals": 12, "frozen_labels": 512,
+//    "decisions": {"submitted": N, "accepted": N, "refused": N},
+//    "principal_lifecycle": {"live": ..., "evictions": ...,
+//      "capacity_evictions": ..., "ttl_evictions": ..., "residual_hits": ...,
+//      "residual_drops": ..., "residuals": ..., "residual_bytes": ...},
+//    "labeler": {"frozen_hits": ..., "overlay_hits": ..., "overlay_misses":
+//      ..., "stateless_fallbacks": ..., "compiled_mask_evals": ...,
+//      "wide_mask_evals": ..., "batch_mask_evals": ..., "simd_lanes_used":
+//      ..., "per_view_tests_avoided": ...},
+//    "interner": {"query_hits": ..., "query_misses": ..., "raw_hits": ...,
+//      "pattern_hits": ..., "pattern_misses": ...},
+//    "containment_cache": {"hits": ..., "misses": ..., "insertions": ...,
+//      "evictions": ..., "hom_scratch_reuses": ...},
+//    "fold_scratch_reuses": ...,
+//    "simd_isa": "avx2"}
+//
+// All values are non-negative integers except simd_isa (a short lowercase
+// token from simd::IsaName — never needs escaping).
+#pragma once
+
+#include <string>
+
+#include "engine/disclosure_engine.h"
+
+namespace fdc::engine {
+
+/// Serializes `stats` into the JSON document described above. Output is
+/// deterministic (fixed key order, no whitespace variation) and valid JSON.
+std::string StatsToJson(const DisclosureEngine::EngineStats& stats);
+
+}  // namespace fdc::engine

@@ -34,30 +34,50 @@ struct LabelRefEq {
   }
 };
 
-}  // namespace
-
-std::vector<bool> ReferenceMonitor::SubmitBatch(
-    PrincipalState* state,
-    std::span<const label::DisclosureLabel> labels) const {
+// Shared core for both SubmitBatch overloads; `at(i)` yields the i-th
+// label by reference without copying it.
+template <typename GetLabel>
+std::vector<bool> SubmitBatchImpl(const ReferenceMonitor& monitor,
+                                  PrincipalState* state, size_t count,
+                                  GetLabel&& at) {
   std::vector<bool> decisions;
-  decisions.reserve(labels.size());
+  decisions.reserve(count);
   // Monotone-narrowing memo: accepted labels stay accepted with no state
   // change; refused labels stay refused (see header). Valid within the
   // batch because `state` only narrows.
   std::unordered_map<LabelRef, bool, LabelRefHash, LabelRefEq> memo;
-  memo.reserve(labels.size());
-  for (const label::DisclosureLabel& label : labels) {
+  memo.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    const label::DisclosureLabel& label = at(i);
     const LabelRef ref{&label, HashLabel(label)};
     auto it = memo.find(ref);
     if (it != memo.end()) {
       decisions.push_back(it->second);
       continue;
     }
-    const bool accepted = Submit(state, label);
+    const bool accepted = monitor.Submit(state, label);
     memo.emplace(ref, accepted);
     decisions.push_back(accepted);
   }
   return decisions;
+}
+
+}  // namespace
+
+std::vector<bool> ReferenceMonitor::SubmitBatch(
+    PrincipalState* state,
+    std::span<const label::DisclosureLabel> labels) const {
+  return SubmitBatchImpl(
+      *this, state, labels.size(),
+      [&](size_t i) -> const label::DisclosureLabel& { return labels[i]; });
+}
+
+std::vector<bool> ReferenceMonitor::SubmitBatch(
+    PrincipalState* state,
+    std::span<const label::DisclosureLabel* const> labels) const {
+  return SubmitBatchImpl(
+      *this, state, labels.size(),
+      [&](size_t i) -> const label::DisclosureLabel& { return *labels[i]; });
 }
 
 }  // namespace fdc::policy

@@ -71,6 +71,14 @@ class ReferenceMonitor {
       PrincipalState* state,
       std::span<const label::DisclosureLabel> labels) const;
 
+  /// Same batched submit over non-contiguous labels. The engine's
+  /// cross-principal coalesced path groups one labeled batch by principal;
+  /// each group's labels stay where the labeler put them and only their
+  /// addresses are gathered here — no label copies per group.
+  std::vector<bool> SubmitBatch(
+      PrincipalState* state,
+      std::span<const label::DisclosureLabel* const> labels) const;
+
   const SecurityPolicy& policy() const { return *policy_; }
 
  private:

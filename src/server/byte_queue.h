@@ -1,0 +1,62 @@
+// Per-connection byte queues for the serving front end.
+//
+// A ByteQueue is a FIFO of raw bytes with a contiguous readable view —
+// the property the frame decoder and partial-write resumption both need.
+// It is implemented as a flat string with a head offset and amortized
+// compaction rather than a true circular buffer: frames must be parsed
+// from (and written from) contiguous memory anyway, so a wrapping layout
+// would just force a copy at every wrap; compacting at most doubles the
+// byte traffic and keeps the common case (queue fully drained every event
+// -loop wake) zero-copy and allocation-free once warm.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace fdc::server {
+
+class ByteQueue {
+ public:
+  size_t size() const { return buf_.size() - head_; }
+  bool empty() const { return head_ == buf_.size(); }
+
+  /// Contiguous view of every unconsumed byte.
+  const uint8_t* data() const {
+    return reinterpret_cast<const uint8_t*>(buf_.data()) + head_;
+  }
+
+  void Append(const void* bytes, size_t n) {
+    buf_.append(static_cast<const char*>(bytes), n);
+  }
+
+  /// Appending through the protocol encoders: they take a std::string*.
+  /// Appending to the tail never invalidates head-side bookkeeping.
+  std::string* tail() { return &buf_; }
+
+  /// Drops `n` bytes from the head (n <= size()).
+  void Consume(size_t n) {
+    head_ += n;
+    if (head_ == buf_.size()) {
+      buf_.clear();
+      head_ = 0;
+    } else if (head_ >= kCompactAt && head_ >= buf_.size() / 2) {
+      buf_.erase(0, head_);
+      head_ = 0;
+    }
+  }
+
+  void Clear() {
+    buf_.clear();
+    head_ = 0;
+  }
+
+ private:
+  // Don't memmove for tiny heads: compaction is amortized O(1) because it
+  // runs only once the dead prefix dominates the buffer.
+  static constexpr size_t kCompactAt = 4096;
+  std::string buf_;
+  size_t head_ = 0;
+};
+
+}  // namespace fdc::server

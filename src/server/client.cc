@@ -1,0 +1,253 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace fdc::server {
+
+BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    epoch_ = other.epoch_;
+    send_buf_ = std::move(other.send_buf_);
+    recv_buf_ = std::move(other.recv_buf_);
+  }
+  return *this;
+}
+
+void BlockingClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  send_buf_.Clear();
+  recv_buf_.Clear();
+}
+
+Status BlockingClient::Connect(const std::string& host, uint16_t port,
+                               std::string_view principal) {
+  Close();
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    ::close(fd);
+    return Status::Internal(std::string("connect: ") + std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+
+  std::string hello;
+  AppendHello(&hello, principal);
+  Status s = SendAll(hello);
+  if (!s.ok()) {
+    Close();
+    return s;
+  }
+  ClientResponse resp;
+  s = ReadResponse(&resp);
+  if (!s.ok()) {
+    Close();
+    return s;
+  }
+  if (resp.type == FrameType::kError) {
+    Close();
+    return Status::InvalidArgument("server rejected hello: " + resp.text);
+  }
+  if (resp.type != FrameType::kHelloAck) {
+    Close();
+    return Status::Internal("unexpected frame in place of kHelloAck");
+  }
+  epoch_ = resp.epoch;
+  return Status::OK();
+}
+
+Status BlockingClient::SendAll(std::string_view bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                       MSG_NOSIGNAL);
+    if (n >= 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::Internal(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status BlockingClient::Flush() {
+  if (send_buf_.empty()) return Status::OK();
+  Status s = SendAll(std::string_view(
+      reinterpret_cast<const char*>(send_buf_.data()), send_buf_.size()));
+  if (s.ok()) send_buf_.Clear();
+  return s;
+}
+
+Status BlockingClient::ReadResponse(ClientResponse* out) {
+  for (;;) {
+    FrameView frame;
+    DecodeResult r = DecodeFrame(recv_buf_.data(), recv_buf_.size(), &frame);
+    if (r.status == DecodeStatus::kError) {
+      return Status::Internal(std::string("bad server frame: ") +
+                              ErrorCodeName(r.error));
+    }
+    if (r.status == DecodeStatus::kFrame) {
+      out->type = frame.type;
+      out->text.clear();
+      switch (frame.type) {
+        case FrameType::kHelloAck: {
+          if (frame.payload.size() < 12) {
+            return Status::Internal("short kHelloAck");
+          }
+          out->epoch = GetU64(frame.payload.data());
+          break;
+        }
+        case FrameType::kTemplateAck: {
+          if (frame.payload.size() != 4) {
+            return Status::Internal("short kTemplateAck");
+          }
+          out->template_id = GetU32(frame.payload.data());
+          break;
+        }
+        case FrameType::kDecision: {
+          DecisionPayload d;
+          if (!ParseDecision(frame.payload, &d)) {
+            return Status::Internal("malformed kDecision");
+          }
+          out->allow = d.allow;
+          out->epoch = d.epoch;
+          out->text.assign(d.explanation);
+          break;
+        }
+        case FrameType::kStatsJson: {
+          out->text.assign(reinterpret_cast<const char*>(
+                               frame.payload.data()),
+                           frame.payload.size());
+          break;
+        }
+        case FrameType::kPong: {
+          if (frame.payload.size() != 8) {
+            return Status::Internal("short kPong");
+          }
+          out->epoch = GetU64(frame.payload.data());
+          break;
+        }
+        case FrameType::kError: {
+          ErrorPayload e;
+          if (!ParseError(frame.payload, &e)) {
+            return Status::Internal("malformed kError");
+          }
+          out->error = e.code;
+          out->error_detail = e.detail;
+          out->text.assign(e.message);
+          break;
+        }
+        default:
+          return Status::Internal("client-to-server frame from the server");
+      }
+      recv_buf_.Consume(r.consumed);
+      return Status::OK();
+    }
+    // kNeedMore: block for bytes.
+    char buf[64 * 1024];
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      recv_buf_.Append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return Status::Internal("server closed the connection");
+    if (errno == EINTR) continue;
+    return Status::Internal(std::string("recv: ") + std::strerror(errno));
+  }
+}
+
+Status BlockingClient::RegisterTemplate(uint32_t id,
+                                        std::string_view datalog) {
+  std::string frame;
+  AppendRegisterTemplate(&frame, id, datalog);
+  Status s = SendAll(frame);
+  if (!s.ok()) return s;
+  ClientResponse resp;
+  s = ReadResponse(&resp);
+  if (!s.ok()) return s;
+  if (resp.type == FrameType::kError) {
+    return Status::ParseError(std::string(ErrorCodeName(resp.error)) + ": " +
+                              resp.text);
+  }
+  if (resp.type != FrameType::kTemplateAck || resp.template_id != id) {
+    return Status::Internal("unexpected frame in place of kTemplateAck");
+  }
+  return Status::OK();
+}
+
+Status BlockingClient::Submit(uint32_t id, ClientResponse* out, bool explain) {
+  std::string frame;
+  AppendSubmit(&frame, id, explain);
+  Status s = SendAll(frame);
+  if (!s.ok()) return s;
+  return ReadResponse(out);
+}
+
+Status BlockingClient::SubmitText(std::string_view datalog,
+                                  ClientResponse* out, bool explain) {
+  std::string frame;
+  AppendSubmitText(&frame, datalog, explain);
+  Status s = SendAll(frame);
+  if (!s.ok()) return s;
+  return ReadResponse(out);
+}
+
+Status BlockingClient::StatsJson(std::string* out) {
+  std::string frame;
+  AppendStatsRequest(&frame);
+  Status s = SendAll(frame);
+  if (!s.ok()) return s;
+  ClientResponse resp;
+  s = ReadResponse(&resp);
+  if (!s.ok()) return s;
+  if (resp.type != FrameType::kStatsJson) {
+    return Status::Internal("unexpected frame in place of kStatsJson");
+  }
+  *out = std::move(resp.text);
+  return Status::OK();
+}
+
+Status BlockingClient::Ping(uint64_t* epoch) {
+  std::string frame;
+  AppendPing(&frame);
+  Status s = SendAll(frame);
+  if (!s.ok()) return s;
+  ClientResponse resp;
+  s = ReadResponse(&resp);
+  if (!s.ok()) return s;
+  if (resp.type != FrameType::kPong) {
+    return Status::Internal("unexpected frame in place of kPong");
+  }
+  *epoch = resp.epoch;
+  return Status::OK();
+}
+
+}  // namespace fdc::server

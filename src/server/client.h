@@ -1,0 +1,100 @@
+// Blocking client for the disclosure server's wire protocol.
+//
+// This is the reference peer implementation: tests, the load generator
+// and the daemon's smoke mode all speak through it. Two usage shapes:
+//
+//   - Call/response: Hello (inside Connect), RegisterTemplate, Submit,
+//     SubmitText, StatsJson, Ping — each sends one frame and blocks for
+//     its one response.
+//   - Pipelined: QueueSubmit(...) xN, Flush(), then ReadResponse() xN —
+//     the shape the coalescing server is optimized for (many frames per
+//     epoll wake).
+//
+// Plain blocking sockets (the server is the nonblocking side); all sends
+// and reads retry EINTR and resume partial transfers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "server/byte_queue.h"
+#include "server/protocol.h"
+
+namespace fdc::server {
+
+/// One decoded server frame, normalized across response types.
+struct ClientResponse {
+  FrameType type = FrameType::kError;
+  bool allow = false;       // kDecision
+  uint64_t epoch = 0;       // kDecision / kHelloAck / kPong
+  uint32_t template_id = 0;  // kTemplateAck
+  std::string text;         // explanation / stats JSON / error message
+  ErrorCode error = ErrorCode::kMalformedFrame;  // kError
+  uint32_t error_detail = 0;                     // kError
+};
+
+class BlockingClient {
+ public:
+  BlockingClient() = default;
+  ~BlockingClient() { Close(); }
+
+  BlockingClient(BlockingClient&& other) noexcept { *this = std::move(other); }
+  BlockingClient& operator=(BlockingClient&& other) noexcept;
+  BlockingClient(const BlockingClient&) = delete;
+  BlockingClient& operator=(const BlockingClient&) = delete;
+
+  /// Connects to host:port, sends kHello for `principal` and waits for the
+  /// kHelloAck. On success epoch() holds the server's policy epoch.
+  Status Connect(const std::string& host, uint16_t port,
+                 std::string_view principal);
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+  uint64_t epoch() const { return epoch_; }
+
+  /// Registers `datalog` under `id`; fails with the server's kError
+  /// message on parse/duplicate errors.
+  Status RegisterTemplate(uint32_t id, std::string_view datalog);
+
+  /// Submits one registered template and blocks for the decision.
+  Status Submit(uint32_t id, ClientResponse* out, bool explain = false);
+
+  /// Submits Datalog text (the per-request parse path).
+  Status SubmitText(std::string_view datalog, ClientResponse* out,
+                    bool explain = false);
+
+  /// Fetches engine::StatsToJson output from the server.
+  Status StatsJson(std::string* out);
+
+  /// Health probe; fills *epoch with the server's current policy epoch.
+  Status Ping(uint64_t* epoch);
+
+  // --- pipelined mode ----------------------------------------------------
+
+  /// Stages frames locally without writing to the socket.
+  void QueueSubmit(uint32_t id, bool explain = false) {
+    AppendSubmit(send_buf_.tail(), id, explain);
+  }
+  void QueueSubmitText(std::string_view datalog, bool explain = false) {
+    AppendSubmitText(send_buf_.tail(), datalog, explain);
+  }
+  void QueuePing() { AppendPing(send_buf_.tail()); }
+
+  /// Writes every staged frame to the socket.
+  Status Flush();
+
+  /// Blocks until one complete server frame arrives and decodes it.
+  Status ReadResponse(ClientResponse* out);
+
+ private:
+  Status SendAll(std::string_view bytes);
+
+  int fd_ = -1;
+  uint64_t epoch_ = 0;
+  ByteQueue send_buf_;
+  ByteQueue recv_buf_;
+};
+
+}  // namespace fdc::server

@@ -1,0 +1,721 @@
+#include "server/disclosure_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "cq/canonical.h"
+#include "cq/datalog_parser.h"
+#include "engine/stats_json.h"
+#include "policy/explain.h"
+#include "server/byte_queue.h"
+#include "server/protocol.h"
+
+namespace fdc::server {
+
+namespace {
+
+/// Per-connection cap on bytes read in one wake: fairness across
+/// connections on a worker. Level-triggered epoll re-signals the rest.
+constexpr size_t kReadBudget = 256 * 1024;
+
+struct Connection {
+  int fd = -1;
+  bool got_hello = false;
+  bool want_close = false;  // flush staged output, then close
+  bool paused = false;      // EPOLLIN dropped (write-queue backpressure)
+  bool epollout = false;    // EPOLLOUT armed (partial write pending)
+  bool touched = false;     // has output staged this wake
+  bool dead = false;        // fd closed; object destroyed at wake end
+  uint32_t pending_submits = 0;  // submits awaiting this wake's batch
+  std::string principal;
+  // Registered templates, dense by client-chosen id. unique_ptr for
+  // pointer stability: pending submit requests hold raw pointers into
+  // this table across the wake.
+  std::vector<std::unique_ptr<cq::ConjunctiveQuery>> templates;
+  ByteQueue in;
+  ByteQueue out;
+};
+
+/// Creates a bound+listening nonblocking IPv4 socket. Returns the fd, -1
+/// on hard failure (*error set), or -2 when only the SO_REUSEPORT
+/// setsockopt failed (caller may retry in shared-accept mode).
+int CreateListenSocket(const std::string& host, uint16_t port,
+                       bool reuseport, uint16_t* bound_port,
+                       std::string* error) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    *error = std::string("socket: ") + std::strerror(errno);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (reuseport &&
+      ::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+    ::close(fd);
+    *error = std::string("SO_REUSEPORT: ") + std::strerror(errno);
+    return -2;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    *error = "not an IPv4 address: " + host;
+    return -1;
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    *error = std::string("bind: ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  if (::listen(fd, 1024) != 0) {
+    *error = std::string("listen: ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    *error = std::string("getsockname: ") + std::strerror(errno);
+    ::close(fd);
+    return -1;
+  }
+  *bound_port = ntohs(bound.sin_port);
+  return fd;
+}
+
+}  // namespace
+
+struct DisclosureServer::Worker {
+  DisclosureServer* server = nullptr;
+  const ServerOptions* opts = nullptr;
+  engine::DisclosureEngine* engine = nullptr;
+  int epoll_fd = -1;
+  int listen_fd = -1;
+  bool owns_listen = false;
+  int wake_fd = -1;
+  std::thread thread;
+
+  std::unordered_map<int, std::unique_ptr<Connection>> conns;
+  // Closed mid-wake: the object outlives the fd until the wake epilogue so
+  // staged pointers stay valid even if accept() reuses the fd number.
+  std::vector<std::unique_ptr<Connection>> graveyard;
+
+  // --- per-wake coalescing state -----------------------------------------
+  // Responses are resolved strictly in arrival order per connection: a
+  // non-submit response is staged immediately only while its connection
+  // has no submit awaiting the batch; otherwise it rides the op queue so
+  // it lands after the decisions that precede it.
+  struct PendingOp {
+    Connection* conn = nullptr;
+    int64_t submit_index = -1;  // index into `requests`, or -1
+    uint8_t flags = 0;
+    std::string immediate;      // pre-encoded response iff submit_index < 0
+  };
+  std::vector<PendingOp> ops;
+  std::vector<engine::DisclosureEngine::SubmitRequest> requests;
+  std::deque<cq::ConjunctiveQuery> text_queries;  // kSubmitText bodies
+  std::vector<Connection*> touched;
+  std::vector<bool> decisions;
+  std::vector<uint64_t> epochs;
+
+  // Counters. Atomics only because stats() reads them from other threads;
+  // each is written by this worker's thread alone (relaxed everywhere).
+  std::atomic<uint64_t> c_accepted{0};
+  std::atomic<uint64_t> c_rejected{0};
+  std::atomic<uint64_t> c_closed{0};
+  std::atomic<uint64_t> c_protocol_errors{0};
+  std::atomic<uint64_t> c_frames{0};
+  std::atomic<uint64_t> c_decisions{0};
+  std::atomic<uint64_t> c_batches{0};
+  std::atomic<uint64_t> c_max_batch{0};
+  std::atomic<uint64_t> c_backpressure{0};
+  std::atomic<uint64_t> c_bytes_in{0};
+  std::atomic<uint64_t> c_bytes_out{0};
+
+  void Bump(std::atomic<uint64_t>& c, uint64_t n = 1) {
+    c.store(c.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
+  }
+
+  void Run() {
+    constexpr int kMaxEvents = 128;
+    epoll_event events[kMaxEvents];
+    while (server->running_.load(std::memory_order_acquire)) {
+      int n = ::epoll_wait(epoll_fd, events, kMaxEvents, -1);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      for (int i = 0; i < n; ++i) {
+        const int fd = events[i].data.fd;
+        const uint32_t evs = events[i].events;
+        if (fd == wake_fd) {
+          uint64_t v;
+          while (::read(wake_fd, &v, sizeof(v)) > 0) {
+          }
+          continue;
+        }
+        if (fd == listen_fd) {
+          Accept();
+          continue;
+        }
+        auto it = conns.find(fd);
+        if (it == conns.end()) continue;
+        Connection* c = it->second.get();
+        if (evs & (EPOLLERR | EPOLLHUP)) {
+          CloseConn(c);
+          continue;
+        }
+        if (evs & EPOLLOUT) {
+          WriteConn(c);
+          if (c->dead) continue;
+        }
+        if (evs & EPOLLIN) HandleReadable(c);
+      }
+      // Wake epilogue: one engine pass over everything decoded above, then
+      // one write flush per touched connection.
+      FlushCoalesced();
+      for (Connection* c : touched) {
+        c->touched = false;
+        if (!c->dead) WriteConn(c);
+      }
+      touched.clear();
+      graveyard.clear();
+    }
+  }
+
+  void Accept() {
+    for (;;) {
+      int fd = ::accept4(listen_fd, nullptr, nullptr,
+                         SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR || errno == ECONNABORTED) continue;
+        return;  // EAGAIN (drained) or a transient error; epoll re-signals
+      }
+      if (server->live_connections_.load(std::memory_order_relaxed) >=
+          opts->max_connections) {
+        std::string err;
+        AppendError(&err, ErrorCode::kServerBusy, 0,
+                    "connection limit reached");
+        (void)::send(fd, err.data(), err.size(), MSG_NOSIGNAL);  // best effort
+        ::close(fd);
+        Bump(c_rejected);
+        continue;
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = fd;
+      if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        ::close(fd);
+        continue;
+      }
+      auto conn = std::make_unique<Connection>();
+      conn->fd = fd;
+      conns.emplace(fd, std::move(conn));
+      Bump(c_accepted);
+      server->live_connections_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void HandleReadable(Connection* c) {
+    char buf[64 * 1024];
+    size_t read_this_wake = 0;
+    bool eof = false;
+    for (;;) {
+      ssize_t r = ::recv(c->fd, buf, sizeof(buf), 0);
+      if (r > 0) {
+        Bump(c_bytes_in, static_cast<uint64_t>(r));
+        c->in.Append(buf, static_cast<size_t>(r));
+        read_this_wake += static_cast<size_t>(r);
+        if (read_this_wake >= kReadBudget) break;
+        continue;
+      }
+      if (r == 0) {  // orderly shutdown: answer what was buffered, then close
+        eof = true;
+        break;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConn(c);
+      return;
+    }
+    ParseFrames(c);
+    if (c->dead) return;
+    if (eof) {
+      c->want_close = true;
+      Touch(c);  // epilogue WriteConn flushes any responses, then closes
+    }
+  }
+
+  void ParseFrames(Connection* c) {
+    while (!c->dead && !c->want_close) {
+      FrameView frame;
+      DecodeResult r = DecodeFrame(c->in.data(), c->in.size(), &frame);
+      if (r.status == DecodeStatus::kNeedMore) break;
+      if (r.status == DecodeStatus::kError) {
+        SendError(c, r.error, 0, "malformed frame envelope");
+        c->in.Clear();  // fatal: never interpret bytes past the error
+        break;
+      }
+      Bump(c_frames);
+      HandleFrame(c, frame);
+      c->in.Consume(r.consumed);
+      if (c->want_close) {
+        c->in.Clear();
+        break;
+      }
+      if (requests.size() >= opts->max_coalesce) FlushCoalesced();
+    }
+  }
+
+  void HandleFrame(Connection* c, const FrameView& f) {
+    const uint8_t allowed_flags = (f.type == FrameType::kSubmit ||
+                                   f.type == FrameType::kSubmitText)
+                                      ? kFlagExplain
+                                      : 0;
+    if ((f.flags & ~allowed_flags) != 0) {
+      SendError(c, ErrorCode::kMalformedFrame, f.flags,
+                "undefined flag bits");
+      return;
+    }
+    if (!c->got_hello && f.type != FrameType::kHello) {
+      SendError(c, ErrorCode::kExpectedHello,
+                static_cast<uint32_t>(f.type),
+                "first frame must be kHello");
+      return;
+    }
+    switch (f.type) {
+      case FrameType::kHello: {
+        if (c->got_hello) {
+          SendError(c, ErrorCode::kDuplicateHello, 0, "second kHello");
+          return;
+        }
+        HelloPayload hello;
+        if (!ParseHello(f.payload, &hello)) {
+          SendError(c, ErrorCode::kMalformedFrame, 0, "short kHello payload");
+          return;
+        }
+        if (hello.magic != kMagic) {
+          SendError(c, ErrorCode::kBadMagic, hello.magic, "bad magic");
+          return;
+        }
+        if (hello.version != kProtocolVersion) {
+          SendError(c, ErrorCode::kBadVersion, hello.version,
+                    "unsupported protocol version");
+          return;
+        }
+        if (hello.principal.empty() ||
+            hello.principal.size() > kMaxPrincipalLen) {
+          SendError(c, ErrorCode::kBadPrincipal,
+                    static_cast<uint32_t>(hello.principal.size()),
+                    "principal must be 1..256 bytes");
+          return;
+        }
+        c->got_hello = true;
+        c->principal.assign(hello.principal);
+        std::string ack;
+        AppendHelloAck(&ack, engine->Snapshot()->epoch(), kMaxPayload);
+        Respond(c, std::move(ack));
+        return;
+      }
+      case FrameType::kRegisterTemplate: {
+        uint32_t id = 0;
+        std::string_view text;
+        if (!ParseTemplateId(f.payload, &id, &text)) {
+          SendError(c, ErrorCode::kMalformedFrame, 0,
+                    "short kRegisterTemplate payload");
+          return;
+        }
+        if (id >= opts->max_templates) {
+          SendError(c, ErrorCode::kBadTemplateId, id,
+                    "template id over the per-connection cap");
+          return;
+        }
+        if (id < c->templates.size() && c->templates[id] != nullptr) {
+          SendError(c, ErrorCode::kDuplicateTemplate, id,
+                    "template id already registered");
+          return;
+        }
+        auto parsed =
+            cq::ParseDatalog(text, engine->frozen().catalog().schema());
+        if (!parsed.ok()) {
+          SendError(c, ErrorCode::kParseError, id, parsed.status().message());
+          return;  // non-fatal: the ack slot carries the error instead
+        }
+        if (id >= c->templates.size()) c->templates.resize(id + 1);
+        // Canonicalize once at registration: the frozen label tier's
+        // level-1 (raw-form) table indexes canonical forms, so every
+        // subsequent submit of this template resolves with one structural
+        // hash instead of a per-request canonicalization pass.
+        c->templates[id] = std::make_unique<cq::ConjunctiveQuery>(
+            cq::Canonicalize(std::move(parsed).value()));
+        std::string ack;
+        AppendTemplateAck(&ack, id);
+        Respond(c, std::move(ack));
+        return;
+      }
+      case FrameType::kSubmit: {
+        uint32_t id = 0;
+        if (f.payload.size() != 4 || !ParseTemplateId(f.payload, &id, nullptr)) {
+          SendError(c, ErrorCode::kMalformedFrame, 0,
+                    "kSubmit payload must be exactly a u32 id");
+          return;
+        }
+        if (id >= c->templates.size() || c->templates[id] == nullptr) {
+          SendError(c, ErrorCode::kUnknownTemplate, id,
+                    "submit for an unregistered template");
+          return;
+        }
+        EnqueueSubmit(c, c->templates[id].get(), f.flags);
+        return;
+      }
+      case FrameType::kSubmitText: {
+        std::string_view text(reinterpret_cast<const char*>(f.payload.data()),
+                              f.payload.size());
+        auto parsed =
+            cq::ParseDatalog(text, engine->frozen().catalog().schema());
+        if (!parsed.ok()) {
+          SendError(c, ErrorCode::kParseError, 0, parsed.status().message());
+          return;  // non-fatal: kError in place of the decision
+        }
+        text_queries.push_back(std::move(parsed).value());
+        EnqueueSubmit(c, &text_queries.back(), f.flags);
+        return;
+      }
+      case FrameType::kStatsRequest: {
+        if (!f.payload.empty()) {
+          SendError(c, ErrorCode::kMalformedFrame, 0,
+                    "kStatsRequest carries no payload");
+          return;
+        }
+        std::string resp;
+        AppendStatsJson(&resp, engine::StatsToJson(engine->Stats()));
+        Respond(c, std::move(resp));
+        return;
+      }
+      case FrameType::kPing: {
+        if (!f.payload.empty()) {
+          SendError(c, ErrorCode::kMalformedFrame, 0,
+                    "kPing carries no payload");
+          return;
+        }
+        std::string resp;
+        AppendPong(&resp, engine->Snapshot()->epoch());
+        Respond(c, std::move(resp));
+        return;
+      }
+      default:
+        SendError(c, ErrorCode::kUnknownType, static_cast<uint32_t>(f.type),
+                  "server-to-client frame type from a client");
+        return;
+    }
+  }
+
+  void EnqueueSubmit(Connection* c, const cq::ConjunctiveQuery* query,
+                     uint8_t flags) {
+    requests.push_back({c->principal, query});
+    PendingOp op;
+    op.conn = c;
+    op.submit_index = static_cast<int64_t>(requests.size()) - 1;
+    op.flags = flags;
+    ops.push_back(std::move(op));
+    ++c->pending_submits;
+  }
+
+  /// Stages one response frame, preserving per-connection request order:
+  /// immediate while no submit is pending, queued behind the batch
+  /// otherwise.
+  void Respond(Connection* c, std::string&& bytes) {
+    if (c->pending_submits > 0) {
+      PendingOp op;
+      op.conn = c;
+      op.immediate = std::move(bytes);
+      ops.push_back(std::move(op));
+      return;
+    }
+    c->out.tail()->append(bytes);
+    Touch(c);
+    CheckBackpressure(c);
+  }
+
+  void SendError(Connection* c, ErrorCode code, uint32_t detail,
+                 std::string_view message) {
+    Bump(c_protocol_errors);
+    std::string frame;
+    AppendError(&frame, code, detail, message);
+    Respond(c, std::move(frame));
+    if (IsFatal(code)) c->want_close = true;
+  }
+
+  void Touch(Connection* c) {
+    if (!c->touched) {
+      c->touched = true;
+      touched.push_back(c);
+    }
+  }
+
+  void CheckBackpressure(Connection* c) {
+    if (c->dead || c->paused) return;
+    if (c->out.size() > opts->write_queue_limit) {
+      c->paused = true;
+      Bump(c_backpressure);
+      UpdateInterest(c);
+    }
+  }
+
+  /// One engine pass over every submit decoded since the last flush, then
+  /// resolve the op queue in arrival order into per-connection out queues.
+  void FlushCoalesced() {
+    if (ops.empty()) return;
+    if (!requests.empty()) {
+      engine->SubmitCoalesced(requests, &decisions, &epochs);
+      Bump(c_batches);
+      Bump(c_decisions, requests.size());
+      if (requests.size() > c_max_batch.load(std::memory_order_relaxed)) {
+        c_max_batch.store(requests.size(), std::memory_order_relaxed);
+      }
+    }
+    for (PendingOp& op : ops) {
+      Connection* c = op.conn;
+      if (op.submit_index >= 0) {
+        const size_t i = static_cast<size_t>(op.submit_index);
+        if ((op.flags & kFlagExplain) != 0) {
+          policy::Explanation ex =
+              engine->ExplainQuery(c->principal, *requests[i].query);
+          AppendDecision(c->out.tail(), decisions[i], epochs[i],
+                         ex.ToString());
+        } else {
+          AppendDecision(c->out.tail(), decisions[i], epochs[i]);
+        }
+      } else {
+        c->out.tail()->append(op.immediate);
+      }
+      Touch(c);
+    }
+    for (PendingOp& op : ops) {
+      op.conn->pending_submits = 0;
+      CheckBackpressure(op.conn);
+    }
+    ops.clear();
+    requests.clear();
+    text_queries.clear();
+  }
+
+  void WriteConn(Connection* c) {
+    if (c->dead) return;
+    while (!c->out.empty()) {
+      ssize_t n = ::send(c->fd, c->out.data(), c->out.size(), MSG_NOSIGNAL);
+      if (n >= 0) {
+        Bump(c_bytes_out, static_cast<uint64_t>(n));
+        c->out.Consume(static_cast<size_t>(n));
+        continue;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!c->epollout) {
+          c->epollout = true;
+          UpdateInterest(c);
+        }
+        MaybeResume(c);
+        return;
+      }
+      CloseConn(c);  // EPIPE / ECONNRESET / ...
+      return;
+    }
+    if (c->epollout) {
+      c->epollout = false;
+      UpdateInterest(c);
+    }
+    if (c->want_close) {
+      CloseConn(c);
+      return;
+    }
+    MaybeResume(c);
+  }
+
+  void MaybeResume(Connection* c) {
+    if (c->paused && !c->want_close &&
+        c->out.size() <= opts->write_queue_limit / 2) {
+      c->paused = false;
+      UpdateInterest(c);
+    }
+  }
+
+  void UpdateInterest(Connection* c) {
+    epoll_event ev{};
+    ev.events = (c->paused ? 0u : static_cast<uint32_t>(EPOLLIN)) |
+                (c->epollout ? static_cast<uint32_t>(EPOLLOUT) : 0u);
+    ev.data.fd = c->fd;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, c->fd, &ev);
+  }
+
+  void CloseConn(Connection* c) {
+    if (c->dead) return;
+    c->dead = true;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, c->fd, nullptr);
+    ::close(c->fd);
+    Bump(c_closed);
+    server->live_connections_.fetch_sub(1, std::memory_order_relaxed);
+    auto it = conns.find(c->fd);
+    if (it != conns.end() && it->second.get() == c) {
+      graveyard.push_back(std::move(it->second));
+      conns.erase(it);
+    }
+    c->fd = -1;
+  }
+};
+
+DisclosureServer::DisclosureServer(engine::DisclosureEngine* engine,
+                                   ServerOptions options)
+    : engine_(engine), options_(std::move(options)) {}
+
+DisclosureServer::~DisclosureServer() { Stop(); }
+
+Status DisclosureServer::Start() {
+  if (started_) return Status::Internal("Start() called twice");
+  started_ = true;
+  // A peer closing mid-write must surface as EPIPE on that connection,
+  // never kill the process. Sends also pass MSG_NOSIGNAL; this covers any
+  // other code in the process writing to sockets.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  const int nworkers = options_.workers < 1 ? 1 : options_.workers;
+  bool reuseport = nworkers > 1;
+  std::string error;
+  uint16_t bound = 0;
+  int first_fd = CreateListenSocket(options_.host, options_.port, reuseport,
+                                    &bound, &error);
+  if (first_fd == -2) {  // kernel without SO_REUSEPORT: shared accept
+    reuseport = false;
+    first_fd = CreateListenSocket(options_.host, options_.port, false, &bound,
+                                  &error);
+  }
+  if (first_fd < 0) return Status::InvalidArgument(error);
+  port_ = bound;
+
+  auto fail = [&](std::string msg) {
+    for (auto& w : workers_) {
+      if (w->owns_listen && w->listen_fd >= 0) ::close(w->listen_fd);
+      if (w->epoll_fd >= 0) ::close(w->epoll_fd);
+      if (w->wake_fd >= 0) ::close(w->wake_fd);
+    }
+    workers_.clear();
+    ::close(first_fd);
+    return Status::Internal(std::move(msg));
+  };
+
+  for (int i = 0; i < nworkers; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->server = this;
+    w->opts = &options_;
+    w->engine = engine_;
+    if (i == 0) {
+      w->listen_fd = first_fd;
+      w->owns_listen = true;
+    } else if (reuseport) {
+      uint16_t p = 0;
+      int fd = CreateListenSocket(options_.host, port_, true, &p, &error);
+      if (fd < 0) {
+        workers_.push_back(std::move(w));
+        return fail("worker listen socket: " + error);
+      }
+      w->listen_fd = fd;
+      w->owns_listen = true;
+    } else {
+      w->listen_fd = first_fd;  // shared accept socket
+      w->owns_listen = false;
+    }
+    w->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    w->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (w->epoll_fd < 0 || w->wake_fd < 0) {
+      workers_.push_back(std::move(w));
+      return fail(std::string("epoll/eventfd: ") + std::strerror(errno));
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = w->wake_fd;
+    ::epoll_ctl(w->epoll_fd, EPOLL_CTL_ADD, w->wake_fd, &ev);
+    ev.events = EPOLLIN;
+#ifdef EPOLLEXCLUSIVE
+    // Shared accept socket: wake one worker per pending connection instead
+    // of the whole herd.
+    if (!reuseport && nworkers > 1) ev.events |= EPOLLEXCLUSIVE;
+#endif
+    ev.data.fd = w->listen_fd;
+    ::epoll_ctl(w->epoll_fd, EPOLL_CTL_ADD, w->listen_fd, &ev);
+    workers_.push_back(std::move(w));
+  }
+
+  running_.store(true, std::memory_order_release);
+  for (auto& w : workers_) {
+    w->thread = std::thread([worker = w.get()] { worker->Run(); });
+  }
+  return Status::OK();
+}
+
+void DisclosureServer::Stop() {
+  running_.store(false, std::memory_order_release);
+  for (auto& w : workers_) {
+    if (w->wake_fd >= 0) {
+      uint64_t one = 1;
+      ssize_t r;
+      do {
+        r = ::write(w->wake_fd, &one, sizeof(one));
+      } while (r < 0 && errno == EINTR);
+    }
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  // Worker objects survive Stop so stats() keeps answering; only the fds
+  // and connection state are torn down.
+  for (auto& w : workers_) {
+    for (auto& [fd, c] : w->conns) {
+      if (c->fd >= 0) ::close(c->fd);
+    }
+    w->conns.clear();
+    w->graveyard.clear();
+    if (w->owns_listen && w->listen_fd >= 0) ::close(w->listen_fd);
+    if (w->epoll_fd >= 0) ::close(w->epoll_fd);
+    if (w->wake_fd >= 0) ::close(w->wake_fd);
+    w->listen_fd = w->epoll_fd = w->wake_fd = -1;
+  }
+}
+
+DisclosureServer::Stats DisclosureServer::stats() const {
+  Stats s;
+  for (const auto& w : workers_) {
+    s.connections_accepted += w->c_accepted.load(std::memory_order_relaxed);
+    s.connections_rejected += w->c_rejected.load(std::memory_order_relaxed);
+    s.connections_closed += w->c_closed.load(std::memory_order_relaxed);
+    s.protocol_errors +=
+        w->c_protocol_errors.load(std::memory_order_relaxed);
+    s.frames_received += w->c_frames.load(std::memory_order_relaxed);
+    s.decisions += w->c_decisions.load(std::memory_order_relaxed);
+    s.coalesced_batches += w->c_batches.load(std::memory_order_relaxed);
+    const uint64_t mb = w->c_max_batch.load(std::memory_order_relaxed);
+    if (mb > s.max_coalesced_batch) s.max_coalesced_batch = mb;
+    s.backpressure_pauses +=
+        w->c_backpressure.load(std::memory_order_relaxed);
+    s.bytes_read += w->c_bytes_in.load(std::memory_order_relaxed);
+    s.bytes_written += w->c_bytes_out.load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+}  // namespace fdc::server

@@ -1,5 +1,7 @@
 #include "cq/interned.h"
 
+#include "cq/canonical.h"
+
 #include <gtest/gtest.h>
 
 #include "test_util.h"
@@ -97,6 +99,27 @@ TEST_F(InternerTest, HomomorphismDigestRejectIsSound) {
   EXPECT_FALSE(MayHaveHomomorphismInto(join, scan));
   // The scan can map into the join.
   EXPECT_TRUE(MayHaveHomomorphismInto(scan, join));
+}
+
+TEST_F(InternerTest, CanonicalFormHitsTheRawTable) {
+  // Intern under a deliberately non-canonical variable naming, then probe
+  // with the canonical form: the intern step must have raw-registered the
+  // canonical object too, so the probe resolves at level 1 (raw_hits) with
+  // no CanonicalKey recomputation. This is what lets a serving front end
+  // canonicalize a registered template once and hash-probe per submit.
+  const ConjunctiveQuery raw =
+      test::Q("Q(u) :- Contacts(v, w, z), Meetings(u, v)", schema_);
+  const InternedQuery& interned = interner_.Intern(raw);
+  const ConjunctiveQuery canonical = Canonicalize(raw);
+  EXPECT_EQ(interner_.stats().raw_hits, 0u);
+  const InternedQuery* via_canonical = interner_.TryIntern(canonical, 1);
+  ASSERT_NE(via_canonical, nullptr);
+  EXPECT_EQ(via_canonical, &interned);
+  EXPECT_EQ(interner_.stats().raw_hits, 1u);
+  EXPECT_EQ(interner_.num_queries(), 1);
+  // Find (the lock-free frozen-tier probe) resolves both forms.
+  EXPECT_EQ(interner_.Find(raw), &interned);
+  EXPECT_EQ(interner_.Find(canonical), &interned);
 }
 
 TEST_F(InternerTest, PatternInterningDeduplicates) {
