@@ -39,6 +39,7 @@
 #include "engine/disclosure_engine.h"
 #include "server/client.h"
 #include "server/disclosure_server.h"
+#include "server/failpoints.h"
 #include "workload/policy_generator.h"
 
 namespace fdc::bench {
@@ -280,6 +281,107 @@ void BM_ServerLatency(benchmark::State& state) {
   state.counters["p999_us"] = benchmark::Counter(percentile(0.999));
 }
 
+// Degraded-mode series: the same closed-loop burst shape as /pipelined,
+// but with ~1% benign (EINTR/EAGAIN/short IO) and ~0.2% lethal
+// (ECONNRESET/EPIPE) faults injected into the server's recv/send path,
+// and clients that reconnect (fresh session + template re-registration)
+// whenever a lethal fault kills their connection mid-burst. Submits lost
+// with a killed connection are not counted — decisions_per_second is
+// *answered* decisions, so the clean/degraded ratio in BENCH_hotpath.json
+// honestly prices both the fault overhead and the reconnect churn.
+// In-process only (the failpoints live in this process); registered last
+// so the clean series always runs first.
+void BM_ServerDegraded(benchmark::State& state) {
+  if (ServeEndpoint::Get().external) {
+    state.SkipWithError("degraded series needs the in-process server");
+    return;
+  }
+  const int conns = static_cast<int>(state.range(0));
+
+  server::RetryOptions retry;
+  retry.max_attempts = 12;
+  retry.base_backoff_ms = 1;
+  retry.max_backoff_ms = 20;
+  // Registration (64 call/response roundtrips per client) runs under the
+  // storm too, so clients are built with the retry machinery armed.
+  auto make_degraded_client = [&](const std::string& principal) {
+    server::BlockingClient client;
+    client.EnableRetry(retry);
+    if (Status s = client.SetCallDeadline(5000); !s.ok()) Die("deadline", s);
+    Status s = Status::OK();
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      s = client.Connect(ServeEndpoint::Get().host, ServeEndpoint::Get().port,
+                         principal);
+      if (s.ok()) break;
+    }
+    if (!s.ok()) Die("connect", s);
+    const auto& pool = Pool();
+    const cq::Schema& schema = FacebookEnv::Get().schema;
+    for (int t = 0; t < kTemplates; ++t) {
+      if (Status st = client.RegisterTemplate(
+              static_cast<uint32_t>(t), cq::ToDatalog(pool[t], schema));
+          !st.ok()) {
+        Die("register template", st);
+      }
+    }
+    return client;
+  };
+
+  server::failpoints::Config cfg;
+  cfg.seed = 0xdecadeULL + static_cast<uint64_t>(conns);
+  cfg.rate = 0.01;
+  cfg.lethal_rate = 0.002;
+  cfg.short_io = 0.5;
+  cfg.ops = server::failpoints::kRecv | server::failpoints::kSend;
+  server::failpoints::ScopedFailpoints scoped(cfg);
+
+  std::vector<std::string> principals;
+  std::vector<server::BlockingClient> clients;
+  clients.reserve(conns);
+  for (int i = 0; i < conns; ++i) {
+    principals.push_back(NextPrincipal());
+    clients.push_back(make_degraded_client(principals.back()));
+  }
+
+  Rng rng(0xdeadULL + static_cast<uint64_t>(conns));
+  uint64_t answered = 0;
+  uint64_t reconnects = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < conns; ++i) {
+      // Pipelined bursts are outside the retry machinery by design: when
+      // a lethal fault kills the connection mid-burst the unanswered
+      // remainder is abandoned and the client rebuilt — the recovery
+      // policy a real pipelining caller would implement.
+      auto& client = clients[static_cast<size_t>(i)];
+      for (int j = 0; j < kPipeline; ++j) {
+        client.QueueSubmit(static_cast<uint32_t>(rng.Below(kTemplates)));
+      }
+      bool alive = client.Flush().ok();
+      for (int j = 0; alive && j < kPipeline; ++j) {
+        server::ClientResponse resp;
+        if (!client.ReadResponse(&resp).ok()) {
+          alive = false;
+          break;
+        }
+        if (resp.type == server::FrameType::kDecision) ++answered;
+      }
+      if (!alive) {
+        ++reconnects;
+        clients[static_cast<size_t>(i)] =
+            make_degraded_client(principals[static_cast<size_t>(i)]);
+      }
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(answered));
+  state.counters["decisions_per_second"] = benchmark::Counter(
+      static_cast<double>(answered), benchmark::Counter::kIsRate);
+  state.counters["reconnects"] =
+      benchmark::Counter(static_cast<double>(reconnects));
+  const server::failpoints::Stats fstats = server::failpoints::Current();
+  state.counters["injected_faults"] =
+      benchmark::Counter(static_cast<double>(fstats.faults));
+}
+
 BENCHMARK(BM_SubmitCoalescedOnly)
     ->Arg(1)
     ->Arg(16)
@@ -293,6 +395,10 @@ BENCHMARK(BM_ServerPipelined)
 BENCHMARK(BM_ServerLatency)
     ->UseRealTime()
     ->Name("ServerLoad/latency");
+BENCHMARK(BM_ServerDegraded)
+    ->Arg(4)
+    ->UseRealTime()
+    ->Name("ServerLoad/degraded/conns");
 
 }  // namespace
 }  // namespace fdc::bench

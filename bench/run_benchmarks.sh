@@ -89,6 +89,7 @@ for name in ("fig_batch_monitor", "fig5_labeler", "fig_engine_scaling",
                       "residual_bytes_after_swap", "evictions",
                       "residual_hits", "decisions_per_second",
                       "avg_coalesced_batch", "max_coalesced_batch",
+                      "reconnects", "injected_faults",
                       "p50_us", "p99_us", "p999_us")
             if k in bench
         }
@@ -242,6 +243,25 @@ for k in ("p50_us", "p99_us", "p999_us"):
     v = server_counter("ServerLoad/latency/real_time", k)
     if v is not None:
         merged["fig_server"][f"latency/{k}"] = round(v, 2)
+# Degraded mode: the same burst shape with ~1% benign + ~0.2% lethal
+# faults injected into the server's recv/send path and reconnecting
+# clients. Floor: answered throughput stays >= 0.5x the clean series at
+# the same connection count.
+merged["fig_server"]["degraded_ratio_floor"] = 0.5
+deg_row = "ServerLoad/degraded/conns/4/real_time"
+deg = server_counter(deg_row, "decisions_per_second")
+clean4 = merged["fig_server"].get("pipelined/conns/4")
+if deg:
+    merged["fig_server"]["degraded/conns/4"] = deg
+    for k in ("reconnects", "injected_faults"):
+        v = server_counter(deg_row, k)
+        if v is not None:
+            merged["fig_server"][f"degraded/{k}"] = int(v)
+if deg and clean4:
+    ratio = round(deg / clean4, 3)
+    merged["fig_server"]["degraded_ratio"] = ratio
+    merged["fig_server"]["degraded_meets_floor"] = ratio >= 0.5
+
 pipelined_rates = [v for k, v in merged["fig_server"].items()
                    if k.startswith("pipelined/") and not k.endswith("avg_batch")]
 merged["fig_server"]["pipelined_min_decisions_per_second"] =     round(min(pipelined_rates), 1) if pipelined_rates else None
@@ -301,5 +321,8 @@ if srv is not None:
     p99 = merged["fig_server"].get("latency/p99_us")
     msg += (f"; server pipelined min = {srv/1e6:.2f}M dec/s "
             f"(floor 1M, p99 = {p99} us)")
+dr = merged["fig_server"].get("degraded_ratio")
+if dr is not None:
+    msg += f"; degraded/clean ratio = {dr} (floor 0.5)"
 print(msg)
 EOF

@@ -12,6 +12,15 @@
 //     # serve on an ephemeral port, run a self-check client session
 //     # (hello, template, submits, /stats, ping), print the results and
 //     # exit 0 iff every response matched expectations.
+//
+//   $ ./examples/disclosure_serverd --smoke-drain
+//     # graceful-drain self-check: pipeline submits from several clients,
+//     # Shutdown() mid-load, and exit 0 iff every in-flight submit was
+//     # answered, every client observed kGoingAway, and nothing needed a
+//     # forced close.
+//
+// SIGINT/SIGTERM trigger the same graceful drain: stop accepting, announce
+// kGoingAway, answer everything already accepted, then exit.
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -101,22 +110,110 @@ int RunSmoke(server::DisclosureServer& srv, const std::string& datalog) {
   return 0;
 }
 
+int RunSmokeDrain(server::DisclosureServer& srv, const std::string& datalog) {
+  constexpr int kClients = 4;
+  constexpr int kPipelined = 64;
+  std::vector<server::BlockingClient> clients(kClients);
+  for (int i = 0; i < kClients; ++i) {
+    const std::string principal = "drain-app-" + std::to_string(i);
+    Status s = clients[i].Connect("127.0.0.1", srv.port(), principal);
+    if (!s.ok()) {
+      std::fprintf(stderr, "connect %d: %s\n", i, s.ToString().c_str());
+      return 1;
+    }
+    s = clients[i].RegisterTemplate(0, datalog);
+    if (!s.ok()) {
+      std::fprintf(stderr, "register %d: %s\n", i, s.ToString().c_str());
+      return 1;
+    }
+    for (int q = 0; q < kPipelined; ++q) clients[i].QueueSubmit(0);
+    s = clients[i].Flush();
+    if (!s.ok()) {
+      std::fprintf(stderr, "flush %d: %s\n", i, s.ToString().c_str());
+      return 1;
+    }
+  }
+
+  // Shut down while every client's submits are in flight. The drain
+  // contract: each submit still gets its decision, each client sees
+  // kGoingAway, and once the peers hang up the server exits on its own.
+  std::thread shutdown_thread([&srv] { srv.Shutdown(); });
+  int answered = 0;
+  bool all_goaway = true;
+  int rc = 0;
+  for (int i = 0; i < kClients; ++i) {
+    for (int q = 0; q < kPipelined && rc == 0;) {
+      server::ClientResponse resp;
+      Status s = clients[i].ReadResponse(&resp);
+      if (!s.ok()) {
+        std::fprintf(stderr, "client %d response %d: %s\n", i, q,
+                     s.ToString().c_str());
+        rc = 1;
+        break;
+      }
+      if (resp.type == server::FrameType::kGoingAway) continue;
+      if (resp.type != server::FrameType::kDecision) {
+        std::fprintf(stderr, "client %d: unexpected frame type %u\n", i,
+                     static_cast<unsigned>(resp.type));
+        rc = 1;
+        break;
+      }
+      ++q;
+      ++answered;
+    }
+    // The announcement may trail the final decision; it is staged for
+    // every live connection, so one more read must produce it.
+    if (rc == 0 && !clients[i].saw_going_away()) {
+      server::ClientResponse resp;
+      Status s = clients[i].ReadResponse(&resp);
+      if (!s.ok() || resp.type != server::FrameType::kGoingAway) {
+        std::fprintf(stderr, "client %d never saw kGoingAway\n", i);
+        rc = 1;
+      }
+    }
+    all_goaway = all_goaway && clients[i].saw_going_away();
+    clients[i].Close();  // our side of the drain handshake
+  }
+  shutdown_thread.join();
+
+  const auto st = srv.stats();
+  std::printf(
+      "drain: answered=%d goaway_sent=%llu drained=%llu forced=%llu\n",
+      answered, static_cast<unsigned long long>(st.goaway_sent),
+      static_cast<unsigned long long>(st.drained_connections),
+      static_cast<unsigned long long>(st.drain_forced_closes));
+  if (rc != 0) return rc;
+  if (answered != kClients * kPipelined || !all_goaway ||
+      st.goaway_sent < kClients || st.drain_forced_closes != 0) {
+    std::fprintf(stderr, "drain contract violated\n");
+    return 1;
+  }
+  std::printf("drain smoke ok\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   server::ServerOptions options;
   bool smoke = false;
+  bool smoke_drain = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--port=", 0) == 0) {
       options.port = static_cast<uint16_t>(std::stoi(arg.substr(7)));
     } else if (arg.rfind("--workers=", 0) == 0) {
       options.workers = std::stoi(arg.substr(10));
+    } else if (arg.rfind("--idle-timeout-ms=", 0) == 0) {
+      options.idle_timeout_ms = std::stoi(arg.substr(18));
     } else if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--smoke-drain") {
+      smoke_drain = true;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--port=N] [--workers=N] [--smoke]\n",
+                   "usage: %s [--port=N] [--workers=N] "
+                   "[--idle-timeout-ms=N] [--smoke] [--smoke-drain]\n",
                    argv[0]);
       return 2;
     }
@@ -156,10 +253,11 @@ int main(int argc, char** argv) {
   std::printf("listening on %s:%u\n", options.host.c_str(), srv.port());
   std::fflush(stdout);
 
-  if (smoke) {
+  if (smoke || smoke_drain) {
     workload::QueryGenerator query_gen(&schema, {}, 0xfdc'5e1f);
     const std::string datalog = cq::ToDatalog(query_gen.Next(), schema);
-    const int rc = RunSmoke(srv, datalog);
+    const int rc =
+        smoke ? RunSmoke(srv, datalog) : RunSmokeDrain(srv, datalog);
     srv.Stop();
     return rc;
   }
@@ -170,10 +268,15 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
   std::printf("shutting down\n");
-  srv.Stop();
+  std::fflush(stdout);
+  srv.Shutdown();  // graceful: announce, answer in-flight, then exit
   const auto st = srv.stats();
   std::printf("served %llu decisions over %llu connections\n",
               static_cast<unsigned long long>(st.decisions),
               static_cast<unsigned long long>(st.connections_accepted));
+  std::printf("drained %llu connections (%llu forced, %llu goaway)\n",
+              static_cast<unsigned long long>(st.drained_connections),
+              static_cast<unsigned long long>(st.drain_forced_closes),
+              static_cast<unsigned long long>(st.goaway_sent));
   return 0;
 }

@@ -36,6 +36,12 @@ class JsonWriter {
     out_.push_back('"');
   }
 
+  /// Splices a pre-serialized JSON value in verbatim.
+  void RawField(const char* key, std::string_view json) {
+    Key(key);
+    out_.append(json);
+  }
+
   void BeginObject(const char* key) {
     Key(key);
     out_.push_back('{');
@@ -57,6 +63,11 @@ class JsonWriter {
 }  // namespace
 
 std::string StatsToJson(const DisclosureEngine::EngineStats& stats) {
+  return StatsToJson(stats, nullptr, {});
+}
+
+std::string StatsToJson(const DisclosureEngine::EngineStats& stats,
+                        const char* extra_key, std::string_view extra_json) {
   JsonWriter w;
   w.Begin();
   w.Field("epoch", stats.epoch);
@@ -110,6 +121,7 @@ std::string StatsToJson(const DisclosureEngine::EngineStats& stats) {
 
   w.Field("fold_scratch_reuses", stats.fold_scratch_reuses);
   w.StringField("simd_isa", simd::IsaName(simd::ActiveIsa()));
+  if (extra_key != nullptr) w.RawField(extra_key, extra_json);
   w.End();
   return w.Take();
 }

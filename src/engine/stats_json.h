@@ -24,9 +24,17 @@
 //
 // All values are non-negative integers except simd_isa (a short lowercase
 // token from simd::IsaName — never needs escaping).
+//
+// Consumers that own counters of their own (the serving front end's
+// reap/drain/shed statistics) splice them in as one extra top-level key
+// via the two-argument overload — e.g. the server's /stats document is
+// the engine document plus a final "server": {...} object. The engine
+// cannot depend on the server layer, so the fragment arrives pre-
+// serialized; the caller is responsible for it being a valid JSON value.
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "engine/disclosure_engine.h"
 
@@ -35,5 +43,11 @@ namespace fdc::engine {
 /// Serializes `stats` into the JSON document described above. Output is
 /// deterministic (fixed key order, no whitespace variation) and valid JSON.
 std::string StatsToJson(const DisclosureEngine::EngineStats& stats);
+
+/// As above, plus one trailing `"extra_key": <extra_json>` member.
+/// `extra_json` must be a complete, valid JSON value (it is spliced in
+/// verbatim, unescaped).
+std::string StatsToJson(const DisclosureEngine::EngineStats& stats,
+                        const char* extra_key, std::string_view extra_json);
 
 }  // namespace fdc::engine

@@ -4,11 +4,16 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
+
+#include "common/rng.h"
 
 namespace fdc::server {
 
@@ -19,6 +24,17 @@ BlockingClient& BlockingClient::operator=(BlockingClient&& other) noexcept {
     epoch_ = other.epoch_;
     send_buf_ = std::move(other.send_buf_);
     recv_buf_ = std::move(other.recv_buf_);
+    host_ = std::move(other.host_);
+    port_ = other.port_;
+    principal_ = std::move(other.principal_);
+    registered_templates_ = std::move(other.registered_templates_);
+    call_deadline_ms_ = other.call_deadline_ms_;
+    retry_enabled_ = other.retry_enabled_;
+    retry_ = other.retry_;
+    rng_state_ = other.rng_state_;
+    io_failed_ = other.io_failed_;
+    saw_going_away_ = other.saw_going_away_;
+    reconnects_ = other.reconnects_;
   }
   return *this;
 }
@@ -57,6 +73,17 @@ Status BlockingClient::Connect(const std::string& host, uint16_t port,
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   fd_ = fd;
+  host_ = host;
+  port_ = port;
+  principal_.assign(principal);
+  saw_going_away_ = false;
+  if (call_deadline_ms_ > 0) {
+    Status ds = SetCallDeadline(call_deadline_ms_);
+    if (!ds.ok()) {
+      Close();
+      return ds;
+    }
+  }
 
   std::string hello;
   AppendHello(&hello, principal);
@@ -66,7 +93,7 @@ Status BlockingClient::Connect(const std::string& host, uint16_t port,
     return s;
   }
   ClientResponse resp;
-  s = ReadResponse(&resp);
+  s = ReadCallResponse(&resp);
   if (!s.ok()) {
     Close();
     return s;
@@ -83,6 +110,20 @@ Status BlockingClient::Connect(const std::string& host, uint16_t port,
   return Status::OK();
 }
 
+Status BlockingClient::SetCallDeadline(int deadline_ms) {
+  call_deadline_ms_ = deadline_ms < 0 ? 0 : deadline_ms;
+  if (fd_ < 0) return Status::OK();
+  timeval tv{};
+  tv.tv_sec = call_deadline_ms_ / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(call_deadline_ms_ % 1000) * 1000;
+  if (::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) != 0 ||
+      ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) != 0) {
+    return Status::Internal(std::string("setsockopt timeout: ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
 Status BlockingClient::SendAll(std::string_view bytes) {
   size_t off = 0;
   while (off < bytes.size()) {
@@ -93,6 +134,10 @@ Status BlockingClient::SendAll(std::string_view bytes) {
       continue;
     }
     if (errno == EINTR) continue;
+    io_failed_ = true;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Internal("send: call deadline exceeded");
+    }
     return Status::Internal(std::string("send: ") + std::strerror(errno));
   }
   return Status::OK();
@@ -107,12 +152,19 @@ Status BlockingClient::Flush() {
 }
 
 Status BlockingClient::ReadResponse(ClientResponse* out) {
+  // Every non-OK return here poisons the connection (io_failed_): either
+  // the socket failed or the stream is desynchronized; both mean the next
+  // frame boundary is unknowable and only a reconnect recovers.
+  auto fail = [this](std::string msg) {
+    io_failed_ = true;
+    return Status::Internal(std::move(msg));
+  };
   for (;;) {
     FrameView frame;
     DecodeResult r = DecodeFrame(recv_buf_.data(), recv_buf_.size(), &frame);
     if (r.status == DecodeStatus::kError) {
-      return Status::Internal(std::string("bad server frame: ") +
-                              ErrorCodeName(r.error));
+      return fail(std::string("bad server frame: ") +
+                  ErrorCodeName(r.error));
     }
     if (r.status == DecodeStatus::kFrame) {
       out->type = frame.type;
@@ -120,14 +172,14 @@ Status BlockingClient::ReadResponse(ClientResponse* out) {
       switch (frame.type) {
         case FrameType::kHelloAck: {
           if (frame.payload.size() < 12) {
-            return Status::Internal("short kHelloAck");
+            return fail("short kHelloAck");
           }
           out->epoch = GetU64(frame.payload.data());
           break;
         }
         case FrameType::kTemplateAck: {
           if (frame.payload.size() != 4) {
-            return Status::Internal("short kTemplateAck");
+            return fail("short kTemplateAck");
           }
           out->template_id = GetU32(frame.payload.data());
           break;
@@ -135,7 +187,7 @@ Status BlockingClient::ReadResponse(ClientResponse* out) {
         case FrameType::kDecision: {
           DecisionPayload d;
           if (!ParseDecision(frame.payload, &d)) {
-            return Status::Internal("malformed kDecision");
+            return fail("malformed kDecision");
           }
           out->allow = d.allow;
           out->epoch = d.epoch;
@@ -150,7 +202,7 @@ Status BlockingClient::ReadResponse(ClientResponse* out) {
         }
         case FrameType::kPong: {
           if (frame.payload.size() != 8) {
-            return Status::Internal("short kPong");
+            return fail("short kPong");
           }
           out->epoch = GetU64(frame.payload.data());
           break;
@@ -158,15 +210,25 @@ Status BlockingClient::ReadResponse(ClientResponse* out) {
         case FrameType::kError: {
           ErrorPayload e;
           if (!ParseError(frame.payload, &e)) {
-            return Status::Internal("malformed kError");
+            return fail("malformed kError");
           }
           out->error = e.code;
           out->error_detail = e.detail;
           out->text.assign(e.message);
           break;
         }
+        case FrameType::kGoingAway: {
+          GoingAwayPayload g;
+          if (!ParseGoingAway(frame.payload, &g)) {
+            return fail("malformed kGoingAway");
+          }
+          out->epoch = g.epoch;
+          out->text.assign(g.reason);
+          saw_going_away_ = true;
+          break;
+        }
         default:
-          return Status::Internal("client-to-server frame from the server");
+          return fail("client-to-server frame from the server");
       }
       recv_buf_.Consume(r.consumed);
       return Status::OK();
@@ -178,76 +240,166 @@ Status BlockingClient::ReadResponse(ClientResponse* out) {
       recv_buf_.Append(buf, static_cast<size_t>(n));
       continue;
     }
-    if (n == 0) return Status::Internal("server closed the connection");
+    if (n == 0) return fail("server closed the connection");
     if (errno == EINTR) continue;
-    return Status::Internal(std::string("recv: ") + std::strerror(errno));
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return fail("recv: call deadline exceeded");
+    }
+    return fail(std::string("recv: ") + std::strerror(errno));
   }
+}
+
+Status BlockingClient::ReadCallResponse(ClientResponse* out) {
+  // In call/response mode a drain announcement can land between a request
+  // and its answer; the draining server still answers everything it
+  // received, so skip past it (saw_going_away() records that it happened).
+  for (;;) {
+    Status s = ReadResponse(out);
+    if (!s.ok() || out->type != FrameType::kGoingAway) return s;
+  }
+}
+
+void BlockingClient::BackoffBeforeAttempt(int attempt) {
+  if (rng_state_ == 0) rng_state_ = retry_.seed | 1;
+  int64_t cap = retry_.base_backoff_ms > 0 ? retry_.base_backoff_ms : 1;
+  for (int i = 1; i < attempt && cap < retry_.max_backoff_ms; ++i) cap *= 2;
+  if (cap > retry_.max_backoff_ms) cap = retry_.max_backoff_ms;
+  // Half deterministic, half jitter, so a fleet of clients kicked off the
+  // same server decorrelates instead of reconnect-storming in lockstep.
+  const uint64_t j = SplitMix64Next(&rng_state_);
+  const int64_t sleep_ms =
+      cap / 2 + static_cast<int64_t>(j % static_cast<uint64_t>(cap / 2 + 1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+}
+
+Status BlockingClient::Reconnect() {
+  ++reconnects_;
+  Status s = Connect(host_, port_, principal_);
+  if (!s.ok()) return s;
+  // Idempotent session replay: templates are per-connection server state,
+  // so every one this client ever registered must exist again before the
+  // retried call can reference it. Ids can't collide — the connection is
+  // brand new.
+  for (const auto& [id, datalog] : registered_templates_) {
+    std::string frame;
+    AppendRegisterTemplate(&frame, id, datalog);
+    s = SendAll(frame);
+    if (!s.ok()) return s;
+    ClientResponse resp;
+    s = ReadCallResponse(&resp);
+    if (!s.ok()) return s;
+    if (resp.type != FrameType::kTemplateAck || resp.template_id != id) {
+      io_failed_ = true;
+      return Status::Internal("template re-registration failed on reconnect");
+    }
+  }
+  return Status::OK();
+}
+
+template <typename Op>
+Status BlockingClient::RunWithRetry(Op&& op) {
+  io_failed_ = false;
+  Status s = op();
+  if (s.ok() || !retry_enabled_) return s;
+  for (int attempt = 1; attempt < retry_.max_attempts && io_failed_;
+       ++attempt) {
+    BackoffBeforeAttempt(attempt);
+    io_failed_ = false;
+    Status rs = Reconnect();
+    if (!rs.ok()) {
+      // A refused/failed reconnect is itself a transport failure: keep
+      // backing off until the attempts run out.
+      io_failed_ = true;
+      s = std::move(rs);
+      continue;
+    }
+    s = op();
+    if (s.ok()) return s;
+  }
+  return s;
 }
 
 Status BlockingClient::RegisterTemplate(uint32_t id,
                                         std::string_view datalog) {
-  std::string frame;
-  AppendRegisterTemplate(&frame, id, datalog);
-  Status s = SendAll(frame);
-  if (!s.ok()) return s;
-  ClientResponse resp;
-  s = ReadResponse(&resp);
-  if (!s.ok()) return s;
-  if (resp.type == FrameType::kError) {
-    return Status::ParseError(std::string(ErrorCodeName(resp.error)) + ": " +
-                              resp.text);
-  }
-  if (resp.type != FrameType::kTemplateAck || resp.template_id != id) {
-    return Status::Internal("unexpected frame in place of kTemplateAck");
-  }
-  return Status::OK();
+  Status s = RunWithRetry([&] {
+    std::string frame;
+    AppendRegisterTemplate(&frame, id, datalog);
+    Status r = SendAll(frame);
+    if (!r.ok()) return r;
+    ClientResponse resp;
+    r = ReadCallResponse(&resp);
+    if (!r.ok()) return r;
+    if (resp.type == FrameType::kError) {
+      return Status::ParseError(std::string(ErrorCodeName(resp.error)) +
+                                ": " + resp.text);
+    }
+    if (resp.type != FrameType::kTemplateAck || resp.template_id != id) {
+      io_failed_ = true;
+      return Status::Internal("unexpected frame in place of kTemplateAck");
+    }
+    return Status::OK();
+  });
+  // Recorded only on success, so a reconnect replay never races the
+  // in-flight registration it is retrying.
+  if (s.ok()) registered_templates_[id] = std::string(datalog);
+  return s;
 }
 
 Status BlockingClient::Submit(uint32_t id, ClientResponse* out, bool explain) {
-  std::string frame;
-  AppendSubmit(&frame, id, explain);
-  Status s = SendAll(frame);
-  if (!s.ok()) return s;
-  return ReadResponse(out);
+  return RunWithRetry([&] {
+    std::string frame;
+    AppendSubmit(&frame, id, explain);
+    Status r = SendAll(frame);
+    if (!r.ok()) return r;
+    return ReadCallResponse(out);
+  });
 }
 
 Status BlockingClient::SubmitText(std::string_view datalog,
                                   ClientResponse* out, bool explain) {
-  std::string frame;
-  AppendSubmitText(&frame, datalog, explain);
-  Status s = SendAll(frame);
-  if (!s.ok()) return s;
-  return ReadResponse(out);
+  return RunWithRetry([&] {
+    std::string frame;
+    AppendSubmitText(&frame, datalog, explain);
+    Status r = SendAll(frame);
+    if (!r.ok()) return r;
+    return ReadCallResponse(out);
+  });
 }
 
 Status BlockingClient::StatsJson(std::string* out) {
-  std::string frame;
-  AppendStatsRequest(&frame);
-  Status s = SendAll(frame);
-  if (!s.ok()) return s;
-  ClientResponse resp;
-  s = ReadResponse(&resp);
-  if (!s.ok()) return s;
-  if (resp.type != FrameType::kStatsJson) {
-    return Status::Internal("unexpected frame in place of kStatsJson");
-  }
-  *out = std::move(resp.text);
-  return Status::OK();
+  return RunWithRetry([&] {
+    std::string frame;
+    AppendStatsRequest(&frame);
+    Status r = SendAll(frame);
+    if (!r.ok()) return r;
+    ClientResponse resp;
+    r = ReadCallResponse(&resp);
+    if (!r.ok()) return r;
+    if (resp.type != FrameType::kStatsJson) {
+      io_failed_ = true;
+      return Status::Internal("unexpected frame in place of kStatsJson");
+    }
+    *out = std::move(resp.text);
+    return Status::OK();
+  });
 }
 
 Status BlockingClient::Ping(uint64_t* epoch) {
-  std::string frame;
-  AppendPing(&frame);
-  Status s = SendAll(frame);
-  if (!s.ok()) return s;
-  ClientResponse resp;
-  s = ReadResponse(&resp);
-  if (!s.ok()) return s;
-  if (resp.type != FrameType::kPong) {
-    return Status::Internal("unexpected frame in place of kPong");
-  }
-  *epoch = resp.epoch;
-  return Status::OK();
+  return RunWithRetry([&] {
+    std::string frame;
+    AppendPing(&frame);
+    Status r = SendAll(frame);
+    if (!r.ok()) return r;
+    ClientResponse resp;
+    r = ReadCallResponse(&resp);
+    if (!r.ok()) return r;
+    if (resp.type != FrameType::kPong) {
+      io_failed_ = true;
+      return Status::Internal("unexpected frame in place of kPong");
+    }
+    *epoch = resp.epoch;
+    return Status::OK();
+  });
 }
 
 }  // namespace fdc::server

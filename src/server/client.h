@@ -12,17 +12,56 @@
 //
 // Plain blocking sockets (the server is the nonblocking side); all sends
 // and reads retry EINTR and resume partial transfers.
+//
+// Fault tolerance (opt-in, call/response mode only):
+//
+//   - SetCallDeadline(ms) bounds every blocking send/recv via socket
+//     timeouts; an expired call fails the operation and poisons the
+//     connection (a late response would desynchronize the stream).
+//   - EnableRetry(opts) makes the call/response helpers transparently
+//     reconnect after transport failures — jittered exponential backoff,
+//     then a fresh Connect under the original principal, then idempotent
+//     re-registration of every template this client ever registered, then
+//     one re-issue of the failed call. Retrying a submit whose response
+//     was lost re-applies the same query to the same principal state,
+//     which is decision- and state-stable (refusals never narrow; an
+//     accepted query stays accepted against the state it narrowed), so
+//     at-least-once delivery is safe. Server-level refusals (kError
+//     responses) are never retried — only transport failures are.
+//   - A kGoingAway frame (server draining) is surfaced from ReadResponse
+//     with type kGoingAway and remembered in saw_going_away(); the
+//     call/response helpers skip over it and keep reading, since the
+//     draining server still answers everything it accepted.
+//
+// Pipelined mode is deliberately outside the retry machinery: after a
+// mid-pipeline transport failure the client cannot know which staged
+// submits the server applied, and blind replay of the unanswered suffix
+// could re-apply a *prefix* of it from a narrowed state. Pipelined users
+// get the error and own the recovery policy.
 #pragma once
 
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 
 #include "common/status.h"
 #include "server/byte_queue.h"
 #include "server/protocol.h"
 
 namespace fdc::server {
+
+/// Reconnect policy for BlockingClient::EnableRetry.
+struct RetryOptions {
+  /// Total attempts per call (the initial try plus reconnect retries).
+  int max_attempts = 8;
+  /// Backoff before reconnect attempt k is roughly
+  /// min(base << (k-1), max) halved and jittered.
+  int base_backoff_ms = 5;
+  int max_backoff_ms = 200;
+  /// Jitter seed (deterministic, like every RNG in this repo).
+  uint64_t seed = 0x5eedc11e;
+};
 
 /// One decoded server frame, normalized across response types.
 struct ClientResponse {
@@ -53,6 +92,26 @@ class BlockingClient {
   void Close();
   bool connected() const { return fd_ >= 0; }
   uint64_t epoch() const { return epoch_; }
+
+  /// Bounds every blocking send/recv on this connection (SO_SNDTIMEO /
+  /// SO_RCVTIMEO); re-applied automatically after a retry reconnect.
+  /// 0 restores fully blocking calls. Takes effect immediately when
+  /// connected, otherwise at the next Connect.
+  Status SetCallDeadline(int deadline_ms);
+
+  /// Arms transparent reconnect-and-retry for the call/response helpers
+  /// (see the file comment for the exact semantics and why it is safe).
+  void EnableRetry(const RetryOptions& options = {}) {
+    retry_ = options;
+    retry_enabled_ = true;
+  }
+
+  /// True once any kGoingAway frame has been read on this connection
+  /// (cleared by Connect).
+  bool saw_going_away() const { return saw_going_away_; }
+
+  /// Transport-level reconnects performed by the retry machinery.
+  uint64_t reconnects() const { return reconnects_; }
 
   /// Registers `datalog` under `id`; fails with the server's kError
   /// message on parse/duplicate errors.
@@ -86,15 +145,42 @@ class BlockingClient {
   Status Flush();
 
   /// Blocks until one complete server frame arrives and decodes it.
+  /// kGoingAway frames are returned like any other (type kGoingAway,
+  /// epoch + reason filled in) with saw_going_away() latched.
   Status ReadResponse(ClientResponse* out);
 
  private:
   Status SendAll(std::string_view bytes);
+  /// One reconnect: fresh socket + hello + call deadline + template
+  /// replay. Bypasses the public helpers so it never recurses into retry.
+  Status Reconnect();
+  /// Sleeps the jittered exponential backoff for reconnect attempt k.
+  void BackoffBeforeAttempt(int attempt);
+  /// Runs `op`; on a transport failure (io_failed_) with retry enabled,
+  /// backs off, reconnects and re-runs until attempts run out.
+  template <typename Op>
+  Status RunWithRetry(Op&& op);
+  /// ReadResponse, skipping any interleaved kGoingAway frames — the
+  /// call/response shape where "the next frame" must be the answer.
+  Status ReadCallResponse(ClientResponse* out);
 
   int fd_ = -1;
   uint64_t epoch_ = 0;
   ByteQueue send_buf_;
   ByteQueue recv_buf_;
+
+  // Saved endpoint + session state for reconnect.
+  std::string host_;
+  uint16_t port_ = 0;
+  std::string principal_;
+  std::unordered_map<uint32_t, std::string> registered_templates_;
+  int call_deadline_ms_ = 0;
+  bool retry_enabled_ = false;
+  RetryOptions retry_;
+  uint64_t rng_state_ = 0;  // lazy-seeded jitter stream
+  bool io_failed_ = false;  // last failure was transport-level
+  bool saw_going_away_ = false;
+  uint64_t reconnects_ = 0;
 };
 
 }  // namespace fdc::server

@@ -1,14 +1,17 @@
 #include "server/disclosure_server.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <deque>
@@ -21,6 +24,7 @@
 #include "engine/stats_json.h"
 #include "policy/explain.h"
 #include "server/byte_queue.h"
+#include "server/failpoints.h"
 #include "server/protocol.h"
 
 namespace fdc::server {
@@ -31,6 +35,13 @@ namespace {
 /// connections on a worker. Level-triggered epoll re-signals the rest.
 constexpr size_t kReadBudget = 256 * 1024;
 
+/// Coarse monotone clock for the deadline machinery; read once per wake.
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 struct Connection {
   int fd = -1;
   bool got_hello = false;
@@ -40,6 +51,8 @@ struct Connection {
   bool touched = false;     // has output staged this wake
   bool dead = false;        // fd closed; object destroyed at wake end
   uint32_t pending_submits = 0;  // submits awaiting this wake's batch
+  int64_t created_ms = 0;   // accept time: the handshake deadline base
+  int64_t last_ms = 0;      // last read/write progress (idle + linger base)
   std::string principal;
   // Registered templates, dense by client-chosen id. unique_ptr for
   // pointer stability: pending submit requests hold raw pointers into
@@ -109,6 +122,19 @@ struct DisclosureServer::Worker {
   int wake_fd = -1;
   std::thread thread;
 
+  // Reserved fd for EMFILE recovery (held on /dev/null): closing it frees
+  // exactly one descriptor slot, so the pending connection can be accepted
+  // and refused with a real kServerBusy instead of sitting in the backlog
+  // re-signaling the level-triggered listener forever.
+  int spare_fd = -1;
+  uint32_t listen_events = EPOLLIN;  // to re-arm after an accept pause
+  bool accept_paused = false;
+  int64_t accept_resume_ms = 0;
+  bool drain_announced = false;
+  bool force_closing = false;        // inside the drain-deadline sweep
+  int64_t drain_deadline_abs = 0;
+  int64_t now_ms = 0;                // steady-clock ms, refreshed per wake
+
   std::unordered_map<int, std::unique_ptr<Connection>> conns;
   // Closed mid-wake: the object outlives the fd until the wake epilogue so
   // staged pointers stay valid even if accept() reuses the fd number.
@@ -145,6 +171,13 @@ struct DisclosureServer::Worker {
   std::atomic<uint64_t> c_backpressure{0};
   std::atomic<uint64_t> c_bytes_in{0};
   std::atomic<uint64_t> c_bytes_out{0};
+  std::atomic<uint64_t> c_handshake_reaps{0};
+  std::atomic<uint64_t> c_idle_reaps{0};
+  std::atomic<uint64_t> c_accept_overloads{0};
+  std::atomic<uint64_t> c_accept_pauses{0};
+  std::atomic<uint64_t> c_goaway{0};
+  std::atomic<uint64_t> c_drained{0};
+  std::atomic<uint64_t> c_drain_forced{0};
 
   void Bump(std::atomic<uint64_t>& c, uint64_t n = 1) {
     c.store(c.load(std::memory_order_relaxed) + n, std::memory_order_relaxed);
@@ -153,12 +186,15 @@ struct DisclosureServer::Worker {
   void Run() {
     constexpr int kMaxEvents = 128;
     epoll_event events[kMaxEvents];
+    now_ms = NowMs();
     while (server->running_.load(std::memory_order_acquire)) {
-      int n = ::epoll_wait(epoll_fd, events, kMaxEvents, -1);
+      int n = failpoints::EpollWait(epoll_fd, events, kMaxEvents,
+                                    EpollTimeoutMs());
       if (n < 0) {
         if (errno == EINTR) continue;
         break;
       }
+      now_ms = NowMs();
       for (int i = 0; i < n; ++i) {
         const int fd = events[i].data.fd;
         const uint32_t evs = events[i].events;
@@ -185,34 +221,57 @@ struct DisclosureServer::Worker {
         }
         if (evs & EPOLLIN) HandleReadable(c);
       }
-      // Wake epilogue: one engine pass over everything decoded above, then
-      // one write flush per touched connection.
+      // Wake epilogue: one engine pass over everything decoded above,
+      // then the deadline machinery, then one write flush per touched
+      // connection. BeginDrain sits after the flush so the kGoingAway
+      // frame lands behind every response staged this wake.
       FlushCoalesced();
+      if (server->draining_.load(std::memory_order_acquire) &&
+          !drain_announced) {
+        BeginDrain();
+      }
+      ReapTimeouts();
+      MaybeResumeAccept();
       for (Connection* c : touched) {
         c->touched = false;
         if (!c->dead) WriteConn(c);
       }
       touched.clear();
       graveyard.clear();
+      if (drain_announced && DrainFinished()) break;
     }
   }
 
+  /// Block indefinitely only while no timed work exists; otherwise wake
+  /// at the coarse tick so every deadline fires within one tick of expiry.
+  int EpollTimeoutMs() {
+    if (drain_announced || accept_paused ||
+        server->draining_.load(std::memory_order_relaxed)) {
+      return opts->tick_interval_ms;
+    }
+    if (!conns.empty() &&
+        (opts->handshake_timeout_ms > 0 || opts->idle_timeout_ms > 0 ||
+         opts->close_linger_ms > 0)) {
+      return opts->tick_interval_ms;
+    }
+    return -1;
+  }
+
   void Accept() {
-    for (;;) {
-      int fd = ::accept4(listen_fd, nullptr, nullptr,
-                         SOCK_NONBLOCK | SOCK_CLOEXEC);
+    while (!accept_paused) {
+      int fd = failpoints::Accept4(listen_fd, nullptr, nullptr,
+                                   SOCK_NONBLOCK | SOCK_CLOEXEC);
       if (fd < 0) {
         if (errno == EINTR || errno == ECONNABORTED) continue;
+        if (errno == EMFILE || errno == ENFILE) {
+          HandleFdExhaustion();
+          continue;
+        }
         return;  // EAGAIN (drained) or a transient error; epoll re-signals
       }
       if (server->live_connections_.load(std::memory_order_relaxed) >=
           opts->max_connections) {
-        std::string err;
-        AppendError(&err, ErrorCode::kServerBusy, 0,
-                    "connection limit reached");
-        (void)::send(fd, err.data(), err.size(), MSG_NOSIGNAL);  // best effort
-        ::close(fd);
-        Bump(c_rejected);
+        ShedConnection(fd, "connection limit reached");
         continue;
       }
       int one = 1;
@@ -221,15 +280,175 @@ struct DisclosureServer::Worker {
       ev.events = EPOLLIN;
       ev.data.fd = fd;
       if (::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
-        ::close(fd);
+        (void)failpoints::Close(fd);
         continue;
       }
       auto conn = std::make_unique<Connection>();
       conn->fd = fd;
+      conn->created_ms = now_ms;
+      conn->last_ms = now_ms;
       conns.emplace(fd, std::move(conn));
       Bump(c_accepted);
       server->live_connections_.fetch_add(1, std::memory_order_relaxed);
     }
+  }
+
+  /// accept() hit EMFILE/ENFILE: every descriptor slot is taken, and the
+  /// pending peer will keep the level-triggered listener signaling until
+  /// someone accepts it. Free the reserved slot, accept exactly one peer
+  /// into it, refuse it with a real kServerBusy, re-reserve — and if even
+  /// that cannot make progress, park the listener for accept_pause_ms
+  /// instead of hot-spinning.
+  void HandleFdExhaustion() {
+    Bump(c_accept_overloads);
+    if (spare_fd >= 0) {
+      ::close(spare_fd);
+      spare_fd = -1;
+      int fd = failpoints::Accept4(listen_fd, nullptr, nullptr,
+                                   SOCK_NONBLOCK | SOCK_CLOEXEC);
+      const bool still_exhausted =
+          fd < 0 && (errno == EMFILE || errno == ENFILE);
+      if (fd >= 0) ShedConnection(fd, "file descriptors exhausted");
+      spare_fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+      if (spare_fd >= 0 && !still_exhausted) return;
+    }
+    PauseAccept();
+  }
+
+  /// Refuses `fd` with a kServerBusy whose flush is bounded best-effort:
+  /// poll for writability up to shed_flush_ms so a normally-draining peer
+  /// actually receives the frame (the old nonblocking send racing the
+  /// close usually lost it), while a wedged peer cannot hold the accept
+  /// loop hostage for more than the budget.
+  void ShedConnection(int fd, std::string_view message) {
+    // Count before the close: the peer observes the rejection as EOF, and
+    // anyone who saw that EOF must also see the counter (on one core the
+    // close can wake the peer and deschedule this worker mid-function).
+    Bump(c_rejected);
+    std::string frame;
+    AppendError(&frame, ErrorCode::kServerBusy, 0, message);
+    size_t off = 0;
+    const int64_t deadline = NowMs() + opts->shed_flush_ms;
+    while (off < frame.size()) {
+      ssize_t n = failpoints::Send(fd, frame.data() + off,
+                                   frame.size() - off, MSG_NOSIGNAL);
+      if (n > 0) {
+        Bump(c_bytes_out, static_cast<uint64_t>(n));
+        off += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        const int64_t left = deadline - NowMs();
+        if (left <= 0) break;
+        pollfd pfd{fd, POLLOUT, 0};
+        (void)::poll(&pfd, 1, static_cast<int>(left));
+        continue;
+      }
+      break;  // peer already gone
+    }
+    (void)failpoints::Close(fd);
+  }
+
+  void PauseAccept() {
+    if (accept_paused) return;
+    accept_paused = true;
+    accept_resume_ms = now_ms + opts->accept_pause_ms;
+    Bump(c_accept_pauses);
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, listen_fd, nullptr);
+  }
+
+  void MaybeResumeAccept() {
+    if (!accept_paused || drain_announced) return;
+    if (now_ms < accept_resume_ms) return;
+    accept_paused = false;
+    epoll_event ev{};
+    ev.events = listen_events;
+    ev.data.fd = listen_fd;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, listen_fd, &ev);
+  }
+
+  /// Drain step 1 (runs once, from the wake epilogue so every response
+  /// staged this wake precedes the announcement): stop accepting and
+  /// stage kGoingAway on every live connection. The loop keeps answering
+  /// whatever the peers already sent — or race in before they see the
+  /// frame — and each connection closes when its peer does.
+  void BeginDrain() {
+    drain_announced = true;
+    drain_deadline_abs = now_ms + opts->drain_deadline_ms;
+    if (!accept_paused) {
+      ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, listen_fd, nullptr);
+    }
+    accept_paused = true;  // permanent: MaybeResumeAccept checks the drain
+    const uint64_t epoch = engine->Snapshot()->epoch();
+    for (auto& [fd, c] : conns) {
+      if (c->dead || c->want_close) continue;
+      AppendGoingAway(c->out.tail(), epoch, "server draining");
+      Bump(c_goaway);
+      Touch(c.get());
+    }
+  }
+
+  /// Drain step 2 (every tick): done when the last connection closes, or
+  /// the budget runs out and the stragglers are hard-closed.
+  bool DrainFinished() {
+    if (conns.empty()) return true;
+    if (now_ms < drain_deadline_abs) return false;
+    force_closing = true;
+    std::vector<Connection*> rest;
+    rest.reserve(conns.size());
+    for (auto& [fd, c] : conns) rest.push_back(c.get());
+    for (Connection* c : rest) {
+      Bump(c_drain_forced);
+      CloseConn(c);
+    }
+    force_closing = false;
+    graveyard.clear();
+    return true;
+  }
+
+  /// The per-tick deadline sweep. Three clocks per connection: handshake
+  /// (accept → kHello), idle (last progress on a quiescent session), and
+  /// linger (a closing connection whose final flush stopped progressing).
+  void ReapTimeouts() {
+    if (conns.empty()) return;
+    const int hs = opts->handshake_timeout_ms;
+    const int idle = opts->idle_timeout_ms;
+    const int linger = opts->close_linger_ms;
+    if (hs <= 0 && idle <= 0 && linger <= 0) return;
+    std::vector<Connection*> stuck;  // CloseConn mutates conns: two-phase
+    for (auto& [fd, c] : conns) {
+      if (c->dead) continue;
+      if (c->want_close) {
+        if (linger > 0 && now_ms - c->last_ms >= linger) {
+          stuck.push_back(c.get());
+        }
+        continue;
+      }
+      if (!c->got_hello) {
+        if (hs > 0 && now_ms - c->created_ms >= hs) {
+          Bump(c_handshake_reaps);
+          Reap(c.get(), "handshake deadline exceeded");
+        }
+        continue;
+      }
+      if (idle > 0 && c->out.empty() && c->pending_submits == 0 &&
+          now_ms - c->last_ms >= idle) {
+        Bump(c_idle_reaps);
+        Reap(c.get(), "idle timeout");
+      }
+    }
+    for (Connection* c : stuck) CloseConn(c);
+  }
+
+  /// Reaping is an orderly refusal: stage kError(kDeadlineExceeded), then
+  /// the normal flush-and-close path (itself bounded by close_linger_ms).
+  void Reap(Connection* c, std::string_view why) {
+    Bump(c_protocol_errors);
+    AppendError(c->out.tail(), ErrorCode::kDeadlineExceeded, 0, why);
+    c->want_close = true;
+    c->last_ms = now_ms;  // the linger clock starts now
+    Touch(c);
   }
 
   void HandleReadable(Connection* c) {
@@ -237,9 +456,10 @@ struct DisclosureServer::Worker {
     size_t read_this_wake = 0;
     bool eof = false;
     for (;;) {
-      ssize_t r = ::recv(c->fd, buf, sizeof(buf), 0);
+      ssize_t r = failpoints::Recv(c->fd, buf, sizeof(buf), 0);
       if (r > 0) {
         Bump(c_bytes_in, static_cast<uint64_t>(r));
+        c->last_ms = now_ms;
         c->in.Append(buf, static_cast<size_t>(r));
         read_this_wake += static_cast<size_t>(r);
         if (read_this_wake >= kReadBudget) break;
@@ -404,7 +624,9 @@ struct DisclosureServer::Worker {
           return;
         }
         std::string resp;
-        AppendStatsJson(&resp, engine::StatsToJson(engine->Stats()));
+        AppendStatsJson(&resp,
+                        engine::StatsToJson(engine->Stats(), "server",
+                                            server->StatsJsonFragment()));
         Respond(c, std::move(resp));
         return;
       }
@@ -519,9 +741,11 @@ struct DisclosureServer::Worker {
   void WriteConn(Connection* c) {
     if (c->dead) return;
     while (!c->out.empty()) {
-      ssize_t n = ::send(c->fd, c->out.data(), c->out.size(), MSG_NOSIGNAL);
+      ssize_t n = failpoints::Send(c->fd, c->out.data(), c->out.size(),
+                                   MSG_NOSIGNAL);
       if (n >= 0) {
         Bump(c_bytes_out, static_cast<uint64_t>(n));
+        if (n > 0) c->last_ms = now_ms;
         c->out.Consume(static_cast<size_t>(n));
         continue;
       }
@@ -568,8 +792,9 @@ struct DisclosureServer::Worker {
     if (c->dead) return;
     c->dead = true;
     ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, c->fd, nullptr);
-    ::close(c->fd);
+    (void)failpoints::Close(c->fd);
     Bump(c_closed);
+    if (drain_announced && !force_closing) Bump(c_drained);
     server->live_connections_.fetch_sub(1, std::memory_order_relaxed);
     auto it = conns.find(c->fd);
     if (it != conns.end() && it->second.get() == c) {
@@ -593,6 +818,10 @@ Status DisclosureServer::Start() {
   // never kill the process. Sends also pass MSG_NOSIGNAL; this covers any
   // other code in the process writing to sockets.
   std::signal(SIGPIPE, SIG_IGN);
+  // Fault injection for out-of-process runs (the CI stress jobs): a set
+  // FDC_FAILPOINTS variable arms the harness; absent or malformed, the
+  // zero-overhead disabled path stays in effect.
+  failpoints::EnableFromEnv();
 
   const int nworkers = options_.workers < 1 ? 1 : options_.workers;
   bool reuseport = nworkers > 1;
@@ -613,6 +842,7 @@ Status DisclosureServer::Start() {
       if (w->owns_listen && w->listen_fd >= 0) ::close(w->listen_fd);
       if (w->epoll_fd >= 0) ::close(w->epoll_fd);
       if (w->wake_fd >= 0) ::close(w->wake_fd);
+      if (w->spare_fd >= 0) ::close(w->spare_fd);
     }
     workers_.clear();
     ::close(first_fd);
@@ -658,6 +888,10 @@ Status DisclosureServer::Start() {
 #endif
     ev.data.fd = w->listen_fd;
     ::epoll_ctl(w->epoll_fd, EPOLL_CTL_ADD, w->listen_fd, &ev);
+    w->listen_events = ev.events;
+    // Best-effort: with no spare, fd exhaustion degrades to the timed
+    // accept pause instead of the shed-with-busy path.
+    w->spare_fd = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
     workers_.push_back(std::move(w));
   }
 
@@ -693,8 +927,30 @@ void DisclosureServer::Stop() {
     if (w->owns_listen && w->listen_fd >= 0) ::close(w->listen_fd);
     if (w->epoll_fd >= 0) ::close(w->epoll_fd);
     if (w->wake_fd >= 0) ::close(w->wake_fd);
-    w->listen_fd = w->epoll_fd = w->wake_fd = -1;
+    if (w->spare_fd >= 0) ::close(w->spare_fd);
+    w->listen_fd = w->epoll_fd = w->wake_fd = w->spare_fd = -1;
   }
+}
+
+void DisclosureServer::Shutdown() {
+  if (started_ && running_.load(std::memory_order_acquire)) {
+    draining_.store(true, std::memory_order_release);
+    for (auto& w : workers_) {
+      if (w->wake_fd >= 0) {
+        uint64_t one = 1;
+        ssize_t r;
+        do {
+          r = ::write(w->wake_fd, &one, sizeof(one));
+        } while (r < 0 && errno == EINTR);
+      }
+    }
+    // Workers exit Run() on their own once drained (or at the drain
+    // deadline); Stop() below is then pure fd/teardown bookkeeping.
+    for (auto& w : workers_) {
+      if (w->thread.joinable()) w->thread.join();
+    }
+  }
+  Stop();
 }
 
 DisclosureServer::Stats DisclosureServer::stats() const {
@@ -714,8 +970,51 @@ DisclosureServer::Stats DisclosureServer::stats() const {
         w->c_backpressure.load(std::memory_order_relaxed);
     s.bytes_read += w->c_bytes_in.load(std::memory_order_relaxed);
     s.bytes_written += w->c_bytes_out.load(std::memory_order_relaxed);
+    s.handshake_reaps += w->c_handshake_reaps.load(std::memory_order_relaxed);
+    s.idle_reaps += w->c_idle_reaps.load(std::memory_order_relaxed);
+    s.accept_overloads +=
+        w->c_accept_overloads.load(std::memory_order_relaxed);
+    s.accept_pauses += w->c_accept_pauses.load(std::memory_order_relaxed);
+    s.goaway_sent += w->c_goaway.load(std::memory_order_relaxed);
+    s.drained_connections += w->c_drained.load(std::memory_order_relaxed);
+    s.drain_forced_closes +=
+        w->c_drain_forced.load(std::memory_order_relaxed);
   }
   return s;
+}
+
+std::string DisclosureServer::StatsJsonFragment() const {
+  const Stats s = stats();
+  std::string out = "{";
+  bool first = true;
+  auto field = [&out, &first](const char* key, uint64_t v) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.push_back('"');
+    out.append(key);
+    out.append("\":");
+    out.append(std::to_string(v));
+  };
+  field("connections_accepted", s.connections_accepted);
+  field("connections_rejected", s.connections_rejected);
+  field("connections_closed", s.connections_closed);
+  field("protocol_errors", s.protocol_errors);
+  field("frames_received", s.frames_received);
+  field("decisions", s.decisions);
+  field("coalesced_batches", s.coalesced_batches);
+  field("max_coalesced_batch", s.max_coalesced_batch);
+  field("backpressure_pauses", s.backpressure_pauses);
+  field("bytes_read", s.bytes_read);
+  field("bytes_written", s.bytes_written);
+  field("handshake_reaps", s.handshake_reaps);
+  field("idle_reaps", s.idle_reaps);
+  field("accept_overloads", s.accept_overloads);
+  field("accept_pauses", s.accept_pauses);
+  field("goaway_sent", s.goaway_sent);
+  field("drained_connections", s.drained_connections);
+  field("drain_forced_closes", s.drain_forced_closes);
+  out.push_back('}');
+  return out;
 }
 
 }  // namespace fdc::server

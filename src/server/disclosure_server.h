@@ -66,6 +66,34 @@ struct ServerOptions {
   /// pending submits even mid-wake (bounds decision latency and batch
   /// scratch under extreme pipelining).
   size_t max_coalesce = 4096;
+
+  // --- robustness knobs (all milliseconds; 0 disables the mechanism) ----
+  /// A connection that has not completed the kHello handshake within this
+  /// window is reaped (kError/kDeadlineExceeded, then close) — half-open
+  /// peers cannot hold a connection slot.
+  int handshake_timeout_ms = 10'000;
+  /// A fully quiescent connection (handshake done, nothing buffered in
+  /// either direction) older than this since its last byte is reaped.
+  /// Off by default: the sidecar deployment keeps one long-lived
+  /// connection per app and reaping it would only force reconnect churn.
+  int idle_timeout_ms = 0;
+  /// Granularity of the deadline machinery: while any timed work exists
+  /// (connections, an accept pause, a drain) the event loop wakes at
+  /// least this often; a fully idle worker still blocks indefinitely.
+  int tick_interval_ms = 50;
+  /// Shutdown() drain budget: connections still open this long after the
+  /// drain began are force-closed.
+  int drain_deadline_ms = 5'000;
+  /// Budget for the bounded best-effort flush of a kServerBusy shed reply
+  /// on a connection we are about to close unaccepted.
+  int shed_flush_ms = 20;
+  /// How long accepting stays paused after unrecoverable fd exhaustion
+  /// (EMFILE with the spare fd also gone) before the listener is re-armed.
+  int accept_pause_ms = 100;
+  /// A closing connection (fatal error or reap) whose final flush makes no
+  /// progress for this long is hard-closed — a peer that stops reading
+  /// cannot pin a slot via its own error frame.
+  int close_linger_ms = 2'000;
 };
 
 class DisclosureServer {
@@ -83,6 +111,13 @@ class DisclosureServer {
     uint64_t backpressure_pauses = 0;   // EPOLLIN drops
     uint64_t bytes_read = 0;
     uint64_t bytes_written = 0;
+    uint64_t handshake_reaps = 0;       // closed before kHello in time
+    uint64_t idle_reaps = 0;            // idle TTL expirations
+    uint64_t accept_overloads = 0;      // accept() hit EMFILE/ENFILE
+    uint64_t accept_pauses = 0;         // listener parked after exhaustion
+    uint64_t goaway_sent = 0;           // kGoingAway frames staged
+    uint64_t drained_connections = 0;   // closed cleanly during a drain
+    uint64_t drain_forced_closes = 0;   // still open at the drain deadline
   };
 
   /// `engine` must outlive the server and be started/stopped by the
@@ -104,10 +139,22 @@ class DisclosureServer {
   /// twice and from any thread (but not concurrently with Start).
   void Stop();
 
+  /// Graceful drain, then Stop(): workers stop accepting, stage a
+  /// kGoingAway frame on every live connection, keep answering requests
+  /// already received (and any a client races in before it sees the
+  /// announcement), and exit once every peer has closed — or hard-close
+  /// whatever remains after ServerOptions::drain_deadline_ms. Safe to
+  /// call twice; callable from a signal-driven shutdown path's thread.
+  void Shutdown();
+
   /// The bound listening port (valid after Start; resolves port 0).
   uint16_t port() const { return port_; }
 
   Stats stats() const;
+
+  /// stats() as one JSON object — the fragment the kStatsRequest handler
+  /// splices into engine::StatsToJson under the "server" key.
+  std::string StatsJsonFragment() const;
 
  private:
   struct Worker;
@@ -115,6 +162,7 @@ class DisclosureServer {
   engine::DisclosureEngine* engine_;
   ServerOptions options_;
   std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
   bool started_ = false;
   uint16_t port_ = 0;
   std::atomic<size_t> live_connections_{0};

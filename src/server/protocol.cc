@@ -17,6 +17,7 @@ const char* ErrorCodeName(ErrorCode code) {
     case ErrorCode::kUnknownTemplate: return "UnknownTemplate";
     case ErrorCode::kParseError: return "ParseError";
     case ErrorCode::kServerBusy: return "ServerBusy";
+    case ErrorCode::kDeadlineExceeded: return "DeadlineExceeded";
   }
   return "UnknownError";
 }
@@ -45,7 +46,7 @@ DecodeResult DecodeFrame(const uint8_t* data, size_t size, FrameView* out) {
     return result;
   }
   if (raw_type < static_cast<uint8_t>(FrameType::kHello) ||
-      raw_type > static_cast<uint8_t>(FrameType::kError)) {
+      raw_type > static_cast<uint8_t>(FrameType::kGoingAway)) {
     result.status = DecodeStatus::kError;
     result.error = ErrorCode::kUnknownType;
     return result;
@@ -107,6 +108,13 @@ bool ParseTemplateId(std::span<const uint8_t> payload, uint32_t* id,
   if (payload.size() < 4) return false;
   *id = GetU32(payload.data());
   if (text != nullptr) *text = TailView(payload, 4);
+  return true;
+}
+
+bool ParseGoingAway(std::span<const uint8_t> payload, GoingAwayPayload* out) {
+  if (payload.size() < 8) return false;
+  out->epoch = GetU64(payload.data());
+  out->reason = TailView(payload, 8);
   return true;
 }
 
@@ -217,6 +225,15 @@ void AppendError(std::string* out, ErrorCode code, uint32_t detail,
   std::string payload(reinterpret_cast<const char*>(fixed), sizeof(fixed));
   if (!message.empty()) payload.append(message.data(), message.size());
   AppendFrame(out, FrameType::kError, 0, payload);
+}
+
+void AppendGoingAway(std::string* out, uint64_t epoch,
+                     std::string_view reason) {
+  uint8_t fixed[8];
+  PutU64(fixed, epoch);
+  std::string payload(reinterpret_cast<const char*>(fixed), sizeof(fixed));
+  if (!reason.empty()) payload.append(reason.data(), reason.size());
+  AppendFrame(out, FrameType::kGoingAway, 0, payload);
 }
 
 }  // namespace fdc::server

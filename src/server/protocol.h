@@ -47,7 +47,26 @@
 //   │                      │     │ text. Fatal codes (IsFatal) are the   │
 //   │                      │     │ connection's last frame — the server  │
 //   │                      │     │ flushes it and closes.                │
+//   │ kGoingAway (13)      │ s→c │ u64 epoch; reason text. Drain         │
+//   │                      │     │ announcement: the server has stopped  │
+//   │                      │     │ accepting and will answer every       │
+//   │                      │     │ request already received on this      │
+//   │                      │     │ connection, then close it. Clients    │
+//   │                      │     │ should finish reading staged          │
+//   │                      │     │ responses and reconnect elsewhere.    │
 //   └──────────────────────┴─────┴───────────────────────────────────────┘
+//
+// Compatibility: unknown frame types are a fatal protocol error in BOTH
+// directions — the receiver answers kError(kUnknownType) (server side) or
+// closes (client side) rather than skipping the frame, because a length-
+// prefixed stream with a misunderstood frame can smuggle bytes past the
+// monitor. Consequence for evolution: new server→client types such as
+// kGoingAway (added in protocol revision 13) may only be emitted at points
+// where closing the connection is an acceptable outcome for an old client.
+// kGoingAway satisfies this by construction — it is only sent when the
+// connection is about to end anyway, so a version-1 client that treats it
+// as unknown-and-fatal merely closes a connection the server was already
+// draining; its staged responses have been flushed ahead of the frame.
 //
 // Request/response discipline: the server answers every kRegisterTemplate,
 // kSubmit, kSubmitText, kStatsRequest and kPing with exactly one frame, in
@@ -102,6 +121,7 @@ enum class FrameType : uint8_t {
   kPing = 10,
   kPong = 11,
   kError = 12,
+  kGoingAway = 13,
 };
 
 /// flags bit0 on kSubmit / kSubmitText: append a decision explanation.
@@ -121,6 +141,7 @@ enum class ErrorCode : uint32_t {
   kUnknownTemplate = 11,  // kSubmit for an id never registered
   kParseError = 12,       // template/text failed to parse (NON-fatal)
   kServerBusy = 13,       // connection limit reached
+  kDeadlineExceeded = 14,  // handshake/idle deadline reaped the connection
 };
 
 /// Every protocol error closes the connection except kParseError, which is
@@ -210,6 +231,12 @@ bool ParseError(std::span<const uint8_t> payload, ErrorPayload* out);
 bool ParseTemplateId(std::span<const uint8_t> payload, uint32_t* id,
                      std::string_view* text);
 
+struct GoingAwayPayload {
+  uint64_t epoch = 0;
+  std::string_view reason;
+};
+bool ParseGoingAway(std::span<const uint8_t> payload, GoingAwayPayload* out);
+
 // --- frame encoding ------------------------------------------------------
 // All encoders append one complete frame to `*out` (a plain byte string —
 // connection write queues and client send buffers are both backed by one).
@@ -233,5 +260,7 @@ void AppendPing(std::string* out);
 void AppendPong(std::string* out, uint64_t epoch);
 void AppendError(std::string* out, ErrorCode code, uint32_t detail,
                  std::string_view message);
+void AppendGoingAway(std::string* out, uint64_t epoch,
+                     std::string_view reason);
 
 }  // namespace fdc::server

@@ -1,0 +1,157 @@
+// ByteQueue edge cases.
+//
+// The queue sits under both the frame decoder (recv side) and partial-
+// write resumption (send side), so its contract is load-bearing for the
+// whole serving layer: data() is always a contiguous view of exactly the
+// unconsumed suffix, in FIFO order, across any interleaving of Append /
+// tail() appends / Consume — including the compaction the flat-string
+// layout performs once the dead prefix dominates. The suite ends with a
+// randomized differential against the obviously-correct oracle
+// (std::deque<uint8_t>).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "server/byte_queue.h"
+
+namespace fdc::server {
+namespace {
+
+std::string Contents(const ByteQueue& q) {
+  return std::string(reinterpret_cast<const char*>(q.data()), q.size());
+}
+
+TEST(ByteQueueTest, StartsEmpty) {
+  ByteQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(ByteQueueTest, AppendConsumeRoundTrip) {
+  ByteQueue q;
+  q.Append("hello", 5);
+  q.Append(" world", 6);
+  EXPECT_EQ(q.size(), 11u);
+  EXPECT_EQ(Contents(q), "hello world");
+  q.Consume(6);
+  EXPECT_EQ(Contents(q), "world");
+  q.Consume(5);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ByteQueueTest, ConsumeToEmptyResetsThenRefills) {
+  ByteQueue q;
+  q.Append("abc", 3);
+  q.Consume(3);
+  EXPECT_TRUE(q.empty());
+  // The post-drain reset must not disturb a fresh fill.
+  q.Append("defg", 4);
+  EXPECT_EQ(Contents(q), "defg");
+  q.Consume(1);
+  EXPECT_EQ(Contents(q), "efg");
+}
+
+TEST(ByteQueueTest, TailAppendsAreVisibleAfterPartialConsume) {
+  ByteQueue q;
+  q.Append("first", 5);
+  q.Consume(2);  // nonzero head: the tail path must respect the offset
+  q.tail()->append("second");
+  EXPECT_EQ(Contents(q), "rstsecond");
+}
+
+TEST(ByteQueueTest, ZeroByteOperationsAreNoOps) {
+  ByteQueue q;
+  q.Consume(0);
+  EXPECT_TRUE(q.empty());
+  q.Append("x", 1);
+  q.Append("", 0);
+  q.Consume(0);
+  EXPECT_EQ(Contents(q), "x");
+}
+
+TEST(ByteQueueTest, ClearDropsEverythingIncludingTheHeadOffset) {
+  ByteQueue q;
+  q.Append("0123456789", 10);
+  q.Consume(4);
+  q.Clear();
+  EXPECT_TRUE(q.empty());
+  q.Append("ok", 2);
+  EXPECT_EQ(Contents(q), "ok");
+}
+
+TEST(ByteQueueTest, CompactionPreservesContentAcrossLargeDeadPrefix) {
+  // Push the head past the compaction threshold (4096) with live bytes
+  // still queued; the view must be byte-identical before and after the
+  // internal erase.
+  ByteQueue q;
+  std::string block(1024, '\0');
+  for (int i = 0; i < 16; ++i) {
+    for (auto& c : block) c = static_cast<char>('a' + i);
+    q.Append(block.data(), block.size());
+  }
+  ASSERT_EQ(q.size(), 16u * 1024u);
+  // Consume 9KB in odd-sized bites so head crosses kCompactAt mid-bite.
+  size_t consumed = 0;
+  while (consumed < 9 * 1024) {
+    const size_t bite = std::min<size_t>(700, 9 * 1024 - consumed);
+    const std::string before = Contents(q);
+    q.Consume(bite);
+    EXPECT_EQ(Contents(q), before.substr(bite));
+    consumed += bite;
+  }
+  EXPECT_EQ(q.size(), 16u * 1024u - 9u * 1024u);
+  // The survivor bytes are exactly blocks 9.. of the original pattern.
+  const std::string view = Contents(q);
+  EXPECT_EQ(view.front(), 'a' + 9);
+  EXPECT_EQ(view.back(), 'a' + 15);
+}
+
+TEST(ByteQueueTest, RandomizedDifferentialAgainstDeque) {
+  Rng rng(0xb17e5ULL);
+  for (int round = 0; round < 8; ++round) {
+    ByteQueue q;
+    std::deque<uint8_t> oracle;
+    for (int step = 0; step < 4000; ++step) {
+      const uint64_t action = rng.Below(10);
+      if (action < 5) {
+        // Append a random chunk (sometimes large enough to force growth).
+        const size_t n = rng.Below(action == 0 ? 3000 : 64) + 1;
+        std::vector<uint8_t> chunk(n);
+        for (auto& b : chunk) b = static_cast<uint8_t>(rng.Below(256));
+        if (rng.Below(2) == 0) {
+          q.Append(chunk.data(), chunk.size());
+        } else {
+          q.tail()->append(reinterpret_cast<const char*>(chunk.data()),
+                           chunk.size());
+        }
+        oracle.insert(oracle.end(), chunk.begin(), chunk.end());
+      } else if (action < 9) {
+        if (oracle.empty()) continue;
+        // Bias toward full drains so the reset path runs often.
+        const size_t n = rng.Below(2) == 0 ? oracle.size()
+                                           : rng.Below(oracle.size()) + 1;
+        q.Consume(n);
+        oracle.erase(oracle.begin(),
+                     oracle.begin() + static_cast<ptrdiff_t>(n));
+      } else {
+        q.Clear();
+        oracle.clear();
+      }
+      ASSERT_EQ(q.size(), oracle.size()) << "round " << round << " step "
+                                         << step;
+      ASSERT_EQ(q.empty(), oracle.empty());
+      const uint8_t* view = q.data();
+      for (size_t i = 0; i < oracle.size(); ++i) {
+        ASSERT_EQ(view[i], oracle[i])
+            << "round " << round << " step " << step << " byte " << i;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fdc::server

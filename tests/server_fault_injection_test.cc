@@ -1,0 +1,642 @@
+// Fault-injection acceptance suite for the serving front end.
+//
+// Four layers of guarantees, all driven through the deterministic syscall
+// failpoint harness (server/failpoints.h):
+//   1. Harness contract: same seed → identical fault schedule; short IO
+//      never loses or duplicates a byte; close(2) always releases the fd.
+//   2. Deadline lifecycle: half-open peers are reaped at the handshake
+//      deadline, quiescent sessions at the idle TTL, and both surface a
+//      kError/kDeadlineExceeded frame before the close.
+//   3. Degradation: the connection-limit and fd-exhaustion paths shed with
+//      a genuinely flushed kServerBusy frame; graceful drain answers every
+//      in-flight submit and announces kGoingAway.
+//   4. The capstone storm: per seed, a benign fault storm under pipelined
+//      load and a lethal storm under reconnecting call/response clients —
+//      decisions stay bit-identical to a fault-free twin engine, and the
+//      process ends with exactly the fd count it started with (the CI
+//      fault-injection job runs this suite under ASan+UBSan, so leaked
+//      memory fails it too). Seeds come from FDC_FAULT_SEEDS when set.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <dirent.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "cq/printer.h"
+#include "engine/disclosure_engine.h"
+#include "server/byte_queue.h"
+#include "server/client.h"
+#include "server/disclosure_server.h"
+#include "server/failpoints.h"
+#include "server/protocol.h"
+#include "test_util.h"
+#include "workload/policy_generator.h"
+
+namespace fdc::server {
+namespace {
+
+using test::FbFixture;
+using test::RandomWorkload;
+
+// Open descriptors for the whole process — the leak oracle. The readdir
+// handle itself is open during the walk on both the baseline and the
+// final count, so the bias cancels.
+int CountOpenFds() {
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) return -1;
+  int n = 0;
+  while (readdir(dir) != nullptr) ++n;
+  closedir(dir);
+  return n;
+}
+
+struct ServerFixture {
+  FbFixture fb;
+  policy::SecurityPolicy policy;
+  engine::DisclosureEngine engine;
+  DisclosureServer server;
+
+  explicit ServerFixture(uint64_t policy_seed = 3, ServerOptions opts = {})
+      : policy([&] {
+          workload::PolicyOptions popts;
+          popts.max_partitions = 5;
+          popts.max_elements_per_partition = 15;
+          return workload::PolicyGenerator(&fb.catalog, popts, policy_seed)
+              .Next();
+        }()),
+        engine(/*db=*/nullptr, &fb.catalog, policy),
+        server(&engine, opts) {
+    Status s = server.Start();
+    if (!s.ok()) {
+      ADD_FAILURE() << s.ToString();
+      std::abort();
+    }
+  }
+  ~ServerFixture() { server.Stop(); }
+};
+
+// A connected TCP socket that never speaks the protocol — the half-open
+// peer the handshake deadline exists for.
+int RawConnect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+// Reads until EOF and returns everything received.
+std::vector<uint8_t> DrainToEof(int fd) {
+  std::vector<uint8_t> bytes;
+  uint8_t chunk[512];
+  for (;;) {
+    const ssize_t r = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (r < 0 && errno == EINTR) continue;
+    if (r <= 0) break;
+    bytes.insert(bytes.end(), chunk, chunk + r);
+  }
+  return bytes;
+}
+
+// --- 1. harness contract -------------------------------------------------
+
+TEST(FailpointsTest, SameSeedReplaysIdenticalSchedule) {
+  int sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+  const char payload[64] = "schedule determinism probe";
+  failpoints::Config cfg;
+  cfg.seed = 0xfa17ULL;
+  cfg.rate = 0.6;
+  cfg.lethal_rate = 0.1;
+  cfg.short_io = 0.5;
+  cfg.ops = failpoints::kRecv | failpoints::kSend;
+
+  // Record what 200 identical send attempts inject, twice.
+  auto run = [&] {
+    failpoints::ScopedFailpoints scoped(cfg);
+    failpoints::ResetStats();
+    std::vector<long> outcomes;
+    for (int i = 0; i < 200; ++i) {
+      errno = 0;
+      const ssize_t n = failpoints::Send(sp[0], payload, sizeof(payload), 0);
+      outcomes.push_back(n >= 0 ? n : -errno);
+      // Keep the pipe from filling: drain whatever really landed.
+      char sink[256];
+      while (::recv(sp[1], sink, sizeof(sink), MSG_DONTWAIT) > 0) {
+      }
+    }
+    const failpoints::Stats stats = failpoints::Current();
+    EXPECT_EQ(stats.calls, 200u);
+    EXPECT_GT(stats.faults, 50u);
+    return outcomes;
+  };
+  const auto first = run();
+  const auto second = run();
+  EXPECT_EQ(first, second);
+  ::close(sp[0]);
+  ::close(sp[1]);
+}
+
+TEST(FailpointsTest, ShortIoNeverLosesBytes) {
+  int sp[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sp), 0);
+  constexpr size_t kTotal = 1 << 16;
+  std::vector<uint8_t> sent(kTotal);
+  Rng rng(0x10ULL);
+  for (auto& b : sent) b = static_cast<uint8_t>(rng.Below(256));
+
+  failpoints::Config cfg;
+  cfg.seed = 0x5107ULL;
+  cfg.rate = 0.7;
+  cfg.short_io = 0.8;
+  cfg.ops = failpoints::kRecv | failpoints::kSend;
+  failpoints::ScopedFailpoints scoped(cfg);
+
+  // Writer pushes through the faulty Send; reader pulls through the
+  // faulty Recv. Both absorb EINTR/EAGAIN and resume short transfers —
+  // the discipline every caller in the server follows.
+  std::thread writer([&] {
+    size_t off = 0;
+    while (off < kTotal) {
+      const ssize_t n =
+          failpoints::Send(sp[0], sent.data() + off, kTotal - off, 0);
+      if (n < 0) {
+        ASSERT_TRUE(errno == EINTR || errno == EAGAIN);
+        continue;
+      }
+      off += static_cast<size_t>(n);
+    }
+    ::shutdown(sp[0], SHUT_WR);
+  });
+  std::vector<uint8_t> got;
+  uint8_t chunk[4096];
+  for (;;) {
+    const ssize_t n = failpoints::Recv(sp[1], chunk, sizeof(chunk), 0);
+    if (n < 0) {
+      ASSERT_TRUE(errno == EINTR || errno == EAGAIN);
+      continue;
+    }
+    if (n == 0) break;
+    got.insert(got.end(), chunk, chunk + n);
+  }
+  writer.join();
+  EXPECT_EQ(got, sent);
+  const failpoints::Stats stats = failpoints::Current();
+  EXPECT_GT(stats.short_reads + stats.short_writes, 0u);
+  ::close(sp[0]);
+  ::close(sp[1]);
+}
+
+TEST(FailpointsTest, CloseAlwaysReleasesTheDescriptor) {
+  int pipe_fds[2];
+  ASSERT_EQ(::pipe(pipe_fds), 0);
+  failpoints::Config cfg;
+  cfg.seed = 9;
+  cfg.rate = 1.0;  // every close call reports EINTR...
+  cfg.ops = failpoints::kClose;
+  {
+    failpoints::ScopedFailpoints scoped(cfg);
+    errno = 0;
+    EXPECT_EQ(failpoints::Close(pipe_fds[0]), -1);
+    EXPECT_EQ(errno, EINTR);
+  }
+  // ...but the fd is gone regardless (Linux close semantics).
+  errno = 0;
+  EXPECT_EQ(::close(pipe_fds[0]), -1);
+  EXPECT_EQ(errno, EBADF);
+  EXPECT_EQ(::close(pipe_fds[1]), 0);
+}
+
+TEST(FailpointsTest, EnableFromEnvParsesAndRejects) {
+  EXPECT_TRUE(failpoints::EnableFromEnv(
+      "seed=7,rate=0.25,lethal=0.01,ops=recv|send,short=0.5"));
+  EXPECT_TRUE(failpoints::Enabled());
+  failpoints::Disable();
+
+  EXPECT_FALSE(failpoints::EnableFromEnv(nullptr));   // unset
+  EXPECT_FALSE(failpoints::EnableFromEnv(""));        // empty
+  EXPECT_FALSE(failpoints::EnableFromEnv("bogus=1")); // unknown key
+  EXPECT_FALSE(failpoints::EnableFromEnv("rate=x"));  // malformed value
+  EXPECT_FALSE(failpoints::Enabled());
+}
+
+// --- 2. deadline lifecycle -----------------------------------------------
+
+TEST(ServerDeadlineTest, HalfOpenPeerIsReapedAtHandshakeDeadline) {
+  ServerOptions opts;
+  opts.handshake_timeout_ms = 40;
+  opts.tick_interval_ms = 10;
+  ServerFixture fx(/*policy_seed=*/3, opts);
+
+  const int fd = RawConnect(fx.server.port());
+  ASSERT_GE(fd, 0);
+  // Say nothing. The server must volunteer the deadline error and close.
+  const std::vector<uint8_t> bytes = DrainToEof(fd);
+  ::close(fd);
+
+  FrameView frame;
+  ASSERT_EQ(DecodeFrame(bytes.data(), bytes.size(), &frame).status,
+            DecodeStatus::kFrame);
+  ASSERT_EQ(frame.type, FrameType::kError);
+  ErrorPayload err;
+  ASSERT_TRUE(ParseError(frame.payload, &err));
+  EXPECT_EQ(err.code, ErrorCode::kDeadlineExceeded);
+
+  const DisclosureServer::Stats stats = fx.server.stats();
+  EXPECT_EQ(stats.handshake_reaps, 1u);
+  EXPECT_EQ(stats.idle_reaps, 0u);
+}
+
+TEST(ServerDeadlineTest, QuiescentSessionIsReapedAtIdleTtl) {
+  ServerOptions opts;
+  opts.idle_timeout_ms = 40;
+  opts.tick_interval_ms = 10;
+  ServerFixture fx(/*policy_seed=*/3, opts);
+
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fx.server.port(), "idler").ok());
+  // Go quiet; the next frame on the wire must be the reap notice.
+  ClientResponse resp;
+  ASSERT_TRUE(client.ReadResponse(&resp).ok());
+  EXPECT_EQ(resp.type, FrameType::kError);
+  EXPECT_EQ(resp.error, ErrorCode::kDeadlineExceeded);
+  uint64_t epoch = 0;
+  EXPECT_FALSE(client.Ping(&epoch).ok());  // connection is gone
+
+  const DisclosureServer::Stats stats = fx.server.stats();
+  EXPECT_EQ(stats.idle_reaps, 1u);
+  EXPECT_EQ(stats.handshake_reaps, 0u);
+}
+
+TEST(ServerDeadlineTest, ActiveSessionOutlivesManyIdleWindows) {
+  ServerOptions opts;
+  opts.idle_timeout_ms = 60;
+  opts.tick_interval_ms = 10;
+  ServerFixture fx(/*policy_seed=*/3, opts);
+
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fx.server.port(), "active").ok());
+  // Ten pings spread over several idle windows: traffic keeps the session
+  // alive because every byte in either direction resets the clock.
+  for (int i = 0; i < 10; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    uint64_t epoch = 0;
+    ASSERT_TRUE(client.Ping(&epoch).ok()) << "reaped mid-session at " << i;
+  }
+  EXPECT_EQ(fx.server.stats().idle_reaps, 0u);
+}
+
+// --- 3. degradation ------------------------------------------------------
+
+TEST(ServerOverloadTest, BusyFrameIsFlushedBeforeTheShedClose) {
+  ServerOptions opts;
+  opts.max_connections = 1;
+  ServerFixture fx(/*policy_seed=*/3, opts);
+
+  BlockingClient holder;
+  ASSERT_TRUE(holder.Connect("127.0.0.1", fx.server.port(), "holder").ok());
+
+  // The over-limit peer must actually receive kServerBusy, not a bare RST:
+  // the shed path does a bounded best-effort flush before closing.
+  const int fd = RawConnect(fx.server.port());
+  ASSERT_GE(fd, 0);
+  const std::vector<uint8_t> bytes = DrainToEof(fd);
+  ::close(fd);
+
+  FrameView frame;
+  ASSERT_EQ(DecodeFrame(bytes.data(), bytes.size(), &frame).status,
+            DecodeStatus::kFrame);
+  ASSERT_EQ(frame.type, FrameType::kError);
+  ErrorPayload err;
+  ASSERT_TRUE(ParseError(frame.payload, &err));
+  EXPECT_EQ(err.code, ErrorCode::kServerBusy);
+  EXPECT_EQ(fx.server.stats().connections_rejected, 1u);
+
+  uint64_t epoch = 0;
+  EXPECT_TRUE(holder.Ping(&epoch).ok());  // the held slot was untouched
+}
+
+TEST(ServerOverloadTest, FdExhaustionShedsAndRecovers) {
+  // Inject EMFILE/ENFILE on accept only. At 0.5 the spare-fd dance
+  // sometimes recovers (accept retried on the freed descriptor) and
+  // sometimes stays exhausted (the retry also hits the failpoint), which
+  // exercises both the shed path and the accept-pause path.
+  failpoints::Config cfg;
+  cfg.seed = 0xacce9ULL;
+  cfg.rate = 0.0;
+  cfg.lethal_rate = 0.5;
+  cfg.ops = failpoints::kAccept;
+  failpoints::ScopedFailpoints scoped(cfg);
+
+  ServerOptions opts;
+  opts.accept_pause_ms = 20;
+  ServerFixture fx(/*policy_seed=*/3, opts);
+
+  int connected = 0;
+  for (int i = 0; i < 12; ++i) {
+    BlockingClient client;
+    ASSERT_TRUE(client.SetCallDeadline(3000).ok());
+    Status s =
+        client.Connect("127.0.0.1", fx.server.port(), "burst-" + std::to_string(i));
+    if (!s.ok()) continue;  // shed with kServerBusy, or paused past deadline
+    uint64_t epoch = 0;
+    if (client.Ping(&epoch).ok()) ++connected;
+  }
+  failpoints::Disable();
+
+  const DisclosureServer::Stats stats = fx.server.stats();
+  EXPECT_GT(stats.accept_overloads, 0u);
+  EXPECT_GT(connected, 0);  // exhaustion degraded service, never killed it
+
+  // With injection off the server accepts normally again.
+  BlockingClient after;
+  EXPECT_TRUE(after.Connect("127.0.0.1", fx.server.port(), "after").ok());
+}
+
+TEST(ServerDrainTest, ShutdownAnswersInFlightAndAnnounces) {
+  ServerFixture fx;
+  engine::DisclosureEngine direct(/*db=*/nullptr, &fx.fb.catalog, fx.policy);
+  const auto pool = RandomWorkload(&fx.fb.schema, 2, 16, 0xd4a1ULL);
+
+  constexpr int kClients = 3;
+  constexpr int kPipelined = 48;
+  std::vector<BlockingClient> clients(kClients);
+  std::vector<std::vector<size_t>> orders(kClients);
+  Rng rng(0xd4a2ULL);
+  for (int p = 0; p < kClients; ++p) {
+    const std::string principal = "drain-" + std::to_string(p);
+    ASSERT_TRUE(
+        clients[p].Connect("127.0.0.1", fx.server.port(), principal).ok());
+    for (size_t t = 0; t < pool.size(); ++t) {
+      ASSERT_TRUE(clients[p]
+                      .RegisterTemplate(static_cast<uint32_t>(t),
+                                        cq::ToDatalog(pool[t], fx.fb.schema))
+                      .ok());
+    }
+    for (int i = 0; i < kPipelined; ++i) {
+      orders[p].push_back(rng.Below(pool.size()));
+      clients[p].QueueSubmit(static_cast<uint32_t>(orders[p].back()));
+    }
+    ASSERT_TRUE(clients[p].Flush().ok());
+  }
+
+  // Drain mid-load. Every staged submit must still be answered — and
+  // answered with the same decisions a fault-free engine produces.
+  std::thread shutdown_thread([&] { fx.server.Shutdown(); });
+  for (int p = 0; p < kClients; ++p) {
+    const std::string principal = "drain-" + std::to_string(p);
+    for (int i = 0; i < kPipelined;) {
+      ClientResponse resp;
+      ASSERT_TRUE(clients[p].ReadResponse(&resp).ok())
+          << "client " << p << " response " << i;
+      if (resp.type == FrameType::kGoingAway) continue;
+      ASSERT_EQ(resp.type, FrameType::kDecision);
+      EXPECT_EQ(resp.allow, direct.Submit(principal, pool[orders[p][i]]));
+      ++i;
+    }
+    if (!clients[p].saw_going_away()) {
+      ClientResponse resp;
+      ASSERT_TRUE(clients[p].ReadResponse(&resp).ok());
+      EXPECT_EQ(resp.type, FrameType::kGoingAway);
+    }
+    EXPECT_TRUE(clients[p].saw_going_away());
+    clients[p].Close();
+  }
+  shutdown_thread.join();
+
+  const DisclosureServer::Stats stats = fx.server.stats();
+  EXPECT_EQ(stats.decisions, static_cast<uint64_t>(kClients * kPipelined));
+  EXPECT_EQ(stats.goaway_sent, static_cast<uint64_t>(kClients));
+  EXPECT_EQ(stats.drained_connections, static_cast<uint64_t>(kClients));
+  EXPECT_EQ(stats.drain_forced_closes, 0u);
+}
+
+TEST(ServerDrainTest, DeadlineForceClosesPeersThatNeverHangUp) {
+  ServerOptions opts;
+  opts.drain_deadline_ms = 60;
+  opts.tick_interval_ms = 10;
+  ServerFixture fx(/*policy_seed=*/3, opts);
+
+  BlockingClient lingerer;
+  ASSERT_TRUE(lingerer.Connect("127.0.0.1", fx.server.port(), "linger").ok());
+  fx.server.Shutdown();  // peer never closes; the deadline must
+
+  ClientResponse resp;
+  ASSERT_TRUE(lingerer.ReadResponse(&resp).ok());
+  EXPECT_EQ(resp.type, FrameType::kGoingAway);
+  EXPECT_FALSE(lingerer.ReadResponse(&resp).ok());  // then EOF
+
+  const DisclosureServer::Stats stats = fx.server.stats();
+  EXPECT_EQ(stats.goaway_sent, 1u);
+  EXPECT_EQ(stats.drain_forced_closes, 1u);
+  EXPECT_EQ(stats.drained_connections, 0u);
+}
+
+TEST(ServerStatsTest, JsonCarriesTheServerFragment) {
+  ServerFixture fx;
+  BlockingClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", fx.server.port(), "stats").ok());
+  std::string json;
+  ASSERT_TRUE(client.StatsJson(&json).ok());
+  EXPECT_NE(json.find("\"server\""), std::string::npos);
+  for (const char* key :
+       {"\"handshake_reaps\"", "\"idle_reaps\"", "\"accept_overloads\"",
+        "\"accept_pauses\"", "\"goaway_sent\"", "\"drained_connections\"",
+        "\"drain_forced_closes\""}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key;
+  }
+}
+
+// --- 4. the capstone storm -----------------------------------------------
+
+std::vector<uint64_t> StressSeeds() {
+  if (const char* env = std::getenv("FDC_FAULT_SEEDS")) {
+    std::vector<uint64_t> seeds;
+    uint64_t value = 0;
+    bool have = false;
+    for (const char* p = env;; ++p) {
+      if (*p >= '0' && *p <= '9') {
+        value = value * 10 + static_cast<uint64_t>(*p - '0');
+        have = true;
+      } else if (*p == ',' || *p == '\0') {
+        if (have) seeds.push_back(value);
+        value = 0;
+        have = false;
+        if (*p == '\0') break;
+      }
+    }
+    if (!seeds.empty()) return seeds;
+  }
+  return {0xf1u, 0xf2u, 0xf3u, 0xf4u, 0xf5u};
+}
+
+// One full storm under `seed`; *faults_out accumulates the injections.
+// (void so the fatal ASSERT_* macros are usable inside.)
+void RunStorm(uint64_t seed, uint64_t* faults_out) {
+  const int fd_baseline = CountOpenFds();
+  uint64_t faults = 0;
+  {
+    ServerOptions opts;
+    opts.workers = 1;  // one worker → the schedule is a function of the seed
+    ServerFixture fx(/*policy_seed=*/seed | 1, opts);
+    engine::DisclosureEngine direct(/*db=*/nullptr, &fx.fb.catalog, fx.policy);
+    const auto pool = RandomWorkload(&fx.fb.schema, 2, 24, seed ^ 0xbeefULL);
+
+    // Phase (a): benign storm — EINTR/EAGAIN/short IO on every syscall
+    // class, pipelined bursts. Nothing may be dropped, duplicated or
+    // reordered: responses must match the twin engine decision for
+    // decision, in order.
+    {
+      failpoints::Config cfg;
+      cfg.seed = seed;
+      cfg.rate = 0.65;
+      cfg.lethal_rate = 0.0;
+      cfg.short_io = 0.6;
+      failpoints::ScopedFailpoints scoped(cfg);
+      failpoints::ResetStats();
+
+      constexpr int kClients = 3;
+      constexpr int kRounds = 10;
+      constexpr int kPerRound = 96;
+      std::vector<BlockingClient> clients(kClients);
+      for (int p = 0; p < kClients; ++p) {
+        const std::string principal = "storm-" + std::to_string(p);
+        ASSERT_TRUE(
+            clients[p].Connect("127.0.0.1", fx.server.port(), principal).ok())
+            << "seed " << seed;
+        for (size_t t = 0; t < pool.size(); ++t) {
+          ASSERT_TRUE(clients[p]
+                          .RegisterTemplate(static_cast<uint32_t>(t),
+                                            cq::ToDatalog(pool[t], fx.fb.schema))
+                          .ok());
+        }
+      }
+      Rng rng(seed ^ 0x0a0aULL);
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<std::vector<size_t>> orders(kClients);
+        for (int p = 0; p < kClients; ++p) {
+          for (int i = 0; i < kPerRound; ++i) {
+            orders[p].push_back(rng.Below(pool.size()));
+            clients[p].QueueSubmit(static_cast<uint32_t>(orders[p].back()));
+          }
+          ASSERT_TRUE(clients[p].Flush().ok());
+        }
+        for (int p = 0; p < kClients; ++p) {
+          const std::string principal = "storm-" + std::to_string(p);
+          for (int i = 0; i < kPerRound; ++i) {
+            ClientResponse resp;
+            ASSERT_TRUE(clients[p].ReadResponse(&resp).ok())
+                << "seed " << seed << " round " << round;
+            ASSERT_EQ(resp.type, FrameType::kDecision);
+            ASSERT_EQ(resp.allow, direct.Submit(principal, pool[orders[p][i]]))
+                << "seed " << seed << " divergence under benign storm";
+          }
+        }
+      }
+      faults += failpoints::Current().faults;
+    }
+
+    // Phase (b): lethal storm — connection-killing faults against
+    // call/response clients armed with deadlines and reconnect-retry.
+    // At-least-once retry of an identical query is decision- and
+    // state-stable, so the twin engine fed each call once in client call
+    // order must still agree exactly.
+    {
+      constexpr int kClients = 2;
+      constexpr int kCalls = 300;
+      // A reconnect replays every registered template before the failed
+      // call is re-issued, and each replay roundtrip is itself exposed to
+      // the storm — keep the registered set small so a reconnect has a
+      // healthy chance of surviving, and let the attempt budget absorb
+      // the rest.
+      constexpr size_t kTemplates = 8;
+      RetryOptions retry;
+      retry.max_attempts = 20;
+      retry.base_backoff_ms = 1;
+      retry.max_backoff_ms = 20;
+      retry.seed = seed;
+      std::vector<BlockingClient> clients(kClients);
+      uint64_t reconnects = 0;
+      for (int p = 0; p < kClients; ++p) {
+        const std::string principal = "lethal-" + std::to_string(p);
+        clients[p].EnableRetry(retry);
+        ASSERT_TRUE(clients[p].SetCallDeadline(2000).ok());
+        ASSERT_TRUE(
+            clients[p].Connect("127.0.0.1", fx.server.port(), principal).ok());
+        for (size_t t = 0; t < kTemplates; ++t) {
+          ASSERT_TRUE(clients[p]
+                          .RegisterTemplate(static_cast<uint32_t>(t),
+                                            cq::ToDatalog(pool[t], fx.fb.schema))
+                          .ok());
+        }
+      }
+
+      failpoints::Config cfg;
+      cfg.seed = seed ^ 0x1e7a1ULL;
+      cfg.rate = 0.4;
+      cfg.lethal_rate = 0.01;
+      cfg.short_io = 0.5;
+      cfg.ops = failpoints::kRecv | failpoints::kSend | failpoints::kClose |
+                failpoints::kEpollWait;
+      failpoints::ScopedFailpoints scoped(cfg);
+      failpoints::ResetStats();
+
+      Rng rng(seed ^ 0x0b0bULL);
+      for (int i = 0; i < kCalls; ++i) {
+        for (int p = 0; p < kClients; ++p) {
+          const std::string principal = "lethal-" + std::to_string(p);
+          const size_t t = rng.Below(kTemplates);
+          ClientResponse resp;
+          ASSERT_TRUE(clients[p].Submit(static_cast<uint32_t>(t), &resp).ok())
+              << "seed " << seed << " call " << i
+              << " (retry budget exhausted)";
+          ASSERT_EQ(resp.type, FrameType::kDecision);
+          ASSERT_EQ(resp.allow, direct.Submit(principal, pool[t]))
+              << "seed " << seed << " divergence under lethal storm";
+        }
+      }
+      for (auto& c : clients) reconnects += c.reconnects();
+      const uint64_t lethal_faults = failpoints::Current().faults;
+      // The lethal phase only tests the retry path if faults fired.
+      EXPECT_GT(lethal_faults, 0u) << "seed " << seed;
+      faults += lethal_faults;
+    }
+
+    fx.server.Stop();
+  }
+  // Everything torn down: the process owns exactly the fds it started
+  // with. Any slow path that dropped a descriptor fails every seed.
+  EXPECT_EQ(CountOpenFds(), fd_baseline) << "fd leak under seed " << seed;
+  *faults_out += faults;
+}
+
+TEST(FaultInjectionStressTest, StormsAreLeakFreeAndDecisionExact) {
+  uint64_t total_faults = 0;
+  for (const uint64_t seed : StressSeeds()) {
+    uint64_t faults = 0;
+    RunStorm(seed, &faults);
+    EXPECT_GT(faults, 2000u) << "storm under seed " << seed
+                             << " injected too few faults to mean anything";
+    total_faults += faults;
+  }
+  // The acceptance floor: ≥10k injected faults across the seed matrix.
+  EXPECT_GE(total_faults, 10'000u);
+}
+
+}  // namespace
+}  // namespace fdc::server

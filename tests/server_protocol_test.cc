@@ -166,8 +166,8 @@ TEST(ProtocolTest, MalformedEnvelopesAreCleanErrors) {
     EXPECT_EQ(r.error, ErrorCode::kMalformedFrame);
   }
 
-  // Unknown frame types.
-  for (uint8_t type : {uint8_t{0}, uint8_t{13}, uint8_t{200}}) {
+  // Unknown frame types (14 is the first id past kGoingAway).
+  for (uint8_t type : {uint8_t{0}, uint8_t{14}, uint8_t{200}}) {
     uint8_t buf[kFrameHeaderSize];
     PutU32(buf, 0);
     buf[4] = type;
@@ -192,7 +192,7 @@ TEST(ProtocolTest, FuzzedBytesNeverCrashDecoderOrParsers) {
     if (bytes.size() >= kFrameHeaderSize && rng.Below(2) == 0) {
       PutU32(reinterpret_cast<uint8_t*>(bytes.data()),
              static_cast<uint32_t>(rng.Below(bytes.size() + 4)));
-      bytes[4] = static_cast<char>(1 + rng.Below(12));
+      bytes[4] = static_cast<char>(1 + rng.Below(13));
       bytes[6] = bytes[7] = 0;
     }
     const uint8_t* data = reinterpret_cast<const uint8_t*>(bytes.data());
