@@ -22,9 +22,11 @@
 // SIGINT/SIGTERM trigger the same graceful drain: stop accepting, announce
 // kGoingAway, answer everything already accepted, then exit.
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <span>
 #include <string>
@@ -192,6 +194,22 @@ int RunSmokeDrain(server::DisclosureServer& srv, const std::string& datalog) {
   return 0;
 }
 
+/// Checked flag parsing, same rules as the FDC_FAILPOINTS parser
+/// (server/failpoints.h): digits only, no sign, no trailing garbage, no
+/// overflow past `max`. The std::stoi it replaces threw on garbage and
+/// let "--port=-1" wrap through the uint16_t cast.
+bool ParseUintFlag(const std::string& text, uint64_t max, uint64_t* out) {
+  if (text.empty() || text[0] < '0' || text[0] > '9') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno == ERANGE || end == text.c_str() || *end != '\0' || v > max) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -200,12 +218,16 @@ int main(int argc, char** argv) {
   bool smoke_drain = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg.rfind("--port=", 0) == 0) {
-      options.port = static_cast<uint16_t>(std::stoi(arg.substr(7)));
-    } else if (arg.rfind("--workers=", 0) == 0) {
-      options.workers = std::stoi(arg.substr(10));
-    } else if (arg.rfind("--idle-timeout-ms=", 0) == 0) {
-      options.idle_timeout_ms = std::stoi(arg.substr(18));
+    uint64_t value = 0;
+    if (arg.rfind("--port=", 0) == 0 &&
+        ParseUintFlag(arg.substr(7), 65535, &value)) {
+      options.port = static_cast<uint16_t>(value);
+    } else if (arg.rfind("--workers=", 0) == 0 &&
+               ParseUintFlag(arg.substr(10), 1024, &value) && value >= 1) {
+      options.workers = static_cast<int>(value);
+    } else if (arg.rfind("--idle-timeout-ms=", 0) == 0 &&
+               ParseUintFlag(arg.substr(18), 86'400'000, &value)) {
+      options.idle_timeout_ms = static_cast<int>(value);
     } else if (arg == "--smoke") {
       smoke = true;
     } else if (arg == "--smoke-drain") {

@@ -1,0 +1,442 @@
+// disclosure_tool: operator CLI for binary policy artifacts.
+//
+// Wraps src/artifact/ for the staged-rollout loop: compile a policy blob,
+// inspect it, validate it against the live (§7.2 Facebook) catalog, diff
+// two candidates, and explain a concrete decision — all offline, without
+// touching a serving process.
+//
+//   disclosure_tool compile --out=policy.blob [--seed=N] [--name=S]
+//                           [--max-partitions=N] [--max-elements=N]
+//       Generate a policy over the Facebook catalog (the same seeded
+//       generator the daemon and benches use — identical seed, identical
+//       bytes) and write it as a version-1 blob.
+//
+//   disclosure_tool dump policy.blob [--json]
+//       Human-readable (or JSON) listing: header, meta, layout, and every
+//       partition with its view names.
+//
+//   disclosure_tool validate policy.blob [--skip-catalog]
+//       Full structural validation (magic/version/checksums/bounds/layout
+//       self-consistency — everything LoadPolicyBlob enforces), then the
+//       frozen layout against the live catalog unless --skip-catalog.
+//
+//   disclosure_tool diff a.blob b.blob
+//       Per-partition view-membership deltas plus meta/layout notes.
+//
+//   disclosure_tool explain policy.blob --query='ans() :- ...'
+//                           [--principal=NAME] [--repeat=N] [--check-engine]
+//       Decision + per-partition blocking-atom diagnosis for a Datalog
+//       query under the blob's policy (policy::ExplainDecision, exactly
+//       the live engine's diagnosis path). --repeat submits the query N
+//       times to show stateful narrowing; --check-engine cross-checks
+//       every step against a live DisclosureEngine built from the blob and
+//       fails on any disagreement.
+//
+// Exit codes: 0 success (diff: identical; explain: engine agrees);
+// 1 semantic failure (validation failed, blobs differ, engine mismatch);
+// 2 usage or I/O error.
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "artifact/policy_blob.h"
+#include "cq/datalog_parser.h"
+#include "engine/disclosure_engine.h"
+#include "engine/stats_json.h"
+#include "fb/fb_schema.h"
+#include "fb/fb_views.h"
+#include "label/view_catalog.h"
+#include "policy/explain.h"
+#include "workload/policy_generator.h"
+
+using namespace fdc;
+
+namespace {
+
+constexpr int kExitOk = 0;
+constexpr int kExitSemantic = 1;
+constexpr int kExitUsage = 2;
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <command> [args]\n"
+      "  compile  --out=FILE [--seed=N] [--name=S] [--max-partitions=N]\n"
+      "           [--max-elements=N]\n"
+      "  dump     FILE [--json]\n"
+      "  validate FILE [--skip-catalog]\n"
+      "  diff     FILE_A FILE_B\n"
+      "  explain  FILE --query=DATALOG [--principal=NAME] [--repeat=N]\n"
+      "           [--check-engine]\n",
+      argv0);
+  return kExitUsage;
+}
+
+/// Checked unsigned flag parsing: digits only (no sign, no trailing
+/// garbage), overflow rejected — the same rules the failpoint env parser
+/// enforces (server/failpoints.h).
+bool ParseU64(const std::string& text, uint64_t* out) {
+  if (text.empty() || text[0] < '0' || text[0] > '9') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno == ERANGE || end == text.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+/// The §7.2 Facebook environment every subcommand interprets blobs in.
+struct Environment {
+  cq::Schema schema;
+  label::ViewCatalog catalog;
+  Environment() : schema(fb::BuildFacebookSchema()), catalog(&schema) {}
+};
+
+Environment* BuildEnvironment() {
+  static Environment env;
+  static bool registered = false;
+  if (!registered) {
+    auto added = fb::RegisterFacebookViews(&env.catalog);
+    if (!added.ok()) {
+      std::fprintf(stderr, "catalog: %s\n", added.status().ToString().c_str());
+      return nullptr;
+    }
+    registered = true;
+  }
+  return &env;
+}
+
+int CmdCompile(const std::vector<std::string>& args) {
+  std::string out_path;
+  std::string name = "fb-policy";
+  uint64_t seed = 0x5107'e002;  // the daemon's policy, byte for byte
+  uint64_t max_partitions = 5;
+  uint64_t max_elements = 15;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--name=", 0) == 0) {
+      name = arg.substr(7);
+    } else if (arg.rfind("--seed=", 0) == 0 &&
+               ParseU64(arg.substr(7), &seed)) {
+    } else if (arg.rfind("--max-partitions=", 0) == 0 &&
+               ParseU64(arg.substr(17), &max_partitions) &&
+               max_partitions >= 1 && max_partitions <= 64) {
+    } else if (arg.rfind("--max-elements=", 0) == 0 &&
+               ParseU64(arg.substr(15), &max_elements) && max_elements >= 1) {
+    } else {
+      std::fprintf(stderr, "compile: bad argument '%s'\n", arg.c_str());
+      return kExitUsage;
+    }
+  }
+  if (out_path.empty()) {
+    std::fprintf(stderr, "compile: --out=FILE is required\n");
+    return kExitUsage;
+  }
+  Environment* env = BuildEnvironment();
+  if (env == nullptr) return kExitUsage;
+  workload::PolicyOptions options;
+  options.max_partitions = static_cast<int>(max_partitions);
+  options.max_elements_per_partition = static_cast<int>(max_elements);
+  workload::PolicyGenerator generator(&env->catalog, options, seed);
+  artifact::PolicyBlobMeta meta;
+  meta.name = name;
+  Result<std::vector<uint8_t>> bytes =
+      artifact::CompilePolicyBlob(env->catalog, generator.Next(), meta);
+  if (!bytes.ok()) {
+    std::fprintf(stderr, "compile: %s\n", bytes.status().ToString().c_str());
+    return kExitSemantic;
+  }
+  if (Status s = artifact::WritePolicyBlobFile(out_path, *bytes); !s.ok()) {
+    std::fprintf(stderr, "compile: %s\n", s.ToString().c_str());
+    return kExitUsage;
+  }
+  std::printf("wrote %zu bytes to %s (policy '%s', seed %" PRIu64 ")\n",
+              bytes->size(), out_path.c_str(), name.c_str(), seed);
+  return kExitOk;
+}
+
+void DumpHuman(const artifact::LoadedPolicyBlob& blob) {
+  std::printf("policy blob version %u, %zu bytes, checksum %016" PRIx64 "\n",
+              blob.version(), blob.byte_size(), blob.checksum());
+  std::printf("name: %s\nsource epoch: %" PRIu64 "\n",
+              blob.meta().name.c_str(), blob.meta().source_epoch);
+  std::printf("%u relations, %u views, %u partitions, %" PRIu64
+              " mask words per row\n",
+              blob.num_relations(), blob.num_views(), blob.num_partitions(),
+              blob.total_words());
+  std::printf("layout:\n");
+  for (uint32_t r = 0; r < blob.num_relations(); ++r) {
+    std::printf("  [%2u] %-24s words [%u, %u)\n", r,
+                blob.relation_names()[r].c_str(), blob.word_begin()[r],
+                blob.word_begin()[r + 1]);
+  }
+  for (uint32_t p = 0; p < blob.num_partitions(); ++p) {
+    std::printf("partition %u '%s': %zu views\n", p,
+                blob.partition_names()[p].c_str(),
+                blob.partition_views()[p].size());
+    for (uint32_t id : blob.partition_views()[p]) {
+      const artifact::BlobView& view = blob.views()[id];
+      std::printf("  view %3u %-32s (%s, bit %u)\n", id, view.name.c_str(),
+                  blob.relation_names()[view.relation].c_str(), view.bit);
+    }
+  }
+}
+
+void DumpJson(const artifact::LoadedPolicyBlob& blob) {
+  // Every operator-chosen string (names) goes through engine::JsonEscape.
+  std::string out = "{";
+  auto str = [](const std::string& s) {
+    return "\"" + engine::JsonEscape(s) + "\"";
+  };
+  out += "\"version\":" + std::to_string(blob.version());
+  out += ",\"bytes\":" + std::to_string(blob.byte_size());
+  out += ",\"checksum\":" + std::to_string(blob.checksum());
+  out += ",\"name\":" + str(blob.meta().name);
+  out += ",\"source_epoch\":" + std::to_string(blob.meta().source_epoch);
+  out += ",\"relations\":[";
+  for (uint32_t r = 0; r < blob.num_relations(); ++r) {
+    if (r != 0) out += ",";
+    out += "{\"name\":" + str(blob.relation_names()[r]) +
+           ",\"word_begin\":" + std::to_string(blob.word_begin()[r]) +
+           ",\"word_end\":" + std::to_string(blob.word_begin()[r + 1]) + "}";
+  }
+  out += "],\"views\":[";
+  for (uint32_t id = 0; id < blob.num_views(); ++id) {
+    const artifact::BlobView& view = blob.views()[id];
+    if (id != 0) out += ",";
+    out += "{\"name\":" + str(view.name) +
+           ",\"relation\":" + std::to_string(view.relation) +
+           ",\"bit\":" + std::to_string(view.bit) + "}";
+  }
+  out += "],\"partitions\":[";
+  for (uint32_t p = 0; p < blob.num_partitions(); ++p) {
+    if (p != 0) out += ",";
+    out += "{\"name\":" + str(blob.partition_names()[p]) + ",\"views\":[";
+    bool first = true;
+    for (uint32_t id : blob.partition_views()[p]) {
+      if (!first) out += ",";
+      first = false;
+      out += std::to_string(id);
+    }
+    out += "]}";
+  }
+  out += "]}";
+  std::printf("%s\n", out.c_str());
+}
+
+int CmdDump(const std::vector<std::string>& args) {
+  std::string path;
+  bool json = false;
+  for (const std::string& arg : args) {
+    if (arg == "--json") {
+      json = true;
+    } else if (path.empty() && arg.rfind("--", 0) != 0) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "dump: bad argument '%s'\n", arg.c_str());
+      return kExitUsage;
+    }
+  }
+  if (path.empty()) return kExitUsage;
+  Result<artifact::LoadedPolicyBlob> blob =
+      artifact::LoadPolicyBlobFromFile(path);
+  if (!blob.ok()) {
+    std::fprintf(stderr, "dump: %s\n", blob.status().ToString().c_str());
+    return kExitSemantic;
+  }
+  if (json) {
+    DumpJson(*blob);
+  } else {
+    DumpHuman(*blob);
+  }
+  return kExitOk;
+}
+
+int CmdValidate(const std::vector<std::string>& args) {
+  std::string path;
+  bool skip_catalog = false;
+  for (const std::string& arg : args) {
+    if (arg == "--skip-catalog") {
+      skip_catalog = true;
+    } else if (path.empty() && arg.rfind("--", 0) != 0) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "validate: bad argument '%s'\n", arg.c_str());
+      return kExitUsage;
+    }
+  }
+  if (path.empty()) return kExitUsage;
+  Result<artifact::LoadedPolicyBlob> blob =
+      artifact::LoadPolicyBlobFromFile(path);
+  if (!blob.ok()) {
+    std::fprintf(stderr, "invalid: %s\n", blob.status().ToString().c_str());
+    return kExitSemantic;
+  }
+  if (!skip_catalog) {
+    Environment* env = BuildEnvironment();
+    if (env == nullptr) return kExitUsage;
+    if (Status s = artifact::ValidateAgainstCatalog(*blob, env->catalog);
+        !s.ok()) {
+      std::fprintf(stderr, "invalid: %s\n", s.ToString().c_str());
+      return kExitSemantic;
+    }
+  }
+  // The loader already proved the policy reconstructs; do it anyway so
+  // "valid" means "UpdatePolicy would take this".
+  if (Result<policy::SecurityPolicy> p = artifact::PolicyFromBlob(*blob);
+      !p.ok()) {
+    std::fprintf(stderr, "invalid: %s\n", p.status().ToString().c_str());
+    return kExitSemantic;
+  }
+  std::printf("valid: '%s', %u partitions over %u views%s\n",
+              blob->meta().name.c_str(), blob->num_partitions(),
+              blob->num_views(),
+              skip_catalog ? "" : ", layout matches the live catalog");
+  return kExitOk;
+}
+
+int CmdDiff(const std::vector<std::string>& args) {
+  if (args.size() != 2) {
+    std::fprintf(stderr, "diff: takes exactly two blob paths\n");
+    return kExitUsage;
+  }
+  Result<artifact::LoadedPolicyBlob> a =
+      artifact::LoadPolicyBlobFromFile(args[0]);
+  Result<artifact::LoadedPolicyBlob> b =
+      artifact::LoadPolicyBlobFromFile(args[1]);
+  if (!a.ok() || !b.ok()) {
+    std::fprintf(stderr, "diff: %s\n",
+                 (!a.ok() ? a.status() : b.status()).ToString().c_str());
+    return kExitSemantic;
+  }
+  const artifact::BlobDiff diff = artifact::DiffPolicyBlobs(*a, *b);
+  for (const std::string& note : diff.notes) {
+    std::printf("note: %s\n", note.c_str());
+  }
+  for (const artifact::PartitionDelta& delta : diff.partitions) {
+    if (delta.name_a != delta.name_b) {
+      std::printf("partition %d renamed: '%s' -> '%s'\n", delta.index,
+                  delta.name_a.c_str(), delta.name_b.c_str());
+    } else {
+      std::printf("partition %d '%s':\n", delta.index, delta.name_a.c_str());
+    }
+    for (const std::string& name : delta.only_in_a) {
+      std::printf("  - %s\n", name.c_str());
+    }
+    for (const std::string& name : delta.only_in_b) {
+      std::printf("  + %s\n", name.c_str());
+    }
+  }
+  if (diff.identical) {
+    std::printf("identical\n");
+    return kExitOk;
+  }
+  return kExitSemantic;
+}
+
+int CmdExplain(const std::vector<std::string>& args) {
+  std::string path, query_text, principal = "operator";
+  uint64_t repeat = 1;
+  bool check_engine = false;
+  for (const std::string& arg : args) {
+    if (arg.rfind("--query=", 0) == 0) {
+      query_text = arg.substr(8);
+    } else if (arg.rfind("--principal=", 0) == 0) {
+      principal = arg.substr(12);
+    } else if (arg.rfind("--repeat=", 0) == 0) {
+      if (!ParseU64(arg.substr(9), &repeat) || repeat == 0 ||
+          repeat > 100000) {
+        std::fprintf(stderr, "explain: bad --repeat\n");
+        return kExitUsage;
+      }
+    } else if (arg == "--check-engine") {
+      check_engine = true;
+    } else if (path.empty() && arg.rfind("--", 0) != 0) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "explain: bad argument '%s'\n", arg.c_str());
+      return kExitUsage;
+    }
+  }
+  if (path.empty() || query_text.empty()) {
+    std::fprintf(stderr, "explain: FILE and --query=DATALOG are required\n");
+    return kExitUsage;
+  }
+  Environment* env = BuildEnvironment();
+  if (env == nullptr) return kExitUsage;
+  Result<artifact::LoadedPolicyBlob> blob =
+      artifact::LoadPolicyBlobFromFile(path);
+  if (!blob.ok()) {
+    std::fprintf(stderr, "explain: %s\n", blob.status().ToString().c_str());
+    return kExitSemantic;
+  }
+  if (Status s = artifact::ValidateAgainstCatalog(*blob, env->catalog);
+      !s.ok()) {
+    std::fprintf(stderr, "explain: %s\n", s.ToString().c_str());
+    return kExitSemantic;
+  }
+  Result<cq::ConjunctiveQuery> query =
+      cq::ParseDatalog(query_text, env->schema);
+  if (!query.ok()) {
+    std::fprintf(stderr, "explain: %s\n", query.status().ToString().c_str());
+    return kExitUsage;
+  }
+  Result<policy::SecurityPolicy> policy = artifact::PolicyFromBlob(*blob);
+  if (!policy.ok()) {
+    std::fprintf(stderr, "explain: %s\n", policy.status().ToString().c_str());
+    return kExitSemantic;
+  }
+
+  // The blob-side engine IS the live path: same labeler, same monitor,
+  // same ExplainDecision. --check-engine runs a second, independent engine
+  // and requires every stateful decision to match the explanation.
+  engine::DisclosureEngine explain_engine(/*db=*/nullptr, &env->catalog,
+                                          *policy, {});
+  engine::DisclosureEngine check_engine_instance(/*db=*/nullptr, &env->catalog,
+                                                 *std::move(policy), {});
+  for (uint64_t i = 0; i < repeat; ++i) {
+    const policy::Explanation explanation =
+        explain_engine.ExplainQuery(principal, *query);
+    std::printf("submit %" PRIu64 ": %s\n", i + 1, explanation.ToString().c_str());
+    // Narrow the explaining engine's state exactly like a live submit.
+    const bool decided = explain_engine.Submit(principal, *query);
+    if (decided != explanation.accepted) {
+      std::fprintf(stderr,
+                   "explain/monitor disagreement at submit %" PRIu64 "\n",
+                   i + 1);
+      return kExitSemantic;
+    }
+    if (check_engine) {
+      const bool live = check_engine_instance.Submit(principal, *query);
+      if (live != explanation.accepted) {
+        std::fprintf(stderr,
+                     "engine mismatch at submit %" PRIu64
+                     ": explain=%s live=%s\n",
+                     i + 1, explanation.accepted ? "accept" : "refuse",
+                     live ? "accept" : "refuse");
+        return kExitSemantic;
+      }
+    }
+  }
+  if (check_engine) std::printf("live engine agrees\n");
+  return kExitOk;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage(argv[0]);
+  const std::string command = argv[1];
+  std::vector<std::string> args(argv + 2, argv + argc);
+  if (command == "compile") return CmdCompile(args);
+  if (command == "dump") return CmdDump(args);
+  if (command == "validate") return CmdValidate(args);
+  if (command == "diff") return CmdDiff(args);
+  if (command == "explain") return CmdExplain(args);
+  return Usage(argv[0]);
+}

@@ -1,0 +1,742 @@
+#include "artifact/policy_blob.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <utility>
+
+namespace fdc::artifact {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Format constants.
+// ---------------------------------------------------------------------------
+
+constexpr uint32_t kHeaderSize = 64;
+constexpr uint32_t kSectionEntrySize = 32;
+constexpr size_t kChecksumOffset = 32;  // u64 whole-blob checksum in header
+
+enum SectionKind : uint32_t {
+  kMeta = 1,
+  kLayout = 2,
+  kPartitionWords = 3,
+  kPartitionNames = 4,
+  kPartitionViews = 5,
+  kViews = 6,
+  kRelationNames = 7,
+};
+constexpr uint32_t kNumSections = 7;
+
+// Hostile-input allocation guards: a forged count may not commit the loader
+// to unbounded work before the per-item bounds checks catch it.
+constexpr uint64_t kMaxNameLength = 1 << 20;          // any single string
+constexpr uint64_t kMaxTotalWords = uint64_t{1} << 40;  // mask words
+constexpr size_t kMaxBlobFileBytes = size_t{1} << 30;   // 1 GiB
+
+uint64_t Fnv1a64(const uint8_t* data, size_t n, uint64_t h) {
+  for (size_t i = 0; i < n; ++i) {
+    h = (h ^ data[i]) * 0x100000001b3ULL;
+  }
+  return h;
+}
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+
+uint64_t SectionChecksum(std::span<const uint8_t> bytes) {
+  return Fnv1a64(bytes.data(), bytes.size(), kFnvOffset);
+}
+
+/// Whole-blob checksum: every byte, with the header's checksum field read
+/// as zero (it cannot cover itself).
+uint64_t BlobChecksum(std::span<const uint8_t> bytes) {
+  uint64_t h = Fnv1a64(bytes.data(), kChecksumOffset, kFnvOffset);
+  const uint8_t zeros[8] = {0};
+  h = Fnv1a64(zeros, sizeof(zeros), h);
+  h = Fnv1a64(bytes.data() + kChecksumOffset + 8,
+              bytes.size() - kChecksumOffset - 8, h);
+  return h;
+}
+
+// ---------------------------------------------------------------------------
+// Little-endian serialization helpers.
+// ---------------------------------------------------------------------------
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(v); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) out_.push_back(uint8_t(v >> (8 * i)));
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) out_.push_back(uint8_t(v >> (8 * i)));
+  }
+  void Bytes(const void* data, size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    out_.insert(out_.end(), p, p + n);
+  }
+  void LengthPrefixed(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Bytes(s.data(), s.size());
+  }
+  size_t size() const { return out_.size(); }
+  std::vector<uint8_t> Take() { return std::move(out_); }
+
+ private:
+  std::vector<uint8_t> out_;
+};
+
+/// Bounds-checked cursor over one section. Every Read* returns false
+/// instead of reading past the end; Done() enforces exact consumption so a
+/// section cannot smuggle trailing bytes past validation.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  bool U32(uint32_t* v) {
+    if (bytes_.size() - pos_ < 4) return false;
+    uint32_t r = 0;
+    for (int i = 0; i < 4; ++i) r |= uint32_t(bytes_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    *v = r;
+    return true;
+  }
+  bool U64(uint64_t* v) {
+    if (bytes_.size() - pos_ < 8) return false;
+    uint64_t r = 0;
+    for (int i = 0; i < 8; ++i) r |= uint64_t(bytes_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    *v = r;
+    return true;
+  }
+  bool String(std::string* out, uint64_t max_len = kMaxNameLength) {
+    uint32_t len = 0;
+    if (!U32(&len)) return false;
+    if (len > max_len || bytes_.size() - pos_ < len) return false;
+    out->assign(reinterpret_cast<const char*>(bytes_.data()) + pos_, len);
+    pos_ += len;
+    return true;
+  }
+  bool Done() const { return pos_ == bytes_.size(); }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+};
+
+Status Corrupt(const std::string& what) {
+  return Status::InvalidArgument("policy blob: " + what);
+}
+
+/// The view-name sets of one partition, resolved through the blob's own
+/// view table (sorted for deterministic diff output).
+std::vector<std::string> PartitionViewNames(const LoadedPolicyBlob& blob,
+                                            size_t p) {
+  std::vector<std::string> names;
+  names.reserve(blob.partition_views()[p].size());
+  for (uint32_t id : blob.partition_views()[p]) {
+    names.push_back(blob.views()[id].name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Compilation.
+// ---------------------------------------------------------------------------
+
+Result<std::vector<uint8_t>> CompilePolicyBlob(
+    const label::ViewCatalog& catalog, const policy::SecurityPolicy& policy,
+    const PolicyBlobMeta& meta) {
+  const int num_relations = catalog.schema().NumRelations();
+  if (policy.num_relations() != num_relations) {
+    return Status::InvalidArgument(
+        "policy was compiled against " +
+        std::to_string(policy.num_relations()) +
+        " relations; catalog schema has " + std::to_string(num_relations));
+  }
+  if (meta.name.size() > kMaxNameLength) {
+    return Status::InvalidArgument("policy name exceeds the 1 MiB cap");
+  }
+
+  // Reconstruct the shared word layout from the policy's own accessors and
+  // cross-check it against the catalog — a mismatched pair must fail at
+  // compile time, not at some future load.
+  std::vector<uint32_t> word_begin(static_cast<size_t>(num_relations) + 1, 0);
+  for (int rel = 0; rel < num_relations; ++rel) {
+    const int words = policy.WordsFor(static_cast<uint32_t>(rel));
+    const int expect = label::MaskWordsFor(
+        static_cast<int>(catalog.ViewsOfRelation(rel).size()));
+    if (words != expect) {
+      return Status::InvalidArgument(
+          "relation " + std::to_string(rel) + " has " + std::to_string(words) +
+          " policy mask words but the catalog layout needs " +
+          std::to_string(expect));
+    }
+    word_begin[static_cast<size_t>(rel) + 1] =
+        word_begin[static_cast<size_t>(rel)] + static_cast<uint32_t>(words);
+  }
+  const uint64_t total_words = word_begin.back();
+
+  // Section payloads, in kind order.
+  ByteWriter meta_w;
+  meta_w.U32(static_cast<uint32_t>(policy.num_partitions()));
+  meta_w.U32(static_cast<uint32_t>(num_relations));
+  meta_w.U32(static_cast<uint32_t>(catalog.size()));
+  meta_w.U32(static_cast<uint32_t>(meta.name.size()));
+  meta_w.U64(total_words);
+  meta_w.U64(meta.source_epoch);
+  meta_w.Bytes(meta.name.data(), meta.name.size());
+
+  ByteWriter layout_w;
+  for (uint32_t w : word_begin) layout_w.U32(w);
+
+  ByteWriter words_w;
+  ByteWriter part_names_w;
+  ByteWriter part_views_w;
+  part_names_w.U32(static_cast<uint32_t>(policy.num_partitions()));
+  part_views_w.U32(static_cast<uint32_t>(policy.num_partitions()));
+  for (int p = 0; p < policy.num_partitions(); ++p) {
+    for (int rel = 0; rel < num_relations; ++rel) {
+      const uint64_t* row =
+          policy.PartitionWords(p, static_cast<uint32_t>(rel));
+      const int words = policy.WordsFor(static_cast<uint32_t>(rel));
+      for (int w = 0; w < words; ++w) words_w.U64(row[w]);
+    }
+    const policy::Partition& part = policy.partitions()[p];
+    if (part.name.size() > kMaxNameLength) {
+      return Status::InvalidArgument("partition name exceeds the 1 MiB cap");
+    }
+    part_names_w.LengthPrefixed(part.name);
+    std::vector<int> ids = part.view_ids;
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    part_views_w.U32(static_cast<uint32_t>(ids.size()));
+    for (int id : ids) {
+      if (id < 0 || id >= catalog.size()) {
+        return Status::InvalidArgument(
+            "partition '" + part.name + "' references unknown view id " +
+            std::to_string(id));
+      }
+      part_views_w.U32(static_cast<uint32_t>(id));
+    }
+  }
+
+  ByteWriter views_w;
+  views_w.U32(static_cast<uint32_t>(catalog.size()));
+  for (const label::SecurityView& view : catalog.views()) {
+    views_w.U32(static_cast<uint32_t>(view.relation));
+    views_w.U32(static_cast<uint32_t>(view.bit));
+    views_w.LengthPrefixed(view.name);
+  }
+
+  ByteWriter rel_names_w;
+  rel_names_w.U32(static_cast<uint32_t>(num_relations));
+  for (const cq::RelationDef& rel : catalog.schema().relations()) {
+    rel_names_w.LengthPrefixed(rel.name);
+  }
+
+  struct SectionPayload {
+    uint32_t kind;
+    std::vector<uint8_t> bytes;
+  };
+  SectionPayload sections[kNumSections] = {
+      {kMeta, meta_w.Take()},           {kLayout, layout_w.Take()},
+      {kPartitionWords, words_w.Take()}, {kPartitionNames, part_names_w.Take()},
+      {kPartitionViews, part_views_w.Take()}, {kViews, views_w.Take()},
+      {kRelationNames, rel_names_w.Take()},
+  };
+
+  // Assemble: header, section table, then payloads back to back.
+  uint64_t offset = kHeaderSize + uint64_t{kNumSections} * kSectionEntrySize;
+  uint64_t total = offset;
+  for (const SectionPayload& s : sections) total += s.bytes.size();
+
+  ByteWriter blob;
+  blob.Bytes(kPolicyBlobMagic, sizeof(kPolicyBlobMagic));
+  blob.U32(kPolicyBlobVersion);
+  blob.U32(kHeaderSize);
+  blob.U64(total);
+  blob.U32(kNumSections);
+  blob.U32(0);  // flags
+  blob.U64(0);  // whole-blob checksum, patched below
+  for (int i = 0; i < 24; ++i) blob.U8(0);
+
+  for (const SectionPayload& s : sections) {
+    blob.U32(s.kind);
+    blob.U32(0);
+    blob.U64(offset);
+    blob.U64(s.bytes.size());
+    blob.U64(SectionChecksum(s.bytes));
+    offset += s.bytes.size();
+  }
+  for (const SectionPayload& s : sections) {
+    blob.Bytes(s.bytes.data(), s.bytes.size());
+  }
+
+  std::vector<uint8_t> bytes = blob.Take();
+  const uint64_t checksum = BlobChecksum(bytes);
+  for (int i = 0; i < 8; ++i) {
+    bytes[kChecksumOffset + i] = uint8_t(checksum >> (8 * i));
+  }
+  return bytes;
+}
+
+Result<std::vector<uint8_t>> CompilePolicyBlob(
+    const engine::EngineSnapshot& snapshot, const std::string& name) {
+  PolicyBlobMeta meta;
+  meta.name = name;
+  meta.source_epoch = snapshot.epoch();
+  return CompilePolicyBlob(snapshot.frozen().catalog(), snapshot.policy(),
+                           meta);
+}
+
+// ---------------------------------------------------------------------------
+// Loading.
+// ---------------------------------------------------------------------------
+
+Result<LoadedPolicyBlob> LoadPolicyBlob(std::span<const uint8_t> bytes) {
+  if (bytes.size() < kHeaderSize) return Corrupt("shorter than the header");
+  if (std::memcmp(bytes.data(), kPolicyBlobMagic, sizeof(kPolicyBlobMagic)) !=
+      0) {
+    return Corrupt("bad magic");
+  }
+  ByteReader header(bytes.subspan(8, kHeaderSize - 8));
+  uint32_t version = 0, header_size = 0, section_count = 0, flags = 0;
+  uint64_t total_length = 0, stored_checksum = 0;
+  header.U32(&version);
+  header.U32(&header_size);
+  header.U64(&total_length);
+  header.U32(&section_count);
+  header.U32(&flags);
+  header.U64(&stored_checksum);
+  if (version != kPolicyBlobVersion) {
+    return Corrupt("unsupported format version " + std::to_string(version) +
+                   " (this build reads version " +
+                   std::to_string(kPolicyBlobVersion) + ")");
+  }
+  if (header_size != kHeaderSize) return Corrupt("bad header size");
+  if (total_length != bytes.size()) {
+    return Corrupt("header says " + std::to_string(total_length) +
+                   " bytes, buffer holds " + std::to_string(bytes.size()));
+  }
+  if (flags != 0) return Corrupt("reserved flags set");
+  for (size_t i = kChecksumOffset + 8; i < kHeaderSize; ++i) {
+    if (bytes[i] != 0) return Corrupt("reserved header bytes set");
+  }
+  if (section_count != kNumSections) {
+    return Corrupt("expected " + std::to_string(kNumSections) +
+                   " sections, header says " + std::to_string(section_count));
+  }
+  const uint64_t table_end =
+      kHeaderSize + uint64_t{section_count} * kSectionEntrySize;
+  if (table_end > bytes.size()) return Corrupt("section table truncated");
+  if (BlobChecksum(bytes) != stored_checksum) {
+    return Corrupt("whole-blob checksum mismatch");
+  }
+
+  struct SectionRef {
+    uint64_t offset = 0;
+    uint64_t length = 0;
+    bool present = false;
+  };
+  SectionRef refs[kNumSections + 1];  // indexed by kind
+  {
+    ByteReader table(
+        bytes.subspan(kHeaderSize, table_end - kHeaderSize));
+    for (uint32_t i = 0; i < section_count; ++i) {
+      uint32_t kind = 0, reserved = 0;
+      uint64_t offset = 0, length = 0, checksum = 0;
+      table.U32(&kind);
+      table.U32(&reserved);
+      table.U64(&offset);
+      table.U64(&length);
+      table.U64(&checksum);
+      if (kind < kMeta || kind > kRelationNames) {
+        return Corrupt("unknown section kind " + std::to_string(kind));
+      }
+      if (reserved != 0) return Corrupt("reserved section field set");
+      if (refs[kind].present) {
+        return Corrupt("duplicate section kind " + std::to_string(kind));
+      }
+      if (offset < table_end || length > bytes.size() ||
+          offset > bytes.size() - length) {
+        return Corrupt("section " + std::to_string(kind) +
+                       " out of bounds");
+      }
+      if (SectionChecksum(bytes.subspan(offset, length)) != checksum) {
+        return Corrupt("section " + std::to_string(kind) +
+                       " checksum mismatch");
+      }
+      refs[kind] = {offset, length, true};
+    }
+  }
+  for (uint32_t kind = kMeta; kind <= kRelationNames; ++kind) {
+    if (!refs[kind].present) {
+      return Corrupt("missing section kind " + std::to_string(kind));
+    }
+  }
+  {
+    // No two sections may overlap: a blob that aliases one byte range into
+    // two sections could pass per-section checks while meaning two things.
+    std::vector<std::pair<uint64_t, uint64_t>> spans;
+    for (uint32_t kind = kMeta; kind <= kRelationNames; ++kind) {
+      spans.emplace_back(refs[kind].offset, refs[kind].length);
+    }
+    std::sort(spans.begin(), spans.end());
+    for (size_t i = 1; i < spans.size(); ++i) {
+      if (spans[i].first < spans[i - 1].first + spans[i - 1].second) {
+        return Corrupt("overlapping sections");
+      }
+    }
+  }
+  auto section = [&](uint32_t kind) {
+    return bytes.subspan(refs[kind].offset, refs[kind].length);
+  };
+
+  LoadedPolicyBlob blob;
+  blob.version_ = version;
+  blob.checksum_ = stored_checksum;
+  blob.byte_size_ = bytes.size();
+
+  // kMeta.
+  uint32_t num_partitions = 0, num_relations = 0, num_views = 0;
+  uint64_t total_words = 0;
+  {
+    ByteReader r(section(kMeta));
+    uint32_t name_len = 0;
+    if (!r.U32(&num_partitions) || !r.U32(&num_relations) ||
+        !r.U32(&num_views) || !r.U32(&name_len) || !r.U64(&total_words) ||
+        !r.U64(&blob.meta_.source_epoch)) {
+      return Corrupt("meta section truncated");
+    }
+    if (name_len > kMaxNameLength || r.remaining() != name_len) {
+      return Corrupt("meta name length disagrees with section length");
+    }
+    const std::span<const uint8_t> sec = section(kMeta);
+    blob.meta_.name.assign(
+        reinterpret_cast<const char*>(sec.data()) + (sec.size() - name_len),
+        name_len);
+    if (num_partitions == 0 ||
+        num_partitions >
+            static_cast<uint32_t>(policy::SecurityPolicy::kMaxPartitions)) {
+      return Corrupt("partition count " + std::to_string(num_partitions) +
+                     " outside [1, " +
+                     std::to_string(policy::SecurityPolicy::kMaxPartitions) +
+                     "]");
+    }
+    if (num_relations == 0) return Corrupt("no relations");
+    if (total_words > kMaxTotalWords) return Corrupt("layout too large");
+  }
+
+  // kLayout.
+  {
+    std::span<const uint8_t> sec = section(kLayout);
+    const uint64_t expect = (uint64_t{num_relations} + 1) * 4;
+    if (sec.size() != expect) {
+      return Corrupt("layout section length disagrees with relation count");
+    }
+    ByteReader r(sec);
+    blob.word_begin_.resize(static_cast<size_t>(num_relations) + 1);
+    for (uint32_t& w : blob.word_begin_) r.U32(&w);
+    if (blob.word_begin_.front() != 0) {
+      return Corrupt("word layout does not start at 0");
+    }
+    for (size_t i = 1; i < blob.word_begin_.size(); ++i) {
+      if (blob.word_begin_[i] <= blob.word_begin_[i - 1]) {
+        return Corrupt("word layout not strictly increasing at relation " +
+                       std::to_string(i - 1));
+      }
+    }
+    if (blob.word_begin_.back() != total_words) {
+      return Corrupt("word layout total disagrees with meta total_words");
+    }
+  }
+
+  // kPartitionWords.
+  {
+    std::span<const uint8_t> sec = section(kPartitionWords);
+    const uint64_t expect = uint64_t{num_partitions} * total_words * 8;
+    if (sec.size() != expect) {
+      return Corrupt("partition mask section length disagrees with layout");
+    }
+    ByteReader r(sec);
+    blob.partition_words_.resize(num_partitions);
+    for (auto& row : blob.partition_words_) {
+      row.resize(static_cast<size_t>(total_words));
+      for (uint64_t& w : row) r.U64(&w);
+    }
+  }
+
+  // kPartitionNames.
+  {
+    ByteReader r(section(kPartitionNames));
+    uint32_t count = 0;
+    if (!r.U32(&count) || count != num_partitions) {
+      return Corrupt("partition name count disagrees with meta");
+    }
+    blob.partition_names_.resize(num_partitions);
+    for (std::string& name : blob.partition_names_) {
+      if (!r.String(&name)) return Corrupt("partition name table truncated");
+    }
+    if (!r.Done()) return Corrupt("trailing bytes in partition name table");
+  }
+
+  // kPartitionViews.
+  {
+    ByteReader r(section(kPartitionViews));
+    uint32_t count = 0;
+    if (!r.U32(&count) || count != num_partitions) {
+      return Corrupt("partition view-list count disagrees with meta");
+    }
+    blob.partition_views_.resize(num_partitions);
+    for (auto& ids : blob.partition_views_) {
+      uint32_t n = 0;
+      if (!r.U32(&n) || n > num_views) {
+        return Corrupt("partition view list truncated or oversized");
+      }
+      ids.resize(n);
+      uint32_t prev = 0;
+      for (size_t i = 0; i < ids.size(); ++i) {
+        if (!r.U32(&ids[i])) return Corrupt("partition view list truncated");
+        if (ids[i] >= num_views) {
+          return Corrupt("partition references view id " +
+                         std::to_string(ids[i]) + " of " +
+                         std::to_string(num_views));
+        }
+        if (i > 0 && ids[i] <= prev) {
+          return Corrupt("partition view list not strictly ascending");
+        }
+        prev = ids[i];
+      }
+    }
+    if (!r.Done()) return Corrupt("trailing bytes in partition view lists");
+  }
+
+  // kViews.
+  {
+    ByteReader r(section(kViews));
+    uint32_t count = 0;
+    if (!r.U32(&count) || count != num_views) {
+      return Corrupt("view table count disagrees with meta");
+    }
+    blob.views_.resize(num_views);
+    std::vector<std::set<uint32_t>> bits_taken(num_relations);
+    for (BlobView& view : blob.views_) {
+      if (!r.U32(&view.relation) || !r.U32(&view.bit) ||
+          !r.String(&view.name)) {
+        return Corrupt("view table truncated");
+      }
+      if (view.relation >= num_relations) {
+        return Corrupt("view over unknown relation " +
+                       std::to_string(view.relation));
+      }
+      const uint64_t words = blob.word_begin_[view.relation + 1] -
+                             blob.word_begin_[view.relation];
+      if (view.bit / 64 >= words) {
+        return Corrupt("view bit " + std::to_string(view.bit) +
+                       " outside its relation's mask words");
+      }
+      if (!bits_taken[view.relation].insert(view.bit).second) {
+        return Corrupt("two views share relation " +
+                       std::to_string(view.relation) + " bit " +
+                       std::to_string(view.bit));
+      }
+    }
+    if (!r.Done()) return Corrupt("trailing bytes in view table");
+  }
+
+  // kRelationNames.
+  {
+    ByteReader r(section(kRelationNames));
+    uint32_t count = 0;
+    if (!r.U32(&count) || count != num_relations) {
+      return Corrupt("relation name count disagrees with meta");
+    }
+    blob.relation_names_.resize(num_relations);
+    for (std::string& name : blob.relation_names_) {
+      if (!r.String(&name)) return Corrupt("relation name table truncated");
+    }
+    if (!r.Done()) return Corrupt("trailing bytes in relation name table");
+  }
+
+  // Self-consistency: the mask rows must be exactly the OR of their view
+  // lists' (relation, bit) coordinates. Checksums catch corruption; this
+  // catches a *consistent* forgery where rows and view lists tell
+  // different stories — the rows are what gets enforced, the lists are
+  // what dump/diff show an operator, and they must never disagree.
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    std::vector<uint64_t> expect(static_cast<size_t>(total_words), 0);
+    for (uint32_t id : blob.partition_views_[p]) {
+      const BlobView& view = blob.views_[id];
+      expect[blob.word_begin_[view.relation] + view.bit / 64] |=
+          uint64_t{1} << (view.bit % 64);
+    }
+    if (expect != blob.partition_words_[p]) {
+      return Corrupt("partition '" + blob.partition_names_[p] +
+                     "' mask row disagrees with its view list");
+    }
+  }
+  return blob;
+}
+
+Result<LoadedPolicyBlob> LoadPolicyBlobFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  const std::streamoff size = in.tellg();
+  if (size < 0) return Status::Internal("cannot stat '" + path + "'");
+  if (static_cast<uint64_t>(size) > kMaxBlobFileBytes) {
+    return Corrupt("'" + path + "' exceeds the 1 GiB artifact cap");
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  in.seekg(0);
+  in.read(reinterpret_cast<char*>(bytes.data()),
+          static_cast<std::streamsize>(bytes.size()));
+  if (!in) return Status::Internal("short read from '" + path + "'");
+  return LoadPolicyBlob(bytes);
+}
+
+Status WritePolicyBlobFile(const std::string& path,
+                           std::span<const uint8_t> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot open '" + path + "' for writing");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out) return Status::Internal("short write to '" + path + "'");
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Catalog validation, policy reconstruction, diff.
+// ---------------------------------------------------------------------------
+
+Status ValidateAgainstCatalog(const LoadedPolicyBlob& blob,
+                              const label::ViewCatalog& catalog) {
+  const cq::Schema& schema = catalog.schema();
+  if (blob.num_relations() != static_cast<uint32_t>(schema.NumRelations())) {
+    return Status::InvalidArgument(
+        "blob froze " + std::to_string(blob.num_relations()) +
+        " relations; live catalog has " +
+        std::to_string(schema.NumRelations()));
+  }
+  if (blob.num_views() != static_cast<uint32_t>(catalog.size())) {
+    return Status::InvalidArgument(
+        "blob froze " + std::to_string(blob.num_views()) +
+        " views; live catalog has " + std::to_string(catalog.size()));
+  }
+  for (uint32_t rel = 0; rel < blob.num_relations(); ++rel) {
+    if (blob.relation_names()[rel] != schema.relations()[rel].name) {
+      return Status::InvalidArgument(
+          "relation " + std::to_string(rel) + " is '" +
+          blob.relation_names()[rel] + "' in the blob but '" +
+          schema.relations()[rel].name + "' in the live catalog");
+    }
+    const uint32_t words = blob.word_begin()[rel + 1] - blob.word_begin()[rel];
+    const uint32_t expect = static_cast<uint32_t>(label::MaskWordsFor(
+        static_cast<int>(catalog.ViewsOfRelation(rel).size())));
+    if (words != expect) {
+      return Status::InvalidArgument(
+          "relation '" + blob.relation_names()[rel] + "' has " +
+          std::to_string(words) + " mask words in the blob; live layout is " +
+          std::to_string(expect));
+    }
+  }
+  for (uint32_t id = 0; id < blob.num_views(); ++id) {
+    const BlobView& bv = blob.views()[id];
+    const label::SecurityView& live = catalog.view(static_cast<int>(id));
+    if (bv.name != live.name ||
+        bv.relation != static_cast<uint32_t>(live.relation) ||
+        bv.bit != static_cast<uint32_t>(live.bit)) {
+      return Status::InvalidArgument(
+          "view " + std::to_string(id) + " is ('" + bv.name + "', rel " +
+          std::to_string(bv.relation) + ", bit " + std::to_string(bv.bit) +
+          ") in the blob but ('" + live.name + "', rel " +
+          std::to_string(live.relation) + ", bit " +
+          std::to_string(live.bit) + ") in the live catalog");
+    }
+  }
+  return Status::OK();
+}
+
+Result<policy::SecurityPolicy> PolicyFromBlob(const LoadedPolicyBlob& blob) {
+  std::vector<policy::Partition> partitions(blob.num_partitions());
+  for (uint32_t p = 0; p < blob.num_partitions(); ++p) {
+    partitions[p].name = blob.partition_names()[p];
+    partitions[p].view_ids.reserve(blob.partition_views()[p].size());
+    for (uint32_t id : blob.partition_views()[p]) {
+      partitions[p].view_ids.push_back(static_cast<int>(id));
+    }
+  }
+  return policy::SecurityPolicy::FromCompiled(
+      std::move(partitions), blob.word_begin(), blob.partition_words());
+}
+
+BlobDiff DiffPolicyBlobs(const LoadedPolicyBlob& a, const LoadedPolicyBlob& b) {
+  BlobDiff diff;
+  auto note = [&](std::string text) {
+    diff.identical = false;
+    diff.notes.push_back(std::move(text));
+  };
+  if (a.meta().name != b.meta().name) {
+    note("policy name: '" + a.meta().name + "' vs '" + b.meta().name + "'");
+  }
+  if (a.meta().source_epoch != b.meta().source_epoch) {
+    note("source epoch: " + std::to_string(a.meta().source_epoch) + " vs " +
+         std::to_string(b.meta().source_epoch));
+  }
+  if (a.relation_names() != b.relation_names() ||
+      a.word_begin() != b.word_begin()) {
+    diff.layout_identical = false;
+    note("relation layout differs (relation set or mask word layout)");
+  }
+  bool views_differ = a.num_views() != b.num_views();
+  if (!views_differ) {
+    for (uint32_t id = 0; id < a.num_views(); ++id) {
+      const BlobView& va = a.views()[id];
+      const BlobView& vb = b.views()[id];
+      if (va.name != vb.name || va.relation != vb.relation ||
+          va.bit != vb.bit) {
+        views_differ = true;
+        break;
+      }
+    }
+  }
+  if (views_differ) {
+    diff.layout_identical = false;
+    note("view table differs (" + std::to_string(a.num_views()) + " vs " +
+         std::to_string(b.num_views()) + " views)");
+  }
+
+  const uint32_t common =
+      std::min(a.num_partitions(), b.num_partitions());
+  if (a.num_partitions() != b.num_partitions()) {
+    note("partition count: " + std::to_string(a.num_partitions()) + " vs " +
+         std::to_string(b.num_partitions()));
+  }
+  for (uint32_t p = 0; p < common; ++p) {
+    // Diff by view *name* through each blob's own view table, so the delta
+    // stays meaningful even when the two blobs froze different bit layouts.
+    const std::vector<std::string> names_a = PartitionViewNames(a, p);
+    const std::vector<std::string> names_b = PartitionViewNames(b, p);
+    PartitionDelta delta;
+    delta.index = static_cast<int>(p);
+    delta.name_a = a.partition_names()[p];
+    delta.name_b = b.partition_names()[p];
+    std::set_difference(names_a.begin(), names_a.end(), names_b.begin(),
+                        names_b.end(), std::back_inserter(delta.only_in_a));
+    std::set_difference(names_b.begin(), names_b.end(), names_a.begin(),
+                        names_a.end(), std::back_inserter(delta.only_in_b));
+    if (!delta.only_in_a.empty() || !delta.only_in_b.empty() ||
+        delta.name_a != delta.name_b) {
+      diff.identical = false;
+      diff.partitions.push_back(std::move(delta));
+    }
+  }
+  return diff;
+}
+
+}  // namespace fdc::artifact

@@ -1,0 +1,203 @@
+// Versioned binary policy artifacts (the Xen-sHype "binary policy" shape).
+//
+// A SecurityPolicy exists in-process as compiled C++ state; rolling one out
+// to a fleet needs a byte-exact, validatable, diffable unit an operator can
+// stage, inspect, and hand to N server processes. CompilePolicyBlob freezes
+// a compiled policy *plus the catalog layout it was compiled against* into
+// one relocatable flat blob; LoadPolicyBlob re-validates every byte and
+// PolicyFromBlob reconstructs the compiled SecurityPolicy with zero
+// recompilation (no Datalog parsing, no catalog walk — the per-relation
+// word layout and the partition mask rows load as-is).
+//
+// Format (version 1, all integers little-endian):
+//
+//   offset  size  field
+//   ------  ----  -----
+//        0     8  magic "FDCPOLB\0"
+//        8     4  u32 format version (kPolicyBlobVersion)
+//       12     4  u32 header size (kHeaderSize = 64)
+//       16     8  u64 total blob length in bytes
+//       24     4  u32 section count
+//       28     4  u32 flags (reserved, must be 0)
+//       32     8  u64 whole-blob checksum (FNV-1a 64 over every byte with
+//                     this field read as zero)
+//       40    24  reserved, must be 0
+//       64   32×N section table: {u32 kind, u32 reserved(0), u64 offset,
+//                     u64 length, u64 checksum(FNV-1a 64 of the section)}
+//
+// Sections (each kind exactly once; offsets strictly inside the blob, no
+// two sections overlap):
+//
+//   kMeta            policy name, source epoch, and the counts every other
+//                    section is cross-checked against
+//   kLayout          u32 word_begin[num_relations + 1] — the shared
+//                    per-relation mask word layout (label::MaskWordsFor)
+//   kPartitionWords  u64 rows[num_partitions][total_words] — the compiled
+//                    partition masks, row-major
+//   kPartitionNames  length-prefixed partition name table
+//   kPartitionViews  per-partition catalog view id lists (the source form
+//                    the mask rows are recomputed from at load time)
+//   kViews           per-view {relation, bit, name} records, indexed by
+//                    catalog view id
+//   kRelationNames   length-prefixed relation name table
+//
+// The loader is strict: unknown magic/version/flags, truncation, section
+// overlap, checksum mismatch, counts that disagree with section lengths,
+// out-of-range ids, a non-monotone layout, or mask rows that differ from
+// the rows recomputed from the view lists all return a clean Result error.
+// It never aborts and is safe on arbitrary attacker-chosen bytes
+// (fuzzed in tests/policy_blob_test.cc, under ASan+UBSan in CI).
+//
+// A format change MUST bump kPolicyBlobVersion: the golden artifact test
+// (tests/testdata/policy_v1.blob) pins version-1 bytes exactly.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "engine/snapshot.h"
+#include "label/view_catalog.h"
+#include "policy/policy.h"
+
+namespace fdc::artifact {
+
+inline constexpr uint32_t kPolicyBlobVersion = 1;
+inline constexpr char kPolicyBlobMagic[8] = {'F', 'D', 'C', 'P',
+                                             'O', 'L', 'B', '\0'};
+
+/// Operator-facing metadata carried in the kMeta section. `name` is free
+/// text chosen by whoever compiled the artifact (escaped wherever it is
+/// re-emitted — it flows into JSON stats via shadow mode).
+struct PolicyBlobMeta {
+  std::string name;
+  /// Engine epoch the policy was captured at; 0 when compiled outside an
+  /// engine. Informational only.
+  uint64_t source_epoch = 0;
+};
+
+/// One catalog view as frozen into the blob: the coordinate (relation, bit)
+/// every mask bit is interpreted through, plus the operator-visible name.
+struct BlobView {
+  uint32_t relation = 0;
+  uint32_t bit = 0;
+  std::string name;
+};
+
+/// A fully validated, parsed policy artifact. Immutable after load.
+class LoadedPolicyBlob {
+ public:
+  const PolicyBlobMeta& meta() const { return meta_; }
+  uint32_t version() const { return version_; }
+  uint64_t checksum() const { return checksum_; }
+  size_t byte_size() const { return byte_size_; }
+
+  uint32_t num_partitions() const {
+    return static_cast<uint32_t>(partition_names_.size());
+  }
+  uint32_t num_relations() const {
+    return static_cast<uint32_t>(relation_names_.size());
+  }
+  uint32_t num_views() const { return static_cast<uint32_t>(views_.size()); }
+  uint64_t total_words() const { return word_begin_.back(); }
+
+  /// Shared per-relation word layout: relation r's masks occupy words
+  /// [word_begin()[r], word_begin()[r+1]) of every partition row.
+  const std::vector<uint32_t>& word_begin() const { return word_begin_; }
+  /// One flat row of total_words() mask words per partition.
+  const std::vector<std::vector<uint64_t>>& partition_words() const {
+    return partition_words_;
+  }
+  const std::vector<std::string>& partition_names() const {
+    return partition_names_;
+  }
+  /// Catalog view ids per partition, ascending and deduplicated.
+  const std::vector<std::vector<uint32_t>>& partition_views() const {
+    return partition_views_;
+  }
+  /// View records indexed by catalog view id.
+  const std::vector<BlobView>& views() const { return views_; }
+  const std::vector<std::string>& relation_names() const {
+    return relation_names_;
+  }
+
+ private:
+  friend Result<LoadedPolicyBlob> LoadPolicyBlob(std::span<const uint8_t>);
+
+  PolicyBlobMeta meta_;
+  uint32_t version_ = 0;
+  uint64_t checksum_ = 0;
+  size_t byte_size_ = 0;
+  std::vector<uint32_t> word_begin_;
+  std::vector<std::vector<uint64_t>> partition_words_;
+  std::vector<std::string> partition_names_;
+  std::vector<std::vector<uint32_t>> partition_views_;
+  std::vector<BlobView> views_;
+  std::vector<std::string> relation_names_;
+};
+
+/// Serializes `policy` (compiled against `catalog`) into a version-1 blob.
+/// Deterministic: identical inputs produce identical bytes (no timestamps),
+/// which is what lets the golden-artifact test pin the format.
+Result<std::vector<uint8_t>> CompilePolicyBlob(
+    const label::ViewCatalog& catalog, const policy::SecurityPolicy& policy,
+    const PolicyBlobMeta& meta = {});
+
+/// Captures a live engine snapshot: its policy, its catalog layout, and its
+/// epoch as `source_epoch`.
+Result<std::vector<uint8_t>> CompilePolicyBlob(
+    const engine::EngineSnapshot& snapshot, const std::string& name = "");
+
+/// Parses and fully validates `bytes`. Every failure is a Result error with
+/// a message naming the offending structure; arbitrary input never crashes,
+/// reads out of bounds, or allocates unboundedly.
+Result<LoadedPolicyBlob> LoadPolicyBlob(std::span<const uint8_t> bytes);
+
+/// Reads the file, then LoadPolicyBlob. Rejects files larger than 1 GiB.
+Result<LoadedPolicyBlob> LoadPolicyBlobFromFile(const std::string& path);
+Status WritePolicyBlobFile(const std::string& path,
+                           std::span<const uint8_t> bytes);
+
+/// Checks the blob's frozen layout against a live catalog: relation count
+/// and names, view count, every view's (relation, bit, name) coordinate,
+/// and the per-relation word layout. A blob that passes produces a policy
+/// whose mask bits mean exactly what the live engine's labels mean.
+Status ValidateAgainstCatalog(const LoadedPolicyBlob& blob,
+                              const label::ViewCatalog& catalog);
+
+/// Reconstructs the compiled SecurityPolicy — partitions (names + view id
+/// lists), word layout, and mask rows adopted verbatim via
+/// SecurityPolicy::FromCompiled. No recompilation, no catalog required
+/// (run ValidateAgainstCatalog first when the blob must match a live one).
+Result<policy::SecurityPolicy> PolicyFromBlob(const LoadedPolicyBlob& blob);
+
+/// One partition's membership delta between two blobs, in view names
+/// (resolved through each blob's own view table, so two blobs whose bit
+/// layouts differ still diff correctly).
+struct PartitionDelta {
+  int index = -1;
+  std::string name_a;
+  std::string name_b;
+  std::vector<std::string> only_in_a;  // view names
+  std::vector<std::string> only_in_b;
+};
+
+struct BlobDiff {
+  /// True iff metadata, layout, partitions and masks are all identical.
+  bool identical = true;
+  /// True iff the two blobs froze the same catalog layout (relation/view
+  /// tables and word layout) — when false the mask words are not directly
+  /// comparable and the per-partition deltas below (computed by view name)
+  /// are the meaningful comparison.
+  bool layout_identical = true;
+  /// Human-readable notes on meta/layout-level differences.
+  std::vector<std::string> notes;
+  /// Index-aligned partition deltas; only partitions that differ appear.
+  std::vector<PartitionDelta> partitions;
+};
+
+BlobDiff DiffPolicyBlobs(const LoadedPolicyBlob& a, const LoadedPolicyBlob& b);
+
+}  // namespace fdc::artifact

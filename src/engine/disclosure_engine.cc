@@ -4,6 +4,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "artifact/policy_blob.h"
 #include "policy/reference_monitor.h"
 #include "rewriting/fold.h"
 #include "storage/evaluator.h"
@@ -21,6 +22,7 @@ DisclosureEngine::DisclosureEngine(const storage::Database* db,
       principals_(options.principals),
       snapshot_(std::make_shared<const EngineSnapshot>(
           frozen_, std::move(policy), /*epoch=*/1)),
+      shadow_principals_(options.principals),
       sweep_interval_(options.principal_sweep_interval) {}
 
 uint64_t DisclosureEngine::UpdatePolicy(policy::SecurityPolicy policy) {
@@ -46,6 +48,89 @@ uint64_t DisclosureEngine::UpdatePolicy(policy::SecurityPolicy policy) {
   // state whose narrowing was just forgotten.
   principals_.DropResidualsBefore(epoch);
   return epoch;
+}
+
+Result<uint64_t> DisclosureEngine::UpdatePolicy(
+    const artifact::LoadedPolicyBlob& blob) {
+  Status valid = artifact::ValidateAgainstCatalog(blob, frozen_->catalog());
+  if (!valid.ok()) return valid;
+  Result<policy::SecurityPolicy> policy = artifact::PolicyFromBlob(blob);
+  if (!policy.ok()) return policy.status();
+  return UpdatePolicy(*std::move(policy));
+}
+
+uint64_t DisclosureEngine::SetShadowPolicy(policy::SecurityPolicy policy,
+                                           std::string policy_name) {
+  uint64_t epoch;
+  {
+    std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
+    epoch = next_epoch_++;
+    shadow_snapshot_ = std::make_shared<const EngineSnapshot>(
+        frozen_, std::move(policy), epoch);
+    shadow_name_ = std::move(policy_name);
+  }
+  // A replaced shadow policy invalidates shadow consistency state exactly
+  // like a live swap invalidates live state.
+  shadow_principals_.DropResidualsBefore(epoch);
+  shadow_enabled_.store(true, std::memory_order_release);
+  return epoch;
+}
+
+Result<uint64_t> DisclosureEngine::SetShadowPolicy(
+    const artifact::LoadedPolicyBlob& blob) {
+  Status valid = artifact::ValidateAgainstCatalog(blob, frozen_->catalog());
+  if (!valid.ok()) return valid;
+  Result<policy::SecurityPolicy> policy = artifact::PolicyFromBlob(blob);
+  if (!policy.ok()) return policy.status();
+  return SetShadowPolicy(*std::move(policy), blob.meta().name);
+}
+
+void DisclosureEngine::ClearShadowPolicy() {
+  // Flag first: a request that loads shadow_enabled_ == true right before
+  // this still reads a coherent (snapshot, epoch) pair or sees nullptr and
+  // skips — either way its live decision is unaffected.
+  shadow_enabled_.store(false, std::memory_order_release);
+  std::shared_ptr<const EngineSnapshot> retired;
+  {
+    std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
+    retired = std::exchange(shadow_snapshot_, nullptr);
+    shadow_name_.clear();
+  }
+}
+
+void DisclosureEngine::ShadowEvaluate(
+    std::string_view principal,
+    std::span<const label::DisclosureLabel* const> labels,
+    const std::vector<bool>& live) {
+  for (;;) {
+    const std::shared_ptr<const EngineSnapshot> snap = ShadowSnapshot();
+    if (snap == nullptr) return;  // cleared while we were deciding
+    const policy::ReferenceMonitor monitor(&snap->policy());
+    std::optional<std::vector<bool>> decisions =
+        shadow_principals_.TryWithState(
+            principal, snap->epoch(), snap->InitialMask(),
+            [&](policy::PrincipalState& state) {
+              return monitor.SubmitBatch(&state, labels);
+            });
+    if (!decisions.has_value()) continue;  // raced a shadow swap; reload
+    uint64_t agree = 0, stricter = 0, looser = 0;
+    for (size_t i = 0; i < decisions->size(); ++i) {
+      const bool shadow = (*decisions)[i];
+      if (shadow == live[i]) {
+        ++agree;
+      } else if (live[i]) {
+        ++stricter;  // live accepted, candidate would refuse
+      } else {
+        ++looser;  // live refused, candidate would accept
+      }
+    }
+    shadow_evaluated_.fetch_add(decisions->size(),
+                                std::memory_order_relaxed);
+    shadow_agree_.fetch_add(agree, std::memory_order_relaxed);
+    shadow_stricter_.fetch_add(stricter, std::memory_order_relaxed);
+    shadow_looser_.fetch_add(looser, std::memory_order_relaxed);
+    return;
+  }
 }
 
 size_t DisclosureEngine::SweepPrincipals() {
@@ -82,6 +167,10 @@ bool DisclosureEngine::Submit(std::string_view principal,
     } else {
       refused_.fetch_add(1, std::memory_order_relaxed);
     }
+    if (ShadowEnabled()) {
+      const label::DisclosureLabel* one[1] = {&label};
+      ShadowEvaluate(principal, one, std::vector<bool>{*ok});
+    }
     MaybeAutoSweep(1);
     return *ok;
   }
@@ -105,6 +194,12 @@ std::vector<bool> DisclosureEngine::SubmitBatch(
     for (const bool d : *decisions) ok += d ? 1 : 0;
     accepted_.fetch_add(ok, std::memory_order_relaxed);
     refused_.fetch_add(decisions->size() - ok, std::memory_order_relaxed);
+    if (ShadowEnabled()) {
+      std::vector<const label::DisclosureLabel*> label_ptrs;
+      label_ptrs.reserve(labels.size());
+      for (const label::DisclosureLabel& l : labels) label_ptrs.push_back(&l);
+      ShadowEvaluate(principal, label_ptrs, *decisions);
+    }
     MaybeAutoSweep(decisions->size());
     return *std::move(decisions);
   }
@@ -189,6 +284,12 @@ void DisclosureEngine::SubmitCoalesced(
         if (epochs != nullptr) (*epochs)[group.indices[j]] = snap->epoch();
         ok_total += d ? 1 : 0;
       }
+      if (ShadowEnabled()) {
+        ShadowEvaluate(
+            group.principal,
+            std::span<const label::DisclosureLabel* const>(group.labels),
+            *group_decisions);
+      }
       break;
     }
   }
@@ -263,6 +364,22 @@ DisclosureEngine::EngineStats DisclosureEngine::Stats() const {
   stats.interner = labeler_.interner_stats();
   stats.containment = labeler_.cache_stats();
   stats.fold_scratch_reuses = rewriting::FoldScratchReuses();
+  {
+    std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+    if (shadow_snapshot_ != nullptr) {
+      stats.shadow.enabled =
+          shadow_enabled_.load(std::memory_order_acquire);
+      stats.shadow.epoch = shadow_snapshot_->epoch();
+      stats.shadow.policy_name = shadow_name_;
+    }
+  }
+  stats.shadow.evaluated =
+      shadow_evaluated_.load(std::memory_order_relaxed);
+  stats.shadow.agree = shadow_agree_.load(std::memory_order_relaxed);
+  stats.shadow.shadow_stricter =
+      shadow_stricter_.load(std::memory_order_relaxed);
+  stats.shadow.shadow_looser =
+      shadow_looser_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -46,6 +46,10 @@
 #include "storage/database.h"
 #include "storage/tuple.h"
 
+namespace fdc::artifact {
+class LoadedPolicyBlob;
+}  // namespace fdc::artifact
+
 namespace fdc::engine {
 
 struct EngineOptions {
@@ -91,6 +95,41 @@ class DisclosureEngine {
   /// swap is the residual store's natural TTL. Returns the new epoch id.
   /// Safe from any thread; publishers are serialized.
   uint64_t UpdatePolicy(policy::SecurityPolicy policy);
+
+  /// Zero-parse policy rollout: validates the loaded artifact's frozen
+  /// layout against this engine's catalog (artifact::ValidateAgainstCatalog
+  /// — a blob compiled against a different catalog is rejected, never
+  /// misinterpreted), reconstructs the compiled policy, and publishes it.
+  /// Returns the new epoch id.
+  Result<uint64_t> UpdatePolicy(const artifact::LoadedPolicyBlob& blob);
+
+  /// Shadow-policy mode (staged-rollout divergence auditing): every
+  /// subsequent Submit/SubmitBatch/SubmitCoalesced decision is *also*
+  /// evaluated against `policy` over an independent per-principal state
+  /// map, and the agreement is counted in Stats().shadow — evaluated,
+  /// agree, shadow_stricter (live accepted, shadow would refuse),
+  /// shadow_looser (live refused, shadow would accept). The returned
+  /// decisions and all live monitor state are never affected
+  /// (property-tested in tests/shadow_policy_test.cc). Replacing the
+  /// shadow policy resets its per-principal state; the divergence
+  /// counters are cumulative across shadow policies. Returns the shadow
+  /// epoch id. Under concurrent same-principal traffic the live and
+  /// shadow orderings can interleave differently, so divergence counts
+  /// are exact per-decision comparisons but not a replayable transcript.
+  uint64_t SetShadowPolicy(policy::SecurityPolicy policy,
+                           std::string policy_name = std::string());
+
+  /// Blob form: validates against this engine's catalog first, and uses
+  /// the artifact's embedded policy name for Stats().shadow.policy_name.
+  Result<uint64_t> SetShadowPolicy(const artifact::LoadedPolicyBlob& blob);
+
+  /// Stops shadow evaluation and releases the shadow policy and its
+  /// per-principal state. The cumulative divergence counters survive.
+  void ClearShadowPolicy();
+
+  bool ShadowEnabled() const {
+    return shadow_enabled_.load(std::memory_order_acquire);
+  }
 
   /// Advances the principal map's idle clock one tick and reclaims every
   /// slot idle for more than the configured TTL (narrowed slots leave a
@@ -180,6 +219,21 @@ class DisclosureEngine {
     /// scratch arena. Process-wide (rewriting::FoldScratchReuses), not
     /// per-engine: it counts every consumer in the process.
     uint64_t fold_scratch_reuses = 0;
+    /// Shadow-policy divergence audit (SetShadowPolicy). The counters are
+    /// cumulative across shadow policies; epoch/policy_name describe the
+    /// currently staged one (enabled=false leaves them zero/empty).
+    struct ShadowStats {
+      bool enabled = false;
+      uint64_t epoch = 0;
+      std::string policy_name;
+      uint64_t evaluated = 0;
+      uint64_t agree = 0;
+      /// Live accepted, shadow would have refused.
+      uint64_t shadow_stricter = 0;
+      /// Live refused, shadow would have accepted.
+      uint64_t shadow_looser = 0;
+    };
+    ShadowStats shadow;
   };
   EngineStats Stats() const;
 
@@ -199,6 +253,31 @@ class DisclosureEngine {
   uint64_t next_epoch_ = 2;  // guarded by snapshot_mu_; epoch 1 = ctor
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> refused_{0};
+  // Shadow-policy state. The snapshot and name share snapshot_mu_ (shadow
+  // epochs come from the same counter, so live and shadow epochs are
+  // totally ordered); the flag is the request fast path — when false the
+  // only shadow cost per decision is one relaxed-ish atomic load.
+  std::atomic<bool> shadow_enabled_{false};
+  std::shared_ptr<const EngineSnapshot> shadow_snapshot_;  // snapshot_mu_
+  std::string shadow_name_;                                // snapshot_mu_
+  // Shadow decisions narrow their *own* per-principal states; live
+  // monitor state is never read or written by shadow evaluation — that
+  // separation is what makes shadow mode decision-invisible.
+  PrincipalStateMap shadow_principals_;
+  std::atomic<uint64_t> shadow_evaluated_{0};
+  std::atomic<uint64_t> shadow_agree_{0};
+  std::atomic<uint64_t> shadow_stricter_{0};
+  std::atomic<uint64_t> shadow_looser_{0};
+  std::shared_ptr<const EngineSnapshot> ShadowSnapshot() const {
+    std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+    return shadow_snapshot_;
+  }
+  /// Replays one principal's just-decided labels against the shadow
+  /// policy and tallies agreement; `live` holds the live decisions in
+  /// `labels` order.
+  void ShadowEvaluate(std::string_view principal,
+                      std::span<const label::DisclosureLabel* const> labels,
+                      const std::vector<bool>& live);
   /// Auto-sweep cadence: the thread whose decision count crosses a
   /// multiple of principal_sweep_interval runs one sweep.
   uint64_t sweep_interval_;

@@ -9,8 +9,9 @@ namespace fdc::engine {
 
 namespace {
 
-// Tiny append-only writer; every key in the schema is a fixed literal and
-// every value an integer or a known-safe token, so no escaping is needed.
+// Tiny append-only writer. Keys are fixed literals; string *values* go
+// through JsonEscape unconditionally — "known-safe" is not a property the
+// writer can check, and shadow-policy names are operator-supplied.
 class JsonWriter {
  public:
   void Begin() { out_.push_back('{'); }
@@ -29,11 +30,16 @@ class JsonWriter {
     out_.append(std::to_string(value));
   }
 
-  void StringField(const char* key, const char* value) {
+  void StringField(const char* key, std::string_view value) {
     Key(key);
     out_.push_back('"');
-    out_.append(value);
+    out_.append(JsonEscape(value));
     out_.push_back('"');
+  }
+
+  void BoolField(const char* key, bool value) {
+    Key(key);
+    out_.append(value ? "true" : "false");
   }
 
   /// Splices a pre-serialized JSON value in verbatim.
@@ -61,6 +67,47 @@ class JsonWriter {
 };
 
 }  // namespace
+
+std::string JsonEscape(std::string_view s) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '\b':
+        out.append("\\b");
+        break;
+      case '\f':
+        out.append("\\f");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\r':
+        out.append("\\r");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      default:
+        if (u < 0x20) {
+          out.append("\\u00");
+          out.push_back(kHex[u >> 4]);
+          out.push_back(kHex[u & 0xf]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
 
 std::string StatsToJson(const DisclosureEngine::EngineStats& stats) {
   return StatsToJson(stats, nullptr, {});
@@ -121,6 +168,17 @@ std::string StatsToJson(const DisclosureEngine::EngineStats& stats,
 
   w.Field("fold_scratch_reuses", stats.fold_scratch_reuses);
   w.StringField("simd_isa", simd::IsaName(simd::ActiveIsa()));
+
+  w.BeginObject("shadow");
+  w.BoolField("enabled", stats.shadow.enabled);
+  w.Field("epoch", stats.shadow.epoch);
+  w.StringField("policy_name", stats.shadow.policy_name);
+  w.Field("evaluated", stats.shadow.evaluated);
+  w.Field("agree", stats.shadow.agree);
+  w.Field("shadow_stricter", stats.shadow.shadow_stricter);
+  w.Field("shadow_looser", stats.shadow.shadow_looser);
+  w.EndObject();
+
   if (extra_key != nullptr) w.RawField(extra_key, extra_json);
   w.End();
   return w.Take();

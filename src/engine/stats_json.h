@@ -20,10 +20,15 @@
 //    "containment_cache": {"hits": ..., "misses": ..., "insertions": ...,
 //      "evictions": ..., "hom_scratch_reuses": ...},
 //    "fold_scratch_reuses": ...,
-//    "simd_isa": "avx2"}
+//    "simd_isa": "avx2",
+//    "shadow": {"enabled": false, "epoch": ..., "policy_name": "...",
+//      "evaluated": ..., "agree": ..., "shadow_stricter": ...,
+//      "shadow_looser": ...}}
 //
 // All values are non-negative integers except simd_isa (a short lowercase
-// token from simd::IsaName — never needs escaping).
+// token from simd::IsaName), shadow.enabled (a bool), and
+// shadow.policy_name — free operator-chosen text (SetShadowPolicy /
+// a policy artifact's embedded name), emitted through JsonEscape.
 //
 // Consumers that own counters of their own (the serving front end's
 // reap/drain/shed statistics) splice them in as one extra top-level key
@@ -39,6 +44,13 @@
 #include "engine/disclosure_engine.h"
 
 namespace fdc::engine {
+
+/// Escapes `s` for inclusion inside a JSON string literal (RFC 8259 §7):
+/// quote, backslash, and every control character below 0x20 (\b \f \n \r
+/// \t get their short forms, the rest \u00XX). Returns the escaped body
+/// WITHOUT surrounding quotes. Anything that emits operator-supplied text
+/// into JSON (policy names, file paths) must route through this.
+std::string JsonEscape(std::string_view s);
 
 /// Serializes `stats` into the JSON document described above. Output is
 /// deterministic (fixed key order, no whitespace variation) and valid JSON.

@@ -48,6 +48,52 @@ Result<SecurityPolicy> SecurityPolicy::Compile(
   return policy;
 }
 
+Result<SecurityPolicy> SecurityPolicy::FromCompiled(
+    std::vector<Partition> partitions, std::vector<uint32_t> word_begin,
+    std::vector<std::vector<uint64_t>> partition_words) {
+  if (partitions.empty()) {
+    return Status::InvalidArgument("a policy needs at least one partition");
+  }
+  if (partitions.size() > static_cast<size_t>(kMaxPartitions)) {
+    return Status::OutOfRange(
+        "compiled policy has " + std::to_string(partitions.size()) +
+        " partitions; the consistency bit vector is " +
+        std::to_string(kMaxPartitions) + " bits wide");
+  }
+  if (partition_words.size() != partitions.size()) {
+    return Status::InvalidArgument(
+        "compiled policy carries " + std::to_string(partition_words.size()) +
+        " mask rows for " + std::to_string(partitions.size()) + " partitions");
+  }
+  if (word_begin.empty() || word_begin.front() != 0) {
+    return Status::InvalidArgument(
+        "compiled word layout must start at offset 0");
+  }
+  // Strictly increasing: every compiled relation owns at least one word
+  // (Compile's invariant; WordsFor and PartitionWords rely on it).
+  for (size_t r = 1; r < word_begin.size(); ++r) {
+    if (word_begin[r] <= word_begin[r - 1]) {
+      return Status::InvalidArgument(
+          "compiled word layout is not strictly increasing at relation " +
+          std::to_string(r - 1));
+    }
+  }
+  const size_t total_words = word_begin.back();
+  for (size_t p = 0; p < partition_words.size(); ++p) {
+    if (partition_words[p].size() != total_words) {
+      return Status::InvalidArgument(
+          "partition '" + partitions[p].name + "' mask row has " +
+          std::to_string(partition_words[p].size()) + " words; layout needs " +
+          std::to_string(total_words));
+    }
+  }
+  SecurityPolicy policy;
+  policy.partitions_ = std::move(partitions);
+  policy.word_begin_ = std::move(word_begin);
+  policy.partition_words_ = std::move(partition_words);
+  return policy;
+}
+
 uint64_t SecurityPolicy::AllowedPartitions(const label::DisclosureLabel& label,
                                            uint64_t candidates) const {
   if (label.top()) return 0;

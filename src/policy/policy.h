@@ -47,6 +47,19 @@ class SecurityPolicy {
   static Result<SecurityPolicy> Compile(const label::ViewCatalog& catalog,
                                         std::vector<Partition> partitions);
 
+  /// Adopts an already-compiled representation — the binary policy
+  /// artifact's zero-recompile load path (src/artifact/policy_blob.h).
+  /// `word_begin` is the shared per-relation word layout (length
+  /// num_relations + 1, starting at 0, strictly increasing) and
+  /// `partition_words` one flat row of word_begin.back() mask words per
+  /// partition. Validates every structural invariant Compile would have
+  /// established (partition count/cap, layout monotonicity, row widths);
+  /// it can NOT check the layout against a catalog — callers loading
+  /// untrusted artifacts must run artifact::ValidateAgainstCatalog first.
+  static Result<SecurityPolicy> FromCompiled(
+      std::vector<Partition> partitions, std::vector<uint32_t> word_begin,
+      std::vector<std::vector<uint64_t>> partition_words);
+
   int num_partitions() const {
     return static_cast<int>(partitions_.size());
   }

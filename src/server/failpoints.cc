@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <string>
@@ -156,23 +157,34 @@ bool EnableFromEnv(const char* env_value) {
     const std::string key = kv.substr(0, eq);
     const std::string val = kv.substr(eq + 1);
     if (val.empty()) return false;
+    // Checked numeric parsing. Rates reject non-finite values explicitly:
+    // "rate=nan" makes both range comparisons false, so `< 0.0 || > 1.0`
+    // alone would accept it (and every comparison downstream of a NaN
+    // rate would silently never fire). Seeds reject a leading sign and
+    // ERANGE: strtoull "successfully" wraps "-1" and clamps overflow to
+    // ULLONG_MAX, both of which would configure a seed the operator never
+    // wrote.
     char* parse_end = nullptr;
+    auto parse_rate = [&](double* out) {
+      errno = 0;
+      *out = std::strtod(val.c_str(), &parse_end);
+      return parse_end != val.c_str() && *parse_end == '\0' &&
+             errno != ERANGE && std::isfinite(*out) && *out >= 0.0 &&
+             *out <= 1.0;
+    };
     if (key == "seed") {
+      // Digits only: strtoull itself skips whitespace and accepts a sign.
+      if (val[0] < '0' || val[0] > '9') return false;
+      errno = 0;
       cfg.seed = std::strtoull(val.c_str(), &parse_end, 10);
-      if (*parse_end != '\0') return false;
+      if (parse_end == val.c_str() || *parse_end != '\0' || errno == ERANGE)
+        return false;
     } else if (key == "rate") {
-      cfg.rate = std::strtod(val.c_str(), &parse_end);
-      if (*parse_end != '\0' || cfg.rate < 0.0 || cfg.rate > 1.0)
-        return false;
+      if (!parse_rate(&cfg.rate)) return false;
     } else if (key == "lethal") {
-      cfg.lethal_rate = std::strtod(val.c_str(), &parse_end);
-      if (*parse_end != '\0' || cfg.lethal_rate < 0.0 ||
-          cfg.lethal_rate > 1.0)
-        return false;
+      if (!parse_rate(&cfg.lethal_rate)) return false;
     } else if (key == "short") {
-      cfg.short_io = std::strtod(val.c_str(), &parse_end);
-      if (*parse_end != '\0' || cfg.short_io < 0.0 || cfg.short_io > 1.0)
-        return false;
+      if (!parse_rate(&cfg.short_io)) return false;
     } else if (key == "ops") {
       uint32_t ops = 0;
       size_t op_pos = 0;

@@ -98,6 +98,18 @@ bool Enabled();
 /// enables the harness iff the variable is present and well-formed.
 /// Returns false (leaving the harness untouched) on absent or malformed
 /// input.
+///
+/// Value validation rules (every violation rejects the whole spec):
+///   * seed   — decimal digits only: no sign ("seed=-1" must not wrap to
+///              2^64-1), no trailing garbage, and no silent ERANGE clamp
+///              to ULLONG_MAX for values beyond 2^64-1.
+///   * rate / lethal / short — a finite double in [0.0, 1.0]. Non-finite
+///              spellings ("nan", "inf") are rejected explicitly: NaN
+///              compares false against both range bounds, so it would
+///              otherwise slip through and disable every probability
+///              comparison downstream.
+///   * ops    — '|'-separated subset of accept|recv|send|close|epoll;
+///              empty or unknown names are rejected.
 bool EnableFromEnv(const char* env_value = nullptr);
 
 Stats Current();

@@ -235,6 +235,36 @@ TEST(FailpointsTest, EnableFromEnvParsesAndRejects) {
   EXPECT_FALSE(failpoints::Enabled());
 }
 
+TEST(FailpointsTest, EnableFromEnvRejectsNonFiniteRates) {
+  // NaN compares false against both range bounds, so the old
+  // `rate < 0.0 || rate > 1.0` check accepted it; strtod parses all of
+  // these spellings "successfully".
+  for (const char* spec :
+       {"rate=nan", "rate=NaN", "rate=inf", "rate=-inf", "rate=1e999",
+        "lethal=nan", "lethal=inf", "short=nan", "short=inf"}) {
+    EXPECT_FALSE(failpoints::EnableFromEnv(spec)) << spec;
+  }
+  EXPECT_FALSE(failpoints::Enabled());
+  // The finite boundaries stay accepted.
+  EXPECT_TRUE(failpoints::EnableFromEnv("rate=1.0,lethal=0.0,short=0.0"));
+  failpoints::Disable();
+}
+
+TEST(FailpointsTest, EnableFromEnvRejectsSeedOverflowAndSign) {
+  // strtoull clamps past-2^64 input to ULLONG_MAX with errno=ERANGE and
+  // wraps a negative sign "successfully" — both must be rejected, not
+  // silently turned into a seed the operator never wrote.
+  for (const char* spec :
+       {"seed=99999999999999999999999", "seed=-1", "seed=+1", "seed= 1",
+        "seed=0x10", "rate=0.5,seed=18446744073709551616"}) {
+    EXPECT_FALSE(failpoints::EnableFromEnv(spec)) << spec;
+  }
+  EXPECT_FALSE(failpoints::Enabled());
+  // The largest representable seed is fine.
+  EXPECT_TRUE(failpoints::EnableFromEnv("seed=18446744073709551615,rate=0"));
+  failpoints::Disable();
+}
+
 // --- 2. deadline lifecycle -----------------------------------------------
 
 TEST(ServerDeadlineTest, HalfOpenPeerIsReapedAtHandshakeDeadline) {

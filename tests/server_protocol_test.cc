@@ -310,9 +310,40 @@ TEST(StatsJsonTest, EngineStatsSerializeToValidJson) {
   EXPECT_TRUE(JsonValidator(json).Validate()) << json;
   for (const char* key :
        {"\"epoch\"", "\"decisions\"", "\"submitted\"", "\"labeler\"",
-        "\"interner\"", "\"containment_cache\"", "\"simd_isa\""}) {
+        "\"interner\"", "\"containment_cache\"", "\"simd_isa\"",
+        "\"shadow\""}) {
     EXPECT_NE(json.find(key), std::string::npos) << key;
   }
+}
+
+TEST(StatsJsonTest, JsonEscapeHandlesHostileInput) {
+  EXPECT_EQ(engine::JsonEscape("plain ascii 123"), "plain ascii 123");
+  EXPECT_EQ(engine::JsonEscape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(engine::JsonEscape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(engine::JsonEscape("a\nb\tc\rd\be\ff"),
+            "a\\nb\\tc\\rd\\be\\ff");
+  EXPECT_EQ(engine::JsonEscape(std::string_view("\x00\x01\x1f", 3)),
+            "\\u0000\\u0001\\u001f");
+  // A name crafted to break out of the string and forge a sibling key.
+  EXPECT_EQ(engine::JsonEscape("\",\"accepted\":999999,\"x\":\""),
+            "\\\",\\\"accepted\\\":999999,\\\"x\\\":\\\"");
+}
+
+TEST(StatsJsonTest, HostileShadowPolicyNameStaysValidJson) {
+  FbFixture fb;
+  workload::PolicyGenerator gen(&fb.catalog, {}, 11);
+  engine::DisclosureEngine engine(/*db=*/nullptr, &fb.catalog, gen.Next());
+  // Operator-supplied shadow-policy name with every class of hostile
+  // character: quote, backslash, newline, raw control byte.
+  // (split literal: "\x01b" would greedily parse as one 0x1b escape)
+  engine.SetShadowPolicy(gen.Next(),
+                         std::string("evil\"name\\with\nbad\x01" "bytes"));
+  const std::string json = engine::StatsToJson(engine.Stats());
+  EXPECT_TRUE(JsonValidator(json).Validate()) << json;
+  EXPECT_NE(json.find("\"policy_name\":\"evil\\\"name\\\\with\\nbad"
+                      "\\u0001bytes\""),
+            std::string::npos)
+      << json;
 }
 
 // --- end-to-end over a real socket ---------------------------------------

@@ -1,0 +1,226 @@
+// Shadow-policy mode (DisclosureEngine::SetShadowPolicy): the staged
+// candidate must be decision-invisible — an engine with a shadow policy
+// returns bit-identical decisions to one without, on the same stream —
+// while its divergence counters match an oracle engine that runs the
+// candidate as its *live* policy over the same per-principal streams.
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "artifact/policy_blob.h"
+#include "engine/disclosure_engine.h"
+#include "engine/stats_json.h"
+#include "policy/policy.h"
+#include "test_util.h"
+#include "workload/policy_generator.h"
+
+namespace fdc {
+namespace {
+
+using test::FbFixture;
+using test::RandomWorkload;
+
+policy::SecurityPolicy GeneratePolicy(const label::ViewCatalog* catalog,
+                                      uint64_t seed) {
+  workload::PolicyOptions options;
+  options.max_partitions = 5;
+  options.max_elements_per_partition = 15;
+  return workload::PolicyGenerator(catalog, options, seed).Next();
+}
+
+TEST(ShadowPolicyTest, DecisionInvisibleUnderRandomWorkload) {
+  FbFixture fb;
+  // Same live policy in both engines; one also stages a shadow candidate.
+  engine::DisclosureEngine plain(/*db=*/nullptr, &fb.catalog,
+                                 GeneratePolicy(&fb.catalog, 5));
+  engine::DisclosureEngine shadowed(/*db=*/nullptr, &fb.catalog,
+                                    GeneratePolicy(&fb.catalog, 5));
+  shadowed.SetShadowPolicy(GeneratePolicy(&fb.catalog, 1234), "candidate");
+  ASSERT_TRUE(shadowed.ShadowEnabled());
+
+  const auto pool = RandomWorkload(&fb.schema, 2, 600, 0x5ad0ULL);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    const std::string principal = "app-" + std::to_string(i % 9);
+    EXPECT_EQ(plain.Submit(principal, pool[i]),
+              shadowed.Submit(principal, pool[i]))
+        << "query " << i;
+  }
+  // Live counters match too: shadow evaluation must not leak into them.
+  const auto a = plain.Stats();
+  const auto b = shadowed.Stats();
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.refused, b.refused);
+  EXPECT_EQ(b.shadow.evaluated, pool.size());
+  EXPECT_EQ(b.shadow.evaluated,
+            b.shadow.agree + b.shadow.shadow_stricter + b.shadow.shadow_looser);
+}
+
+TEST(ShadowPolicyTest, DivergenceCountsMatchOracleEngine) {
+  FbFixture fb;
+  const policy::SecurityPolicy live = GeneratePolicy(&fb.catalog, 5);
+  const policy::SecurityPolicy candidate = GeneratePolicy(&fb.catalog, 1234);
+
+  engine::DisclosureEngine shadowed(/*db=*/nullptr, &fb.catalog, live);
+  shadowed.SetShadowPolicy(candidate, "candidate");
+  // Oracle: the candidate as the live policy of an independent engine fed
+  // the identical per-principal streams — its decisions are exactly what
+  // shadow evaluation should have computed.
+  engine::DisclosureEngine oracle(/*db=*/nullptr, &fb.catalog, candidate);
+  engine::DisclosureEngine live_only(/*db=*/nullptr, &fb.catalog, live);
+
+  const auto pool = RandomWorkload(&fb.schema, 2, 600, 0xd143ULL);
+  uint64_t want_agree = 0, want_stricter = 0, want_looser = 0;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    const std::string principal = "app-" + std::to_string(i % 9);
+    const bool live_decision = shadowed.Submit(principal, pool[i]);
+    EXPECT_EQ(live_decision, live_only.Submit(principal, pool[i]));
+    const bool shadow_decision = oracle.Submit(principal, pool[i]);
+    if (live_decision == shadow_decision) {
+      ++want_agree;
+    } else if (live_decision) {
+      ++want_stricter;
+    } else {
+      ++want_looser;
+    }
+  }
+
+  const auto stats = shadowed.Stats();
+  EXPECT_TRUE(stats.shadow.enabled);
+  EXPECT_EQ(stats.shadow.policy_name, "candidate");
+  EXPECT_EQ(stats.shadow.evaluated, pool.size());
+  EXPECT_EQ(stats.shadow.agree, want_agree);
+  EXPECT_EQ(stats.shadow.shadow_stricter, want_stricter);
+  EXPECT_EQ(stats.shadow.shadow_looser, want_looser);
+  // The two seeds genuinely diverge — a vacuous all-agree run would prove
+  // nothing about the per-direction counters.
+  EXPECT_GT(want_stricter + want_looser, 0u);
+}
+
+TEST(ShadowPolicyTest, BatchAndCoalescedPathsCountShadowDecisions) {
+  FbFixture fb;
+  engine::DisclosureEngine engine(/*db=*/nullptr, &fb.catalog,
+                                  GeneratePolicy(&fb.catalog, 5));
+  engine.SetShadowPolicy(GeneratePolicy(&fb.catalog, 1234), "candidate");
+  const auto pool = RandomWorkload(&fb.schema, 2, 120, 0xbadcULL);
+
+  engine.SubmitBatch("batch-app", std::span(pool.data(), 40));
+
+  std::vector<engine::DisclosureEngine::SubmitRequest> requests;
+  for (size_t i = 40; i < 120; ++i) {
+    requests.push_back({i % 2 == 0 ? "even-app" : "odd-app", &pool[i]});
+  }
+  std::vector<bool> decisions;
+  engine.SubmitCoalesced(requests, &decisions);
+  ASSERT_EQ(decisions.size(), 80u);
+
+  const auto stats = engine.Stats();
+  EXPECT_EQ(stats.shadow.evaluated, 120u);
+  EXPECT_EQ(stats.shadow.evaluated, stats.shadow.agree +
+                                        stats.shadow.shadow_stricter +
+                                        stats.shadow.shadow_looser);
+}
+
+TEST(ShadowPolicyTest, ClearStopsEvaluationAndKeepsCounters) {
+  FbFixture fb;
+  engine::DisclosureEngine engine(/*db=*/nullptr, &fb.catalog,
+                                  GeneratePolicy(&fb.catalog, 5));
+  engine.SetShadowPolicy(GeneratePolicy(&fb.catalog, 1234), "candidate");
+  const auto pool = RandomWorkload(&fb.schema, 2, 50, 0xc1eaULL);
+  for (const auto& q : pool) (void)engine.Submit("app", q);
+  const uint64_t evaluated = engine.Stats().shadow.evaluated;
+  EXPECT_EQ(evaluated, pool.size());
+
+  engine.ClearShadowPolicy();
+  EXPECT_FALSE(engine.ShadowEnabled());
+  for (const auto& q : pool) (void)engine.Submit("app", q);
+  const auto stats = engine.Stats();
+  EXPECT_EQ(stats.shadow.evaluated, evaluated);  // no new evaluations
+  EXPECT_FALSE(stats.shadow.enabled);
+  EXPECT_TRUE(stats.shadow.policy_name.empty());
+}
+
+TEST(ShadowPolicyTest, ReplacingShadowResetsItsPrincipalState) {
+  FbFixture fb;
+  const policy::SecurityPolicy candidate = GeneratePolicy(&fb.catalog, 1234);
+  engine::DisclosureEngine engine(/*db=*/nullptr, &fb.catalog,
+                                  GeneratePolicy(&fb.catalog, 5));
+  const uint64_t first = engine.SetShadowPolicy(candidate, "one");
+  const auto pool = RandomWorkload(&fb.schema, 2, 100, 0x4e57ULL);
+  for (const auto& q : pool) (void)engine.Submit("app", q);
+
+  // Re-staging the same candidate restarts its per-principal narrowing:
+  // replaying the stream yields the same shadow decisions as the first
+  // pass (oracle check), not decisions against already-narrowed state.
+  const uint64_t second = engine.SetShadowPolicy(candidate, "two");
+  EXPECT_GT(second, first);
+  engine::DisclosureEngine oracle(/*db=*/nullptr, &fb.catalog, candidate);
+  // The live engine's state has narrowed, so compute expectations per
+  // decision as the replay happens; the shadow side must behave like the
+  // fresh oracle, not like a continuation of the first pass's narrowing.
+  const auto before = engine.Stats().shadow;
+  uint64_t want_agree = 0, want_stricter = 0, want_looser = 0;
+  for (const auto& q : pool) {
+    const bool live_decision = engine.Submit("app", q);
+    const bool shadow_decision = oracle.Submit("app", q);
+    if (live_decision == shadow_decision) {
+      ++want_agree;
+    } else if (live_decision) {
+      ++want_stricter;
+    } else {
+      ++want_looser;
+    }
+  }
+  const auto stats = engine.Stats();
+  EXPECT_EQ(stats.shadow.policy_name, "two");
+  EXPECT_EQ(stats.shadow.evaluated - before.evaluated, pool.size());
+  EXPECT_EQ(stats.shadow.agree - before.agree, want_agree);
+  EXPECT_EQ(stats.shadow.shadow_stricter - before.shadow_stricter,
+            want_stricter);
+  EXPECT_EQ(stats.shadow.shadow_looser - before.shadow_looser, want_looser);
+}
+
+TEST(ShadowPolicyTest, BlobStagedShadowUsesArtifactName) {
+  FbFixture fb;
+  artifact::PolicyBlobMeta meta;
+  meta.name = "staged-from-blob";
+  Result<std::vector<uint8_t>> bytes = artifact::CompilePolicyBlob(
+      fb.catalog, GeneratePolicy(&fb.catalog, 1234), meta);
+  ASSERT_TRUE(bytes.ok());
+  Result<artifact::LoadedPolicyBlob> blob = artifact::LoadPolicyBlob(*bytes);
+  ASSERT_TRUE(blob.ok());
+
+  engine::DisclosureEngine engine(/*db=*/nullptr, &fb.catalog,
+                                  GeneratePolicy(&fb.catalog, 5));
+  Result<uint64_t> epoch = engine.SetShadowPolicy(*blob);
+  ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+  EXPECT_TRUE(engine.ShadowEnabled());
+  const auto stats = engine.Stats();
+  EXPECT_EQ(stats.shadow.policy_name, "staged-from-blob");
+  EXPECT_EQ(stats.shadow.epoch, *epoch);
+  // And the whole document stays valid JSON with the name in place.
+  const std::string json = engine::StatsToJson(stats);
+  EXPECT_NE(json.find("\"policy_name\":\"staged-from-blob\""),
+            std::string::npos)
+      << json;
+}
+
+TEST(ShadowPolicyTest, ShadowAgainstItselfAlwaysAgrees) {
+  FbFixture fb;
+  const policy::SecurityPolicy live = GeneratePolicy(&fb.catalog, 5);
+  engine::DisclosureEngine engine(/*db=*/nullptr, &fb.catalog, live);
+  engine.SetShadowPolicy(live, "self");
+  const auto pool = RandomWorkload(&fb.schema, 2, 300, 0x5e1fULL);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    (void)engine.Submit("app-" + std::to_string(i % 5), pool[i]);
+  }
+  const auto stats = engine.Stats();
+  EXPECT_EQ(stats.shadow.evaluated, pool.size());
+  EXPECT_EQ(stats.shadow.agree, pool.size());
+  EXPECT_EQ(stats.shadow.shadow_stricter, 0u);
+  EXPECT_EQ(stats.shadow.shadow_looser, 0u);
+}
+
+}  // namespace
+}  // namespace fdc
