@@ -430,6 +430,14 @@ Result<LoadedPolicyBlob> LoadPolicyBlob(std::span<const uint8_t> bytes) {
     }
     if (num_relations == 0) return Corrupt("no relations");
     if (total_words > kMaxTotalWords) return Corrupt("layout too large");
+    // Allocation guard: every view record is at least 12 bytes (relation,
+    // bit, name length) after the 4-byte count, so a forged num_views with
+    // valid checksums cannot commit views_.resize() to more memory than
+    // the section actually carries bytes for. kViews enforces the exact
+    // count below; this only bounds the up-front allocation.
+    if (uint64_t{4} + uint64_t{num_views} * 12 > section(kViews).size()) {
+      return Corrupt("view count exceeds what the view section could hold");
+    }
   }
 
   // kLayout.
@@ -495,7 +503,9 @@ Result<LoadedPolicyBlob> LoadPolicyBlob(std::span<const uint8_t> bytes) {
     blob.partition_views_.resize(num_partitions);
     for (auto& ids : blob.partition_views_) {
       uint32_t n = 0;
-      if (!r.U32(&n) || n > num_views) {
+      // n is bounded by the bytes actually left in the section (4 per id),
+      // so resize() can never allocate more than the section's own size.
+      if (!r.U32(&n) || n > num_views || uint64_t{n} * 4 > r.remaining()) {
         return Corrupt("partition view list truncated or oversized");
       }
       ids.resize(n);
@@ -524,7 +534,10 @@ Result<LoadedPolicyBlob> LoadPolicyBlob(std::span<const uint8_t> bytes) {
       return Corrupt("view table count disagrees with meta");
     }
     blob.views_.resize(num_views);
-    std::vector<std::set<uint32_t>> bits_taken(num_relations);
+    // One flat set, not a set per relation: num_relations is attacker-
+    // sized (the kLayout section), and a container per relation would be
+    // a ~12x allocation amplifier over the blob's own bytes.
+    std::set<std::pair<uint32_t, uint32_t>> bits_taken;
     for (BlobView& view : blob.views_) {
       if (!r.U32(&view.relation) || !r.U32(&view.bit) ||
           !r.String(&view.name)) {
@@ -540,7 +553,7 @@ Result<LoadedPolicyBlob> LoadPolicyBlob(std::span<const uint8_t> bytes) {
         return Corrupt("view bit " + std::to_string(view.bit) +
                        " outside its relation's mask words");
       }
-      if (!bits_taken[view.relation].insert(view.bit).second) {
+      if (!bits_taken.emplace(view.relation, view.bit).second) {
         return Corrupt("two views share relation " +
                        std::to_string(view.relation) + " bit " +
                        std::to_string(view.bit));

@@ -46,7 +46,10 @@
 // out-of-range ids, a non-monotone layout, or mask rows that differ from
 // the rows recomputed from the view lists all return a clean Result error.
 // It never aborts and is safe on arbitrary attacker-chosen bytes
-// (fuzzed in tests/policy_blob_test.cc, under ASan+UBSan in CI).
+// (fuzzed in tests/policy_blob_test.cc, under ASan+UBSan in CI), and a
+// forged count can never buy allocation beyond what the blob itself
+// carries bytes for: every up-front resize is pre-bounded against the
+// owning section's length before it commits.
 //
 // A format change MUST bump kPolicyBlobVersion: the golden artifact test
 // (tests/testdata/policy_v1.blob) pins version-1 bytes exactly.

@@ -124,8 +124,6 @@ void DisclosureEngine::ShadowEvaluate(
         ++looser;  // live refused, candidate would accept
       }
     }
-    shadow_evaluated_.fetch_add(decisions->size(),
-                                std::memory_order_relaxed);
     shadow_agree_.fetch_add(agree, std::memory_order_relaxed);
     shadow_stricter_.fetch_add(stricter, std::memory_order_relaxed);
     shadow_looser_.fetch_add(looser, std::memory_order_relaxed);
@@ -373,13 +371,17 @@ DisclosureEngine::EngineStats DisclosureEngine::Stats() const {
       stats.shadow.policy_name = shadow_name_;
     }
   }
-  stats.shadow.evaluated =
-      shadow_evaluated_.load(std::memory_order_relaxed);
+  // Each outcome counter is an exact monotone count; `evaluated` is
+  // derived as their sum rather than kept separately, so the identity
+  // evaluated == agree + stricter + looser holds in every snapshot even
+  // when the three loads interleave with a concurrent ShadowEvaluate.
   stats.shadow.agree = shadow_agree_.load(std::memory_order_relaxed);
   stats.shadow.shadow_stricter =
       shadow_stricter_.load(std::memory_order_relaxed);
   stats.shadow.shadow_looser =
       shadow_looser_.load(std::memory_order_relaxed);
+  stats.shadow.evaluated = stats.shadow.agree + stats.shadow.shadow_stricter +
+                           stats.shadow.shadow_looser;
   return stats;
 }
 

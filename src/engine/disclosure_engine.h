@@ -226,6 +226,7 @@ class DisclosureEngine {
       bool enabled = false;
       uint64_t epoch = 0;
       std::string policy_name;
+      /// Always agree + shadow_stricter + shadow_looser, in any snapshot.
       uint64_t evaluated = 0;
       uint64_t agree = 0;
       /// Live accepted, shadow would have refused.
@@ -264,7 +265,9 @@ class DisclosureEngine {
   // monitor state is never read or written by shadow evaluation — that
   // separation is what makes shadow mode decision-invisible.
   PrincipalStateMap shadow_principals_;
-  std::atomic<uint64_t> shadow_evaluated_{0};
+  // Every shadow-evaluated decision lands in exactly one of these three;
+  // Stats() derives `evaluated` as their sum so no separate total can
+  // drift out of step in a concurrent snapshot.
   std::atomic<uint64_t> shadow_agree_{0};
   std::atomic<uint64_t> shadow_stricter_{0};
   std::atomic<uint64_t> shadow_looser_{0};

@@ -68,12 +68,63 @@ class JsonWriter {
 
 }  // namespace
 
+namespace {
+
+/// Length (2..4) of the valid UTF-8 sequence starting at s[i], or 0 when
+/// the bytes there are not one (truncated, lone continuation, overlong
+/// encoding, surrogate, or beyond U+10FFFF).
+size_t Utf8SequenceLength(std::string_view s, size_t i) {
+  const unsigned char b0 = static_cast<unsigned char>(s[i]);
+  size_t len;
+  unsigned char lo = 0x80, hi = 0xbf;  // bounds for the first continuation
+  if (b0 >= 0xc2 && b0 <= 0xdf) {
+    len = 2;
+  } else if (b0 >= 0xe0 && b0 <= 0xef) {
+    len = 3;
+    if (b0 == 0xe0) lo = 0xa0;  // reject overlong
+    if (b0 == 0xed) hi = 0x9f;  // reject UTF-16 surrogates
+  } else if (b0 >= 0xf0 && b0 <= 0xf4) {
+    len = 4;
+    if (b0 == 0xf0) lo = 0x90;  // reject overlong
+    if (b0 == 0xf4) hi = 0x8f;  // reject > U+10FFFF
+  } else {
+    return 0;  // continuation byte, or the never-valid 0xc0/0xc1/0xf5..0xff
+  }
+  if (s.size() - i < len) return 0;
+  const unsigned char b1 = static_cast<unsigned char>(s[i + 1]);
+  if (b1 < lo || b1 > hi) return 0;
+  for (size_t k = 2; k < len; ++k) {
+    const unsigned char b = static_cast<unsigned char>(s[i + k]);
+    if (b < 0x80 || b > 0xbf) return 0;
+  }
+  return len;
+}
+
+}  // namespace
+
 std::string JsonEscape(std::string_view s) {
   static const char kHex[] = "0123456789abcdef";
   std::string out;
   out.reserve(s.size());
-  for (const char c : s) {
+  for (size_t i = 0; i < s.size();) {
+    const char c = s[i];
     const unsigned char u = static_cast<unsigned char>(c);
+    if (u >= 0x80) {
+      // Non-ASCII passes through only as complete, valid UTF-8 sequences;
+      // anything else would make the whole document invalid for strict
+      // RFC 8259 parsers, so each offending byte becomes a \u00XX escape.
+      const size_t len = Utf8SequenceLength(s, i);
+      if (len == 0) {
+        out.append("\\u00");
+        out.push_back(kHex[u >> 4]);
+        out.push_back(kHex[u & 0xf]);
+        ++i;
+      } else {
+        out.append(s.substr(i, len));
+        i += len;
+      }
+      continue;
+    }
     switch (c) {
       case '"':
         out.append("\\\"");
@@ -105,6 +156,7 @@ std::string JsonEscape(std::string_view s) {
           out.push_back(c);
         }
     }
+    ++i;
   }
   return out;
 }

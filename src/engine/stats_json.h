@@ -47,9 +47,13 @@ namespace fdc::engine {
 
 /// Escapes `s` for inclusion inside a JSON string literal (RFC 8259 §7):
 /// quote, backslash, and every control character below 0x20 (\b \f \n \r
-/// \t get their short forms, the rest \u00XX). Returns the escaped body
-/// WITHOUT surrounding quotes. Anything that emits operator-supplied text
-/// into JSON (policy names, file paths) must route through this.
+/// \t get their short forms, the rest \u00XX). Bytes >= 0x80 pass through
+/// only as complete, valid UTF-8 sequences (no overlongs, surrogates, or
+/// values past U+10FFFF); every byte of an invalid sequence is emitted as
+/// \u00XX so the document stays parseable even when `s` came out of an
+/// arbitrary artifact blob. Returns the escaped body WITHOUT surrounding
+/// quotes. Anything that emits operator-supplied text into JSON (policy
+/// names, file paths) must route through this.
 std::string JsonEscape(std::string_view s);
 
 /// Serializes `stats` into the JSON document described above. Output is

@@ -184,6 +184,40 @@ void FixBlobChecksum(std::vector<uint8_t>* bytes) {
   }
 }
 
+/// One section's table entry offset plus its payload location, read back
+/// out of a compiled blob's section table (7 entries of 32 bytes at 64).
+struct SectionLoc {
+  size_t entry = 0;     // offset of the section-table entry
+  uint64_t offset = 0;  // payload offset within the blob
+  uint64_t length = 0;  // payload length
+};
+
+SectionLoc FindSection(const std::vector<uint8_t>& bytes, uint8_t kind) {
+  SectionLoc loc;
+  for (size_t entry = 64; entry < 64 + 7 * 32; entry += 32) {
+    if (bytes[entry] != kind) continue;
+    loc.entry = entry;
+    for (int i = 0; i < 8; ++i) {
+      loc.offset |= uint64_t{bytes[entry + 8 + i]} << (8 * i);
+      loc.length |= uint64_t{bytes[entry + 16 + i]} << (8 * i);
+    }
+    break;
+  }
+  return loc;
+}
+
+/// Recomputes one section's table-entry checksum (FNV-1a 64) after a
+/// forgery, so only post-checksum validation layers can reject the blob.
+void FixSectionChecksum(std::vector<uint8_t>* bytes, const SectionLoc& loc) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (uint64_t i = 0; i < loc.length; ++i) {
+    h = (h ^ (*bytes)[loc.offset + i]) * 0x100000001b3ULL;
+  }
+  for (int i = 0; i < 8; ++i) {
+    (*bytes)[loc.entry + 24 + i] = static_cast<uint8_t>(h >> (8 * i));
+  }
+}
+
 TEST(PolicyBlobFuzzTest, TruncationAtEveryPrefixFailsCleanly) {
   FbFixture fb;
   const std::vector<uint8_t> bytes =
@@ -284,33 +318,11 @@ TEST(PolicyBlobFuzzTest, ConsistentForgeryIsRejectedBySelfCheck) {
   // rows-vs-view-lists self-consistency check can catch it.
   Result<artifact::LoadedPolicyBlob> blob = artifact::LoadPolicyBlob(valid);
   ASSERT_TRUE(blob.ok());
-  // Locate the kPartitionWords (kind 3) section table entry.
-  size_t entry = 0;
-  uint64_t offset = 0;
-  for (entry = 64; entry < 64 + 7 * 32; entry += 32) {
-    if (valid[entry] == 3) {
-      offset = 0;
-      for (int i = 0; i < 8; ++i) {
-        offset |= uint64_t{valid[entry + 8 + i]} << (8 * i);
-      }
-      break;
-    }
-  }
-  ASSERT_NE(offset, 0u);
+  const SectionLoc words = FindSection(valid, /*kind=*/3);  // kPartitionWords
+  ASSERT_NE(words.offset, 0u);
   std::vector<uint8_t> forged = valid;
-  forged[offset] ^= 1;  // partition 0, word 0, bit 0
-  // Recompute the section checksum (FNV-1a 64).
-  uint64_t length = 0;
-  for (int i = 0; i < 8; ++i) {
-    length |= uint64_t{forged[entry + 16 + i]} << (8 * i);
-  }
-  uint64_t h = 0xcbf29ce484222325ULL;
-  for (uint64_t i = 0; i < length; ++i) {
-    h = (h ^ forged[offset + i]) * 0x100000001b3ULL;
-  }
-  for (int i = 0; i < 8; ++i) {
-    forged[entry + 24 + i] = static_cast<uint8_t>(h >> (8 * i));
-  }
+  forged[words.offset] ^= 1;  // partition 0, word 0, bit 0
+  FixSectionChecksum(&forged, words);
   FixBlobChecksum(&forged);
 
   Result<artifact::LoadedPolicyBlob> reloaded =
@@ -319,6 +331,40 @@ TEST(PolicyBlobFuzzTest, ConsistentForgeryIsRejectedBySelfCheck) {
   EXPECT_NE(reloaded.status().ToString().find("view list"),
             std::string::npos)
       << reloaded.status().ToString();
+}
+
+TEST(PolicyBlobFuzzTest, ForgedHugeCountsRejectedBeforeAllocating) {
+  FbFixture fb;
+  const std::vector<uint8_t> valid =
+      MustCompile(fb.catalog, GeneratePolicy(&fb.catalog, 8));
+  const SectionLoc meta = FindSection(valid, /*kind=*/1);  // kMeta
+  ASSERT_NE(meta.offset, 0u);
+
+  // num_views forged to ~2^32 with both checksums made valid: the loader
+  // must refuse via the view-section size bound, never commit to a
+  // multi-gigabyte views_.resize() (a forged count may not buy more
+  // allocation than the blob carries bytes — the loader's OOM contract).
+  {
+    std::vector<uint8_t> forged = valid;
+    // kMeta layout: num_partitions u32, num_relations u32, num_views u32.
+    for (int i = 0; i < 4; ++i) forged[meta.offset + 8 + i] = 0xff;
+    FixSectionChecksum(&forged, meta);
+    FixBlobChecksum(&forged);
+    Result<artifact::LoadedPolicyBlob> blob = artifact::LoadPolicyBlob(forged);
+    EXPECT_FALSE(blob.ok());
+    EXPECT_NE(blob.status().ToString().find("view count"), std::string::npos)
+        << blob.status().ToString();
+  }
+
+  // num_relations forged huge: caught by the layout-section length check
+  // before the per-relation duplicate-bit bookkeeping can amplify it.
+  {
+    std::vector<uint8_t> forged = valid;
+    for (int i = 0; i < 4; ++i) forged[meta.offset + 4 + i] = 0xff;
+    FixSectionChecksum(&forged, meta);
+    FixBlobChecksum(&forged);
+    ExpectCleanFailure(std::move(forged), "huge num_relations");
+  }
 }
 
 // --- diff ----------------------------------------------------------------

@@ -329,6 +329,28 @@ TEST(StatsJsonTest, JsonEscapeHandlesHostileInput) {
             "\\\",\\\"accepted\\\":999999,\\\"x\\\":\\\"");
 }
 
+TEST(StatsJsonTest, JsonEscapeRejectsInvalidUtf8) {
+  // Valid UTF-8 passes through untouched: 2-, 3-, and 4-byte sequences.
+  EXPECT_EQ(engine::JsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");
+  EXPECT_EQ(engine::JsonEscape("\xe2\x82\xac"), "\xe2\x82\xac");  // €
+  EXPECT_EQ(engine::JsonEscape("\xf0\x9f\x94\x92"),
+            "\xf0\x9f\x94\x92");  // 🔒
+  // Invalid bytes become \u00XX escapes so the document stays RFC 8259
+  // valid even when the name came out of an arbitrary artifact blob.
+  EXPECT_EQ(engine::JsonEscape("\xff"), "\\u00ff");        // never-valid byte
+  EXPECT_EQ(engine::JsonEscape("\x80meh"), "\\u0080meh");  // lone continuation
+  EXPECT_EQ(engine::JsonEscape("\xc3"), "\\u00c3");        // truncated 2-byte
+  EXPECT_EQ(engine::JsonEscape("\xc3x"), "\\u00c3x");      // bad continuation
+  EXPECT_EQ(engine::JsonEscape("\xc0\xaf"), "\\u00c0\\u00af");  // overlong '/'
+  EXPECT_EQ(engine::JsonEscape("\xe0\x80\x80"),
+            "\\u00e0\\u0080\\u0080");  // overlong 3-byte
+  EXPECT_EQ(engine::JsonEscape("\xed\xa0\x80"),
+            "\\u00ed\\u00a0\\u0080");  // UTF-16 surrogate U+D800
+  EXPECT_EQ(engine::JsonEscape("\xf4\x90\x80\x80"),
+            "\\u00f4\\u0090\\u0080\\u0080");  // beyond U+10FFFF
+  EXPECT_EQ(engine::JsonEscape("\xf0\x9f\x94"), "\\u00f0\\u009f\\u0094");
+}
+
 TEST(StatsJsonTest, HostileShadowPolicyNameStaysValidJson) {
   FbFixture fb;
   workload::PolicyGenerator gen(&fb.catalog, {}, 11);
