@@ -1,0 +1,160 @@
+// Epoch-based reclamation (EBR) for the wait-free read path.
+//
+// Readers pin the current global epoch with an epoch::Guard before touching
+// any epoch-protected pointer; writers publish a replacement pointer and pass
+// the old object to Retire(). A retired object is freed only once every
+// participant has announced an epoch at least two ahead of the retire epoch,
+// which guarantees no pinned reader can still hold a reference.
+//
+// Protocol (classic three-epoch EBR):
+//   pin:     e = global_epoch.load(acquire); slot.store(e<<1 | 1);
+//            atomic_thread_fence(seq_cst);
+//   writer:  store new pointer; Retire(old) stamps old with the current
+//            global epoch; Collect() advances global_epoch E -> E+1 only when
+//            every pinned slot announces E, and frees garbage whose retire
+//            epoch is <= E-1 (i.e. global >= retire+2).
+//
+// The seq_cst fence on pin pairs with the seq_cst scan in Collect()
+// (Dekker-style): either the collector observes the reader's pin, or the
+// reader observes the newly published pointer. Stale announcements only delay
+// epoch advancement (liveness), never safety.
+//
+// Guards nest: only the outermost Guard per thread pays the fence; inner
+// guards just bump a thread-local depth counter.
+//
+// Mode selection: the FDC_EPOCH env var ("locked" | "ebr" | "auto") picks the
+// process-wide default; options structs carry a ReclaimChoice so tests can
+// force either path explicitly. The locked paths are kept as the
+// property-test oracle for the EBR paths.
+
+#ifndef FDC_COMMON_EPOCH_H_
+#define FDC_COMMON_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstddef>
+
+namespace fdc::epoch {
+
+// Resolved reclamation mode used by a component instance.
+enum class ReclaimMode : uint8_t { kLocked, kEbr };
+
+// Option-level choice: kAuto defers to FDC_EPOCH (default: ebr).
+enum class ReclaimChoice : uint8_t { kAuto, kLocked, kEbr };
+
+// Process-wide default parsed once from FDC_EPOCH. Unset/"auto"/"ebr" -> kEbr,
+// "locked" -> kLocked; unrecognized values fall back to kEbr.
+ReclaimMode DefaultReclaimMode();
+
+inline ReclaimMode Resolve(ReclaimChoice choice) {
+  switch (choice) {
+    case ReclaimChoice::kLocked:
+      return ReclaimMode::kLocked;
+    case ReclaimChoice::kEbr:
+      return ReclaimMode::kEbr;
+    case ReclaimChoice::kAuto:
+    default:
+      return DefaultReclaimMode();
+  }
+}
+
+struct DomainStats {
+  uint64_t epoch = 0;    // current global epoch
+  uint64_t retired = 0;  // objects ever passed to Retire()
+  uint64_t freed = 0;    // objects whose deleter has run
+  uint64_t pending = 0;  // retired - freed
+  uint64_t advances = 0; // successful epoch advancements
+};
+
+// A single process-wide reclamation domain. All epoch-protected structures in
+// the engine share it; cross-structure sharing is safe because the free rule
+// only depends on reader announcements, not on which structure was read.
+class Domain {
+ public:
+  static Domain& Instance();
+
+  // Registers the current thread if needed and pins the current epoch.
+  // Returns the participant slot index (passed back to Unpin). Nested pins
+  // are handled by Guard, not here.
+  void Pin();
+  void Unpin();
+
+  // Defers destruction of `ptr` until all current readers have unpinned.
+  // `deleter` runs on some later Retire/Collect call (possibly from another
+  // thread). Never runs inline while the caller could still hold a Guard on
+  // the retiring epoch.
+  void Retire(void* ptr, void (*deleter)(void*));
+
+  template <typename T>
+  void RetireDelete(T* ptr) {
+    if (ptr == nullptr) return;
+    Retire(const_cast<void*>(static_cast<const void*>(ptr)),
+           [](void* p) { delete static_cast<T*>(const_cast<void*>(
+               static_cast<const void*>(p))); });
+  }
+
+  // Attempts one epoch advancement and frees any safe garbage. Called
+  // opportunistically by Retire(); exposed for tests and quiescent teardown.
+  void Collect();
+
+  // Runs Collect() until nothing is pending or no progress is possible.
+  // Only meaningful when callers know readers are quiescent (tests).
+  void DrainForTesting();
+
+  DomainStats Stats() const;
+
+  // Called from the per-thread participation record's destructor at thread
+  // exit. Not part of the public protocol.
+  void ReleaseSlot(size_t idx);
+
+ private:
+  Domain();
+  ~Domain() = delete;  // process-lifetime singleton
+
+  struct Slot {
+    // 0 = quiescent; otherwise (epoch << 1) | 1.
+    std::atomic<uint64_t> announce{0};
+    std::atomic<bool> in_use{false};
+    char pad[48];  // keep slots on separate cache lines
+  };
+
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*);
+    uint64_t epoch;
+    Retired* next;
+  };
+
+  static constexpr size_t kMaxSlots = 512;
+
+  size_t AcquireSlot();
+  bool TryAdvance(uint64_t expected);
+  void FreeUpTo(uint64_t max_epoch);
+
+  std::atomic<uint64_t> global_epoch_{1};
+  Slot slots_[kMaxSlots];
+  std::atomic<size_t> slot_high_water_{0};
+
+  // Retire list: writers are rare (policy swaps, chunk rebuilds), so a mutex
+  // here costs nothing on the read path.
+  std::atomic<Retired*> retired_head_{nullptr};
+  std::atomic<uint64_t> retired_count_{0};
+  std::atomic<uint64_t> freed_count_{0};
+  std::atomic<uint64_t> advance_count_{0};
+  std::atomic<bool> collecting_{false};
+};
+
+// RAII pin on the shared Domain. Cheap to nest; the outermost guard per
+// thread performs one seq_cst fence on entry and a release store on exit.
+class Guard {
+ public:
+  Guard() { Domain::Instance().Pin(); }
+  ~Guard() { Domain::Instance().Unpin(); }
+
+  Guard(const Guard&) = delete;
+  Guard& operator=(const Guard&) = delete;
+};
+
+}  // namespace fdc::epoch
+
+#endif  // FDC_COMMON_EPOCH_H_

@@ -1,0 +1,14 @@
+#include "common/locks.h"
+
+namespace fdc::locks {
+namespace {
+
+thread_local uint64_t t_reader_lock_acquisitions = 0;
+
+}  // namespace
+
+uint64_t ReaderLockAcquisitions() { return t_reader_lock_acquisitions; }
+
+void CountReaderLockAcquisition() { ++t_reader_lock_acquisitions; }
+
+}  // namespace fdc::locks

@@ -108,6 +108,10 @@ uint64_t HashRawQuery(const ConjunctiveQuery& query) {
 
 }  // namespace
 
+uint64_t QueryInterner::RawHash(const ConjunctiveQuery& query) {
+  return HashRawQuery(query);
+}
+
 QueryInterner::QueryInterner()
     : uid_(g_next_interner_uid.fetch_add(1, std::memory_order_relaxed)) {}
 

@@ -170,6 +170,27 @@ class QueryInterner {
   /// Approximate bytes resident in the intern tables.
   size_t approx_bytes() const { return approx_bytes_; }
 
+  /// Structural hash of a query exactly as written (variable names and atom
+  /// order sensitive) — the probe key of the raw-equality level. Exposed so
+  /// external lock-free indexes (the labeler's epoch-swapped overlay chunk)
+  /// can probe with bit-identical hashing.
+  static uint64_t RawHash(const ConjunctiveQuery& query);
+
+  /// Enumerate the raw-equality table: fn(raw form, interned query id).
+  /// Const-surface sharing rules apply (safe on a frozen/guarded interner).
+  template <typename Fn>
+  void ForEachRawEntry(Fn&& fn) const {
+    for (const auto& [hash, bucket] : raw_buckets_) {
+      for (const auto& [raw, id] : bucket) fn(raw, id);
+    }
+  }
+
+  /// Enumerate the canonical-key table: fn(canonical key, interned query id).
+  template <typename Fn>
+  void ForEachCanonicalKey(Fn&& fn) const {
+    for (const auto& [key, id] : query_by_key_) fn(key, id);
+  }
+
   static constexpr size_t kMaxRawEntries = 1 << 20;
   static constexpr size_t kMaxApproxBytes = size_t{256} << 20;  // 256 MB
 

@@ -10,6 +10,33 @@
 #include "storage/evaluator.h"
 
 namespace fdc::engine {
+namespace {
+
+// Propagate the engine's resolved reclaim mode into the labeler unless the
+// caller pinned the labeler's mode explicitly — one FDC_EPOCH leg configures
+// one consistent read-path design across all three layers.
+ConcurrentLabeler::Options ResolvedLabelerOptions(const EngineOptions& options,
+                                                  epoch::ReclaimMode mode) {
+  ConcurrentLabeler::Options labeler = options.labeler;
+  if (labeler.reclaim == epoch::ReclaimChoice::kAuto) {
+    labeler.reclaim = mode == epoch::ReclaimMode::kEbr
+                          ? epoch::ReclaimChoice::kEbr
+                          : epoch::ReclaimChoice::kLocked;
+  }
+  return labeler;
+}
+
+// Parks a displaced snapshot's ownership in the epoch domain: the refcount
+// held by the heap holder drops only after every reader pinned at retire
+// time has unpinned, so EBR raw-pointer loads stay valid for guard scope.
+void RetireSnapshot(std::shared_ptr<const EngineSnapshot> retired) {
+  if (retired == nullptr) return;
+  auto* holder =
+      new std::shared_ptr<const EngineSnapshot>(std::move(retired));
+  epoch::Domain::Instance().RetireDelete(holder);
+}
+
+}  // namespace
 
 DisclosureEngine::DisclosureEngine(const storage::Database* db,
                                    const label::ViewCatalog* catalog,
@@ -18,12 +45,15 @@ DisclosureEngine::DisclosureEngine(const storage::Database* db,
                                    std::span<const cq::ConjunctiveQuery> warmup)
     : db_(db),
       frozen_(FrozenCatalog::Build(catalog, warmup, options.dissect)),
-      labeler_(frozen_, options.labeler),
+      mode_(epoch::Resolve(options.reclaim)),
+      labeler_(frozen_, ResolvedLabelerOptions(options, mode_)),
       principals_(options.principals),
       snapshot_(std::make_shared<const EngineSnapshot>(
           frozen_, std::move(policy), /*epoch=*/1)),
       shadow_principals_(options.principals),
-      sweep_interval_(options.principal_sweep_interval) {}
+      sweep_interval_(options.principal_sweep_interval) {
+  snapshot_ptr_.store(snapshot_.get(), std::memory_order_release);
+}
 
 uint64_t DisclosureEngine::UpdatePolicy(policy::SecurityPolicy policy) {
   std::shared_ptr<const EngineSnapshot> retired;
@@ -32,13 +62,19 @@ uint64_t DisclosureEngine::UpdatePolicy(policy::SecurityPolicy policy) {
     // Epoch assignment and publication stay under one writer section so
     // concurrent updaters can never publish out of order. The snapshot is
     // a moved-in policy plus one allocation — cheap enough to build here.
-    std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
+    std::unique_lock<locks::CountedSharedMutex> lock(snapshot_mu_);
     epoch = next_epoch_++;
-    retired = std::exchange(
-        snapshot_, std::make_shared<const EngineSnapshot>(
-                       frozen_, std::move(policy), epoch));
+    auto next = std::make_shared<const EngineSnapshot>(
+        frozen_, std::move(policy), epoch);
+    snapshot_ptr_.store(next.get(), std::memory_order_release);
+    retired = std::exchange(snapshot_, std::move(next));
   }
-  // The retired snapshot releases after the lock; in-flight requests
+  if (mode_ == epoch::ReclaimMode::kEbr) {
+    // EBR readers hold raw pointers, not refcounts — the retired snapshot
+    // must outlive every reader pinned before the publish above.
+    RetireSnapshot(std::move(retired));
+  }
+  // Otherwise the retired snapshot releases here; in-flight requests
   // holding their own shared_ptr copies keep it alive until they finish.
   //
   // Residuals narrowed under retired epochs can never be resumed
@@ -62,13 +98,17 @@ Result<uint64_t> DisclosureEngine::UpdatePolicy(
 uint64_t DisclosureEngine::SetShadowPolicy(policy::SecurityPolicy policy,
                                            std::string policy_name) {
   uint64_t epoch;
+  std::shared_ptr<const EngineSnapshot> retired;
   {
-    std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
+    std::unique_lock<locks::CountedSharedMutex> lock(snapshot_mu_);
     epoch = next_epoch_++;
-    shadow_snapshot_ = std::make_shared<const EngineSnapshot>(
+    auto next = std::make_shared<const EngineSnapshot>(
         frozen_, std::move(policy), epoch);
+    shadow_ptr_.store(next.get(), std::memory_order_release);
+    retired = std::exchange(shadow_snapshot_, std::move(next));
     shadow_name_ = std::move(policy_name);
   }
+  if (mode_ == epoch::ReclaimMode::kEbr) RetireSnapshot(std::move(retired));
   // A replaced shadow policy invalidates shadow consistency state exactly
   // like a live swap invalidates live state.
   shadow_principals_.DropResidualsBefore(epoch);
@@ -92,18 +132,21 @@ void DisclosureEngine::ClearShadowPolicy() {
   shadow_enabled_.store(false, std::memory_order_release);
   std::shared_ptr<const EngineSnapshot> retired;
   {
-    std::unique_lock<std::shared_mutex> lock(snapshot_mu_);
+    std::unique_lock<locks::CountedSharedMutex> lock(snapshot_mu_);
+    shadow_ptr_.store(nullptr, std::memory_order_release);
     retired = std::exchange(shadow_snapshot_, nullptr);
     shadow_name_.clear();
   }
+  if (mode_ == epoch::ReclaimMode::kEbr) RetireSnapshot(std::move(retired));
 }
 
 void DisclosureEngine::ShadowEvaluate(
     std::string_view principal,
     std::span<const label::DisclosureLabel* const> labels,
     const std::vector<bool>& live) {
+  SnapshotAccess access(this);
   for (;;) {
-    const std::shared_ptr<const EngineSnapshot> snap = ShadowSnapshot();
+    const EngineSnapshot* snap = access.LoadShadow();
     if (snap == nullptr) return;  // cleared while we were deciding
     const policy::ReferenceMonitor monitor(&snap->policy());
     std::optional<std::vector<bool>> decisions =
@@ -151,8 +194,9 @@ bool DisclosureEngine::Submit(std::string_view principal,
   // Labels depend only on the catalog, never the policy — label once,
   // outside the snapshot retry loop.
   const label::DisclosureLabel label = labeler_.Label(query);
+  SnapshotAccess access(this);
   for (;;) {
-    const std::shared_ptr<const EngineSnapshot> snap = Snapshot();
+    const EngineSnapshot* snap = access.Load();
     const policy::ReferenceMonitor monitor(&snap->policy());
     const std::optional<bool> ok = principals_.TryWithState(
         principal, snap->epoch(), snap->InitialMask(),
@@ -179,8 +223,9 @@ std::vector<bool> DisclosureEngine::SubmitBatch(
     std::span<const cq::ConjunctiveQuery> queries) {
   const std::vector<label::DisclosureLabel> labels =
       labeler_.LabelBatch(queries);
+  SnapshotAccess access(this);
   for (;;) {
-    const std::shared_ptr<const EngineSnapshot> snap = Snapshot();
+    const EngineSnapshot* snap = access.Load();
     const policy::ReferenceMonitor monitor(&snap->policy());
     std::optional<std::vector<bool>> decisions = principals_.TryWithState(
         principal, snap->epoch(), snap->InitialMask(),
@@ -262,10 +307,11 @@ void DisclosureEngine::SubmitCoalesced(
   }
 
   uint64_t ok_total = 0;
+  SnapshotAccess access(this);
   for (size_t g = 0; g < scratch.groups_used; ++g) {
     const Scratch::Group& group = scratch.groups[g];
     for (;;) {
-      const std::shared_ptr<const EngineSnapshot> snap = Snapshot();
+      const EngineSnapshot* snap = access.Load();
       const policy::ReferenceMonitor monitor(&snap->policy());
       std::optional<std::vector<bool>> group_decisions =
           principals_.TryWithState(
@@ -327,8 +373,9 @@ Result<std::vector<storage::Tuple>> DisclosureEngine::QuerySql(
 policy::Explanation DisclosureEngine::ExplainQuery(
     const std::string& principal, const cq::ConjunctiveQuery& query) {
   const label::DisclosureLabel label = labeler_.Label(query);
+  SnapshotAccess access(this);
   for (;;) {
-    const std::shared_ptr<const EngineSnapshot> snap = Snapshot();
+    const EngineSnapshot* snap = access.Load();
     const std::optional<uint64_t> consistent = principals_.Consistent(
         principal, snap->epoch(), snap->InitialMask());
     if (!consistent.has_value()) continue;  // raced a policy swap; reload
@@ -339,8 +386,9 @@ policy::Explanation DisclosureEngine::ExplainQuery(
 
 uint64_t DisclosureEngine::ConsistentPartitions(
     std::string_view principal) const {
+  SnapshotAccess access(this);
   for (;;) {
-    const std::shared_ptr<const EngineSnapshot> snap = Snapshot();
+    const EngineSnapshot* snap = access.Load();
     const std::optional<uint64_t> consistent = principals_.Consistent(
         principal, snap->epoch(), snap->InitialMask());
     if (consistent.has_value()) return *consistent;
@@ -349,7 +397,6 @@ uint64_t DisclosureEngine::ConsistentPartitions(
 
 DisclosureEngine::EngineStats DisclosureEngine::Stats() const {
   EngineStats stats;
-  stats.epoch = Snapshot()->epoch();
   stats.principal_map = principals_.stats();
   stats.num_principals = stats.principal_map.live;
   stats.frozen_labels = frozen_->num_frozen_labels();
@@ -362,8 +409,14 @@ DisclosureEngine::EngineStats DisclosureEngine::Stats() const {
   stats.interner = labeler_.interner_stats();
   stats.containment = labeler_.cache_stats();
   stats.fold_scratch_reuses = rewriting::FoldScratchReuses();
+  stats.reclaim = mode_;
+  stats.ebr = epoch::Domain::Instance().Stats();
   {
-    std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+    // One snapshot load per Stats call: the live epoch and the shadow
+    // fields are read under the same acquisition, so a report can never
+    // pair an epoch with shadow state from a different snapshot.
+    std::shared_lock<locks::CountedSharedMutex> lock(snapshot_mu_);
+    stats.epoch = snapshot_->epoch();
     if (shadow_snapshot_ != nullptr) {
       stats.shadow.enabled =
           shadow_enabled_.load(std::memory_order_acquire);

@@ -16,10 +16,16 @@
 //      SubmitBatch from N threads on distinct principals touch disjoint
 //      shard locks and never serialize on labeling hits;
 //   3. policy epochs: UpdatePolicy compiles a new EngineSnapshot and
-//      publishes it with one atomic shared_ptr exchange. Every request
-//      loads the snapshot exactly once, so it sees one consistent policy —
-//      never a half-updated one — and per-principal state is epoch-tagged
-//      so stale consistency bits can never leak across policies.
+//      publishes it atomically. Every request loads the snapshot exactly
+//      once, so it sees one consistent policy — never a half-updated one —
+//      and per-principal state is epoch-tagged so stale consistency bits
+//      can never leak across policies. Publication is dual-mode
+//      (EngineOptions::reclaim / FDC_EPOCH): under kEbr (default) the
+//      request path loads an epoch-protected raw pointer under an
+//      epoch::Guard — no lock, no refcount traffic — and the retired
+//      snapshot is reclaimed through epoch::Domain once every in-flight
+//      reader has unpinned; under kLocked the pre-EBR shared_ptr-under-
+//      rwlock path is preserved as the property-test oracle.
 //
 // Ablation/oracle baseline: the seed single-threaded path is kept intact
 // behind GuardedDatabase's use_engine=false mode and LabelingPipeline;
@@ -29,11 +35,14 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/epoch.h"
+#include "common/locks.h"
 #include "common/result.h"
 #include "cq/query.h"
 #include "cq/sql_parser.h"
@@ -66,6 +75,11 @@ struct EngineOptions {
   /// Dissection options shared by every tier (must not vary per request:
   /// labels are memoized).
   label::DissectOptions dissect;
+  /// Read-path reclaim mode for snapshot publication (kAuto defers to
+  /// FDC_EPOCH; default ebr). Propagated to the labeler when
+  /// labeler.reclaim is also kAuto, so one choice configures the whole
+  /// engine read path consistently.
+  epoch::ReclaimChoice reclaim = epoch::ReclaimChoice::kAuto;
 };
 
 class DisclosureEngine {
@@ -79,12 +93,18 @@ class DisclosureEngine {
                    policy::SecurityPolicy policy, EngineOptions options = {},
                    std::span<const cq::ConjunctiveQuery> warmup = {});
 
-  /// The current policy snapshot (one shared-lock acquisition; hold the
-  /// returned pointer for request scope and every read is consistent).
+  /// The current policy snapshot as an owning handle (one shared-lock
+  /// acquisition; hold the returned pointer for request scope and every
+  /// read is consistent). This is the ownership-transferring API for
+  /// control-plane callers (server hello/drain frames, tests); the request
+  /// hot path uses the internal epoch-pinned raw-pointer load instead and
+  /// never touches this lock in EBR mode.
   std::shared_ptr<const EngineSnapshot> Snapshot() const {
-    std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+    std::shared_lock<locks::CountedSharedMutex> lock(snapshot_mu_);
     return snapshot_;
   }
+
+  epoch::ReclaimMode reclaim_mode() const { return mode_; }
 
   /// Compiles `policy` into a new snapshot and publishes it atomically.
   /// In-flight requests finish against the snapshot they already loaded
@@ -219,6 +239,11 @@ class DisclosureEngine {
     /// scratch arena. Process-wide (rewriting::FoldScratchReuses), not
     /// per-engine: it counts every consumer in the process.
     uint64_t fold_scratch_reuses = 0;
+    /// Read-path reclamation: the engine's resolved mode plus the shared
+    /// epoch::Domain counters (process-wide — every EBR structure retires
+    /// through the same domain).
+    epoch::ReclaimMode reclaim = epoch::ReclaimMode::kLocked;
+    epoch::DomainStats ebr;
     /// Shadow-policy divergence audit (SetShadowPolicy). The counters are
     /// cumulative across shadow policies; epoch/policy_name describe the
     /// currently staged one (enabled=false leaves them zero/empty).
@@ -239,18 +264,62 @@ class DisclosureEngine {
   EngineStats Stats() const;
 
  private:
+  // Request-scoped snapshot access: constructed once per request (or per
+  // retry loop), then Load()/LoadShadow() as often as needed. In EBR mode
+  // it pins one epoch::Guard for its lifetime and every load is a single
+  // acquire load of the published raw pointer — pointers stay valid until
+  // the guard drops because retired snapshots pass through epoch::Domain.
+  // In locked mode each load copies the shared_ptr under the reader lock
+  // (the pre-EBR path, kept as the oracle). Holding the guard across a
+  // retry loop is safe: a pinned epoch also protects pointers published
+  // *after* the pin (they retire at an epoch the pin blocks from expiring).
+  class SnapshotAccess {
+   public:
+    explicit SnapshotAccess(const DisclosureEngine* engine)
+        : engine_(engine) {
+      if (engine_->mode_ == epoch::ReclaimMode::kEbr) guard_.emplace();
+    }
+    const EngineSnapshot* Load() {
+      if (engine_->mode_ == epoch::ReclaimMode::kEbr) {
+        return engine_->snapshot_ptr_.load(std::memory_order_acquire);
+      }
+      owned_ = engine_->Snapshot();
+      return owned_.get();
+    }
+    /// Current shadow snapshot, or nullptr when no shadow policy is staged.
+    const EngineSnapshot* LoadShadow() {
+      if (engine_->mode_ == epoch::ReclaimMode::kEbr) {
+        return engine_->shadow_ptr_.load(std::memory_order_acquire);
+      }
+      shadow_owned_ = engine_->ShadowSnapshot();
+      return shadow_owned_.get();
+    }
+
+   private:
+    const DisclosureEngine* engine_;
+    std::optional<epoch::Guard> guard_;
+    std::shared_ptr<const EngineSnapshot> owned_;
+    std::shared_ptr<const EngineSnapshot> shadow_owned_;
+  };
+
   const storage::Database* db_;
   std::shared_ptr<const FrozenCatalog> frozen_;
+  epoch::ReclaimMode mode_;
   ConcurrentLabeler labeler_;
   PrincipalStateMap principals_;
-  // Snapshot publication: copy-on-write shared_ptr exchange under a
-  // reader/writer lock (readers only copy the pointer — the critical
-  // section is a refcount bump; writers swap in a fully built snapshot).
-  // Deliberately not std::atomic<std::shared_ptr>: libstdc++'s _Sp_atomic
-  // spin-bit protocol trips ThreadSanitizer, and the engine's TSan-clean
-  // guarantee is worth two uncontended atomics per request.
-  mutable std::shared_mutex snapshot_mu_;
+  // Snapshot publication. The shared_ptr under the rwlock remains the
+  // owning store in both modes (and the locked-mode read path — readers
+  // copy the pointer under the shared side; deliberately not
+  // std::atomic<std::shared_ptr>, whose libstdc++ _Sp_atomic spin-bit
+  // protocol trips ThreadSanitizer). In EBR mode the raw pointer below is
+  // the read path: published with a release store inside the writer
+  // section, loaded with one acquire load under an epoch::Guard, and the
+  // displaced snapshot's ownership is parked in a heap holder retired
+  // through epoch::Domain so its refcount cannot drop while any reader is
+  // still pinned.
+  mutable locks::CountedSharedMutex snapshot_mu_;
   std::shared_ptr<const EngineSnapshot> snapshot_;
+  std::atomic<const EngineSnapshot*> snapshot_ptr_{nullptr};
   uint64_t next_epoch_ = 2;  // guarded by snapshot_mu_; epoch 1 = ctor
   std::atomic<uint64_t> accepted_{0};
   std::atomic<uint64_t> refused_{0};
@@ -260,6 +329,9 @@ class DisclosureEngine {
   // only shadow cost per decision is one relaxed-ish atomic load.
   std::atomic<bool> shadow_enabled_{false};
   std::shared_ptr<const EngineSnapshot> shadow_snapshot_;  // snapshot_mu_
+  // EBR read path for the shadow snapshot, mirroring snapshot_ptr_
+  // (nullptr = no shadow staged).
+  std::atomic<const EngineSnapshot*> shadow_ptr_{nullptr};
   std::string shadow_name_;                                // snapshot_mu_
   // Shadow decisions narrow their *own* per-principal states; live
   // monitor state is never read or written by shadow evaluation — that
@@ -272,7 +344,7 @@ class DisclosureEngine {
   std::atomic<uint64_t> shadow_stricter_{0};
   std::atomic<uint64_t> shadow_looser_{0};
   std::shared_ptr<const EngineSnapshot> ShadowSnapshot() const {
-    std::shared_lock<std::shared_mutex> lock(snapshot_mu_);
+    std::shared_lock<locks::CountedSharedMutex> lock(snapshot_mu_);
     return shadow_snapshot_;
   }
   /// Replays one principal's just-decided labels against the shadow

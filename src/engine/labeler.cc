@@ -1,21 +1,161 @@
 #include "engine/labeler.h"
 
 #include <algorithm>
+#include <bit>
 #include <mutex>
+#include <string>
+#include <utility>
 
+#include "cq/canonical.h"
 #include "label/dissect.h"
 
 namespace fdc::engine {
+
+// Immutable snapshot of the overlay's (raw form | canonical key) -> label
+// mapping. Built under the write mutex, published through an epoch-protected
+// atomic pointer, probed lock-free under an epoch::Guard, retired through
+// epoch::Domain when replaced. Two open-addressed tables mirror the
+// interner's two levels: byte-identical resubmitted templates hit the raw
+// table without paying canonicalization; renamed/reordered variants fall
+// through to the canonical-key table.
+struct ConcurrentLabeler::OverlayChunk {
+  static constexpr uint32_t kEmpty = 0xffffffffu;
+
+  struct Slot {
+    uint64_t hash = 0;
+    uint32_t idx = kEmpty;
+  };
+
+  std::vector<std::pair<cq::ConjunctiveQuery, label::DisclosureLabel>>
+      raw_entries;
+  std::vector<std::pair<std::string, label::DisclosureLabel>> canon_entries;
+  std::vector<Slot> raw_slots;    // power-of-two, linear probing
+  std::vector<Slot> canon_slots;  // power-of-two, linear probing
+
+  static uint64_t KeyHash(const std::string& key) {
+    uint64_t h = 1469598103934665603ull;  // FNV-1a
+    for (const char c : key) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+
+  template <typename Entries, typename HashFn>
+  static void BuildTable(const Entries& entries, HashFn&& hash_of,
+                         std::vector<Slot>* slots) {
+    const size_t n = entries.size();
+    const size_t cap = std::max<size_t>(8, std::bit_ceil(2 * n + 1));
+    slots->assign(cap, Slot{});
+    const size_t mask = cap - 1;
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t h = hash_of(entries[i].first);
+      size_t pos = static_cast<size_t>(h) & mask;
+      while ((*slots)[pos].idx != kEmpty) pos = (pos + 1) & mask;
+      (*slots)[pos] = Slot{h, static_cast<uint32_t>(i)};
+    }
+  }
+
+  void BuildTables() {
+    BuildTable(raw_entries, [](const cq::ConjunctiveQuery& q) {
+      return cq::QueryInterner::RawHash(q);
+    }, &raw_slots);
+    BuildTable(canon_entries, [](const std::string& k) { return KeyHash(k); },
+               &canon_slots);
+  }
+
+  const label::DisclosureLabel* FindRaw(uint64_t hash,
+                                        const cq::ConjunctiveQuery& q) const {
+    const size_t mask = raw_slots.size() - 1;
+    for (size_t pos = static_cast<size_t>(hash) & mask;;
+         pos = (pos + 1) & mask) {
+      const Slot& slot = raw_slots[pos];
+      if (slot.idx == kEmpty) return nullptr;
+      if (slot.hash == hash && raw_entries[slot.idx].first == q) {
+        return &raw_entries[slot.idx].second;
+      }
+    }
+  }
+
+  const label::DisclosureLabel* FindCanonical(uint64_t hash,
+                                              const std::string& key) const {
+    const size_t mask = canon_slots.size() - 1;
+    for (size_t pos = static_cast<size_t>(hash) & mask;;
+         pos = (pos + 1) & mask) {
+      const Slot& slot = canon_slots[pos];
+      if (slot.idx == kEmpty) return nullptr;
+      if (slot.hash == hash && canon_entries[slot.idx].first == key) {
+        return &canon_entries[slot.idx].second;
+      }
+    }
+  }
+};
 
 ConcurrentLabeler::ConcurrentLabeler(
     std::shared_ptr<const FrozenCatalog> frozen, Options options)
     : frozen_(std::move(frozen)),
       options_(options),
+      mode_(epoch::Resolve(options.reclaim)),
       stateless_(&frozen_->catalog(), frozen_->dissect_options()) {
   if (options_.ablate_compiled_matcher) {
+    // The cache follows the labeler's resolved mode so one FDC_EPOCH leg
+    // exercises one consistent read-path design end to end.
     cache_ = std::make_unique<rewriting::ContainmentCache>(
-        options_.containment_cache_capacity);
+        options_.containment_cache_capacity, 64,
+        mode_ == epoch::ReclaimMode::kEbr ? epoch::ReclaimChoice::kEbr
+                                          : epoch::ReclaimChoice::kLocked);
   }
+}
+
+ConcurrentLabeler::~ConcurrentLabeler() {
+  // Destruction implies no concurrent Label calls on *this*, but a chunk
+  // retired earlier may still be pending in the domain; route the live one
+  // through the same path rather than deleting inline.
+  if (const OverlayChunk* chunk =
+          chunk_.exchange(nullptr, std::memory_order_acq_rel)) {
+    epoch::Domain::Instance().RetireDelete(chunk);
+  }
+}
+
+void ConcurrentLabeler::PublishChunkLocked() {
+  auto* chunk = new OverlayChunk;
+  interner_.ForEachRawEntry([&](const cq::ConjunctiveQuery& raw, int id) {
+    auto it = label_by_query_.find(id);
+    if (it != label_by_query_.end()) {
+      chunk->raw_entries.emplace_back(raw, it->second);
+    }
+  });
+  interner_.ForEachCanonicalKey([&](const std::string& key, int id) {
+    auto it = label_by_query_.find(id);
+    if (it != label_by_query_.end()) {
+      chunk->canon_entries.emplace_back(key, it->second);
+    }
+  });
+  chunk->BuildTables();
+  overlay_chunk_entries_.store(
+      chunk->raw_entries.size() + chunk->canon_entries.size(),
+      std::memory_order_relaxed);
+  overlay_chunk_publishes_.fetch_add(1, std::memory_order_relaxed);
+  publish_pressure_ = 0;
+  published_entries_ = label_by_query_.size();
+  const OverlayChunk* old =
+      chunk_.exchange(chunk, std::memory_order_acq_rel);
+  if (old != nullptr) epoch::Domain::Instance().RetireDelete(old);
+}
+
+void ConcurrentLabeler::NotePublishPressureLocked() {
+  if (mode_ != epoch::ReclaimMode::kEbr) return;
+  ++publish_pressure_;
+  const size_t threshold =
+      std::max<size_t>(1, std::max(options_.overlay_min_publish,
+                                   published_entries_ / 8));
+  if (publish_pressure_ >= threshold) PublishChunkLocked();
+}
+
+void ConcurrentLabeler::PublishOverlayChunk() {
+  if (mode_ != epoch::ReclaimMode::kEbr) return;
+  std::unique_lock<locks::CountedSharedMutex> lock(mu_);
+  PublishChunkLocked();
 }
 
 label::DisclosureLabel ConcurrentLabeler::LabelCompiled(
@@ -75,9 +215,29 @@ label::DisclosureLabel ConcurrentLabeler::Label(
     return *hit;
   }
 
-  // Tier 2a: shared (reader) probe of the overlay.
-  {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+  // Tier 2a: EBR mode probes the published chunk under an epoch guard (no
+  // lock, no shared state mutation); locked mode takes the shared (reader)
+  // side of the overlay lock, exactly the pre-EBR path.
+  if (mode_ == epoch::ReclaimMode::kEbr) {
+    epoch::Guard guard;
+    if (const OverlayChunk* chunk = chunk_.load(std::memory_order_acquire)) {
+      if (const label::DisclosureLabel* hit =
+              chunk->FindRaw(cq::QueryInterner::RawHash(query), query)) {
+        overlay_chunk_hits_.fetch_add(1, std::memory_order_relaxed);
+        overlay_hits_.fetch_add(1, std::memory_order_relaxed);
+        return *hit;
+      }
+      const std::string key = cq::CanonicalKey(query);
+      if (const label::DisclosureLabel* hit =
+              chunk->FindCanonical(OverlayChunk::KeyHash(key), key)) {
+        overlay_chunk_hits_.fetch_add(1, std::memory_order_relaxed);
+        overlay_hits_.fetch_add(1, std::memory_order_relaxed);
+        return *hit;
+      }
+    }
+  } else {
+    std::shared_lock<locks::CountedSharedMutex> lock(mu_);
+    overlay_reader_locks_.fetch_add(1, std::memory_order_relaxed);
     if (const cq::InternedQuery* interned = interner_.Find(query)) {
       auto it = label_by_query_.find(interned->id());
       if (it != label_by_query_.end()) {
@@ -97,7 +257,7 @@ label::DisclosureLabel ConcurrentLabeler::Label(
   // state (pattern interner + mask memo) and must stay fully locked.
   if (!options_.ablate_compiled_matcher) {
     label::DisclosureLabel label = LabelCompiled(query);
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    std::unique_lock<locks::CountedSharedMutex> lock(mu_);
     const cq::InternedQuery* interned =
         interner_.TryIntern(query, options_.max_interned_queries);
     if (interned == nullptr) {
@@ -109,6 +269,9 @@ label::DisclosureLabel ConcurrentLabeler::Label(
     auto it = label_by_query_.find(interned->id());
     if (it != label_by_query_.end()) {
       overlay_hits_.fetch_add(1, std::memory_order_relaxed);
+      // EBR: a memoized entry the chunk doesn't cover yet — publish
+      // pressure, so repeated traffic re-freezes the chunk promptly.
+      NotePublishPressureLocked();
       return it->second;
     }
     overlay_misses_.fetch_add(1, std::memory_order_relaxed);
@@ -116,13 +279,14 @@ label::DisclosureLabel ConcurrentLabeler::Label(
       label_by_query_.clear();
     }
     label_by_query_.emplace(interned->id(), label);
+    NotePublishPressureLocked();
     return label;
   }
 
   // Ablated (seed-kernel) path: exclusive intern + label. Double-check
   // under the writer lock: another thread may have labeled the same
   // structure since we unlocked.
-  std::unique_lock<std::shared_mutex> lock(mu_);
+  std::unique_lock<locks::CountedSharedMutex> lock(mu_);
   const cq::InternedQuery* interned =
       interner_.TryIntern(query, options_.max_interned_queries);
   if (interned == nullptr) {
@@ -134,6 +298,7 @@ label::DisclosureLabel ConcurrentLabeler::Label(
   auto it = label_by_query_.find(interned->id());
   if (it != label_by_query_.end()) {
     overlay_hits_.fetch_add(1, std::memory_order_relaxed);
+    NotePublishPressureLocked();
     return it->second;
   }
   overlay_misses_.fetch_add(1, std::memory_order_relaxed);
@@ -142,6 +307,7 @@ label::DisclosureLabel ConcurrentLabeler::Label(
   }
   label::DisclosureLabel label = ComputeLabelLocked(interned->query());
   label_by_query_.emplace(interned->id(), label);
+  NotePublishPressureLocked();
   return label;
 }
 
@@ -181,9 +347,34 @@ std::vector<label::DisclosureLabel> ConcurrentLabeler::LabelBatch(
   }
   if (unresolved.empty()) return out;
 
-  // Tier 2a: one shared (reader) section probes the overlay for every miss.
-  {
-    std::shared_lock<std::shared_mutex> lock(mu_);
+  // Tier 2a: EBR mode probes the published chunk for every miss under one
+  // epoch guard (no lock); locked mode keeps the pre-EBR single shared
+  // (reader) section.
+  if (mode_ == epoch::ReclaimMode::kEbr) {
+    epoch::Guard guard;
+    if (const OverlayChunk* chunk = chunk_.load(std::memory_order_acquire)) {
+      size_t kept = 0;
+      for (const size_t k : unresolved) {
+        const cq::ConjunctiveQuery& query = *queries[k];
+        const label::DisclosureLabel* hit =
+            chunk->FindRaw(cq::QueryInterner::RawHash(query), query);
+        if (hit == nullptr) {
+          const std::string key = cq::CanonicalKey(query);
+          hit = chunk->FindCanonical(OverlayChunk::KeyHash(key), key);
+        }
+        if (hit != nullptr) {
+          overlay_chunk_hits_.fetch_add(1, std::memory_order_relaxed);
+          overlay_hits_.fetch_add(1, std::memory_order_relaxed);
+          out[k] = *hit;
+          continue;
+        }
+        unresolved[kept++] = k;
+      }
+      unresolved.resize(kept);
+    }
+  } else {
+    std::shared_lock<locks::CountedSharedMutex> lock(mu_);
+    overlay_reader_locks_.fetch_add(1, std::memory_order_relaxed);
     size_t kept = 0;
     for (const size_t k : unresolved) {
       if (const cq::InternedQuery* interned = interner_.Find(*queries[k])) {
@@ -210,7 +401,7 @@ std::vector<label::DisclosureLabel> ConcurrentLabeler::LabelBatch(
   std::vector<const cq::ConjunctiveQuery*> slot_query;
   std::unordered_map<int, int32_t> first_slot;
   {
-    std::unique_lock<std::shared_mutex> lock(mu_);
+    std::unique_lock<locks::CountedSharedMutex> lock(mu_);
     for (size_t u = 0; u < unresolved.size(); ++u) {
       const size_t k = unresolved[u];
       const cq::InternedQuery* interned =
@@ -226,6 +417,8 @@ std::vector<label::DisclosureLabel> ConcurrentLabeler::LabelBatch(
       auto it = label_by_query_.find(id);
       if (it != label_by_query_.end()) {
         overlay_hits_.fetch_add(1, std::memory_order_relaxed);
+        // Memoized but not yet chunk-visible (EBR): publish pressure.
+        NotePublishPressureLocked();
         out[k] = it->second;
         continue;
       }
@@ -270,7 +463,7 @@ std::vector<label::DisclosureLabel> ConcurrentLabeler::LabelBatch(
     // duplicate insert loses harmlessly — labels of one structure are
     // identical by purity.
     {
-      std::unique_lock<std::shared_mutex> lock(mu_);
+      std::unique_lock<locks::CountedSharedMutex> lock(mu_);
       for (size_t s = 0; s < slot_id.size(); ++s) {
         if (slot_id[s] < 0) continue;  // stateless: never memoized
         overlay_misses_.fetch_add(1, std::memory_order_relaxed);
@@ -278,6 +471,7 @@ std::vector<label::DisclosureLabel> ConcurrentLabeler::LabelBatch(
           label_by_query_.clear();
         }
         label_by_query_.emplace(slot_id[s], computed[s]);
+        NotePublishPressureLocked();
       }
     }
     for (size_t u = 0; u < unresolved.size(); ++u) {
@@ -303,11 +497,19 @@ ConcurrentLabeler::Stats ConcurrentLabeler::stats() const {
   stats.simd_lanes_used = simd_lanes_used_.load(std::memory_order_relaxed);
   stats.per_view_tests_avoided =
       per_view_tests_avoided_.load(std::memory_order_relaxed);
+  stats.overlay_chunk_hits =
+      overlay_chunk_hits_.load(std::memory_order_relaxed);
+  stats.overlay_chunk_publishes =
+      overlay_chunk_publishes_.load(std::memory_order_relaxed);
+  stats.overlay_chunk_entries =
+      overlay_chunk_entries_.load(std::memory_order_relaxed);
+  stats.overlay_reader_locks =
+      overlay_reader_locks_.load(std::memory_order_relaxed);
   return stats;
 }
 
 cq::QueryInterner::Stats ConcurrentLabeler::interner_stats() const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::shared_lock<locks::CountedSharedMutex> lock(mu_);
   return interner_.stats();
 }
 

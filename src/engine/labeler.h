@@ -6,14 +6,29 @@
 //
 //   1. the FrozenCatalog warmup tier is probed first — an immutable
 //      interner + label table, read lock-free by any number of threads;
-//   2. misses fall into a *dynamic overlay*: one shared QueryInterner and a
-//      whole-query label memo guarded by a reader/writer lock. Repeated
-//      structures resolve under the shared (reader) side via
-//      QueryInterner::Find; only genuinely novel structures take the
-//      exclusive side to intern and label once. Per-atom ℓ+ masks come from
-//      the frozen tier's CompiledCatalogMatcher (one allocation-free pass
-//      per atom, read lock-free); the seed per-view kernel — pattern
-//      interning + the sharded rewriting::ContainmentCache — stays behind
+//   2. misses fall into a *dynamic overlay*. Its read side depends on the
+//      reclaim mode (Options::reclaim / FDC_EPOCH):
+//        * kEbr (default): warm hits take NO lock. An immutable
+//          OverlayChunk — the overlay interner's raw and canonical tables
+//          plus their memoized labels, frozen into open-addressed arrays —
+//          is published through an epoch-protected atomic pointer and
+//          probed under an epoch::Guard. The chunk is rebuilt under the
+//          write mutex when enough novel structures accumulate
+//          (Options::overlay_min_publish + a live-size-proportional
+//          threshold, so rebuild work is amortized O(n)) and the old chunk
+//          is retired through epoch::Domain, never freed under a reader.
+//          Chunk misses (genuinely novel structures, or entries memoized
+//          since the last publish) take the exclusive write side to intern
+//          and label once. A stale chunk is always *correct* — labels are
+//          pure functions of the query — it just under-hits.
+//        * kLocked: the pre-EBR rwlock overlay, kept bit-identical as the
+//          property-test oracle — repeated structures resolve under the
+//          shared (reader) side via QueryInterner::Find; novel structures
+//          take the exclusive side.
+//      Per-atom ℓ+ masks come from the frozen tier's
+//      CompiledCatalogMatcher (one allocation-free pass per atom, read
+//      lock-free); the seed per-view kernel — pattern interning + the
+//      sharded rewriting::ContainmentCache — stays behind
 //      Options::ablate_compiled_matcher as the oracle;
 //   3. when the overlay interner saturates (principal-controlled input must
 //      not grow memory without bound), novel structures are labeled
@@ -43,6 +58,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/epoch.h"
+#include "common/locks.h"
 #include "cq/interned.h"
 #include "cq/query.h"
 #include "engine/snapshot.h"
@@ -71,6 +88,15 @@ struct ConcurrentLabelerOptions {
   /// pre-batch shape) instead of the bucketed MatchMaskBatch path. Labels
   /// are identical either way; isolates the batch kernel in benchmarks.
   bool ablate_batch_kernel = false;
+  /// Overlay read-side reclaim mode: kAuto defers to FDC_EPOCH (default
+  /// ebr). kLocked preserves the rwlock overlay as the oracle.
+  epoch::ReclaimChoice reclaim = epoch::ReclaimChoice::kAuto;
+  /// EBR mode: minimum publish pressure (novel memoizations + warm hits
+  /// served from the write side because the chunk is stale) before the
+  /// overlay chunk is rebuilt and re-published. The effective threshold is
+  /// max(overlay_min_publish, live_entries/8), so rebuild cost stays
+  /// amortized-linear under novel floods. Tests set 1 for determinism.
+  size_t overlay_min_publish = 16;
 };
 
 class ConcurrentLabeler {
@@ -96,6 +122,15 @@ class ConcurrentLabeler {
     // Per-view rewritability tests the seed kernel would have run for
     // those masks.
     uint64_t per_view_tests_avoided = 0;
+    // EBR overlay: warm hits served lock-free from the published chunk
+    // (a subset of overlay_hits), chunk rebuild/publish count, and entries
+    // in the currently published chunk (raw + canonical).
+    uint64_t overlay_chunk_hits = 0;
+    uint64_t overlay_chunk_publishes = 0;
+    uint64_t overlay_chunk_entries = 0;
+    // Reader-side (shared) acquisitions of the overlay lock — the bench
+    // counter proving the wait-free read path: 0 in EBR mode.
+    uint64_t overlay_reader_locks = 0;
   };
 
   explicit ConcurrentLabeler(std::shared_ptr<const FrozenCatalog> frozen,
@@ -124,6 +159,8 @@ class ConcurrentLabeler {
   std::vector<label::DisclosureLabel> LabelBatch(
       std::span<const cq::ConjunctiveQuery* const> queries);
 
+  ~ConcurrentLabeler();
+
   Stats stats() const;
   rewriting::ContainmentCache::Stats cache_stats() const {
     return cache_ != nullptr ? cache_->stats()
@@ -131,8 +168,16 @@ class ConcurrentLabeler {
   }
   cq::QueryInterner::Stats interner_stats() const;
   const FrozenCatalog& frozen() const { return *frozen_; }
+  epoch::ReclaimMode reclaim_mode() const { return mode_; }
+
+  /// EBR mode: force an overlay chunk rebuild + publish now (no-op in
+  /// locked mode). Tests and operators use it to make every memoized entry
+  /// immediately probe-able lock-free instead of waiting for publish
+  /// pressure to accumulate.
+  void PublishOverlayChunk();
 
  private:
+  struct OverlayChunk;
   /// Dissect + compiled-matcher evaluation: pure reads of frozen state plus
   /// relaxed counter bumps, safe from any thread with no locks held.
   label::DisclosureLabel LabelCompiled(const cq::ConjunctiveQuery& query);
@@ -142,19 +187,37 @@ class ConcurrentLabeler {
   label::DisclosureLabel ComputeLabelLocked(
       const cq::ConjunctiveQuery& canonical);
 
+  /// EBR write side, mu_ held exclusively: bumps publish pressure and
+  /// rebuilds + publishes the chunk when it crosses the threshold.
+  void NotePublishPressureLocked();
+  void PublishChunkLocked();
+
   std::shared_ptr<const FrozenCatalog> frozen_;
   Options options_;
+  epoch::ReclaimMode mode_;
   label::LabelerPipeline stateless_;  // pure fallback; const methods only
   // Sharded, internally synchronized; only the ablated seed kernel probes
   // it, so it is constructed only when that mode is selected.
   std::unique_ptr<rewriting::ContainmentCache> cache_;
 
-  // Dynamic overlay: reader side for Find + memo probes, writer side for
-  // interning and labeling novel structures.
-  mutable std::shared_mutex mu_;
+  // Dynamic overlay write side (and, in locked mode, the reader side):
+  // QueryInterner::Find + memo probes under shared_lock, interning and
+  // labeling of novel structures under unique_lock. In EBR mode readers
+  // never touch mu_ — they probe the published chunk below. The mutex type
+  // counts shared acquisitions so tests can assert the EBR warm path takes
+  // zero reader-side locks.
+  mutable locks::CountedSharedMutex mu_;
   cq::QueryInterner interner_;
   std::unordered_map<int, label::DisclosureLabel> label_by_query_;
   std::unordered_map<int, label::PackedAtomLabel> mask_by_pattern_;
+
+  // EBR overlay chunk: immutable snapshot of (raw form | canonical key) ->
+  // label, swapped atomically on publish; the old chunk is retired through
+  // epoch::Domain. Null until the first publish.
+  std::atomic<const OverlayChunk*> chunk_{nullptr};
+  // Guarded by mu_ (write side only).
+  size_t publish_pressure_ = 0;
+  size_t published_entries_ = 0;
 
   std::atomic<uint64_t> frozen_hits_{0};
   std::atomic<uint64_t> overlay_hits_{0};
@@ -165,6 +228,10 @@ class ConcurrentLabeler {
   std::atomic<uint64_t> batch_mask_evals_{0};
   std::atomic<uint64_t> simd_lanes_used_{0};
   std::atomic<uint64_t> per_view_tests_avoided_{0};
+  std::atomic<uint64_t> overlay_chunk_hits_{0};
+  std::atomic<uint64_t> overlay_chunk_publishes_{0};
+  std::atomic<uint64_t> overlay_chunk_entries_{0};
+  std::atomic<uint64_t> overlay_reader_locks_{0};
 };
 
 }  // namespace fdc::engine

@@ -20,20 +20,31 @@
 //
 // Sharing contract (the engine tier-2 design): the table is split into
 // mutex-striped shards selected by key hash, so one instance is safe for
-// any number of concurrent callers — Lookup/Insert/Contained/
-// RewritableCached hold exactly one shard mutex for the table probe and
-// never while computing a decision (a racing pair may both compute the same
-// value; both inserts store the identical decision, so the race is benign).
-// stats() sums the per-shard counters and may read a shard mid-update, so
-// it is a consistent-enough snapshot for observability, not an exact
-// linearizable count. Clear() is the one exception to the concurrency
-// contract: it requires quiescence (no in-flight Lookup/Insert/Contained/
-// RewritableCached) — it locks shards one at a time and resets the
-// interner-uid binding, so a concurrent RewritableCached caller that
-// passed the uid check pre-clear could insert a stale pattern-id entry
-// that survives into a rebinding to a different interner. Decisions cached
-// here must be pure functions of the id pair; callers pick the Kind
-// matching their id space.
+// any number of concurrent callers. Writers (Insert, and the insert half of
+// Contained/RewritableCached misses) hold exactly one shard mutex for the
+// table store and never while computing a decision (a racing pair may both
+// compute the same value; both inserts store the identical decision, so the
+// race is benign). Readers depend on the reclaim mode:
+//
+//   * kEbr (default, FDC_EPOCH=ebr|auto): Lookup takes NO lock. Each shard
+//     carries a seqlock version (odd while a writer is mid-store); a probe
+//     reads the version, the slot's atomic fields, then re-reads the
+//     version, and treats any mismatch as a miss. A false miss just
+//     recomputes a pure function — correctness never depends on the probe.
+//   * kLocked (FDC_EPOCH=locked): Lookup takes the shard mutex, exactly the
+//     pre-EBR behavior; it is kept as the property-test oracle and counts
+//     as a reader-side lock acquisition for the wait-free-path proof.
+//
+// stats() sums the per-shard counters (relaxed atomics) and may interleave
+// with updates, so it is a consistent-enough snapshot for observability,
+// not an exact linearizable count. Clear() is the one exception to the
+// concurrency contract: it requires quiescence (no in-flight
+// Lookup/Insert/Contained/RewritableCached) — it locks shards one at a time
+// and resets the interner-uid binding, so a concurrent RewritableCached
+// caller that passed the uid check pre-clear could insert a stale
+// pattern-id entry that survives into a rebinding to a different interner.
+// Decisions cached here must be pure functions of the id pair; callers pick
+// the Kind matching their id space.
 #pragma once
 
 #include <atomic>
@@ -41,8 +52,8 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <vector>
 
+#include "common/epoch.h"
 #include "cq/interned.h"
 
 namespace fdc::rewriting {
@@ -71,8 +82,11 @@ class ContainmentCache {
   /// `capacity` (total, across shards) is rounded up to a power of two;
   /// default fits ~64K pair decisions in ~1.5 MB. `shards` is rounded to a
   /// power of two too; the default is plenty of stripes for any realistic
-  /// serving-thread count.
-  explicit ContainmentCache(size_t capacity = 1 << 16, size_t shards = 64);
+  /// serving-thread count. `reclaim` picks the read-probe mode (kAuto
+  /// defers to FDC_EPOCH; see the header comment).
+  explicit ContainmentCache(
+      size_t capacity = 1 << 16, size_t shards = 64,
+      epoch::ReclaimChoice reclaim = epoch::ReclaimChoice::kAuto);
 
   /// Cached decision for (kind, a, b), or nullopt on miss.
   std::optional<bool> Lookup(Kind kind, int a, int b);
@@ -105,19 +119,27 @@ class ContainmentCache {
 
   size_t capacity() const { return num_shards_ * slots_per_shard_; }
   size_t num_shards() const { return num_shards_; }
+  epoch::ReclaimMode reclaim_mode() const { return mode_; }
   void Clear();
 
  private:
+  // Slot fields are individually atomic so lock-free probes never race a
+  // writer at the byte level (TSan-clean); the shard seqlock version is what
+  // guarantees the three fields are read as a mutually consistent triple.
   struct Entry {
-    uint64_t key = 0;     // (a << 32) | b, both cast through uint32_t
-    uint32_t kind = 0;    // 0 = empty slot
-    uint8_t value = 0;    // decision
+    std::atomic<uint64_t> key{0};   // (a << 32) | b, both cast via uint32_t
+    std::atomic<uint32_t> kind{0};  // 0 = empty slot
+    std::atomic<uint8_t> value{0};  // decision
   };
 
   struct Shard {
-    mutable std::mutex mu;
-    std::vector<Entry> entries;
-    Stats stats;
+    mutable std::mutex mu;          // writers only (and locked-mode readers)
+    std::atomic<uint64_t> version{0};  // seqlock: odd while a write is open
+    std::unique_ptr<Entry[]> entries;
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> insertions{0};
+    std::atomic<uint64_t> evictions{0};
   };
 
   // Injective over all (int, int) pairs: int -> uint32_t is a bijection.
@@ -135,6 +157,7 @@ class ContainmentCache {
 
   size_t num_shards_;
   size_t slots_per_shard_;
+  epoch::ReclaimMode mode_;
   std::unique_ptr<Shard[]> shards_;
   // uid of the interner whose pattern ids populate kCatalogRewritable
   // entries (bound by the first RewritableCached call; 0 = unbound).

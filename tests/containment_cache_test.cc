@@ -154,9 +154,11 @@ TEST(ContainmentCacheTest, ForeignInternerBypassesCatalogCache) {
 
 // Many threads hammering one small sharded cache: every Lookup hit must
 // return the pure-function value for its key (never a torn or cross-kind
-// entry), and the summed stats must balance. Run under TSan in CI.
-TEST(ContainmentCacheTest, ConcurrentLookupInsertIsConsistent) {
-  ContainmentCache cache(256, /*shards=*/4);
+// entry), and the summed stats must balance. Run under TSan in CI against
+// BOTH read-probe implementations — the lock-free seqlock probe (kEbr)
+// and the mutex probe (kLocked oracle).
+void ConcurrentLookupInsertStress(epoch::ReclaimChoice reclaim) {
+  ContainmentCache cache(256, /*shards=*/4, reclaim);
   constexpr int kThreads = 8;
   constexpr int kOpsPerThread = 20000;
   std::vector<std::thread> threads;
@@ -184,7 +186,44 @@ TEST(ContainmentCacheTest, ConcurrentLookupInsertIsConsistent) {
   const ContainmentCache::Stats stats = cache.stats();
   EXPECT_EQ(stats.hits + stats.misses,
             static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  // Seqlock false misses (reader overlapping an in-progress write) are
+  // counted as misses and re-inserted like any other miss, so the
+  // one-insert-per-miss invariant holds in both modes.
   EXPECT_EQ(stats.insertions, stats.misses);
+}
+
+TEST(ContainmentCacheTest, ConcurrentLookupInsertIsConsistentEbr) {
+  ConcurrentLookupInsertStress(epoch::ReclaimChoice::kEbr);
+}
+
+TEST(ContainmentCacheTest, ConcurrentLookupInsertIsConsistentLocked) {
+  ConcurrentLookupInsertStress(epoch::ReclaimChoice::kLocked);
+}
+
+// The seqlock probe and the mutex probe are answer-identical: slot mapping
+// and eviction are mode-independent, so the same insert sequence must
+// yield the same hit/miss/value outcome for every key in both modes.
+TEST(ContainmentCacheTest, SeqlockProbeMatchesLockedProbe) {
+  ContainmentCache ebr(64, /*shards=*/2, epoch::ReclaimChoice::kEbr);
+  ContainmentCache locked(64, /*shards=*/2, epoch::ReclaimChoice::kLocked);
+  EXPECT_EQ(ebr.reclaim_mode(), epoch::ReclaimMode::kEbr);
+  EXPECT_EQ(locked.reclaim_mode(), epoch::ReclaimMode::kLocked);
+  for (int i = 0; i < 500; ++i) {
+    const int a = (i * 17) % 97;
+    const int b = (i * 31) % 89;
+    const Kind kind =
+        (i % 2) == 0 ? Kind::kUniverseRewritable : Kind::kCatalogRewritable;
+    ebr.Insert(kind, a, b, (a ^ b) % 3 == 0);
+    locked.Insert(kind, a, b, (a ^ b) % 3 == 0);
+  }
+  for (int i = 0; i < 500; ++i) {
+    const int a = (i * 17) % 97;
+    const int b = (i * 31) % 89;
+    const Kind kind =
+        (i % 2) == 0 ? Kind::kUniverseRewritable : Kind::kCatalogRewritable;
+    EXPECT_EQ(ebr.Lookup(kind, a, b), locked.Lookup(kind, a, b))
+        << "probe diverged for (" << a << ", " << b << ")";
+  }
 }
 
 TEST(ContainmentCacheTest, RewritingOrderSharesOneCache) {

@@ -18,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/epoch.h"
+#include "common/locks.h"
 #include "engine/principal_map.h"
 
 #include "fb/fb_schema.h"
@@ -334,6 +336,275 @@ TEST(EngineConcurrencyTest, SamePrincipalSubmitsAreAValidSerialization) {
     }
   }
   EXPECT_EQ(final_state, expected_final);
+}
+
+// EBR-specific stress (PR 10): readers label warm AND novel queries through
+// Submit/SubmitBatch/SubmitCoalesced while a writer loop churns every
+// retire source at once — UpdatePolicy (snapshot retire), SetShadowPolicy/
+// ClearShadowPolicy (shadow snapshot retire), overlay growth with
+// overlay_min_publish=1 (chunk swap + retire on nearly every novel label),
+// and SweepPrincipals. Run under TSan and ASan by CI; a use-after-retire
+// would surface there, and decision-counter balance is checked here.
+TEST(EngineConcurrencyTest, EbrReadersRaceRetiresAcrossAllLayers) {
+  FbFixture fb;
+  policy::SecurityPolicy policy_a =
+      workload::PolicyGenerator(&fb.catalog, {}, 0xebedULL).Next();
+  policy::SecurityPolicy policy_b =
+      workload::PolicyGenerator(&fb.catalog, {}, 0xebeeULL).Next();
+  policy::SecurityPolicy shadow =
+      workload::PolicyGenerator(&fb.catalog, {}, 0xebefULL).Next();
+  const auto warm_pool = RandomWorkload(&fb.schema, 2, 64, 0x600dULL);
+  // Disjoint per-thread novel slices: every novel label grows the overlay
+  // and (with min_publish=1) swaps + retires an overlay chunk.
+  const auto novel_pool = RandomWorkload(&fb.schema, 2, 512, 0xbadcab1eULL);
+
+  EngineOptions options;
+  options.reclaim = epoch::ReclaimChoice::kEbr;
+  options.labeler.overlay_min_publish = 1;
+  options.principals.shards = 4;
+  options.principals.max_principals = 16;
+  options.principals.idle_ttl_ticks = 1;
+  DisclosureEngine engine(/*db=*/nullptr, &fb.catalog, policy_a, options);
+  ASSERT_EQ(engine.reclaim_mode(), epoch::ReclaimMode::kEbr);
+
+  constexpr int kThreads = 4;
+  constexpr int kItersPerThread = 300;
+  constexpr int kPrincipals = 12;
+  std::atomic<uint64_t> decided{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      Rng rng(0xeb0ULL * (t + 1));
+      size_t novel_at = static_cast<size_t>(t) * (novel_pool.size() / kThreads);
+      const size_t novel_end = novel_at + novel_pool.size() / kThreads;
+      auto next_query = [&]() -> const cq::ConjunctiveQuery& {
+        // ~1 in 4 submissions is novel until the slice runs dry; the rest
+        // stay warm so chunk hits and chunk swaps interleave constantly.
+        if (novel_at < novel_end && rng.Chance(0.25)) {
+          return novel_pool[novel_at++];
+        }
+        return warm_pool[rng.Below(warm_pool.size())];
+      };
+      std::vector<std::string> names(kPrincipals);
+      for (int p = 0; p < kPrincipals; ++p) {
+        names[p] = "p" + std::to_string(p);
+      }
+      for (int i = 0; i < kItersPerThread; ++i) {
+        const std::string& principal = names[rng.Below(kPrincipals)];
+        if (rng.Chance(0.2)) {
+          std::vector<cq::ConjunctiveQuery> batch;
+          for (int j = 0; j < 4; ++j) batch.push_back(next_query());
+          const auto out =
+              engine.SubmitBatch(principal, std::span(batch.data(), 4));
+          decided.fetch_add(out.size(), std::memory_order_relaxed);
+        } else if (rng.Chance(0.2)) {
+          std::vector<cq::ConjunctiveQuery> queries;
+          for (int j = 0; j < 3; ++j) queries.push_back(next_query());
+          std::vector<DisclosureEngine::SubmitRequest> requests(3);
+          for (int j = 0; j < 3; ++j) {
+            requests[j].principal = names[(rng.Below(kPrincipals))];
+            requests[j].query = &queries[j];
+          }
+          std::vector<bool> decisions;
+          engine.SubmitCoalesced(std::span(requests.data(), 3), &decisions);
+          decided.fetch_add(decisions.size(), std::memory_order_relaxed);
+        } else {
+          (void)engine.Submit(principal, next_query());
+          decided.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  std::thread writer([&] {
+    for (int i = 0; i < 80; ++i) {
+      engine.UpdatePolicy((i % 2) == 0 ? policy_b : policy_a);
+      if (i % 3 == 0) {
+        engine.SetShadowPolicy(shadow, "stress-shadow");
+      } else if (i % 3 == 1) {
+        engine.ClearShadowPolicy();
+      }
+      (void)engine.SweepPrincipals();
+      if (i % 10 == 0) (void)engine.Stats();
+    }
+  });
+  for (std::thread& reader : readers) reader.join();
+  writer.join();
+
+  const DisclosureEngine::EngineStats stats = engine.Stats();
+  EXPECT_EQ(stats.submitted, stats.accepted + stats.refused);
+  EXPECT_EQ(stats.submitted, decided.load());
+  EXPECT_EQ(stats.reclaim, epoch::ReclaimMode::kEbr);
+  // The writer loop actually exercised every retire source.
+  EXPECT_GT(stats.labeler.overlay_chunk_publishes, 0u);
+  EXPECT_GT(stats.ebr.retired, 0u);
+  EXPECT_GT(stats.ebr.freed, 0u);
+  // Quiesced: every principal is answerable under the final epoch.
+  for (int p = 0; p < kPrincipals; ++p) {
+    (void)engine.ConsistentPartitions("p" + std::to_string(p));
+  }
+}
+
+// Differential oracle (PR 10): the EBR read path must be decision-for-
+// decision bit-identical to the locked path. Two engines — explicit kEbr
+// vs explicit kLocked — consume the same randomized single-threaded
+// stream (singles, batches, coalesced groups, policy swaps, shadow
+// set/clear at the same points); every decision vector, every principal's
+// final consistency mask, the policy epoch and the shadow divergence
+// counters must match exactly.
+TEST(EngineConcurrencyTest, EbrDecisionsMatchLockedOracleBitIdentical) {
+  FbFixture fb;
+  policy::SecurityPolicy policy_a =
+      workload::PolicyGenerator(&fb.catalog, {}, 0xd1f01ULL).Next();
+  policy::SecurityPolicy policy_b =
+      workload::PolicyGenerator(&fb.catalog, {}, 0xd1f02ULL).Next();
+  policy::SecurityPolicy shadow =
+      workload::PolicyGenerator(&fb.catalog, {}, 0xd1f03ULL).Next();
+  const auto pool = RandomWorkload(&fb.schema, 2, 256, 0xd1f04ULL);
+
+  EngineOptions ebr_options;
+  ebr_options.reclaim = epoch::ReclaimChoice::kEbr;
+  ebr_options.labeler.overlay_min_publish = 1;  // exercise the chunk path
+  EngineOptions locked_options;
+  locked_options.reclaim = epoch::ReclaimChoice::kLocked;
+  DisclosureEngine ebr(/*db=*/nullptr, &fb.catalog, policy_a, ebr_options);
+  DisclosureEngine locked(/*db=*/nullptr, &fb.catalog, policy_a,
+                          locked_options);
+  ASSERT_EQ(ebr.reclaim_mode(), epoch::ReclaimMode::kEbr);
+  ASSERT_EQ(locked.reclaim_mode(), epoch::ReclaimMode::kLocked);
+
+  constexpr int kPrincipals = 6;
+  constexpr int kSteps = 1200;
+  auto name_of = [](uint64_t p) { return "diff-" + std::to_string(p); };
+  Rng rng(0xd1f05ULL);
+  bool shadow_on = false;
+  for (int step = 0; step < kSteps; ++step) {
+    if (step % 97 == 42) {
+      const auto& next = (step / 97) % 2 == 0 ? policy_b : policy_a;
+      EXPECT_EQ(ebr.UpdatePolicy(next), locked.UpdatePolicy(next));
+    }
+    if (step % 131 == 7) {
+      if (shadow_on) {
+        ebr.ClearShadowPolicy();
+        locked.ClearShadowPolicy();
+      } else {
+        EXPECT_EQ(ebr.SetShadowPolicy(shadow, "diff-shadow"),
+                  locked.SetShadowPolicy(shadow, "diff-shadow"));
+      }
+      shadow_on = !shadow_on;
+    }
+    const std::string principal = name_of(rng.Below(kPrincipals));
+    if (rng.Chance(0.2)) {
+      std::vector<cq::ConjunctiveQuery> batch;
+      const int span = static_cast<int>(rng.Below(6)) + 1;
+      for (int j = 0; j < span; ++j) {
+        batch.push_back(pool[rng.Below(pool.size())]);
+      }
+      const auto batch_span = std::span(batch.data(), batch.size());
+      EXPECT_EQ(ebr.SubmitBatch(principal, batch_span),
+                locked.SubmitBatch(principal, batch_span))
+          << "batch diverged at step " << step;
+    } else if (rng.Chance(0.15)) {
+      std::vector<cq::ConjunctiveQuery> queries;
+      std::vector<std::string> names;
+      for (int j = 0; j < 4; ++j) {
+        queries.push_back(pool[rng.Below(pool.size())]);
+        names.push_back(name_of(rng.Below(kPrincipals)));
+      }
+      std::vector<DisclosureEngine::SubmitRequest> requests(4);
+      for (int j = 0; j < 4; ++j) {
+        requests[j].principal = names[j];
+        requests[j].query = &queries[j];
+      }
+      std::vector<bool> ebr_out, locked_out;
+      ebr.SubmitCoalesced(std::span(requests.data(), 4), &ebr_out);
+      locked.SubmitCoalesced(std::span(requests.data(), 4), &locked_out);
+      EXPECT_EQ(ebr_out, locked_out) << "coalesced diverged at step " << step;
+    } else {
+      const auto& query = pool[rng.Below(pool.size())];
+      EXPECT_EQ(ebr.Submit(principal, query), locked.Submit(principal, query))
+          << "submit diverged at step " << step;
+    }
+  }
+
+  for (int p = 0; p < kPrincipals; ++p) {
+    EXPECT_EQ(ebr.ConsistentPartitions(name_of(p)),
+              locked.ConsistentPartitions(name_of(p)));
+  }
+  const auto ebr_stats = ebr.Stats();
+  const auto locked_stats = locked.Stats();
+  EXPECT_EQ(ebr_stats.epoch, locked_stats.epoch);
+  EXPECT_EQ(ebr_stats.submitted, locked_stats.submitted);
+  EXPECT_EQ(ebr_stats.accepted, locked_stats.accepted);
+  EXPECT_EQ(ebr_stats.refused, locked_stats.refused);
+  EXPECT_EQ(ebr_stats.shadow.evaluated, locked_stats.shadow.evaluated);
+  EXPECT_EQ(ebr_stats.shadow.agree, locked_stats.shadow.agree);
+  EXPECT_EQ(ebr_stats.shadow.shadow_stricter,
+            locked_stats.shadow.shadow_stricter);
+  EXPECT_EQ(ebr_stats.shadow.shadow_looser, locked_stats.shadow.shadow_looser);
+  // The differential is only meaningful if the EBR engine actually served
+  // from the lock-free chunk tier.
+  EXPECT_GT(ebr_stats.labeler.overlay_chunk_hits, 0u);
+}
+
+// The acceptance property of the whole refactor: with FDC_EPOCH=ebr (forced
+// explicitly here so the test is env-independent), warm-path Submit /
+// SubmitBatch / SubmitCoalesced perform ZERO reader-side mutex or
+// shared_mutex acquisitions — measured by the thread-local
+// locks::ReaderLockAcquisitions() counter that every counted lock in the
+// read path reports into. The locked oracle engine runs the identical
+// sequence as a sanity check that the counter actually counts.
+TEST(EngineConcurrencyTest, WarmPathTakesZeroReaderLocksUnderEbr) {
+  FbFixture fb;
+  policy::SecurityPolicy policy =
+      workload::PolicyGenerator(&fb.catalog, {}, 0x10cc5ULL).Next();
+  const auto pool = RandomWorkload(&fb.schema, 2, 48, 0x10cc6ULL);
+
+  auto run_warm_traffic = [&](DisclosureEngine& engine) {
+    for (size_t q = 0; q < pool.size(); ++q) {
+      (void)engine.Submit("locks-single", pool[q]);
+    }
+    std::vector<cq::ConjunctiveQuery> batch(pool.begin(), pool.end());
+    (void)engine.SubmitBatch("locks-batch",
+                             std::span(batch.data(), batch.size()));
+    std::vector<DisclosureEngine::SubmitRequest> requests(pool.size());
+    for (size_t q = 0; q < pool.size(); ++q) {
+      requests[q].principal = "locks-coalesced";
+      requests[q].query = &pool[q];
+    }
+    std::vector<bool> decisions;
+    engine.SubmitCoalesced(std::span(requests.data(), requests.size()),
+                           &decisions);
+  };
+
+  // EBR leg: with overlay_min_publish=1 every novel label publishes a
+  // fresh chunk, so after one warm pass the entire pool is chunk-resident
+  // and the measured pass is pure lock-free tier for labeling AND an
+  // epoch-pinned raw-pointer load for the snapshot.
+  EngineOptions ebr_options;
+  ebr_options.reclaim = epoch::ReclaimChoice::kEbr;
+  ebr_options.labeler.overlay_min_publish = 1;
+  DisclosureEngine ebr(/*db=*/nullptr, &fb.catalog, policy, ebr_options);
+  run_warm_traffic(ebr);  // warm-up pass (takes writer locks: uncounted)
+  const uint64_t ebr_before = locks::ReaderLockAcquisitions();
+  run_warm_traffic(ebr);
+  const uint64_t ebr_delta = locks::ReaderLockAcquisitions() - ebr_before;
+  EXPECT_EQ(ebr_delta, 0u)
+      << "EBR warm path took reader-side lock acquisitions";
+  EXPECT_EQ(ebr.Stats().labeler.overlay_reader_locks, 0u);
+  EXPECT_GT(ebr.Stats().labeler.overlay_chunk_hits, 0u);
+
+  // Locked oracle leg: the identical sequence must report reader locks,
+  // proving the counter is live (i.e. the EBR zero is not vacuous).
+  EngineOptions locked_options;
+  locked_options.reclaim = epoch::ReclaimChoice::kLocked;
+  DisclosureEngine locked(/*db=*/nullptr, &fb.catalog, policy, locked_options);
+  run_warm_traffic(locked);
+  const uint64_t locked_before = locks::ReaderLockAcquisitions();
+  run_warm_traffic(locked);
+  const uint64_t locked_delta = locks::ReaderLockAcquisitions() - locked_before;
+  EXPECT_GT(locked_delta, 0u)
+      << "counter dead: locked warm path reported zero reader locks";
+  EXPECT_GT(locked.Stats().labeler.overlay_reader_locks, 0u);
 }
 
 }  // namespace
